@@ -1,0 +1,175 @@
+// E7 — microbenchmarks of the core machinery (google-benchmark): label and
+// viewid comparison, summary-algebra operations at various sizes, wire
+// round trips, event-queue operations, and a full invariant-checker sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "core/summary.hpp"
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+#include "membership/messages.hpp"
+#include "sim/event_queue.hpp"
+#include "spec/to_trace_checker.hpp"
+#include "spec/vs_trace_checker.hpp"
+#include "util/rng.hpp"
+#include "verify/invariants.hpp"
+#include "vstoto/wire.hpp"
+
+using namespace vsg;
+
+namespace {
+
+core::Label make_label(std::uint64_t i) {
+  return core::Label{core::ViewId{i % 7, static_cast<ProcId>(i % 5)},
+                     static_cast<std::uint32_t>(i), static_cast<ProcId>(i % 3)};
+}
+
+core::Summary make_summary(std::size_t size) {
+  core::Summary x;
+  for (std::size_t i = 0; i < size; ++i) {
+    const auto l = make_label(i);
+    x.con[l] = "value-" + std::to_string(i);
+    x.ord.push_back(l);
+  }
+  x.next = static_cast<std::uint32_t>(size / 2 + 1);
+  x.high = core::ViewId{3, 1};
+  return x;
+}
+
+void BM_LabelCompare(benchmark::State& state) {
+  const auto a = make_label(123456);
+  const auto b = make_label(123457);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+    benchmark::DoNotOptimize(b < a);
+  }
+}
+BENCHMARK(BM_LabelCompare);
+
+void BM_RngNext(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_FullOrder(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  core::SummaryMap y;
+  for (ProcId p = 0; p < 3; ++p) {
+    auto x = make_summary(size);
+    x.high = core::ViewId{static_cast<std::uint64_t>(p), p};
+    y[p] = std::move(x);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(core::fullorder(y));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullOrder)->Range(8, 2048)->Complexity();
+
+void BM_Knowncontent(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  core::SummaryMap y{{0, make_summary(size)}, {1, make_summary(size)}};
+  for (auto _ : state) benchmark::DoNotOptimize(core::knowncontent(y));
+}
+BENCHMARK(BM_Knowncontent)->Range(8, 2048);
+
+void BM_SummaryEncodeDecode(benchmark::State& state) {
+  const auto x = make_summary(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto bytes = vstoto::encode_message(vstoto::Message{x});
+    benchmark::DoNotOptimize(vstoto::decode_message(bytes));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(vstoto::encode_message(vstoto::Message{x}).size()));
+}
+BENCHMARK(BM_SummaryEncodeDecode)->Range(8, 1024);
+
+void BM_TokenEncodeDecode(benchmark::State& state) {
+  membership::Token t;
+  t.gid = core::ViewId{4, 0};
+  for (int i = 0; i < state.range(0); ++i)
+    t.entries.emplace_back(static_cast<ProcId>(i % 5),
+                           util::Bytes(64, static_cast<std::uint8_t>(i)));
+  for (ProcId p = 0; p < 5; ++p) t.delivered[p] = 100;
+  for (auto _ : state) {
+    const auto bytes = membership::encode_packet(membership::Packet{t});
+    benchmark::DoNotOptimize(membership::decode_packet(bytes));
+  }
+}
+BENCHMARK(BM_TokenEncodeDecode)->Range(1, 256);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < state.range(0); ++i)
+      q.schedule(i * 7 % 1000, [] {});
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Range(64, 4096);
+
+void BM_LabeledValueWire(benchmark::State& state) {
+  const vstoto::LabeledValue lv{make_label(7), std::string(128, 'x')};
+  for (auto _ : state) {
+    const auto bytes = vstoto::encode_message(vstoto::Message{lv});
+    benchmark::DoNotOptimize(vstoto::decode_message(bytes));
+  }
+}
+BENCHMARK(BM_LabeledValueWire);
+
+// --- Verification machinery at working scale -------------------------------
+
+// A settled 4-processor run with traffic and one partition/heal episode.
+harness::World& bench_world() {
+  static harness::World* world = [] {
+    harness::WorldConfig cfg;
+    cfg.n = 4;
+    cfg.backend = harness::Backend::kSpec;
+    cfg.seed = 77;
+    auto* w = new harness::World(cfg);
+    w->partition_at(sim::msec(100), {{0, 1, 2}, {3}});
+    harness::steady_traffic({0, 1}, 10, sim::msec(150), sim::msec(20)).apply(*w);
+    w->heal_at(sim::msec(600));
+    w->run_until(sim::sec(3));
+    return w;
+  }();
+  return *world;
+}
+
+void BM_InvariantSweep(benchmark::State& state) {
+  auto& world = bench_world();
+  const auto gs = world.global_state();
+  for (auto _ : state) benchmark::DoNotOptimize(verify::check_all_invariants(gs));
+}
+BENCHMARK(BM_InvariantSweep);
+
+void BM_VSTraceChecker(benchmark::State& state) {
+  auto& world = bench_world();
+  const auto& events = world.recorder().events();
+  for (auto _ : state) {
+    spec::VSTraceChecker checker(4, 4);
+    checker.check_all(events);
+    benchmark::DoNotOptimize(checker.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_VSTraceChecker);
+
+void BM_TOTraceChecker(benchmark::State& state) {
+  auto& world = bench_world();
+  const auto& events = world.recorder().events();
+  for (auto _ : state) {
+    spec::TOTraceChecker checker(4);
+    checker.check_all(events);
+    benchmark::DoNotOptimize(checker.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TOTraceChecker);
+
+}  // namespace
+
+BENCHMARK_MAIN();

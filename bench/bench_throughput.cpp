@@ -1,0 +1,66 @@
+// E6 — token-ring ordering throughput: the token is the serialization
+// point, so confirmed-delivery throughput is governed by the token launch
+// spacing pi and the ring size n (each lap batches everything buffered
+// since the previous lap). We saturate every member with client traffic
+// and measure confirmed deliveries per second at one processor, sweeping n
+// and pi.
+
+#include <cstdio>
+#include <set>
+
+#include "harness/stats.hpp"
+#include "harness/world.hpp"
+
+using namespace vsg;
+
+namespace {
+
+double run_one(int n, sim::Time pi, std::uint64_t seed) {
+  harness::WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = harness::Backend::kTokenRing;
+  cfg.ring.pi = pi;
+  cfg.seed = seed;
+  harness::World world(cfg);
+
+  // Saturation: every processor submits a value every pi/4.
+  const sim::Time gap = pi / 4;
+  const sim::Time start = sim::msec(500);
+  const sim::Time end = start + sim::sec(8);
+  for (sim::Time t = start; t < end; t += gap)
+    for (ProcId p = 0; p < n; ++p)
+      world.bcast_at(t, p, "v");
+  world.run_until(end + sim::sec(4));
+
+  // Measure confirmed deliveries at processor 0 in the steady window.
+  const auto delivered = harness::deliveries_at(world.recorder().events(), 0,
+                                                start + sim::sec(1), end);
+  const double secs = static_cast<double>(end - (start + sim::sec(1))) / 1e6;
+  return static_cast<double>(delivered) / secs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: confirmed-delivery throughput vs ring size and token spacing\n\n");
+  const std::vector<int> widths{4, 10, 14, 16};
+  std::printf("%s\n",
+              harness::fmt_row({"n", "pi", "deliv/sec", "offered/sec"}, widths).c_str());
+  for (int n : {2, 3, 4, 6, 8}) {
+    for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)}) {
+      const double rate = run_one(n, pi, 2200 + n);
+      const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
+      char r[24], o[24];
+      std::snprintf(r, sizeof r, "%.0f", rate);
+      std::snprintf(o, sizeof o, "%.0f", offered);
+      std::printf("%s\n", harness::fmt_row({std::to_string(n), harness::fmt_time(pi), r, o},
+                                           widths)
+                              .c_str());
+    }
+  }
+  std::printf(
+      "\nreading: the token batches, so throughput tracks the offered load (all\n"
+      "submitted values are confirmed) while latency is governed by pi (see E2);\n"
+      "the serialization point does not collapse as n grows.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fuzz hunter: run many random chaos scenarios (seeded, fully reproducible)
+// against the full stack and report any seed whose trace violates the TO or
+// VS specifications or fails to recover after stabilization. This is the
+// development workhorse: every schedule-dependent protocol bug found while
+// building this repository would have printed a seed here.
+//
+//   $ ./fuzz_hunt                 # 50 seeds, n = 5
+//   $ ./fuzz_hunt 500 6           # 500 seeds, n = 6
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+
+using namespace vsg;
+
+namespace {
+
+struct Verdict {
+  bool safe = true;
+  bool recovered = true;
+  std::string detail;
+};
+
+Verdict run_seed(std::uint64_t seed, int n) {
+  harness::WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = harness::Backend::kTokenRing;
+  cfg.seed = seed;
+  cfg.link.ugly_corrupt = 0.25;
+  harness::World world(cfg);
+  util::Rng rng(seed * 48271 + 3);
+
+  // Random chaos for 6 simulated seconds, then stabilize everything.
+  std::vector<std::set<ProcId>> full{{}};
+  for (ProcId p = 0; p < n; ++p) full[0].insert(p);
+  harness::random_churn(n, 20, sim::msec(100), sim::sec(6), full, rng).apply(world);
+  const int values = 25;
+  harness::random_traffic(n, values, sim::msec(100), sim::sec(8), rng).apply(world);
+  // Random processor failures, healed before the end.
+  for (int k = 0; k < 3; ++k) {
+    const auto victim = static_cast<ProcId>(rng.below(n));
+    const sim::Time down = sim::msec(500) + rng.range(0, sim::sec(4));
+    world.proc_status_at(down, victim,
+                         rng.chance(0.5) ? sim::Status::kBad : sim::Status::kUgly);
+    world.proc_status_at(down + rng.range(sim::msec(200), sim::sec(1)), victim,
+                         sim::Status::kGood);
+  }
+  world.simulator().at(sim::sec(6), [&world, n] {
+    for (ProcId p = 0; p < n; ++p)
+      if (world.failures().proc(p) != sim::Status::kGood)
+        world.failures().set_proc(p, sim::Status::kGood, world.simulator().now());
+  });
+  world.run_until(sim::sec(25));
+
+  Verdict verdict;
+  const auto to_violations = world.check_to_safety();
+  const auto vs_violations = world.check_vs_safety();
+  if (!to_violations.empty()) {
+    verdict.safe = false;
+    verdict.detail = "TO: " + to_violations.front();
+  } else if (!vs_violations.empty()) {
+    verdict.safe = false;
+    verdict.detail = "VS: " + vs_violations.front();
+  }
+  const auto& reference = world.stack().process(0).delivered();
+  if (reference.size() != static_cast<std::size_t>(values)) {
+    verdict.recovered = false;
+    verdict.detail += " delivered " + std::to_string(reference.size()) + "/" +
+                      std::to_string(values);
+  }
+  for (ProcId p = 1; p < n; ++p)
+    if (world.stack().process(p).delivered() != reference) {
+      verdict.recovered = false;
+      verdict.detail += " divergence at " + std::to_string(p);
+      break;
+    }
+  return verdict;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 50;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 5;
+  std::printf("fuzzing %d seeds at n=%d (chaos: churn + crashes + ugliness + corruption)\n",
+              seeds, n);
+  int bad = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    const auto verdict = run_seed(static_cast<std::uint64_t>(s), n);
+    if (!verdict.safe || !verdict.recovered) {
+      ++bad;
+      std::printf("  seed %d: %s%s —%s\n", s, verdict.safe ? "" : "UNSAFE ",
+                  verdict.recovered ? "" : "UNRECOVERED", verdict.detail.c_str());
+    }
+    if (s % 10 == 0) std::printf("  ... %d/%d done, %d bad\n", s, seeds, bad);
+  }
+  std::printf(bad == 0 ? "all %d seeds clean\n" : "%d seeds clean, SEE ABOVE\n",
+              seeds - bad);
+  return bad == 0 ? 0 : 1;
+}

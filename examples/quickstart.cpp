@@ -1,0 +1,56 @@
+// Quickstart: build a 3-processor totally ordered broadcast stack on the
+// simulated network, broadcast a few values from different processors, and
+// print the identical delivery order every processor observes.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the library: World assembles the
+// simulator, failure model, network, the Section 8 token-ring VS
+// implementation and one VStoTO process per processor; clients interact
+// only through bcast and the delivery callback.
+
+#include <cstdio>
+
+#include "harness/world.hpp"
+
+int main() {
+  using namespace vsg;
+
+  harness::WorldConfig cfg;
+  cfg.n = 3;                                   // three processors, all in P0
+  cfg.backend = harness::Backend::kTokenRing;  // the paper's implementation
+  cfg.seed = 2024;
+  harness::World world(cfg);
+
+  // Print deliveries as they happen at processor 0.
+  world.stack().set_delivery([&](ProcId dest, ProcId origin, const core::Value& a) {
+    if (dest == 0)
+      std::printf("  t=%-8lld processor %d delivers \"%s\" (from %d)\n",
+                  static_cast<long long>(world.simulator().now()), dest, a.c_str(), origin);
+  });
+
+  // Each processor broadcasts two values.
+  std::printf("submitting six values...\n");
+  for (int round = 0; round < 2; ++round)
+    for (ProcId p = 0; p < 3; ++p)
+      world.bcast_at(sim::msec(10 + 30 * round), p,
+                     "msg" + std::to_string(round) + "-from-" + std::to_string(p));
+
+  world.run_until(sim::sec(2));
+
+  // Every processor delivered the same sequence.
+  std::printf("\nfinal delivery order (identical at every processor):\n");
+  for (ProcId p = 0; p < 3; ++p) {
+    std::printf("  processor %d:", p);
+    for (const auto& [origin, value] : world.stack().process(p).delivered())
+      std::printf(" %s", value.c_str());
+    std::printf("\n");
+  }
+
+  // The recorded trace provably satisfies the TO specification.
+  const auto violations = world.check_to_safety();
+  std::printf("\nTO safety check: %s\n",
+              violations.empty() ? "OK (trace is a TO-machine behaviour)"
+                                 : violations.front().c_str());
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Sequentially consistent replicated key-value store (the application of
+// the paper's footnote 3): reads are local, writes go through totally
+// ordered broadcast, every replica applies the same write sequence.
+//
+//   $ ./replicated_kv_demo
+//
+// The demo runs a bank-account workload with concurrent writers on
+// different processors, a partition in the middle, and shows that after
+// healing every replica agrees — with the independent sequential-
+// consistency checker auditing the whole history.
+
+#include <cstdio>
+
+#include "app/replicated_kv.hpp"
+#include "app/seqcst_checker.hpp"
+#include "harness/world.hpp"
+
+int main() {
+  using namespace vsg;
+
+  harness::WorldConfig cfg;
+  cfg.n = 3;
+  cfg.backend = harness::Backend::kTokenRing;
+  cfg.seed = 99;
+  harness::World world(cfg);
+  app::ReplicatedKV kv(world.stack());
+  app::SeqCstChecker checker(3);
+
+  auto write = [&](sim::Time t, ProcId p, const std::string& key, const std::string& value) {
+    world.simulator().at(t, [&, t, p, key, value] {
+      std::printf("  t=%-7lld processor %d writes %s=%s\n",
+                  static_cast<long long>(t), p, key.c_str(), value.c_str());
+      checker.on_submit(p, key, value);
+      kv.write(p, key, value);
+    });
+  };
+  auto read = [&](sim::Time t, ProcId p, const std::string& key) {
+    world.simulator().at(t, [&, t, p, key] {
+      const auto v = kv.read(p, key);
+      checker.on_read(p, key, v, kv.applied(p).size());
+      std::printf("  t=%-7lld processor %d reads  %s -> %s\n",
+                  static_cast<long long>(t), p, key.c_str(),
+                  v ? v->c_str() : "(missing)");
+    });
+  };
+
+  std::printf("== concurrent writers on an account ledger\n");
+  write(sim::msec(10), 0, "alice", "100");
+  write(sim::msec(10), 1, "bob", "50");
+  write(sim::msec(200), 2, "alice", "75");
+  read(sim::msec(500), 0, "alice");
+  read(sim::msec(500), 2, "bob");
+
+  std::printf("== t=1s: partition {0,1} | {2}; the majority keeps going\n");
+  world.partition_at(sim::sec(1), {{0, 1}, {2}});
+  write(sim::msec(1500), 0, "carol", "10");
+  read(sim::msec(2500), 2, "carol");  // stale but consistent: not applied yet
+
+  std::printf("== t=3s: heal; replica 2 catches up\n");
+  world.heal_at(sim::sec(3));
+  read(sim::sec(6), 2, "carol");
+
+  // Feed applies to the checker as the run progresses.
+  std::vector<std::size_t> seen(3, 0);
+  while (world.simulator().now() < sim::sec(8) && world.simulator().step()) {
+    for (ProcId p = 0; p < 3; ++p)
+      while (seen[static_cast<std::size_t>(p)] < kv.applied(p).size()) {
+        checker.on_apply(p, kv.applied(p)[seen[static_cast<std::size_t>(p)]]);
+        ++seen[static_cast<std::size_t>(p)];
+      }
+  }
+
+  std::printf("\nfinal stores:\n");
+  for (ProcId p = 0; p < 3; ++p) {
+    std::printf("  replica %d:", p);
+    for (const auto& [k, v] : kv.store(p)) std::printf(" %s=%s", k.c_str(), v.c_str());
+    std::printf("\n");
+  }
+  std::printf("\nsequential consistency audit: %s\n",
+              checker.ok() ? "OK" : checker.violations().front().c_str());
+  std::printf("common write order has %zu writes\n", checker.common_order().size());
+  return checker.ok() ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+// Dynamic load balancing over the raw VS interface — the application family
+// the paper points to in its conclusions ("Other results based on this VS
+// specification include [20, 24, 27]", where [24] is Dolev-Segala-
+// Shvartsman, *Dynamic Load Balancing with Group Communication*).
+//
+// A fixed set of tasks 0..total-1 must all be performed. Each worker
+// performs the tasks whose index hashes to its *rank* in the current view,
+// announces completions through the group, and exchanges its whole done-set
+// when a view forms. The guarantees mirror the paper's partitionable
+// semantics:
+//   - progress: every component keeps working on the tasks not known done
+//     (no primary view needed — load balancing is safe under partition);
+//   - at-least-once: concurrent components may duplicate work, never lose
+//     it; merging components reconcile done-sets via the view-change
+//     exchange;
+//   - exactly-once in stable runs: with one stable view the slices are
+//     disjoint.
+//
+// Unlike VStoTO this client needs no total order — only membership ranks
+// and view-synchronous delivery — so it exercises a different slice of the
+// VS specification (newview + gprcv, no safe).
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "vs/service.hpp"
+
+namespace vsg::app {
+
+struct LoadBalancerConfig {
+  std::uint32_t total_tasks = 100;
+  /// Simulated time to perform one task.
+  sim::Time task_duration = sim::msec(10);
+};
+
+class LoadBalancer {
+ public:
+  /// Creates one worker per processor of `service` and attaches them.
+  /// Workers start working immediately (processors outside the initial
+  /// view idle until their first newview).
+  LoadBalancer(vs::Service& service, sim::Simulator& simulator, LoadBalancerConfig config);
+  ~LoadBalancer();
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  /// Tasks known complete at worker p.
+  const std::set<std::uint32_t>& done(ProcId p) const;
+
+  /// Tasks actually executed by worker p (its own work, duplicates count).
+  std::uint64_t executed(ProcId p) const;
+
+  /// True iff worker p knows every task is done.
+  bool all_done(ProcId p) const;
+
+  /// Total executions across workers (>= total_tasks; == total_tasks when
+  /// no partition forced duplicate work).
+  std::uint64_t total_executions() const;
+
+ private:
+  class Worker;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace vsg::app

@@ -1,0 +1,36 @@
+#include "app/ordered_log.hpp"
+
+#include <cassert>
+
+namespace vsg::app {
+
+OrderedLog::OrderedLog(to::Service& to_service)
+    : to_(&to_service), logs_(static_cast<std::size_t>(to_service.size())) {
+  to_->set_delivery([this](ProcId dest, ProcId origin, const core::Value& v) {
+    logs_[static_cast<std::size_t>(dest)].push_back(Entry{origin, v});
+  });
+}
+
+void OrderedLog::append(ProcId p, std::string text) {
+  assert(p >= 0 && p < to_->size());
+  to_->bcast(p, std::move(text));
+}
+
+const std::vector<OrderedLog::Entry>& OrderedLog::log(ProcId p) const {
+  assert(p >= 0 && p < to_->size());
+  return logs_[static_cast<std::size_t>(p)];
+}
+
+bool OrderedLog::prefix_consistent() const {
+  const std::vector<Entry>* longest = nullptr;
+  for (const auto& log : logs_)
+    if (longest == nullptr || log.size() > longest->size()) longest = &log;
+  if (longest == nullptr) return true;
+  for (const auto& log : logs_) {
+    for (std::size_t i = 0; i < log.size(); ++i)
+      if (!(log[i] == (*longest)[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace vsg::app

@@ -1,0 +1,40 @@
+#pragma once
+
+// Ordered shared log ("ledger"/"chat room"): the simplest application of
+// totally ordered broadcast. Every process appends entries; all processes
+// observe the same log, each seeing a prefix of the common order.
+
+#include <string>
+#include <vector>
+
+#include "to/service.hpp"
+
+namespace vsg::app {
+
+class OrderedLog {
+ public:
+  struct Entry {
+    ProcId author = kNoProc;
+    std::string text;
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Takes over the TO service's delivery callback.
+  explicit OrderedLog(to::Service& to_service);
+
+  /// Append an entry authored at processor p.
+  void append(ProcId p, std::string text);
+
+  /// The log as seen at processor p (a prefix of the common order).
+  const std::vector<Entry>& log(ProcId p) const;
+
+  /// True iff every process's log is a prefix of the longest one
+  /// (the application-level statement of the TO guarantee).
+  bool prefix_consistent() const;
+
+ private:
+  to::Service* to_;
+  std::vector<std::vector<Entry>> logs_;
+};
+
+}  // namespace vsg::app

@@ -1,0 +1,183 @@
+#include "app/replicated_kv.hpp"
+
+#include <cassert>
+
+#include "util/serde.hpp"
+
+namespace vsg::app {
+
+namespace {
+constexpr std::uint8_t kOpWrite = 1;
+constexpr std::uint8_t kOpReadMarker = 2;
+constexpr std::uint8_t kOpCas = 3;
+
+struct CasOp {
+  std::string key;
+  std::optional<std::string> expected;
+  std::string desired;
+};
+
+core::Value encode_cas(const CasOp& op) {
+  util::Encoder e;
+  e.u8(kOpCas);
+  e.str(op.key);
+  e.boolean(op.expected.has_value());
+  if (op.expected) e.str(*op.expected);
+  e.str(op.desired);
+  const auto& b = e.bytes();
+  return core::Value(b.begin(), b.end());
+}
+
+std::optional<CasOp> decode_cas(const core::Value& v) {
+  util::Bytes bytes(v.begin(), v.end());
+  util::Decoder d(bytes);
+  if (d.u8() != kOpCas) return std::nullopt;
+  CasOp op;
+  op.key = d.str();
+  if (d.boolean()) op.expected = d.str();
+  op.desired = d.str();
+  if (!d.complete()) return std::nullopt;
+  return op;
+}
+}  // namespace
+
+core::Value encode_write(const std::string& key, const std::string& value) {
+  util::Encoder e;
+  e.u8(kOpWrite);
+  e.str(key);
+  e.str(value);
+  const auto& b = e.bytes();
+  return core::Value(b.begin(), b.end());
+}
+
+std::optional<std::pair<std::string, std::string>> decode_write(const core::Value& v) {
+  util::Bytes bytes(v.begin(), v.end());
+  util::Decoder d(bytes);
+  if (d.u8() != kOpWrite) return std::nullopt;
+  std::string key = d.str();
+  std::string value = d.str();
+  if (!d.complete()) return std::nullopt;
+  return std::make_pair(std::move(key), std::move(value));
+}
+
+core::Value encode_read_marker(const std::string& key) {
+  util::Encoder e;
+  e.u8(kOpReadMarker);
+  e.str(key);
+  const auto& b = e.bytes();
+  return core::Value(b.begin(), b.end());
+}
+
+std::optional<std::string> decode_read_marker(const core::Value& v) {
+  util::Bytes bytes(v.begin(), v.end());
+  util::Decoder d(bytes);
+  if (d.u8() != kOpReadMarker) return std::nullopt;
+  std::string key = d.str();
+  if (!d.complete()) return std::nullopt;
+  return key;
+}
+
+ReplicatedKV::ReplicatedKV(to::Service& to_service)
+    : to_(&to_service),
+      stores_(static_cast<std::size_t>(to_service.size())),
+      applied_(static_cast<std::size_t>(to_service.size())),
+      submitted_(static_cast<std::size_t>(to_service.size()), 0),
+      applied_own_(static_cast<std::size_t>(to_service.size()), 0),
+      pending_reads_(static_cast<std::size_t>(to_service.size())),
+      pending_cas_(static_cast<std::size_t>(to_service.size())) {
+  to_->set_delivery([this](ProcId dest, ProcId origin, const core::Value& v) {
+    on_delivery(dest, origin, v);
+  });
+}
+
+void ReplicatedKV::write(ProcId p, const std::string& key, const std::string& value) {
+  assert(p >= 0 && p < to_->size());
+  ++submitted_[static_cast<std::size_t>(p)];
+  to_->bcast(p, encode_write(key, value));
+}
+
+std::optional<std::string> ReplicatedKV::read(ProcId p, const std::string& key) const {
+  assert(p >= 0 && p < to_->size());
+  const auto& store = stores_[static_cast<std::size_t>(p)];
+  const auto it = store.find(key);
+  if (it == store.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReplicatedKV::on_delivery(ProcId dest, ProcId origin, const core::Value& encoded) {
+  if (auto op = decode_write(encoded)) {
+    stores_[static_cast<std::size_t>(dest)][op->first] = op->second;
+    applied_[static_cast<std::size_t>(dest)].push_back(
+        AppliedWrite{origin, op->first, op->second});
+    if (origin == dest) ++applied_own_[static_cast<std::size_t>(dest)];
+    return;
+  }
+  if (auto op = decode_cas(encoded)) {
+    // Every replica evaluates the same outcome at the same position in the
+    // common order; success applies the write (and is recorded like one).
+    auto& store = stores_[static_cast<std::size_t>(dest)];
+    const auto it = store.find(op->key);
+    const std::optional<std::string> current =
+        it == store.end() ? std::nullopt : std::optional<std::string>(it->second);
+    const bool succeeded = current == op->expected;
+    if (succeeded) {
+      store[op->key] = op->desired;
+      applied_[static_cast<std::size_t>(dest)].push_back(
+          AppliedWrite{origin, op->key, op->desired});
+    }
+    if (origin == dest) {
+      auto& pending = pending_cas_[static_cast<std::size_t>(dest)];
+      if (!pending.empty()) {
+        auto done = std::move(pending.front());
+        pending.pop_front();
+        if (done) done(succeeded);
+      }
+    }
+    return;
+  }
+  if (auto key = decode_read_marker(encoded)) {
+    // Only the issuing replica answers; TO's per-sender FIFO guarantees
+    // markers come back in issue order, so the queue front matches.
+    if (origin != dest) return;
+    auto& pending = pending_reads_[static_cast<std::size_t>(dest)];
+    if (pending.empty() || pending.front().first != *key) return;  // foreign
+    auto done = std::move(pending.front().second);
+    pending.pop_front();
+    const auto& store = stores_[static_cast<std::size_t>(dest)];
+    const auto it = store.find(*key);
+    done(it == store.end() ? std::nullopt : std::optional<std::string>(it->second),
+         applied_[static_cast<std::size_t>(dest)].size());
+  }
+}
+
+void ReplicatedKV::atomic_read(ProcId p, const std::string& key, AtomicReadFn done) {
+  assert(p >= 0 && p < to_->size());
+  pending_reads_[static_cast<std::size_t>(p)].emplace_back(key, std::move(done));
+  to_->bcast(p, encode_read_marker(key));
+}
+
+std::size_t ReplicatedKV::atomic_reads_in_flight(ProcId p) const {
+  return pending_reads_[static_cast<std::size_t>(p)].size();
+}
+
+void ReplicatedKV::cas(ProcId p, const std::string& key,
+                       const std::optional<std::string>& expected,
+                       const std::string& desired, CasFn done) {
+  assert(p >= 0 && p < to_->size());
+  pending_cas_[static_cast<std::size_t>(p)].push_back(std::move(done));
+  to_->bcast(p, encode_cas(CasOp{key, expected, desired}));
+}
+
+const std::map<std::string, std::string>& ReplicatedKV::store(ProcId p) const {
+  return stores_[static_cast<std::size_t>(p)];
+}
+
+const std::vector<AppliedWrite>& ReplicatedKV::applied(ProcId p) const {
+  return applied_[static_cast<std::size_t>(p)];
+}
+
+std::size_t ReplicatedKV::writes_in_flight(ProcId p) const {
+  return submitted_[static_cast<std::size_t>(p)] - applied_own_[static_cast<std::size_t>(p)];
+}
+
+}  // namespace vsg::app

@@ -1,0 +1,102 @@
+#pragma once
+
+// Replicated memory over TO — the application of the paper's footnote 3
+// (the replicated state machine approach):
+//   - every replica holds a full copy of the store;
+//   - a (fast) read is answered immediately from the local copy;
+//   - a write is sent through totally ordered broadcast, and *every*
+//     replica (including the writer) applies it only when TO delivers it.
+// Sequential consistency follows from all replicas applying the same write
+// sequence (the TO order) and each process's operations taking effect in
+// program order.
+//
+// Footnote 3 also sketches the stronger alternative — "send all operations
+// (not just updates) through the totally ordered broadcast service; this
+// approach constructs an atomic shared memory". atomic_read implements it:
+// the read is broadcast as a marker and answered when the issuing replica
+// delivers its own marker, so the result reflects exactly the writes
+// ordered before the read in the one common order (linearizability).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "to/service.hpp"
+
+namespace vsg::app {
+
+/// One applied update, as seen by a replica.
+struct AppliedWrite {
+  ProcId origin = kNoProc;
+  std::string key;
+  std::string value;
+};
+
+class ReplicatedKV {
+ public:
+  /// Takes over the TO service's delivery callback.
+  explicit ReplicatedKV(to::Service& to_service);
+
+  /// Submit a write at processor p (takes effect when TO delivers it).
+  void write(ProcId p, const std::string& key, const std::string& value);
+
+  /// Read at processor p: immediate, from the local replica (sequentially
+  /// consistent).
+  std::optional<std::string> read(ProcId p, const std::string& key) const;
+
+  /// Atomic (linearizable) read at p: routed through TO; the callback
+  /// fires when p delivers its own read marker, with the value at that
+  /// point of the common order and the number of writes applied by then.
+  using AtomicReadFn =
+      std::function<void(const std::optional<std::string>& value, std::size_t applied)>;
+  void atomic_read(ProcId p, const std::string& key, AtomicReadFn done);
+
+  /// Atomic reads issued at p whose markers have not come back yet.
+  std::size_t atomic_reads_in_flight(ProcId p) const;
+
+  /// Compare-and-swap: set key to `desired` iff its value equals `expected`
+  /// (nullopt = key absent) *at the operation's position in the common
+  /// order*. Every replica evaluates the same deterministic outcome; the
+  /// issuing replica reports it through the callback. This is the classic
+  /// consensus-strength primitive built for free on totally ordered
+  /// broadcast (the replicated-state-machine payoff of footnote 3).
+  using CasFn = std::function<void(bool succeeded)>;
+  void cas(ProcId p, const std::string& key, const std::optional<std::string>& expected,
+           const std::string& desired, CasFn done);
+
+  /// The local replica store of p.
+  const std::map<std::string, std::string>& store(ProcId p) const;
+
+  /// Updates applied at p so far, in application order.
+  const std::vector<AppliedWrite>& applied(ProcId p) const;
+
+  /// Writes submitted at p that have not yet been applied at p.
+  std::size_t writes_in_flight(ProcId p) const;
+
+ private:
+  void on_delivery(ProcId dest, ProcId origin, const core::Value& encoded);
+
+  to::Service* to_;
+  std::vector<std::map<std::string, std::string>> stores_;
+  std::vector<std::vector<AppliedWrite>> applied_;
+  std::vector<std::size_t> submitted_;
+  std::vector<std::size_t> applied_own_;
+  // Pending atomic reads per issuing processor, in marker submission order
+  // (TO's per-sender FIFO matches markers to callbacks positionally).
+  std::vector<std::deque<std::pair<std::string, AtomicReadFn>>> pending_reads_;
+  // Pending CAS callbacks per issuing processor, likewise positional.
+  std::vector<std::deque<CasFn>> pending_cas_;
+};
+
+/// Wire format of operations carried as TO data values: a write (key,
+/// value) or a read marker (key). decode returns nullopt for foreign data.
+core::Value encode_write(const std::string& key, const std::string& value);
+std::optional<std::pair<std::string, std::string>> decode_write(const core::Value& v);
+core::Value encode_read_marker(const std::string& key);
+std::optional<std::string> decode_read_marker(const core::Value& v);
+
+}  // namespace vsg::app

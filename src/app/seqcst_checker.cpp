@@ -1,0 +1,64 @@
+#include "app/seqcst_checker.hpp"
+
+#include <cassert>
+
+namespace vsg::app {
+
+SeqCstChecker::SeqCstChecker(int n)
+    : n_(n),
+      submitted_(static_cast<std::size_t>(n)),
+      ordered_per_submitter_(static_cast<std::size_t>(n), 0),
+      applied_count_(static_cast<std::size_t>(n), 0) {
+  assert(n > 0);
+}
+
+void SeqCstChecker::on_submit(ProcId p, const std::string& key, const std::string& value) {
+  submitted_[static_cast<std::size_t>(p)].emplace_back(key, value);
+}
+
+void SeqCstChecker::on_apply(ProcId replica, const AppliedWrite& w) {
+  auto& pos = applied_count_[static_cast<std::size_t>(replica)];
+  if (pos < common_.size()) {
+    const auto& expect = common_[pos];
+    if (expect.origin != w.origin || expect.key != w.key || expect.value != w.value)
+      violations_.push_back("replica " + std::to_string(replica) +
+                            " diverged from the common write order at position " +
+                            std::to_string(pos));
+  } else {
+    // This replica defines the next element of the common order; it must be
+    // the submitter's next not-yet-ordered write (integrity + FIFO).
+    const auto origin = static_cast<std::size_t>(w.origin);
+    if (w.origin < 0 || w.origin >= n_ ||
+        ordered_per_submitter_[origin] >= submitted_[origin].size()) {
+      violations_.push_back("applied write has no corresponding submission");
+    } else {
+      const auto& next = submitted_[origin][ordered_per_submitter_[origin]];
+      if (next.first != w.key || next.second != w.value)
+        violations_.push_back("applied write violates submitter " +
+                              std::to_string(w.origin) + "'s program order");
+      ++ordered_per_submitter_[origin];
+    }
+    common_.push_back(w);
+  }
+  ++pos;
+}
+
+void SeqCstChecker::on_read(ProcId replica, const std::string& key,
+                            const std::optional<std::string>& result,
+                            std::size_t applied_count) {
+  (void)replica;
+  if (applied_count > common_.size()) {
+    violations_.push_back("read observed more writes than exist in the common order");
+    return;
+  }
+  // Latest value for `key` among the first `applied_count` common writes.
+  std::optional<std::string> expect;
+  for (std::size_t i = 0; i < applied_count; ++i)
+    if (common_[i].key == key) expect = common_[i].value;
+  if (expect != result)
+    violations_.push_back("read of '" + key + "' returned " +
+                          (result ? "'" + *result + "'" : "missing") + " but the prefix says " +
+                          (expect ? "'" + *expect + "'" : "missing"));
+}
+
+}  // namespace vsg::app

@@ -1,0 +1,59 @@
+#pragma once
+
+// Independent checker for the sequentially consistent memory built in
+// app/replicated_kv. It trusts nothing about the implementation: it is fed
+// the raw observations (which writes each replica applied, in order, and
+// what each read returned together with how many writes the replica had
+// applied at that moment) and verifies:
+//   1. all replicas apply the same write sequence (each a prefix of one
+//      common order) — the replicated-state-machine core;
+//   2. every applied write was actually submitted, per-submitter FIFO;
+//   3. every read returns exactly the latest value for its key among the
+//      writes the replica had applied (or "missing" if none) — i.e. reads
+//      are consistent with a prefix of the common order.
+// Together these imply the history is sequentially consistent: order all
+// writes by the common order and insert each read after the prefix it
+// observed; program order is preserved because submissions are FIFO and
+// reads at p observe a monotonically growing prefix.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/replicated_kv.hpp"
+#include "util/types.hpp"
+
+namespace vsg::app {
+
+class SeqCstChecker {
+ public:
+  explicit SeqCstChecker(int n);
+
+  /// A write was submitted at p (program order).
+  void on_submit(ProcId p, const std::string& key, const std::string& value);
+
+  /// Replica `replica` applied a write.
+  void on_apply(ProcId replica, const AppliedWrite& w);
+
+  /// A read at `replica` returned `result` when the replica had applied
+  /// `applied_count` writes.
+  void on_read(ProcId replica, const std::string& key,
+               const std::optional<std::string>& result, std::size_t applied_count);
+
+  bool ok() const noexcept { return violations_.empty(); }
+  const std::vector<std::string>& violations() const noexcept { return violations_; }
+
+  /// The reconstructed common write order.
+  const std::vector<AppliedWrite>& common_order() const noexcept { return common_; }
+
+ private:
+  int n_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> submitted_;
+  std::vector<std::size_t> ordered_per_submitter_;
+  std::vector<AppliedWrite> common_;
+  std::vector<std::size_t> applied_count_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace vsg::app

@@ -1,0 +1,27 @@
+#include "core/label.hpp"
+
+#include <sstream>
+
+namespace vsg::core {
+
+std::string to_string(const Label& l) {
+  std::ostringstream os;
+  os << "<" << to_string(l.id) << "#" << l.seqno << "@" << l.origin << ">";
+  return os.str();
+}
+
+void encode(util::Encoder& e, const Label& l) {
+  encode(e, l.id);
+  e.u32(l.seqno);
+  e.u32(static_cast<std::uint32_t>(l.origin));
+}
+
+Label decode_label(util::Decoder& d) {
+  Label l;
+  l.id = decode_viewid(d);
+  l.seqno = d.u32();
+  l.origin = static_cast<ProcId>(d.u32());
+  return l;
+}
+
+}  // namespace vsg::core

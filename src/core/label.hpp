@@ -1,0 +1,28 @@
+#pragma once
+
+// Labels (Figure 8): L = G x N x P with selectors id, seqno, origin,
+// ordered lexicographically. Each client value submitted in a view gets a
+// system-wide unique label; the VStoTO total order is an order on labels.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace vsg::core {
+
+struct Label {
+  ViewId id;               // viewid at the origin when the value arrived
+  std::uint32_t seqno = 1;  // per-(processor, view) sequence number, from 1
+  ProcId origin = 0;
+
+  auto operator<=>(const Label&) const = default;
+};
+
+std::string to_string(const Label& l);
+
+void encode(util::Encoder& e, const Label& l);
+Label decode_label(util::Decoder& d);
+
+}  // namespace vsg::core

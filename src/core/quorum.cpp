@@ -1,0 +1,66 @@
+#include "core/quorum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace vsg::core {
+
+MajorityQuorums::MajorityQuorums(int n) : n_(n) { assert(n > 0); }
+
+bool MajorityQuorums::contains_quorum(const std::set<ProcId>& s) const {
+  return 2 * static_cast<int>(s.size()) > n_;
+}
+
+std::string MajorityQuorums::name() const {
+  return "majority(" + std::to_string(n_) + ")";
+}
+
+WeightedQuorums::WeightedQuorums(std::vector<int> weights)
+    : weights_(std::move(weights)),
+      total_(std::accumulate(weights_.begin(), weights_.end(), 0LL)) {
+  if (total_ <= 0) throw std::invalid_argument("WeightedQuorums: total weight must be positive");
+  for (int w : weights_)
+    if (w < 0) throw std::invalid_argument("WeightedQuorums: negative weight");
+}
+
+bool WeightedQuorums::contains_quorum(const std::set<ProcId>& s) const {
+  long long sum = 0;
+  for (ProcId p : s)
+    if (p >= 0 && static_cast<std::size_t>(p) < weights_.size())
+      sum += weights_[static_cast<std::size_t>(p)];
+  return 2 * sum > total_;
+}
+
+std::string WeightedQuorums::name() const { return "weighted"; }
+
+ExplicitQuorums::ExplicitQuorums(std::vector<std::set<ProcId>> quorums)
+    : quorums_(std::move(quorums)) {
+  if (quorums_.empty()) throw std::invalid_argument("ExplicitQuorums: empty family");
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    for (std::size_t j = i + 1; j < quorums_.size(); ++j) {
+      std::vector<ProcId> inter;
+      std::set_intersection(quorums_[i].begin(), quorums_[i].end(), quorums_[j].begin(),
+                            quorums_[j].end(), std::back_inserter(inter));
+      if (inter.empty())
+        throw std::invalid_argument("ExplicitQuorums: quorums must pairwise intersect");
+    }
+  }
+}
+
+bool ExplicitQuorums::contains_quorum(const std::set<ProcId>& s) const {
+  return std::any_of(quorums_.begin(), quorums_.end(), [&](const std::set<ProcId>& q) {
+    return std::includes(s.begin(), s.end(), q.begin(), q.end());
+  });
+}
+
+std::string ExplicitQuorums::name() const {
+  return "explicit(" + std::to_string(quorums_.size()) + ")";
+}
+
+std::shared_ptr<const QuorumSystem> majorities(int n) {
+  return std::make_shared<MajorityQuorums>(n);
+}
+
+}  // namespace vsg::core

@@ -1,0 +1,71 @@
+#pragma once
+
+// Quorum systems (Section 5). VStoTO fixes a set Q of quorums, pairwise
+// intersecting; a view is *primary* iff its membership contains a quorum.
+// The paper notes quorums need not be precomputed (e.g. majorities), so the
+// abstraction is a predicate over membership sets.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vsg::core {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  /// True iff `s` contains some quorum (the primary-view test).
+  virtual bool contains_quorum(const std::set<ProcId>& s) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Majorities of a universe of n processors: |s| > n/2. The canonical
+/// pairwise-intersecting family.
+class MajorityQuorums final : public QuorumSystem {
+ public:
+  explicit MajorityQuorums(int n);
+  bool contains_quorum(const std::set<ProcId>& s) const override;
+  std::string name() const override;
+
+ private:
+  int n_;
+};
+
+/// Weighted majorities: sum of weights in s must exceed half the total.
+/// Models deployments where some replicas matter more (e.g. a tie-breaker).
+class WeightedQuorums final : public QuorumSystem {
+ public:
+  /// weights[p] is the weight of processor p; all weights must be >= 0 and
+  /// their sum positive.
+  explicit WeightedQuorums(std::vector<int> weights);
+  bool contains_quorum(const std::set<ProcId>& s) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<int> weights_;
+  long long total_;
+};
+
+/// An explicit, validated family of quorums: s is primary iff it contains
+/// one of the listed sets. The constructor checks pairwise intersection,
+/// the property all of Section 6's proofs rely on.
+class ExplicitQuorums final : public QuorumSystem {
+ public:
+  /// Throws std::invalid_argument if two listed quorums are disjoint.
+  explicit ExplicitQuorums(std::vector<std::set<ProcId>> quorums);
+  bool contains_quorum(const std::set<ProcId>& s) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::set<ProcId>> quorums_;
+};
+
+/// Convenience: shared majority system over n processors.
+std::shared_ptr<const QuorumSystem> majorities(int n);
+
+}  // namespace vsg::core

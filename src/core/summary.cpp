@@ -1,0 +1,93 @@
+#include "core/summary.hpp"
+
+#include <algorithm>
+#include <set>
+#include <cassert>
+
+#include "util/sequence.hpp"
+
+namespace vsg::core {
+
+std::vector<Label> confirmed_prefix(const Summary& x) {
+  const std::size_t len =
+      std::min<std::size_t>(x.next == 0 ? 0 : x.next - 1, x.ord.size());
+  return util::prefix_of(x.ord, len);
+}
+
+std::map<Label, Value> knowncontent(const SummaryMap& y) {
+  std::map<Label, Value> all;
+  for (const auto& [q, x] : y) all.insert(x.con.begin(), x.con.end());
+  return all;
+}
+
+std::optional<ViewId> maxprimary(const SummaryMap& y) {
+  assert(!y.empty());
+  std::optional<ViewId> best;
+  for (const auto& [q, x] : y)
+    if (x.high && (!best || *x.high > *best)) best = x.high;
+  return best;
+}
+
+std::vector<ProcId> reps(const SummaryMap& y) {
+  const auto best = maxprimary(y);
+  std::vector<ProcId> out;
+  for (const auto& [q, x] : y)
+    if (x.high == best) out.push_back(q);
+  return out;
+}
+
+ProcId chosenrep(const SummaryMap& y) {
+  const auto r = reps(y);
+  assert(!r.empty());
+  return *std::max_element(r.begin(), r.end());
+}
+
+std::vector<Label> shortorder(const SummaryMap& y) {
+  return y.at(chosenrep(y)).ord;
+}
+
+std::vector<Label> fullorder(const SummaryMap& y) {
+  std::vector<Label> order = shortorder(y);
+  const std::set<Label> in_short(order.begin(), order.end());
+  // Append every known label not already in the short order, in label order
+  // (map iteration is already sorted by label). The prefix keeps the
+  // representative's ordering, exactly as Figure 8 specifies.
+  for (const auto& [l, a] : knowncontent(y))
+    if (in_short.count(l) == 0) order.push_back(l);
+  return order;
+}
+
+std::uint32_t maxnextconfirm(const SummaryMap& y) {
+  std::uint32_t best = 1;
+  for (const auto& [q, x] : y) best = std::max(best, x.next);
+  return best;
+}
+
+void encode(util::Encoder& e, const Summary& x) {
+  e.u32(static_cast<std::uint32_t>(x.con.size()));
+  for (const auto& [l, a] : x.con) {
+    encode(e, l);
+    e.str(a);
+  }
+  e.u32(static_cast<std::uint32_t>(x.ord.size()));
+  for (const auto& l : x.ord) encode(e, l);
+  e.u32(x.next);
+  e.boolean(x.high.has_value());
+  if (x.high) encode(e, *x.high);
+}
+
+Summary decode_summary(util::Decoder& d) {
+  Summary x;
+  const std::uint32_t ncon = d.u32();
+  for (std::uint32_t i = 0; i < ncon && d.ok(); ++i) {
+    Label l = decode_label(d);
+    x.con[l] = d.str();
+  }
+  const std::uint32_t nord = d.u32();
+  for (std::uint32_t i = 0; i < nord && d.ok(); ++i) x.ord.push_back(decode_label(d));
+  x.next = d.u32();
+  if (d.boolean()) x.high = decode_viewid(d);
+  return x;
+}
+
+}  // namespace vsg::core

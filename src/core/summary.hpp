@@ -1,0 +1,73 @@
+#pragma once
+
+// Summaries and the state-exchange algebra of Figure 8.
+//
+// A summary is the state snapshot a VStoTO process sends at the start of a
+// view: summaries = P(L x A) x L* x N x G_bot, with selectors con, ord,
+// next, high. The free functions below are literal transcriptions of the
+// operations the algorithm applies to the collected summaries (`gotstate`).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/label.hpp"
+#include "core/types.hpp"
+
+namespace vsg::core {
+
+struct Summary {
+  /// con: the (label, value) pairs known to the sender. Kept as a map —
+  /// Lemma 6.5 proves `con` is a partial function from labels to values.
+  std::map<Label, Value> con;
+  /// ord: the sender's tentative total order of labels.
+  std::vector<Label> ord;
+  /// next: the sender's nextconfirm (1-based; labels ord[0..next-2] are
+  /// confirmed).
+  std::uint32_t next = 1;
+  /// high: the sender's highprimary; nullopt is the paper's bottom, ordered
+  /// below every view identifier.
+  std::optional<ViewId> high;
+
+  bool operator==(const Summary&) const = default;
+};
+
+/// The paper's x.confirm: the prefix of x.ord of length
+/// min(x.next - 1, length(x.ord)).
+std::vector<Label> confirmed_prefix(const Summary& x);
+
+/// Collected state-exchange summaries, keyed by sender (the paper's Y, the
+/// `gotstate` partial function).
+using SummaryMap = std::map<ProcId, Summary>;
+
+/// knowncontent(Y): union of all con components. Later entries never
+/// contradict earlier ones (allcontent is a function — Lemma 6.5).
+std::map<Label, Value> knowncontent(const SummaryMap& y);
+
+/// maxprimary(Y): greatest `high` among the summaries (nullopt if all are
+/// bottom). Requires y to be nonempty.
+std::optional<ViewId> maxprimary(const SummaryMap& y);
+
+/// reps(Y): the members whose summary attains maxprimary(Y).
+std::vector<ProcId> reps(const SummaryMap& y);
+
+/// chosenrep(Y): deterministic representative choice — the highest processor
+/// id among reps(Y). (The paper allows any rule applied consistently.)
+ProcId chosenrep(const SummaryMap& y);
+
+/// shortorder(Y): the chosen representative's ord (adopted by non-primary
+/// views).
+std::vector<Label> shortorder(const SummaryMap& y);
+
+/// fullorder(Y): shortorder(Y) followed by the remaining labels of
+/// dom(knowncontent(Y)) in label order (adopted by primary views).
+std::vector<Label> fullorder(const SummaryMap& y);
+
+/// maxnextconfirm(Y): the highest reported nextconfirm.
+std::uint32_t maxnextconfirm(const SummaryMap& y);
+
+void encode(util::Encoder& e, const Summary& x);
+Summary decode_summary(util::Decoder& d);
+
+}  // namespace vsg::core

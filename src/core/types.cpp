@@ -1,0 +1,64 @@
+#include "core/types.hpp"
+
+#include <sstream>
+
+namespace vsg::core {
+
+std::string to_string(const ViewId& g) {
+  std::ostringstream os;
+  os << "g(" << g.epoch << "." << g.origin << ")";
+  return os.str();
+}
+
+std::string to_string(const std::set<ProcId>& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (ProcId p : s) {
+    if (!first) os << ",";
+    os << p;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string to_string(const View& v) {
+  return to_string(v.id) + to_string(v.members);
+}
+
+void encode(util::Encoder& e, const ViewId& g) {
+  e.u64(g.epoch);
+  e.u32(static_cast<std::uint32_t>(g.origin));
+}
+
+ViewId decode_viewid(util::Decoder& d) {
+  ViewId g;
+  g.epoch = d.u64();
+  g.origin = static_cast<ProcId>(d.u32());
+  return g;
+}
+
+void encode(util::Encoder& e, const View& v) {
+  encode(e, v.id);
+  e.u32(static_cast<std::uint32_t>(v.members.size()));
+  for (ProcId p : v.members) e.u32(static_cast<std::uint32_t>(p));
+}
+
+View decode_view(util::Decoder& d) {
+  View v;
+  v.id = decode_viewid(d);
+  const std::uint32_t n = d.u32();
+  for (std::uint32_t i = 0; i < n && d.ok(); ++i)
+    v.members.insert(static_cast<ProcId>(d.u32()));
+  return v;
+}
+
+View initial_view(int n0) {
+  View v;
+  v.id = ViewId::initial();
+  for (ProcId p = 0; p < n0; ++p) v.members.insert(p);
+  return v;
+}
+
+}  // namespace vsg::core

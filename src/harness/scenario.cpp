@@ -1,0 +1,73 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+
+namespace vsg::harness {
+
+void Scenario::apply(World& world) const {
+  for (const auto& timed : ops) {
+    if (const auto* b = std::get_if<OpBcast>(&timed.op))
+      world.bcast_at(timed.at, b->p, b->a);
+    else if (const auto* part = std::get_if<OpPartition>(&timed.op))
+      world.partition_at(timed.at, part->components);
+    else if (std::get_if<OpHeal>(&timed.op))
+      world.heal_at(timed.at);
+    else if (const auto* ps = std::get_if<OpProcStatus>(&timed.op))
+      world.proc_status_at(timed.at, ps->p, ps->status);
+    else if (const auto* ls = std::get_if<OpLinkStatus>(&timed.op))
+      world.link_status_at(timed.at, ls->p, ls->q, ls->status);
+  }
+}
+
+sim::Time Scenario::last_time() const {
+  sim::Time last = 0;
+  for (const auto& timed : ops) last = std::max(last, timed.at);
+  return last;
+}
+
+Scenario steady_traffic(const std::vector<ProcId>& senders, int count, sim::Time start,
+                        sim::Time gap) {
+  Scenario s;
+  for (int k = 0; k < count; ++k)
+    for (ProcId p : senders)
+      s.add(start + k * gap,
+            OpBcast{p, "v" + std::to_string(p) + "." + std::to_string(k)});
+  return s;
+}
+
+Scenario partition_heal(std::vector<std::set<ProcId>> components, sim::Time at,
+                        sim::Time heal_time) {
+  Scenario s;
+  s.add(at, OpPartition{std::move(components)});
+  if (heal_time > 0) s.add(heal_time, OpHeal{});
+  return s;
+}
+
+Scenario random_churn(int n, int flips, sim::Time start, sim::Time end,
+                      std::vector<std::set<ProcId>> final_components, util::Rng& rng) {
+  Scenario s;
+  const sim::Time span = end > start ? end - start : 1;
+  for (int i = 0; i < flips; ++i) {
+    const sim::Time at = start + rng.range(0, span - 1);
+    const auto p = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto q = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (q == p) q = (q + 1) % n;
+    const auto status = static_cast<sim::Status>(rng.below(3));
+    s.add(at, OpLinkStatus{p, q, status});
+  }
+  s.add(end, OpPartition{std::move(final_components)});
+  return s;
+}
+
+Scenario random_traffic(int n, int count, sim::Time start, sim::Time end, util::Rng& rng) {
+  Scenario s;
+  const sim::Time span = end > start ? end - start : 1;
+  for (int k = 0; k < count; ++k) {
+    const auto p = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    const sim::Time at = start + rng.range(0, span - 1);
+    s.add(at, OpBcast{p, "r" + std::to_string(p) + "." + std::to_string(k)});
+  }
+  return s;
+}
+
+}  // namespace vsg::harness

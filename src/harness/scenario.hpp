@@ -1,0 +1,74 @@
+#pragma once
+
+// Declarative scenario scripting: a scenario is a timed list of operations
+// (client broadcasts, partitions, heals, status flips) applied to a World.
+// Canned generators cover the shapes the paper's analysis talks about —
+// steady traffic in a stable group, a partition that stabilizes, a
+// partition that heals, and random churn that eventually quiesces.
+
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "util/rng.hpp"
+
+namespace vsg::harness {
+
+struct OpBcast {
+  ProcId p;
+  core::Value a;
+};
+struct OpPartition {
+  std::vector<std::set<ProcId>> components;
+};
+struct OpHeal {};
+struct OpProcStatus {
+  ProcId p;
+  sim::Status status;
+};
+struct OpLinkStatus {
+  ProcId p;
+  ProcId q;
+  sim::Status status;
+};
+
+using Op = std::variant<OpBcast, OpPartition, OpHeal, OpProcStatus, OpLinkStatus>;
+
+struct TimedOp {
+  sim::Time at;
+  Op op;
+};
+
+struct Scenario {
+  std::vector<TimedOp> ops;
+
+  void add(sim::Time at, Op op) { ops.push_back({at, std::move(op)}); }
+  /// Schedule every operation on the world (call before running).
+  void apply(World& world) const;
+
+  /// Time of the last scheduled operation.
+  sim::Time last_time() const;
+};
+
+/// Steady traffic: every sender in `senders` broadcasts `count` values,
+/// spaced `gap` apart, starting at `start`. Values are "v<p>.<k>".
+Scenario steady_traffic(const std::vector<ProcId>& senders, int count, sim::Time start,
+                        sim::Time gap);
+
+/// Partition into `components` at `at`, then (optionally) heal at `heal_at`
+/// (pass 0 to skip healing).
+Scenario partition_heal(std::vector<std::set<ProcId>> components, sim::Time at,
+                        sim::Time heal_time);
+
+/// Random churn: `flips` random link/partition changes between `start` and
+/// `end`, then a final partition into `final_components` at `end` (the
+/// stabilization premise of TO-/VS-property).
+Scenario random_churn(int n, int flips, sim::Time start, sim::Time end,
+                      std::vector<std::set<ProcId>> final_components, util::Rng& rng);
+
+/// Mixed client workload with random senders/spacing.
+Scenario random_traffic(int n, int count, sim::Time start, sim::Time end, util::Rng& rng);
+
+}  // namespace vsg::harness

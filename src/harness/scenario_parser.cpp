@@ -1,0 +1,129 @@
+#include "harness/scenario_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace vsg::harness {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::optional<std::set<ProcId>> parse_proc_set(const std::string& token) {
+  std::set<ProcId> procs;
+  std::string num;
+  for (char c : token + ",") {
+    if (c == ',') {
+      if (num.empty()) return std::nullopt;
+      for (char d : num)
+        if (!std::isdigit(static_cast<unsigned char>(d))) return std::nullopt;
+      procs.insert(static_cast<ProcId>(std::stoi(num)));
+      num.clear();
+    } else {
+      num.push_back(c);
+    }
+  }
+  return procs;
+}
+
+std::optional<ProcId> parse_proc(const std::string& token) {
+  for (char c : token)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  if (token.empty()) return std::nullopt;
+  return static_cast<ProcId>(std::stoi(token));
+}
+
+std::optional<sim::Status> parse_status(const std::string& token) {
+  if (token == "good") return sim::Status::kGood;
+  if (token == "bad") return sim::Status::kBad;
+  if (token == "ugly") return sim::Status::kUgly;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<sim::Time> parse_duration(const std::string& token) {
+  std::size_t i = 0;
+  while (i < token.size() && std::isdigit(static_cast<unsigned char>(token[i]))) ++i;
+  if (i == 0) return std::nullopt;
+  const long long value = std::stoll(token.substr(0, i));
+  const std::string unit = token.substr(i);
+  if (unit == "us") return sim::usec(value);
+  if (unit == "ms") return sim::msec(value);
+  if (unit == "s") return sim::sec(value);
+  return std::nullopt;
+}
+
+ParseResult parse_scenario(const std::string& text) {
+  ParseResult result;
+  Scenario scenario;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+
+  auto fail = [&result, &lineno](const std::string& what) {
+    result.error = "line " + std::to_string(lineno) + ": " + what;
+    return result;
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() < 3 || tokens[0] != "at")
+      return fail("expected 'at <time> <op> ...'");
+    const auto at = parse_duration(tokens[1]);
+    if (!at.has_value()) return fail("bad time '" + tokens[1] + "'");
+    const std::string& op = tokens[2];
+
+    if (op == "heal") {
+      if (tokens.size() != 3) return fail("heal takes no arguments");
+      scenario.add(*at, OpHeal{});
+    } else if (op == "bcast") {
+      if (tokens.size() != 5) return fail("bcast needs: bcast <proc> <value>");
+      const auto p = parse_proc(tokens[3]);
+      if (!p.has_value()) return fail("bad processor '" + tokens[3] + "'");
+      scenario.add(*at, OpBcast{*p, tokens[4]});
+    } else if (op == "partition") {
+      // components separated by '|' tokens: "0,1 | 2,3"
+      std::vector<std::set<ProcId>> components;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        if (tokens[i] == "|") continue;
+        const auto comp = parse_proc_set(tokens[i]);
+        if (!comp.has_value()) return fail("bad component '" + tokens[i] + "'");
+        components.push_back(*comp);
+      }
+      if (components.empty()) return fail("partition needs at least one component");
+      scenario.add(*at, OpPartition{std::move(components)});
+    } else if (op == "proc") {
+      if (tokens.size() != 5) return fail("proc needs: proc <p> <good|bad|ugly>");
+      const auto p = parse_proc(tokens[3]);
+      const auto status = parse_status(tokens[4]);
+      if (!p.has_value()) return fail("bad processor '" + tokens[3] + "'");
+      if (!status.has_value()) return fail("bad status '" + tokens[4] + "'");
+      scenario.add(*at, OpProcStatus{*p, *status});
+    } else if (op == "link") {
+      if (tokens.size() != 6) return fail("link needs: link <p> <q> <good|bad|ugly>");
+      const auto p = parse_proc(tokens[3]);
+      const auto q = parse_proc(tokens[4]);
+      const auto status = parse_status(tokens[5]);
+      if (!p.has_value() || !q.has_value()) return fail("bad processor id");
+      if (!status.has_value()) return fail("bad status '" + tokens[5] + "'");
+      scenario.add(*at, OpLinkStatus{*p, *q, *status});
+    } else {
+      return fail("unknown operation '" + op + "'");
+    }
+  }
+  result.scenario = std::move(scenario);
+  return result;
+}
+
+}  // namespace vsg::harness

@@ -1,0 +1,34 @@
+#pragma once
+
+// Text scenario format, so experiments can be described in files and run
+// through the CLI tool (examples/scenario_runner) without recompiling:
+//
+//   # comments and blank lines are ignored
+//   at 100ms partition 0,1,2 | 3,4
+//   at 2s    bcast 0 hello-world
+//   at 2.5s  proc 2 bad          # good | bad | ugly
+//   at 3s    link 0 3 ugly       # directed link (p -> q)
+//   at 4s    heal
+//
+// Times accept us / ms / s suffixes (integer values).
+
+#include <optional>
+#include <string>
+
+#include "harness/scenario.hpp"
+
+namespace vsg::harness {
+
+struct ParseResult {
+  std::optional<Scenario> scenario;  // engaged on success
+  std::string error;                 // human-readable, with line number
+  bool ok() const noexcept { return scenario.has_value(); }
+};
+
+/// Parse the scenario text (the whole file contents).
+ParseResult parse_scenario(const std::string& text);
+
+/// Parse one duration token ("250ms", "3s", "1500us"); nullopt on error.
+std::optional<sim::Time> parse_duration(const std::string& token);
+
+}  // namespace vsg::harness

@@ -1,0 +1,92 @@
+#include "harness/world.hpp"
+
+#include <cassert>
+
+#include "spec/to_trace_checker.hpp"
+#include "spec/vs_trace_checker.hpp"
+
+namespace vsg::harness {
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      sim_(),
+      failures_(config_.n),
+      recorder_(sim_) {
+  if (config_.n0 < 0) config_.n0 = config_.n;
+  if (config_.quorums == nullptr) config_.quorums = core::majorities(config_.n);
+  util::Rng rng(config_.seed);
+
+  // Failure-status changes are input actions of the timed trace (Figure 4);
+  // record them so the property checkers can find the stabilization point.
+  failures_.subscribe([this](const sim::StatusEvent& ev) { recorder_.record(ev); });
+
+  if (config_.backend == Backend::kSpec) {
+    auto spec = std::make_unique<vs::SpecVS>(sim_, failures_, recorder_, config_.n,
+                                             config_.n0, config_.spec_vs, rng.split());
+    spec_vs_ = spec.get();
+    vs_ = std::move(spec);
+  } else {
+    net_ = std::make_unique<net::Network>(sim_, failures_, config_.link, rng.split());
+    auto ring = std::make_unique<membership::TokenRingVS>(
+        sim_, *net_, failures_, recorder_, config_.n, config_.n0, config_.ring, rng.split());
+    ring_ = ring.get();
+    vs_ = std::move(ring);
+  }
+
+  stack_ = std::make_unique<to::Stack>(*vs_, recorder_, config_.quorums, config_.n0);
+  if (ring_ != nullptr) ring_->start();
+}
+
+void World::bcast_at(sim::Time t, ProcId p, core::Value a) {
+  sim_.at(t, [this, p, a = std::move(a)] { stack_->bcast(p, a); });
+}
+
+void World::partition_at(sim::Time t, std::vector<std::set<ProcId>> components) {
+  sim_.at(t, [this, comps = std::move(components)] { failures_.partition(comps, sim_.now()); });
+}
+
+void World::heal_at(sim::Time t) {
+  sim_.at(t, [this] { failures_.heal(sim_.now()); });
+}
+
+void World::proc_status_at(sim::Time t, ProcId p, sim::Status status) {
+  sim_.at(t, [this, p, status] { failures_.set_proc(p, status, sim_.now()); });
+}
+
+void World::link_status_at(sim::Time t, ProcId p, ProcId q, sim::Status status) {
+  sim_.at(t, [this, p, q, status] { failures_.set_link(p, q, status, sim_.now()); });
+}
+
+std::vector<std::string> World::check_to_safety() const {
+  spec::TOTraceChecker checker(config_.n);
+  checker.check_all(recorder_.events());
+  return checker.violations();
+}
+
+std::vector<std::string> World::check_vs_safety() const {
+  spec::VSTraceChecker checker(config_.n, config_.n0);
+  checker.check_all(recorder_.events());
+  return checker.violations();
+}
+
+props::TOPropertyReport World::to_report(const std::set<ProcId>& q, sim::Time d,
+                                         sim::Time ignore_after) const {
+  return props::evaluate_to_property(recorder_.events(), q, config_.n, d, ignore_after);
+}
+
+props::VSPropertyReport World::vs_report(const std::set<ProcId>& q, sim::Time d,
+                                         sim::Time ignore_after) const {
+  return props::evaluate_vs_property(recorder_.events(), q, config_.n, config_.n0, d,
+                                     ignore_after);
+}
+
+verify::GlobalState World::global_state() const {
+  assert(spec_vs_ != nullptr && "verification requires the spec back end");
+  verify::GlobalState gs;
+  gs.machine = &spec_vs_->machine();
+  gs.quorums = config_.quorums.get();
+  for (ProcId p = 0; p < config_.n; ++p) gs.procs.push_back(&stack_->process(p));
+  return gs;
+}
+
+}  // namespace vsg::harness

@@ -1,0 +1,98 @@
+#pragma once
+
+// World: one fully assembled system — simulator, failure table, network,
+// a VS back end (spec oracle or token ring), the VStoTO stack, and a trace
+// recorder — plus convenience scheduling and checking entry points. Every
+// test, bench and example builds one of these.
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/quorum.hpp"
+#include "membership/token_ring_vs.hpp"
+#include "net/network.hpp"
+#include "props/to_property.hpp"
+#include "props/vs_property.hpp"
+#include "sim/failure_table.hpp"
+#include "sim/simulator.hpp"
+#include "to/stack.hpp"
+#include "trace/recorder.hpp"
+#include "verify/derived.hpp"
+#include "vs/spec_vs.hpp"
+
+namespace vsg::harness {
+
+enum class Backend {
+  kSpec,      // SpecVS: VS-machine + partition oracle (reference)
+  kTokenRing  // Section 8 protocol over the simulated network
+};
+
+struct WorldConfig {
+  int n = 3;
+  int n0 = -1;  // initial-view size; -1 means n
+  Backend backend = Backend::kTokenRing;
+  vs::SpecVSConfig spec_vs;
+  membership::TokenRingConfig ring;
+  net::LinkModel link;
+  std::uint64_t seed = 1;
+  /// Quorum system; defaults to majorities of n.
+  std::shared_ptr<const core::QuorumSystem> quorums;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  int n() const noexcept { return config_.n; }
+  int n0() const noexcept { return config_.n0; }
+  const WorldConfig& config() const noexcept { return config_; }
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  sim::FailureTable& failures() noexcept { return failures_; }
+  trace::Recorder& recorder() noexcept { return recorder_; }
+  net::Network* network() noexcept { return net_.get(); }
+  to::Stack& stack() noexcept { return *stack_; }
+  vs::Service& vs() noexcept { return *vs_; }
+  /// Non-null iff backend == kSpec.
+  const vs::SpecVS* spec_vs() const noexcept { return spec_vs_; }
+  /// Non-null iff backend == kTokenRing.
+  const membership::TokenRingVS* token_ring() const noexcept { return ring_; }
+
+  // --- Scheduling helpers -----------------------------------------------------
+  void bcast_at(sim::Time t, ProcId p, core::Value a);
+  void partition_at(sim::Time t, std::vector<std::set<ProcId>> components);
+  void heal_at(sim::Time t);
+  void proc_status_at(sim::Time t, ProcId p, sim::Status status);
+  void link_status_at(sim::Time t, ProcId p, ProcId q, sim::Status status);
+
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+  // --- Checking ----------------------------------------------------------------
+  /// TOTraceChecker violations over the recorded trace.
+  std::vector<std::string> check_to_safety() const;
+  /// VSTraceChecker violations over the recorded trace.
+  std::vector<std::string> check_vs_safety() const;
+
+  props::TOPropertyReport to_report(const std::set<ProcId>& q, sim::Time d,
+                                    sim::Time ignore_after = sim::kForever) const;
+  props::VSPropertyReport vs_report(const std::set<ProcId>& q, sim::Time d,
+                                    sim::Time ignore_after = sim::kForever) const;
+
+  /// Global state for the verification layer. Only available with the spec
+  /// back end (it owns the VS-machine); asserts otherwise.
+  verify::GlobalState global_state() const;
+
+ private:
+  WorldConfig config_;
+  sim::Simulator sim_;
+  sim::FailureTable failures_;
+  trace::Recorder recorder_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<vs::Service> vs_;
+  vs::SpecVS* spec_vs_ = nullptr;
+  membership::TokenRingVS* ring_ = nullptr;
+  std::unique_ptr<to::Stack> stack_;
+};
+
+}  // namespace vsg::harness

@@ -1,0 +1,246 @@
+#include "membership/membership.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "membership/token_ring_vs.hpp"
+#include "util/logging.hpp"
+
+namespace vsg::membership {
+
+Node::Node(ProcId me, TokenRingVS& parent, util::Rng rng)
+    : me_(me),
+      parent_(&parent),
+      rng_(rng),
+      last_heard_(static_cast<std::size_t>(parent.size()), -1) {}
+
+bool Node::self_bad() const {
+  return parent_->failures().proc(me_) == sim::Status::kBad;
+}
+
+bool Node::is_leader() const {
+  return view_.has_value() && *view_->members.begin() == me_;
+}
+
+ProcId Node::successor() const {
+  assert(view_.has_value());
+  auto it = view_->members.find(me_);
+  assert(it != view_->members.end());
+  ++it;
+  return it == view_->members.end() ? *view_->members.begin() : *it;
+}
+
+void Node::start(bool in_initial_view, int n0) {
+  if (in_initial_view) install_view(core::initial_view(n0), /*initial=*/true);
+  // Stagger probe ticks so simultaneous starts do not synchronize proposals.
+  parent_->simulator().after(rng_.range(0, parent_->config().mu), [this] { probe_tick(); });
+}
+
+void Node::submit(vs::Payload m) {
+  if (!view_.has_value()) return;  // bottom view: silently lost (Figure 6)
+  outbox_.push_back(std::move(m));
+}
+
+void Node::on_packet(ProcId src, const util::Bytes& bytes) {
+  switch (parent_->failures().proc(me_)) {
+    case sim::Status::kBad:
+      return;  // a stopped processor takes no steps
+    case sim::Status::kUgly: {
+      // Nondeterministic speed: handle after a random extra delay (and
+      // re-check status then — the processor may have stopped meanwhile).
+      const sim::Time extra = rng_.range(0, parent_->config().ugly_proc_max_delay);
+      parent_->simulator().after(extra, [this, src, bytes] {
+        if (!self_bad()) dispatch(src, bytes);
+      });
+      return;
+    }
+    case sim::Status::kGood:
+      break;
+  }
+  dispatch(src, bytes);
+}
+
+void Node::dispatch(ProcId src, const util::Bytes& bytes) {
+  if (src >= 0 && src < parent_->size())
+    last_heard_[static_cast<std::size_t>(src)] = parent_->simulator().now();
+  auto pkt = decode_packet(bytes);
+  if (!pkt.has_value()) {
+    VSG_WARN << "node " << me_ << ": undecodable packet from " << src;
+    return;
+  }
+  if (const auto* c = std::get_if<Call>(&*pkt))
+    handle_call(src, *c);
+  else if (const auto* r = std::get_if<CallReply>(&*pkt))
+    handle_call_reply(src, *r);
+  else if (const auto* a = std::get_if<ViewAnnounce>(&*pkt))
+    handle_announce(src, *a);
+  else if (auto* t = std::get_if<Token>(&*pkt))
+    handle_token(src, std::move(*t));
+  else if (const auto* p = std::get_if<Probe>(&*pkt))
+    handle_probe(src, *p);
+}
+
+// --- View formation ------------------------------------------------------------
+
+void Node::maybe_propose() {
+  const sim::Time now = parent_->simulator().now();
+  if (proposing_) return;
+  if (last_propose_ >= 0 && now - last_propose_ < parent_->config().proposal_cooldown())
+    return;
+  initiate_proposal();
+}
+
+void Node::initiate_proposal() {
+  const auto& cfg = parent_->config();
+  if (cfg.formation == FormationMode::kOneRound) {
+    initiate_one_round();
+    return;
+  }
+  proposing_ = true;
+  ++max_epoch_;
+  prop_gid_ = core::ViewId{max_epoch_, me_};
+  promised_ = prop_gid_;  // proposing counts as accepting one's own call
+  prop_accepted_ = {me_};
+  last_propose_ = parent_->simulator().now();
+  ++stats_.proposals;
+  VSG_DEBUG << "node " << me_ << " proposes view " << core::to_string(prop_gid_);
+  parent_->network().broadcast(me_, encode_packet(Packet{Call{prop_gid_}}));
+  parent_->simulator().after(cfg.formation_wait(),
+                             [this, gid = prop_gid_] { on_proposal_deadline(gid); });
+}
+
+void Node::initiate_one_round() {
+  // Footnote 7's faster-but-cruder variant: no call/accept rounds — the
+  // proposer announces a view built from its heard-from estimate. Wrong
+  // estimates (stale entries, processors it has not heard from yet) are
+  // corrected by later proposals triggered by token timeouts and probes,
+  // which is why this variant stabilizes less quickly.
+  const auto& cfg = parent_->config();
+  const sim::Time now = parent_->simulator().now();
+  ++max_epoch_;
+  core::View v;
+  v.id = core::ViewId{max_epoch_, me_};
+  v.members.insert(me_);
+  for (ProcId q = 0; q < parent_->size(); ++q) {
+    if (q == me_) continue;
+    const sim::Time heard = last_heard_[static_cast<std::size_t>(q)];
+    if (heard >= 0 && now - heard <= cfg.heard_window) v.members.insert(q);
+  }
+  promised_ = v.id;
+  last_propose_ = now;
+  ++stats_.proposals;
+  VSG_DEBUG << "node " << me_ << " one-round announces " << core::to_string(v);
+  for (ProcId q : v.members)
+    if (q != me_)
+      parent_->network().send(me_, q, encode_packet(Packet{ViewAnnounce{v}}));
+  install_view(v, /*initial=*/false);
+}
+
+void Node::handle_call(ProcId src, const Call& c) {
+  max_epoch_ = std::max(max_epoch_, c.gid.epoch);
+  // Accept iff we have not already accepted a call with a >= viewid; a
+  // processor may not reply to one call after replying to another with a
+  // higher viewid.
+  if (!promised_.has_value() || c.gid > *promised_) {
+    promised_ = c.gid;
+    parent_->network().send(me_, src, encode_packet(Packet{CallReply{c.gid}}));
+    // A concurrent lower proposal of ours can no longer win: abandon it.
+    if (proposing_ && c.gid > prop_gid_) proposing_ = false;
+  }
+}
+
+void Node::handle_call_reply(ProcId src, const CallReply& r) {
+  if (proposing_ && r.gid == prop_gid_) prop_accepted_.insert(src);
+}
+
+void Node::on_proposal_deadline(core::ViewId gid) {
+  if (self_bad()) return;
+  if (!proposing_ || !(prop_gid_ == gid)) return;  // superseded
+  proposing_ = false;
+  if (promised_.has_value() && *promised_ > prop_gid_) return;  // promised higher
+  core::View v;
+  v.id = prop_gid_;
+  v.members = prop_accepted_;
+  for (ProcId q : v.members)
+    if (q != me_)
+      parent_->network().send(me_, q, encode_packet(Packet{ViewAnnounce{v}}));
+  install_view(v, /*initial=*/false);
+}
+
+void Node::handle_announce(ProcId src, const ViewAnnounce& a) {
+  (void)src;
+  max_epoch_ = std::max(max_epoch_, a.view.id.epoch);
+  if (!a.view.contains(me_)) return;
+  if (promised_.has_value() && *promised_ > a.view.id) return;  // joined higher
+  if (view_.has_value() && !(a.view.id > view_->id)) return;    // monotonicity
+  install_view(a.view, /*initial=*/false);
+}
+
+void Node::install_view(const core::View& v, bool initial) {
+  const auto& cfg = parent_->config();
+  view_ = v;
+  ++view_gen_;
+  ++stats_.views_installed;
+  log_.clear();
+  delivered_ = 0;
+  safe_emitted_ = 0;
+  outbox_.clear();  // stale messages belonged to the previous view
+  token_ = Token{};
+  token_.gid = v.id;
+  for (ProcId r : v.members) token_.delivered[r] = 0;
+  token_out_ = false;
+  last_token_seen_ = parent_->simulator().now();
+  proposing_ = false;
+  VSG_INFO << "node " << me_ << " installs view " << core::to_string(v);
+
+  if (!initial) parent_->emit_newview(me_, v);
+
+  // Arm the token machinery for this view.
+  const std::uint64_t gen = view_gen_;
+  if (is_leader()) {
+    // First launch quickly (state exchange is waiting), then every pi.
+    parent_->simulator().after(cfg.delta, [this, gen] { launch_tick(gen); });
+  }
+  const sim::Time check = std::max<sim::Time>(cfg.delta, cfg.pi / 4);
+  parent_->simulator().after(check, [this, gen] { token_check(gen); });
+}
+
+void Node::token_check(std::uint64_t gen) {
+  if (gen != view_gen_ || !view_.has_value()) return;  // stale timer
+  const auto& cfg = parent_->config();
+  const sim::Time now = parent_->simulator().now();
+  if (!self_bad()) {
+    const sim::Time timeout = cfg.token_timeout(static_cast<int>(view_->members.size()));
+    if (view_->members.size() > 1 && now - last_token_seen_ > timeout) maybe_propose();
+  }
+  const sim::Time check = std::max<sim::Time>(cfg.delta, cfg.pi / 4);
+  parent_->simulator().after(check, [this, gen] { token_check(gen); });
+}
+
+void Node::probe_tick() {
+  const auto& cfg = parent_->config();
+  if (!self_bad()) {
+    if (!view_.has_value()) {
+      // No view at all: keep trying to form one (covers isolated startup).
+      maybe_propose();
+    } else {
+      for (ProcId q = 0; q < parent_->size(); ++q) {
+        if (q == me_ || view_->contains(q)) continue;
+        parent_->network().send(me_, q,
+                                encode_packet(Packet{Probe{view_->id}}));
+        ++stats_.probes_sent;
+      }
+    }
+  }
+  parent_->simulator().after(cfg.mu + rng_.range(0, cfg.delta), [this] { probe_tick(); });
+}
+
+void Node::handle_probe(ProcId src, const Probe& p) {
+  if (p.gid.has_value()) max_epoch_ = std::max(max_epoch_, p.gid->epoch);
+  // Contact from a processor outside the current membership triggers view
+  // formation (merge). The node with a view proposes; the cooldown keeps
+  // dueling bounded while the network is still changing.
+  if (!view_.has_value() || !view_->contains(src)) maybe_propose();
+}
+
+}  // namespace vsg::membership

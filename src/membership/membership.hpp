@@ -1,0 +1,160 @@
+#pragma once
+
+// Per-processor protocol state machine for the Section 8 implementation of
+// VS: Cristian-Schmuck style membership (call / accept / announce rounds,
+// viewids = (epoch, proposer) so ids are unique and each processor's views
+// increase), merge probing every mu, and a token ring that carries the
+// per-view total order and per-member delivery counters.
+//
+// Timing parameters follow the paper's analysis:
+//   delta — assumed maximum link delay while a link is good;
+//   pi    — spacing of token launches by the ring leader (pi > n*delta);
+//   mu    — spacing of attempts to contact newly connected processors.
+// The paper's bounds for this protocol are
+//   b = 9*delta + max{pi + (n+3)*delta, mu},  d = 2*pi + n*delta;
+// our token variant propagates delivery counters with one extra lap, so we
+// also report d_impl = 3*(pi + n*delta): one pi+n*delta each to board the
+// token, deliver everywhere, and circulate the counters (see EXPERIMENTS.md).
+//
+// The class is split across two translation units: membership.cpp (view
+// formation) and token_ring.cpp (token processing and ordering).
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "membership/messages.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+#include "vs/service.hpp"
+
+namespace vsg::membership {
+
+/// Membership formation protocol (Section 8 / footnote 7): the 3-round
+/// call/accept/announce protocol, or the 1-round variant where the
+/// proposer announces directly from its heard-from estimate. The paper
+/// notes the 1-round variant "would stabilize less quickly" —
+/// bench_formation_rounds measures exactly that.
+enum class FormationMode : std::uint8_t { kThreeRound, kOneRound };
+
+struct TokenRingConfig {
+  sim::Time delta = sim::msec(5);  // assumed good-link delay bound
+  sim::Time pi = sim::msec(40);    // token launch spacing
+  sim::Time mu = sim::msec(250);   // merge-probe spacing
+
+  /// Proposer's collection window after broadcasting a call (2 rounds).
+  sim::Time formation_wait() const { return 2 * delta; }
+  /// Token-loss timeout for a view of n members: pi + (n+3)*delta.
+  sim::Time token_timeout(int n) const { return pi + (n + 3) * delta; }
+  /// Minimum spacing between proposals initiated by one node.
+  sim::Time proposal_cooldown() const { return formation_wait() + 6 * delta; }
+
+  /// Maximum extra processing delay at an `ugly` processor (ugly = runs at
+  /// nondeterministic speed; bad = stopped).
+  sim::Time ugly_proc_max_delay = sim::msec(50);
+
+  /// Trim entries that are safe everywhere off the token (ablation knob:
+  /// without trimming the token grows with the view's whole history).
+  bool trim_token = true;
+
+  /// Flow control: at most this many buffered client messages board the
+  /// token per pass (0 = unlimited). Bounds the token's growth per lap
+  /// under bursty load; the remainder waits for the next pass.
+  std::size_t max_entries_per_pass = 0;
+
+  /// Membership formation protocol.
+  FormationMode formation = FormationMode::kThreeRound;
+  /// 1-round only: a processor counts as connected if heard from within
+  /// this window.
+  sim::Time heard_window = sim::msec(600);
+};
+
+struct NodeStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t views_installed = 0;
+  std::uint64_t tokens_processed = 0;
+  std::uint64_t entries_delivered = 0;
+  std::uint64_t safes_emitted = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t token_bytes_sent = 0;   // encoded size of forwarded tokens
+  std::uint64_t max_token_entries = 0;  // peak entry count seen on a token
+};
+
+class TokenRingVS;
+
+class Node {
+ public:
+  Node(ProcId me, TokenRingVS& parent, util::Rng rng);
+
+  /// Arm timers; processors in the initial view install it silently
+  /// (clients already know v0, per the specification's hybrid initial-view
+  /// rule — no newview event is emitted for it).
+  void start(bool in_initial_view, int n0);
+
+  /// A packet arrived from the network. A bad processor drops it (stopped
+  /// processors take no steps); an ugly one handles it after a random
+  /// extra delay (nondeterministic speed).
+  void on_packet(ProcId src, const util::Bytes& bytes);
+
+  /// Client gpsnd at this processor. Silently dropped when the node has no
+  /// view (the paper's bottom-view rule).
+  void submit(vs::Payload m);
+
+  const std::optional<core::View>& view() const noexcept { return view_; }
+  const NodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  // --- membership.cpp -------------------------------------------------------
+  void dispatch(ProcId src, const util::Bytes& bytes);
+  void handle_call(ProcId src, const Call& c);
+  void handle_call_reply(ProcId src, const CallReply& r);
+  void handle_announce(ProcId src, const ViewAnnounce& a);
+  void handle_probe(ProcId src, const Probe& p);
+  void maybe_propose();
+  void initiate_proposal();
+  void initiate_one_round();
+  void on_proposal_deadline(core::ViewId gid);
+  void install_view(const core::View& v, bool initial);
+  void token_check(std::uint64_t gen);
+  void probe_tick();
+  bool is_leader() const;
+  ProcId successor() const;
+  bool self_bad() const;
+
+  // --- token_ring.cpp -------------------------------------------------------
+  void handle_token(ProcId src, Token t);
+  void launch_tick(std::uint64_t gen);
+  void process_token(Token& t);
+  void forward_token(const Token& t, ProcId to);
+
+  ProcId me_;
+  TokenRingVS* parent_;
+  util::Rng rng_;
+
+  // Membership state.
+  std::optional<core::View> view_;
+  std::optional<core::ViewId> promised_;  // highest viewid accepted
+  std::uint64_t max_epoch_ = 0;
+  bool proposing_ = false;
+  core::ViewId prop_gid_;
+  std::set<ProcId> prop_accepted_;
+  sim::Time last_propose_ = -1;
+  std::uint64_t view_gen_ = 0;  // bumped on install; stale timers no-op
+  std::vector<sim::Time> last_heard_;  // per-processor last packet time
+
+  // Per-view ordering state (reset on install).
+  std::vector<std::pair<ProcId, util::Bytes>> log_;  // the view's common order
+  std::size_t delivered_ = 0;                        // gprcv'd prefix (== log_.size())
+  std::size_t safe_emitted_ = 0;                     // safe'd prefix
+  std::deque<util::Bytes> outbox_;                   // submitted, not yet on token
+
+  // Leader token custody.
+  Token token_;
+  bool token_out_ = false;
+  sim::Time last_token_seen_ = 0;
+
+  NodeStats stats_;
+};
+
+}  // namespace vsg::membership

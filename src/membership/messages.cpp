@@ -1,0 +1,119 @@
+#include "membership/messages.hpp"
+
+#include "util/hash.hpp"
+
+namespace vsg::membership {
+namespace {
+constexpr std::uint8_t kTagCall = 1;
+constexpr std::uint8_t kTagCallReply = 2;
+constexpr std::uint8_t kTagViewAnnounce = 3;
+constexpr std::uint8_t kTagToken = 4;
+constexpr std::uint8_t kTagProbe = 5;
+
+struct Encoder {
+  util::Encoder e;
+
+  void operator()(const Call& p) {
+    e.u8(kTagCall);
+    core::encode(e, p.gid);
+  }
+  void operator()(const CallReply& p) {
+    e.u8(kTagCallReply);
+    core::encode(e, p.gid);
+  }
+  void operator()(const ViewAnnounce& p) {
+    e.u8(kTagViewAnnounce);
+    core::encode(e, p.view);
+  }
+  void operator()(const Token& p) {
+    e.u8(kTagToken);
+    core::encode(e, p.gid);
+    e.u32(p.lap);
+    e.u32(p.base);
+    e.u32(static_cast<std::uint32_t>(p.entries.size()));
+    for (const auto& [src, payload] : p.entries) {
+      e.u32(static_cast<std::uint32_t>(src));
+      e.raw(payload);
+    }
+    e.u32(static_cast<std::uint32_t>(p.delivered.size()));
+    for (const auto& [r, count] : p.delivered) {
+      e.u32(static_cast<std::uint32_t>(r));
+      e.u32(count);
+    }
+  }
+  void operator()(const Probe& p) {
+    e.u8(kTagProbe);
+    e.boolean(p.gid.has_value());
+    if (p.gid) core::encode(e, *p.gid);
+  }
+};
+
+}  // namespace
+
+util::Bytes encode_packet(const Packet& pkt) {
+  Encoder enc;
+  std::visit(enc, pkt);
+  util::Bytes body = enc.e.take();
+  // Checksum-framed: a corrupted packet must be detectably garbage, never
+  // a structurally valid packet with flipped payload bytes.
+  util::Encoder framed;
+  framed.u32(static_cast<std::uint32_t>(util::fnv1a(body)));
+  framed.raw(body);
+  return framed.take();
+}
+
+std::optional<Packet> decode_packet(const util::Bytes& bytes) {
+  util::Decoder frame(bytes);
+  const std::uint32_t checksum = frame.u32();
+  const util::Bytes body = frame.raw();
+  if (!frame.complete()) return std::nullopt;
+  if (checksum != static_cast<std::uint32_t>(util::fnv1a(body))) return std::nullopt;
+
+  util::Decoder d(body);
+  const std::uint8_t tag = d.u8();
+  switch (tag) {
+    case kTagCall: {
+      Call p{core::decode_viewid(d)};
+      if (!d.complete()) return std::nullopt;
+      return Packet{p};
+    }
+    case kTagCallReply: {
+      CallReply p{core::decode_viewid(d)};
+      if (!d.complete()) return std::nullopt;
+      return Packet{p};
+    }
+    case kTagViewAnnounce: {
+      ViewAnnounce p{core::decode_view(d)};
+      if (!d.complete()) return std::nullopt;
+      return Packet{p};
+    }
+    case kTagToken: {
+      Token p;
+      p.gid = core::decode_viewid(d);
+      p.lap = d.u32();
+      p.base = d.u32();
+      const std::uint32_t ne = d.u32();
+      for (std::uint32_t i = 0; i < ne && d.ok(); ++i) {
+        const auto src = static_cast<ProcId>(d.u32());
+        p.entries.emplace_back(src, d.raw());
+      }
+      const std::uint32_t nd = d.u32();
+      for (std::uint32_t i = 0; i < nd && d.ok(); ++i) {
+        const auto r = static_cast<ProcId>(d.u32());
+        p.delivered[r] = d.u32();
+      }
+      if (!d.complete()) return std::nullopt;
+      return Packet{std::move(p)};
+    }
+    case kTagProbe: {
+      Probe p;
+      if (d.boolean()) p.gid = core::decode_viewid(d);
+      if (!d.complete()) return std::nullopt;
+      return Packet{p};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace vsg::membership

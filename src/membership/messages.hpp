@@ -1,0 +1,58 @@
+#pragma once
+
+// Protocol packets of the Section 8 implementation: the Cristian-Schmuck
+// membership rounds (call-for-participation / accept / join) plus the
+// circulating token that carries the per-view message order and per-member
+// delivery counters, and the merge probe.
+
+#include <map>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::membership {
+
+/// Round 1: broadcast call-for-participation in a new view.
+struct Call {
+  core::ViewId gid;
+};
+
+/// Round 2: accept — the receiver agrees to participate (and will not reply
+/// to any call with a smaller viewid afterwards).
+struct CallReply {
+  core::ViewId gid;
+};
+
+/// Round 3: the proposer announces the decided membership; receivers join
+/// unless they have promised a higher viewid.
+struct ViewAnnounce {
+  core::View view;
+};
+
+/// The circulating token. `base` is the order index of entries[0]; entries
+/// below `base` are safe everywhere and have been trimmed. `delivered[r]` is
+/// the number of order entries member r had passed to its client when the
+/// token last left r.
+struct Token {
+  core::ViewId gid;
+  std::uint32_t lap = 0;
+  std::uint32_t base = 0;
+  std::vector<std::pair<ProcId, util::Bytes>> entries;
+  std::map<ProcId, std::uint32_t> delivered;
+};
+
+/// Periodic contact attempt towards processors outside the current view;
+/// receiving one from a stranger triggers view formation (merge).
+struct Probe {
+  std::optional<core::ViewId> gid;  // sender's current view, if any
+};
+
+using Packet = std::variant<Call, CallReply, ViewAnnounce, Token, Probe>;
+
+util::Bytes encode_packet(const Packet& pkt);
+std::optional<Packet> decode_packet(const util::Bytes& bytes);
+
+}  // namespace vsg::membership

@@ -1,0 +1,129 @@
+// Token-ring ordering: the half of Node that handles the circulating token
+// (see membership.hpp). The token is the view's single serialization point:
+// its entry sequence *is* the per-view total order, and its per-member
+// delivered counters drive the safe indications.
+
+#include <algorithm>
+#include <cassert>
+
+#include "membership/membership.hpp"
+#include "membership/token_ring_vs.hpp"
+#include "util/logging.hpp"
+
+namespace vsg::membership {
+
+void Node::launch_tick(std::uint64_t gen) {
+  if (gen != view_gen_ || !view_.has_value()) return;  // stale timer
+  const auto& cfg = parent_->config();
+  if (!self_bad()) {
+    if (token_out_) {
+      // The previous token did not return within pi (> n*delta): it is lost
+      // or the ring is broken. Never relaunch stale token state — members
+      // may hold entries the parked copy lacks; form a new view instead.
+      maybe_propose();
+    } else {
+      token_.lap += 1;
+      process_token(token_);
+      if (view_->members.size() > 1) {
+        forward_token(token_, successor());
+        token_out_ = true;
+      }
+      // Singleton view: the lap completes locally; the token stays parked.
+    }
+  }
+  parent_->simulator().after(cfg.pi, [this, gen] { launch_tick(gen); });
+}
+
+void Node::handle_token(ProcId src, Token t) {
+  (void)src;
+  max_epoch_ = std::max(max_epoch_, t.gid.epoch);
+  if (!view_.has_value() || !(t.gid == view_->id)) return;  // stale view's token
+  last_token_seen_ = parent_->simulator().now();
+  process_token(t);
+  if (is_leader()) {
+    // Lap complete: park the token until the next launch tick.
+    token_ = std::move(t);
+    token_out_ = false;
+  } else {
+    forward_token(t, successor());
+  }
+}
+
+void Node::process_token(Token& t) {
+  ++stats_.tokens_processed;
+
+  // 1. Absorb entries we have not seen (the token is authoritative for the
+  // order; indices are t.base + k).
+  for (std::size_t k = 0; k < t.entries.size(); ++k) {
+    const std::size_t idx = static_cast<std::size_t>(t.base) + k;
+    if (idx == log_.size()) {
+      log_.push_back(t.entries[k]);
+    } else if (idx < log_.size() && !(log_[idx] == t.entries[k])) {
+      // Cannot happen while a single token per view exists; defensive.
+      VSG_ERROR << "node " << me_ << ": token order mismatch at index " << idx;
+    }
+  }
+
+  // 2. Deliver everything not yet passed to the client, in order.
+  while (delivered_ < log_.size()) {
+    const auto& [src, payload] = log_[delivered_];
+    ++delivered_;
+    ++stats_.entries_delivered;
+    parent_->emit_gprcv(me_, src, payload);
+  }
+
+  // 3. Append our buffered client messages to the token (and deliver them
+  // to ourselves — we are a view member like any other). The client's
+  // on_gprcv may submit more messages; the loop drains those too, up to
+  // the per-pass flow-control cap.
+  const std::size_t cap = parent_->config().max_entries_per_pass;
+  std::size_t boarded = 0;
+  while (!outbox_.empty() && (cap == 0 || boarded < cap)) {
+    ++boarded;
+    util::Bytes payload = std::move(outbox_.front());
+    outbox_.pop_front();
+    log_.emplace_back(me_, payload);
+    t.entries.emplace_back(me_, payload);
+    ++delivered_;
+    ++stats_.entries_delivered;
+    parent_->emit_gprcv(me_, me_, log_.back().second);
+  }
+
+  // 4. Record how many entries we have passed to the client.
+  t.delivered[me_] = static_cast<std::uint32_t>(delivered_);
+
+  // 5. Safe indications: every entry below the minimum delivered counter has
+  // been passed to the client at every member.
+  std::uint32_t threshold = static_cast<std::uint32_t>(delivered_);
+  for (ProcId r : view_->members) {
+    const auto it = t.delivered.find(r);
+    threshold = std::min(threshold, it == t.delivered.end() ? 0 : it->second);
+  }
+  while (safe_emitted_ < threshold) {
+    const auto& [src, payload] = log_[safe_emitted_];
+    ++safe_emitted_;
+    ++stats_.safes_emitted;
+    parent_->emit_safe(me_, src, payload);
+  }
+
+  if (t.entries.size() > stats_.max_token_entries)
+    stats_.max_token_entries = t.entries.size();
+
+  // 6. Trim: entries below the threshold are delivered everywhere and never
+  // needed again; drop them so the token stays small.
+  if (parent_->config().trim_token && threshold > t.base) {
+    const std::size_t drop = threshold - t.base;
+    t.entries.erase(t.entries.begin(),
+                    t.entries.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(drop, t.entries.size())));
+    t.base = threshold;
+  }
+}
+
+void Node::forward_token(const Token& t, ProcId to) {
+  util::Bytes bytes = encode_packet(Packet{t});
+  stats_.token_bytes_sent += bytes.size();
+  parent_->network().send(me_, to, std::move(bytes));
+}
+
+}  // namespace vsg::membership

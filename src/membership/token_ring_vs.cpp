@@ -1,0 +1,81 @@
+#include "membership/token_ring_vs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsg::membership {
+
+TokenRingVS::TokenRingVS(sim::Simulator& simulator, net::Network& network,
+                         sim::FailureTable& failures, trace::Recorder& recorder, int n, int n0,
+                         TokenRingConfig config, util::Rng rng)
+    : sim_(&simulator),
+      net_(&network),
+      failures_(&failures),
+      recorder_(&recorder),
+      config_(config),
+      n0_(n0),
+      clients_(static_cast<std::size_t>(n), nullptr) {
+  assert(n > 0 && n0 > 0 && n0 <= n);
+  assert(network.size() == n);
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    nodes_.push_back(std::make_unique<Node>(p, *this, rng.split()));
+    net_->attach(p, [this, p](ProcId src, const util::Bytes& pkt) {
+      nodes_[static_cast<std::size_t>(p)]->on_packet(src, pkt);
+    });
+  }
+}
+
+void TokenRingVS::start() {
+  assert(!started_);
+  started_ = true;
+  for (ProcId p = 0; p < size(); ++p)
+    nodes_[static_cast<std::size_t>(p)]->start(p < n0_, n0_);
+}
+
+void TokenRingVS::attach(ProcId p, vs::Client& client) {
+  assert(p >= 0 && p < size());
+  clients_[static_cast<std::size_t>(p)] = &client;
+}
+
+void TokenRingVS::gpsnd(ProcId p, vs::Payload m) {
+  assert(p >= 0 && p < size());
+  recorder_->record(trace::GpsndEvent{p, m});
+  nodes_[static_cast<std::size_t>(p)]->submit(std::move(m));
+}
+
+NodeStats TokenRingVS::total_stats() const {
+  NodeStats total;
+  for (const auto& node : nodes_) {
+    const NodeStats& s = node->stats();
+    total.proposals += s.proposals;
+    total.views_installed += s.views_installed;
+    total.tokens_processed += s.tokens_processed;
+    total.entries_delivered += s.entries_delivered;
+    total.safes_emitted += s.safes_emitted;
+    total.probes_sent += s.probes_sent;
+    total.token_bytes_sent += s.token_bytes_sent;
+    total.max_token_entries = std::max(total.max_token_entries, s.max_token_entries);
+  }
+  return total;
+}
+
+void TokenRingVS::emit_gprcv(ProcId dst, ProcId src, const util::Bytes& m) {
+  recorder_->record(trace::GprcvEvent{src, dst, m});
+  auto* client = clients_[static_cast<std::size_t>(dst)];
+  if (client != nullptr) client->on_gprcv(src, m);
+}
+
+void TokenRingVS::emit_safe(ProcId dst, ProcId src, const util::Bytes& m) {
+  recorder_->record(trace::SafeEvent{src, dst, m});
+  auto* client = clients_[static_cast<std::size_t>(dst)];
+  if (client != nullptr) client->on_safe(src, m);
+}
+
+void TokenRingVS::emit_newview(ProcId p, const core::View& v) {
+  recorder_->record(trace::NewViewEvent{p, v});
+  auto* client = clients_[static_cast<std::size_t>(p)];
+  if (client != nullptr) client->on_newview(v);
+}
+
+}  // namespace vsg::membership

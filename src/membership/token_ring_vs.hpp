@@ -1,0 +1,63 @@
+#pragma once
+
+// TokenRingVS: the vs::Service facade over the Section 8 protocol — n Node
+// state machines wired to the simulated network. Interface events are
+// recorded exactly like SpecVS records them, so the same trace checkers and
+// property checkers validate this implementation against the VS
+// specification (safety: VSTraceChecker; performance: VS-property with
+// b = 9*delta + max{pi + (n+3)*delta, mu} and d as discussed in
+// membership.hpp).
+
+#include <memory>
+#include <vector>
+
+#include "membership/membership.hpp"
+#include "net/network.hpp"
+#include "sim/failure_table.hpp"
+#include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
+#include "vs/service.hpp"
+
+namespace vsg::membership {
+
+class TokenRingVS final : public vs::Service {
+ public:
+  TokenRingVS(sim::Simulator& simulator, net::Network& network, sim::FailureTable& failures,
+              trace::Recorder& recorder, int n, int n0, TokenRingConfig config, util::Rng rng);
+
+  /// Arm every node's timers; call once before running the simulation.
+  void start();
+
+  // clients_ is fully sized in the member-initializer list, so size() is
+  // valid even while nodes_ is still being populated (nodes consult it in
+  // their constructors).
+  int size() const override { return static_cast<int>(clients_.size()); }
+  void attach(ProcId p, vs::Client& client) override;
+  void gpsnd(ProcId p, vs::Payload m) override;
+
+  const Node& node(ProcId p) const { return *nodes_[static_cast<std::size_t>(p)]; }
+  NodeStats total_stats() const;
+
+  // --- services for Node ------------------------------------------------------
+  sim::Simulator& simulator() noexcept { return *sim_; }
+  net::Network& network() noexcept { return *net_; }
+  sim::FailureTable& failures() noexcept { return *failures_; }
+  const TokenRingConfig& config() const noexcept { return config_; }
+
+  void emit_gprcv(ProcId dst, ProcId src, const util::Bytes& m);
+  void emit_safe(ProcId dst, ProcId src, const util::Bytes& m);
+  void emit_newview(ProcId p, const core::View& v);
+
+ private:
+  sim::Simulator* sim_;
+  net::Network* net_;
+  sim::FailureTable* failures_;
+  trace::Recorder* recorder_;
+  TokenRingConfig config_;
+  int n0_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<vs::Client*> clients_;
+  bool started_ = false;
+};
+
+}  // namespace vsg::membership

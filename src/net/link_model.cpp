@@ -1,0 +1,18 @@
+#include "net/link_model.hpp"
+
+namespace vsg::net {
+
+std::optional<sim::Time> LinkModel::decide(sim::Status s, util::Rng& rng) const {
+  switch (s) {
+    case sim::Status::kBad:
+      return std::nullopt;
+    case sim::Status::kGood:
+      return rng.range(min_delay, delta);
+    case sim::Status::kUgly:
+      if (rng.chance(ugly_drop)) return std::nullopt;
+      return rng.range(min_delay, ugly_max_delay);
+  }
+  return std::nullopt;
+}
+
+}  // namespace vsg::net

@@ -1,0 +1,36 @@
+#pragma once
+
+// Link timing/loss model.
+//
+// Realizes the paper's channel semantics (Sections 3.2/8):
+//   good link: every packet arrives within delta of sending;
+//   bad link:  no packet is delivered;
+//   ugly link: packets may or may not arrive, with no timing bound.
+
+#include <optional>
+
+#include "sim/failure_table.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace vsg::net {
+
+struct LinkModel {
+  /// Minimum propagation delay on a good link.
+  sim::Time min_delay = sim::usec(100);
+  /// The paper's delta: maximum delay on a good link.
+  sim::Time delta = sim::msec(5);
+  /// Drop probability on an ugly link.
+  double ugly_drop = 0.5;
+  /// Maximum delay on an ugly packet that is delivered (>= delta).
+  sim::Time ugly_max_delay = sim::msec(500);
+  /// Probability that a delivered ugly packet arrives corrupted (random
+  /// byte flips). Receivers must treat the wire as untrusted.
+  double ugly_corrupt = 0.0;
+
+  /// Decide the fate of one packet sent while the link has status `s`:
+  /// nullopt means dropped, otherwise the propagation delay.
+  std::optional<sim::Time> decide(sim::Status s, util::Rng& rng) const;
+};
+
+}  // namespace vsg::net

@@ -1,0 +1,71 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vsg::net {
+
+Network::Network(sim::Simulator& simulator, sim::FailureTable& failures, LinkModel model,
+                 util::Rng rng)
+    : sim_(&simulator),
+      failures_(&failures),
+      model_(model),
+      rng_(rng),
+      handlers_(static_cast<std::size_t>(failures.size())) {}
+
+void Network::attach(ProcId p, Handler handler) {
+  assert(p >= 0 && p < size());
+  handlers_[static_cast<std::size_t>(p)] = std::move(handler);
+}
+
+void Network::send(ProcId p, ProcId q, util::Bytes packet) {
+  assert(p >= 0 && p < size() && q >= 0 && q < size());
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.size();
+
+  if (p == q) {
+    sim_->after(model_.min_delay,
+                [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
+    return;
+  }
+
+  const sim::Status status = failures_->link(p, q);
+  const auto fate = model_.decide(status, rng_);
+  if (!fate) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  // Ugly links may also corrupt what they deliver.
+  if (status == sim::Status::kUgly && !packet.empty() &&
+      rng_.chance(model_.ugly_corrupt)) {
+    const std::size_t flips = 1 + rng_.below(3);
+    for (std::size_t i = 0; i < flips; ++i)
+      packet[rng_.below(packet.size())] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    ++stats_.packets_corrupted;
+  }
+  sim_->after(*fate,
+              [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
+}
+
+void Network::deliver(ProcId src, ProcId dst, util::Bytes packet) {
+  // A link that went bad while the packet was in flight loses it.
+  if (src != dst && failures_->link(src, dst) == sim::Status::kBad) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += packet.size();
+  auto& handler = handlers_[static_cast<std::size_t>(dst)];
+  if (handler) handler(src, packet);
+}
+
+void Network::multicast(ProcId p, const std::vector<ProcId>& dests, const util::Bytes& packet) {
+  for (ProcId q : dests) send(p, q, packet);
+}
+
+void Network::broadcast(ProcId p, const util::Bytes& packet) {
+  for (ProcId q = 0; q < size(); ++q)
+    if (q != p) send(p, q, packet);
+}
+
+}  // namespace vsg::net

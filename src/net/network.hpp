@@ -1,0 +1,72 @@
+#pragma once
+
+// Simulated asynchronous point-to-point network.
+//
+// Packets are opaque byte buffers (everything above serializes), routed
+// between processors subject to the FailureTable:
+//  - the ordered-pair link status is consulted at send time (bad => drop,
+//    good => delay in [min_delay, delta], ugly => RNG drop/delay), and again
+//    at delivery time (a link that has become bad in flight drops the
+//    packet, matching "while bad, no packet is delivered");
+//  - processor status is NOT interpreted here; stopping/slowing a processor
+//    is the receiving executor's job (bad processors take no steps).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "sim/failure_table.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::net {
+
+struct NetStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_corrupted = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  /// Handler invoked at the destination when a packet arrives.
+  using Handler = std::function<void(ProcId src, const util::Bytes& packet)>;
+
+  Network(sim::Simulator& simulator, sim::FailureTable& failures, LinkModel model,
+          util::Rng rng);
+
+  int size() const noexcept { return failures_->size(); }
+
+  /// Register the receive handler for processor p (one per processor).
+  void attach(ProcId p, Handler handler);
+
+  /// Send one packet from p to q. Self-sends are delivered with min delay
+  /// regardless of failure status (local loopback never partitions).
+  void send(ProcId p, ProcId q, util::Bytes packet);
+
+  /// Send the same packet from p to every processor in `dests`.
+  void multicast(ProcId p, const std::vector<ProcId>& dests, const util::Bytes& packet);
+
+  /// Send from p to all n processors except p.
+  void broadcast(ProcId p, const util::Bytes& packet);
+
+  const NetStats& stats() const noexcept { return stats_; }
+  const LinkModel& model() const noexcept { return model_; }
+
+ private:
+  void deliver(ProcId src, ProcId dst, util::Bytes packet);
+
+  sim::Simulator* sim_;
+  sim::FailureTable* failures_;
+  LinkModel model_;
+  util::Rng rng_;
+  std::vector<Handler> handlers_;
+  NetStats stats_;
+};
+
+}  // namespace vsg::net

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vsg::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id != kNoEvent) cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  return heap_.empty() ? kForever : heap_.top().at;
+}
+
+Time EventQueue::pop_and_run() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because we pop immediately and never reuse the slot.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  entry.fn();
+  return entry.at;
+}
+
+}  // namespace vsg::sim

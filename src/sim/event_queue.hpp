@@ -1,0 +1,60 @@
+#pragma once
+
+// Priority queue of timed events with stable FIFO ordering among events
+// scheduled for the same instant, and O(log n) lazy cancellation.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vsg::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute time `at`. Events at equal times run
+  /// in scheduling order. Returns a handle usable with cancel().
+  EventId schedule(Time at, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-run or unknown id is a
+  /// no-op (timers race with the work they guard; that is expected).
+  void cancel(EventId id);
+
+  bool empty() const;
+
+  /// Time of the earliest pending (non-cancelled) event; kForever if none.
+  Time next_time() const;
+
+  /// Pop the earliest event and run it. Requires !empty().
+  /// Returns the time at which the event ran.
+  Time pop_and_run();
+
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace vsg::sim

@@ -1,0 +1,85 @@
+#include "sim/failure_table.hpp"
+
+#include <cassert>
+
+namespace vsg::sim {
+
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kGood:
+      return "good";
+    case Status::kBad:
+      return "bad";
+    case Status::kUgly:
+      return "ugly";
+  }
+  return "?";
+}
+
+FailureTable::FailureTable(int n)
+    : n_(n),
+      proc_(static_cast<std::size_t>(n), Status::kGood),
+      link_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), Status::kGood) {
+  assert(n > 0);
+}
+
+Status FailureTable::proc(ProcId p) const {
+  assert(p >= 0 && p < n_);
+  return proc_[static_cast<std::size_t>(p)];
+}
+
+Status FailureTable::link(ProcId p, ProcId q) const {
+  assert(p >= 0 && p < n_ && q >= 0 && q < n_);
+  if (p == q) return Status::kGood;
+  return link_[static_cast<std::size_t>(p) * n_ + q];
+}
+
+void FailureTable::record(StatusEvent ev) {
+  history_.push_back(ev);
+  for (const auto& fn : listeners_) fn(ev);
+}
+
+void FailureTable::set_proc(ProcId p, Status s, Time now) {
+  assert(p >= 0 && p < n_);
+  proc_[static_cast<std::size_t>(p)] = s;
+  record(StatusEvent{now, false, p, kNoProc, s});
+}
+
+void FailureTable::set_link(ProcId p, ProcId q, Status s, Time now) {
+  assert(p >= 0 && p < n_ && q >= 0 && q < n_ && p != q);
+  link_[static_cast<std::size_t>(p) * n_ + q] = s;
+  record(StatusEvent{now, true, p, q, s});
+}
+
+void FailureTable::set_link_sym(ProcId p, ProcId q, Status s, Time now) {
+  set_link(p, q, s, now);
+  set_link(q, p, s, now);
+}
+
+void FailureTable::partition(const std::vector<std::set<ProcId>>& components, Time now) {
+  std::vector<int> comp(static_cast<std::size_t>(n_), -1);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (ProcId p : components[c]) {
+      assert(p >= 0 && p < n_);
+      assert(comp[static_cast<std::size_t>(p)] == -1 && "components must be disjoint");
+      comp[static_cast<std::size_t>(p)] = static_cast<int>(c);
+    }
+  }
+  for (ProcId p = 0; p < n_; ++p) {
+    for (ProcId q = 0; q < n_; ++q) {
+      if (p == q) continue;
+      const bool same = comp[static_cast<std::size_t>(p)] != -1 &&
+                        comp[static_cast<std::size_t>(p)] == comp[static_cast<std::size_t>(q)];
+      const Status want = same ? Status::kGood : Status::kBad;
+      if (link(p, q) != want) set_link(p, q, want, now);
+    }
+  }
+}
+
+void FailureTable::heal(Time now) {
+  for (ProcId p = 0; p < n_; ++p)
+    for (ProcId q = 0; q < n_; ++q)
+      if (p != q && link(p, q) != Status::kGood) set_link(p, q, Status::kGood, now);
+}
+
+}  // namespace vsg::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+// Failure-status model: the paper's good / bad / ugly input actions
+// (Figure 4), for processors and for ordered pairs of processors.
+//
+// The table is the single source of truth consulted by the network (link
+// behaviour) and by processor executors (step scheduling), and it records
+// every status change as a timestamped event — the failure-status portion of
+// the timed trace that TO-property / VS-property quantify over.
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/types.hpp"
+
+namespace vsg::sim {
+
+enum class Status : std::uint8_t { kGood = 0, kBad = 1, kUgly = 2 };
+
+const char* to_string(Status s) noexcept;
+
+/// One failure-status input action, as it appears in a timed trace.
+struct StatusEvent {
+  Time at = 0;
+  bool is_link = false;  // false: processor event good_p; true: link good_{p,q}
+  ProcId p = kNoProc;
+  ProcId q = kNoProc;  // destination, only for link events
+  Status status = Status::kGood;
+};
+
+class FailureTable {
+ public:
+  /// All processors and links start `good` (the paper's default).
+  explicit FailureTable(int n);
+
+  int size() const noexcept { return n_; }
+
+  Status proc(ProcId p) const;
+  /// Status of the ordered pair (p, q). The pair (p, p) is always good.
+  Status link(ProcId p, ProcId q) const;
+
+  void set_proc(ProcId p, Status s, Time now);
+  void set_link(ProcId p, ProcId q, Status s, Time now);
+  /// Set both (p,q) and (q,p).
+  void set_link_sym(ProcId p, ProcId q, Status s, Time now);
+
+  /// Scenario helper: make links within each component good and links
+  /// between different components bad. Processors keep their own status.
+  /// Components must be disjoint; processors absent from every component
+  /// are isolated (all their links become bad).
+  void partition(const std::vector<std::set<ProcId>>& components, Time now);
+
+  /// Scenario helper: fully connect everything with good links.
+  void heal(Time now);
+
+  /// Every status change ever applied, in time order.
+  const std::vector<StatusEvent>& history() const noexcept { return history_; }
+
+  /// Listener invoked synchronously on every status change.
+  using Listener = std::function<void(const StatusEvent&)>;
+  void subscribe(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+ private:
+  void record(StatusEvent ev);
+
+  int n_;
+  std::vector<Status> proc_;
+  std::vector<Status> link_;  // n*n row-major
+  std::vector<StatusEvent> history_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace vsg::sim

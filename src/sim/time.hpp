@@ -1,0 +1,21 @@
+#pragma once
+
+// Simulated time. The timed-automaton model of the paper (Lynch-Vaandrager)
+// uses real-valued time; we use integer microseconds, which keeps event
+// ordering exact and reproducible.
+
+#include <cstdint>
+#include <limits>
+
+namespace vsg::sim {
+
+using Time = std::int64_t;  // microseconds since simulation start
+
+constexpr Time kTimeZero = 0;
+constexpr Time kForever = std::numeric_limits<Time>::max();
+
+constexpr Time usec(std::int64_t n) { return n; }
+constexpr Time msec(std::int64_t n) { return n * 1000; }
+constexpr Time sec(std::int64_t n) { return n * 1000000; }
+
+}  // namespace vsg::sim

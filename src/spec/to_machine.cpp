@@ -1,0 +1,53 @@
+#include "spec/to_machine.hpp"
+
+namespace vsg::spec {
+
+TOMachine::TOMachine(int n)
+    : n_(n),
+      pending_(static_cast<std::size_t>(n)),
+      next_(static_cast<std::size_t>(n), 1) {
+  assert(n > 0);
+}
+
+void TOMachine::bcast(ProcId p, core::Value a) {
+  assert(p >= 0 && p < n_);
+  pending_[static_cast<std::size_t>(p)].push_back(std::move(a));
+}
+
+bool TOMachine::to_order_enabled(ProcId p) const {
+  assert(p >= 0 && p < n_);
+  return !pending_[static_cast<std::size_t>(p)].empty();
+}
+
+void TOMachine::to_order(ProcId p) {
+  assert(to_order_enabled(p));
+  auto& pend = pending_[static_cast<std::size_t>(p)];
+  queue_.push_back(Entry{std::move(pend.front()), p});
+  pend.pop_front();
+}
+
+std::optional<TOMachine::Entry> TOMachine::brcv_next(ProcId q) const {
+  assert(q >= 0 && q < n_);
+  const std::size_t idx = next_[static_cast<std::size_t>(q)];
+  if (idx > queue_.size()) return std::nullopt;
+  return queue_[idx - 1];
+}
+
+TOMachine::Entry TOMachine::brcv(ProcId q) {
+  auto entry = brcv_next(q);
+  assert(entry.has_value());
+  ++next_[static_cast<std::size_t>(q)];
+  return *entry;
+}
+
+const std::deque<core::Value>& TOMachine::pending(ProcId p) const {
+  assert(p >= 0 && p < n_);
+  return pending_[static_cast<std::size_t>(p)];
+}
+
+std::size_t TOMachine::next(ProcId q) const {
+  assert(q >= 0 && q < n_);
+  return next_[static_cast<std::size_t>(q)];
+}
+
+}  // namespace vsg::spec

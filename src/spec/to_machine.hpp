@@ -1,0 +1,67 @@
+#pragma once
+
+// TO-machine (Figure 3): the abstract global state machine specifying
+// totally ordered broadcast. Used three ways:
+//   1. as the correctness oracle in the forward-simulation checker
+//      (verify/forward_simulation.*);
+//   2. as a directly runnable reference service in tests;
+//   3. as documentation: the transition methods are literal transcriptions
+//      of the precondition/effect code.
+//
+// Each action has an `enabled` predicate and an effect method that asserts
+// its precondition, mirroring I/O-automaton preconditions.
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace vsg::spec {
+
+class TOMachine {
+ public:
+  /// One element of `queue`: a data value paired with its origin.
+  struct Entry {
+    core::Value a;
+    ProcId p = kNoProc;
+    bool operator==(const Entry&) const = default;
+  };
+
+  explicit TOMachine(int n);
+
+  int size() const noexcept { return n_; }
+
+  // --- Input bcast(a)_p ---------------------------------------------------
+  void bcast(ProcId p, core::Value a);
+
+  // --- Internal to-order(a, p) --------------------------------------------
+  /// Enabled iff pending[p] is nonempty (the head is the `a` to order).
+  bool to_order_enabled(ProcId p) const;
+  /// Move head of pending[p] onto the end of queue.
+  void to_order(ProcId p);
+
+  // --- Output brcv(a)_{p,q} -----------------------------------------------
+  /// The entry that brcv would deliver at q next, if any.
+  std::optional<Entry> brcv_next(ProcId q) const;
+  /// Perform brcv at q; requires brcv_next(q) to be engaged.
+  Entry brcv(ProcId q);
+
+  // --- State accessors (for checkers and tests) ----------------------------
+  const std::vector<Entry>& queue() const noexcept { return queue_; }
+  const std::deque<core::Value>& pending(ProcId p) const;
+  /// 1-based next-delivery index for q (the paper's next[q]).
+  std::size_t next(ProcId q) const;
+
+  bool operator==(const TOMachine&) const = default;
+
+ private:
+  int n_;
+  std::vector<Entry> queue_;
+  std::vector<std::deque<core::Value>> pending_;
+  std::vector<std::size_t> next_;
+};
+
+}  // namespace vsg::spec

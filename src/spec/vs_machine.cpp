@@ -1,0 +1,256 @@
+#include "spec/vs_machine.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace vsg::spec {
+
+VSMachine::VSMachine(int n, int n0)
+    : n_(n), current_(static_cast<std::size_t>(n)) {
+  assert(n > 0 && n0 > 0 && n0 <= n);
+  const core::View v0 = core::initial_view(n0);
+  created_.push_back(v0);
+  for (ProcId p = 0; p < n0; ++p) current_[static_cast<std::size_t>(p)] = v0.id;
+}
+
+const VSMachine::PerView* VSMachine::find(const core::ViewId& g) const {
+  auto it = perview_.find(g);
+  return it == perview_.end() ? nullptr : &it->second;
+}
+
+VSMachine::PerView& VSMachine::at(const core::ViewId& g) {
+  auto it = perview_.find(g);
+  if (it == perview_.end()) {
+    PerView pv;
+    pv.pending.resize(static_cast<std::size_t>(n_));
+    pv.next.assign(static_cast<std::size_t>(n_), 1);
+    pv.next_safe.assign(static_cast<std::size_t>(n_), 1);
+    it = perview_.emplace(g, std::move(pv)).first;
+  }
+  return it->second;
+}
+
+bool VSMachine::createview_enabled(const core::View& v) const {
+  for (ProcId p : v.members)
+    if (p < 0 || p >= n_) return false;
+  if (v.members.empty()) return false;
+  for (const auto& w : created_)
+    if (!(v.id > w.id)) return false;
+  return true;
+}
+
+void VSMachine::createview(const core::View& v) {
+  assert(createview_enabled(v));
+  created_.push_back(v);
+}
+
+bool VSMachine::newview_enabled(const core::View& v, ProcId p) const {
+  if (p < 0 || p >= n_) return false;
+  if (!v.contains(p)) return false;  // signature: p in v.set
+  bool is_created = false;
+  for (const auto& w : created_)
+    if (w.id == v.id && w.members == v.members) is_created = true;
+  if (!is_created) return false;
+  const auto& cur = current_[static_cast<std::size_t>(p)];
+  return !cur.has_value() || v.id > *cur;
+}
+
+void VSMachine::newview(const core::View& v, ProcId p) {
+  assert(newview_enabled(v, p));
+  current_[static_cast<std::size_t>(p)] = v.id;
+}
+
+void VSMachine::gpsnd(ProcId p, Message m) {
+  assert(p >= 0 && p < n_);
+  const auto& cur = current_[static_cast<std::size_t>(p)];
+  if (!cur.has_value()) return;  // sent before any view: ignored forever
+  at(*cur).pending[static_cast<std::size_t>(p)].push_back(std::move(m));
+}
+
+bool VSMachine::vs_order_enabled(ProcId p, const core::ViewId& g) const {
+  if (p < 0 || p >= n_) return false;
+  const PerView* pv = find(g);
+  return pv != nullptr && !pv->pending[static_cast<std::size_t>(p)].empty();
+}
+
+void VSMachine::vs_order(ProcId p, const core::ViewId& g) {
+  assert(vs_order_enabled(p, g));
+  PerView& pv = at(g);
+  auto& pend = pv.pending[static_cast<std::size_t>(p)];
+  pv.queue.push_back(Entry{std::move(pend.front()), p});
+  pend.pop_front();
+}
+
+std::optional<VSMachine::Entry> VSMachine::gprcv_next(ProcId q) const {
+  assert(q >= 0 && q < n_);
+  const auto& cur = current_[static_cast<std::size_t>(q)];
+  if (!cur.has_value()) return std::nullopt;
+  const PerView* pv = find(*cur);
+  if (pv == nullptr) return std::nullopt;
+  const std::size_t idx = pv->next[static_cast<std::size_t>(q)];
+  if (idx > pv->queue.size()) return std::nullopt;
+  return pv->queue[idx - 1];
+}
+
+VSMachine::Entry VSMachine::gprcv(ProcId q) {
+  auto entry = gprcv_next(q);
+  assert(entry.has_value());
+  PerView& pv = at(*current_[static_cast<std::size_t>(q)]);
+  ++pv.next[static_cast<std::size_t>(q)];
+  return *entry;
+}
+
+std::optional<VSMachine::Entry> VSMachine::safe_next(ProcId q) const {
+  assert(q >= 0 && q < n_);
+  const auto& cur = current_[static_cast<std::size_t>(q)];
+  if (!cur.has_value()) return std::nullopt;
+  const auto members = created_membership(*cur);
+  if (!members.has_value()) return std::nullopt;
+  const PerView* pv = find(*cur);
+  if (pv == nullptr) return std::nullopt;
+  const std::size_t idx = pv->next_safe[static_cast<std::size_t>(q)];
+  if (idx > pv->queue.size()) return std::nullopt;
+  // for all r in S: next[r, g] > next-safe[q, g]
+  for (ProcId r : *members)
+    if (pv->next[static_cast<std::size_t>(r)] <= idx) return std::nullopt;
+  return pv->queue[idx - 1];
+}
+
+VSMachine::Entry VSMachine::safe(ProcId q) {
+  auto entry = safe_next(q);
+  assert(entry.has_value());
+  PerView& pv = at(*current_[static_cast<std::size_t>(q)]);
+  ++pv.next_safe[static_cast<std::size_t>(q)];
+  return *entry;
+}
+
+std::optional<std::set<ProcId>> VSMachine::created_membership(const core::ViewId& g) const {
+  for (const auto& v : created_)
+    if (v.id == g) return v.members;
+  return std::nullopt;
+}
+
+const std::optional<core::ViewId>& VSMachine::current_viewid(ProcId p) const {
+  assert(p >= 0 && p < n_);
+  return current_[static_cast<std::size_t>(p)];
+}
+
+std::vector<core::ViewId> VSMachine::created_viewids() const {
+  std::vector<core::ViewId> out;
+  out.reserve(created_.size());
+  for (const auto& v : created_) out.push_back(v.id);
+  return out;
+}
+
+const std::vector<VSMachine::Entry>& VSMachine::queue(const core::ViewId& g) const {
+  static const std::vector<Entry> kEmpty;
+  const PerView* pv = find(g);
+  return pv == nullptr ? kEmpty : pv->queue;
+}
+
+const std::deque<VSMachine::Message>& VSMachine::pending(ProcId p, const core::ViewId& g) const {
+  static const std::deque<Message> kEmpty;
+  assert(p >= 0 && p < n_);
+  const PerView* pv = find(g);
+  return pv == nullptr ? kEmpty : pv->pending[static_cast<std::size_t>(p)];
+}
+
+std::size_t VSMachine::next(ProcId p, const core::ViewId& g) const {
+  assert(p >= 0 && p < n_);
+  const PerView* pv = find(g);
+  return pv == nullptr ? 1 : pv->next[static_cast<std::size_t>(p)];
+}
+
+std::size_t VSMachine::next_safe(ProcId p, const core::ViewId& g) const {
+  assert(p >= 0 && p < n_);
+  const PerView* pv = find(g);
+  return pv == nullptr ? 1 : pv->next_safe[static_cast<std::size_t>(p)];
+}
+
+std::vector<core::ViewId> VSMachine::touched_viewids() const {
+  std::vector<core::ViewId> out;
+  for (const auto& [g, pv] : perview_) out.push_back(g);
+  for (const auto& v : created_) {
+    bool seen = false;
+    for (const auto& g : out)
+      if (g == v.id) seen = true;
+    if (!seen) out.push_back(v.id);
+  }
+  return out;
+}
+
+// --- Lemma 4.1 ----------------------------------------------------------------
+
+std::vector<std::string> check_lemma_4_1(const VSMachine& m) {
+  std::vector<std::string> bad;
+  auto complain = [&bad](int part, const std::string& msg) {
+    std::ostringstream os;
+    os << "Lemma 4.1(" << part << "): " << msg;
+    bad.push_back(os.str());
+  };
+
+  // (1) unique membership per created viewid
+  const auto& created = m.created();
+  for (std::size_t i = 0; i < created.size(); ++i)
+    for (std::size_t j = i + 1; j < created.size(); ++j)
+      if (created[i].id == created[j].id && created[i].members != created[j].members)
+        complain(1, "two created views share id " + core::to_string(created[i].id));
+
+  auto is_created = [&](const core::ViewId& g) {
+    return m.created_membership(g).has_value();
+  };
+
+  for (ProcId p = 0; p < m.size(); ++p) {
+    const auto& cur = m.current_viewid(p);
+    // (2) current viewid is created
+    if (cur.has_value() && !is_created(*cur))
+      complain(2, "current viewid of " + std::to_string(p) + " not created");
+    // (3) self-inclusion
+    if (cur.has_value()) {
+      const auto members = m.created_membership(*cur);
+      if (members.has_value() && members->count(p) == 0)
+        complain(3, "processor " + std::to_string(p) + " not member of its current view");
+    }
+  }
+
+  for (const auto& g : m.touched_viewids()) {
+    const auto& queue = m.queue(g);
+    // (7) nonempty queue implies created
+    if (!queue.empty() && !is_created(g))
+      complain(7, "queue nonempty for uncreated view " + core::to_string(g));
+    for (ProcId p = 0; p < m.size(); ++p) {
+      const auto& pend = m.pending(p, g);
+      if (!pend.empty()) {
+        // (4,5,6)
+        if (!is_created(g)) complain(4, "pending for uncreated view " + core::to_string(g));
+        const auto& cur = m.current_viewid(p);
+        if (!cur.has_value())
+          complain(5, "pending but no current view at " + std::to_string(p));
+        else if (!(g <= *cur))
+          complain(6, "pending view id above current at " + std::to_string(p));
+      }
+      // (8,9): senders in queue have defined, later-or-equal current view
+      for (const auto& entry : queue) {
+        if (entry.p != p) continue;
+        const auto& cur = m.current_viewid(p);
+        if (!cur.has_value())
+          complain(8, "queued message but no current view at " + std::to_string(p));
+        else if (!(g <= *cur))
+          complain(9, "queued message view id above current at " + std::to_string(p));
+      }
+      // (10,11,12)
+      if (m.next(p, g) > queue.size() + 1) complain(10, "next out of range");
+      if (m.next_safe(p, g) > queue.size() + 1) complain(11, "next-safe out of range");
+      if (m.next_safe(p, g) > m.next(p, g)) complain(12, "next-safe exceeds next");
+      // (13,14): only members advance next/next-safe
+      const auto members = m.created_membership(g);
+      if (members.has_value() && members->count(p) == 0) {
+        if (m.next(p, g) != 1) complain(13, "non-member advanced next");
+        if (m.next_safe(p, g) != 1) complain(14, "non-member advanced next-safe");
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace vsg::spec

@@ -1,0 +1,112 @@
+#pragma once
+
+// VS-machine (Figure 6): the abstract state machine specifying the safety
+// part of the partitionable view-synchronous group communication service.
+//
+// The machine is nondeterministic; drivers (vs/spec_vs.*, test explorers)
+// resolve the nondeterminism by choosing which enabled action to perform.
+// Transition methods assert their preconditions.
+//
+// Construction takes n (|P|) and n0 (|P0|): processors 0..n0-1 start in the
+// initial view v0 = (g0, P0); the rest start with current view undefined.
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::spec {
+
+class VSMachine {
+ public:
+  using Message = util::Bytes;
+
+  /// One element of queue[g]: message plus sender.
+  struct Entry {
+    Message m;
+    ProcId p = kNoProc;
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Per-view-identifier state: the paper's queue[g], pending[p,g],
+  /// next[p,g], next-safe[p,g] for one g.
+  struct PerView {
+    std::vector<Entry> queue;
+    std::vector<std::deque<Message>> pending;  // indexed by p
+    std::vector<std::size_t> next;             // 1-based, initially 1
+    std::vector<std::size_t> next_safe;        // 1-based, initially 1
+  };
+
+  VSMachine(int n, int n0);
+  virtual ~VSMachine() = default;
+
+  int size() const noexcept { return n_; }
+
+  // --- Internal createview(v) ----------------------------------------------
+  /// Strict precondition: v.id greater than every created id, and every
+  /// member of v is a real processor.
+  virtual bool createview_enabled(const core::View& v) const;
+  void createview(const core::View& v);
+
+  // --- Output newview(v)_p --------------------------------------------------
+  /// Signature constraint p in v.set, plus: v created and v.id greater than
+  /// p's current viewid (or current undefined).
+  bool newview_enabled(const core::View& v, ProcId p) const;
+  void newview(const core::View& v, ProcId p);
+
+  // --- Input gpsnd(m)_p -----------------------------------------------------
+  /// Appends to pending[p, current-viewid[p]]; silently ignored while p's
+  /// current view is undefined (the paper's bottom case).
+  void gpsnd(ProcId p, Message m);
+
+  // --- Internal vs-order(m, p, g) --------------------------------------------
+  bool vs_order_enabled(ProcId p, const core::ViewId& g) const;
+  void vs_order(ProcId p, const core::ViewId& g);
+
+  // --- Output gprcv(m)_{p,q} --------------------------------------------------
+  /// The entry gprcv would deliver at q next (in q's current view), if any.
+  std::optional<Entry> gprcv_next(ProcId q) const;
+  Entry gprcv(ProcId q);
+
+  // --- Output safe(m)_{p,q} -----------------------------------------------------
+  /// The entry safe would report at q next, if its precondition holds:
+  /// every member r of q's current view has next[r,g] > next-safe[q,g].
+  std::optional<Entry> safe_next(ProcId q) const;
+  Entry safe(ProcId q);
+
+  // --- State accessors --------------------------------------------------------
+  const std::vector<core::View>& created() const noexcept { return created_; }
+  /// Membership of the created view with id g, if created.
+  std::optional<std::set<ProcId>> created_membership(const core::ViewId& g) const;
+  const std::optional<core::ViewId>& current_viewid(ProcId p) const;
+  /// Created view ids in creation order.
+  std::vector<core::ViewId> created_viewids() const;
+
+  const std::vector<Entry>& queue(const core::ViewId& g) const;
+  const std::deque<Message>& pending(ProcId p, const core::ViewId& g) const;
+  std::size_t next(ProcId p, const core::ViewId& g) const;
+  std::size_t next_safe(ProcId p, const core::ViewId& g) const;
+
+  /// All view ids that have any per-view state (superset of created ids
+  /// touched by gpsnd); used by invariant checkers to sweep the state.
+  std::vector<core::ViewId> touched_viewids() const;
+
+ protected:
+  const PerView* find(const core::ViewId& g) const;
+  PerView& at(const core::ViewId& g);
+
+  int n_;
+  std::vector<core::View> created_;
+  std::vector<std::optional<core::ViewId>> current_;
+  std::map<core::ViewId, PerView> perview_;
+};
+
+/// Check the state invariants of Lemma 4.1; returns human-readable
+/// descriptions of any violations (empty = all hold).
+std::vector<std::string> check_lemma_4_1(const VSMachine& m);
+
+}  // namespace vsg::spec

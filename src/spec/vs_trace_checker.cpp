@@ -1,0 +1,170 @@
+#include "spec/vs_trace_checker.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace vsg::spec {
+
+VSTraceChecker::VSTraceChecker(int n, int n0) : n_(n), current_(static_cast<std::size_t>(n)) {
+  assert(n > 0 && n0 > 0 && n0 <= n);
+  const core::View v0 = core::initial_view(n0);
+  views_by_id_[v0.id] = v0.members;
+  for (ProcId p = 0; p < n0; ++p) current_[static_cast<std::size_t>(p)] = v0;
+}
+
+void VSTraceChecker::complain(const std::string& what) {
+  std::ostringstream os;
+  os << "VS safety violation (event " << events_seen_ << "): " << what;
+  violations_.push_back(os.str());
+}
+
+void VSTraceChecker::on_event(const trace::TimedEvent& te) {
+  // events_seen_ is the index of this event in the fed stream.
+  if (const auto* e = trace::as<trace::NewViewEvent>(te))
+    handle_newview(*e);
+  else if (const auto* e = trace::as<trace::GpsndEvent>(te))
+    handle_gpsnd(*e);
+  else if (const auto* e = trace::as<trace::GprcvEvent>(te))
+    handle_gprcv(*e);
+  else if (const auto* e = trace::as<trace::SafeEvent>(te))
+    handle_safe(*e);
+  ++events_seen_;
+}
+
+void VSTraceChecker::check_all(const std::vector<trace::TimedEvent>& trace) {
+  for (const auto& te : trace) on_event(te);
+}
+
+void VSTraceChecker::handle_newview(const trace::NewViewEvent& e) {
+  if (e.p < 0 || e.p >= n_) {
+    complain("newview at unknown processor");
+    return;
+  }
+  if (!e.v.contains(e.p))
+    complain("self-inclusion violated: " + std::to_string(e.p) + " not in " +
+             core::to_string(e.v));
+  auto [it, inserted] = views_by_id_.emplace(e.v.id, e.v.members);
+  if (!inserted && it->second != e.v.members)
+    complain("two views share id " + core::to_string(e.v.id));
+  auto& cur = current_[static_cast<std::size_t>(e.p)];
+  if (cur.has_value() && !(e.v.id > cur->id))
+    complain("local monotonicity violated at " + std::to_string(e.p) + ": " +
+             core::to_string(e.v.id) + " after " + core::to_string(cur->id));
+  cur = e.v;
+}
+
+void VSTraceChecker::handle_gpsnd(const trace::GpsndEvent& e) {
+  if (e.p < 0 || e.p >= n_) {
+    complain("gpsnd at unknown processor");
+    return;
+  }
+  const auto& cur = current_[static_cast<std::size_t>(e.p)];
+  if (!cur.has_value()) return;  // sent into bottom view: legal, never delivered
+  sent_[{cur->id, e.p}].emplace_back(events_seen_, e.m);
+}
+
+void VSTraceChecker::handle_gprcv(const trace::GprcvEvent& e) {
+  if (e.dst < 0 || e.dst >= n_ || e.src < 0 || e.src >= n_) {
+    complain("gprcv with unknown processor");
+    return;
+  }
+  const auto& cur = current_[static_cast<std::size_t>(e.dst)];
+  if (!cur.has_value()) {
+    complain("gprcv at " + std::to_string(e.dst) + " before any view (initial-view rule)");
+    return;
+  }
+  const core::ViewId g = cur->id;
+
+  // Cause construction (Lemma 4.2): the k-th gprcv_{src,dst} in view g is
+  // caused by the k-th gpsnd_src in view g.
+  auto& k = gprcv_count_[{g, e.src, e.dst}];
+  const auto sit = sent_.find({g, e.src});
+  if (sit == sent_.end() || k >= sit->second.size()) {
+    complain("gprcv at " + std::to_string(e.dst) + " from " + std::to_string(e.src) +
+             " in view " + core::to_string(g) + " has no cause (prefix exhausted)");
+  } else {
+    const auto& [send_idx, payload] = sit->second[k];
+    if (payload != e.m)
+      complain("gprcv payload differs from its positional cause (sending-view delivery "
+               "or FIFO violated) at " +
+               std::to_string(e.dst));
+    else
+      gprcv_cause_[events_seen_] = send_idx;
+  }
+  ++k;
+
+  // Per-view common total order: match-or-extend.
+  auto& order = order_[g];
+  auto& pos = recv_idx_[{g, e.dst}];
+  if (pos < order.size()) {
+    if (order[pos].first != e.src || order[pos].second != e.m)
+      complain("per-view total order violated at " + std::to_string(e.dst) + " in view " +
+               core::to_string(g) + " position " + std::to_string(pos));
+  } else {
+    order.emplace_back(e.src, e.m);
+  }
+  ++pos;
+}
+
+void VSTraceChecker::handle_safe(const trace::SafeEvent& e) {
+  if (e.dst < 0 || e.dst >= n_ || e.src < 0 || e.src >= n_) {
+    complain("safe with unknown processor");
+    return;
+  }
+  const auto& cur = current_[static_cast<std::size_t>(e.dst)];
+  if (!cur.has_value()) {
+    complain("safe at " + std::to_string(e.dst) + " before any view");
+    return;
+  }
+  const core::ViewId g = cur->id;
+
+  // Cause construction for safe events.
+  auto& k = safe_count_[{g, e.src, e.dst}];
+  const auto sit = sent_.find({g, e.src});
+  if (sit == sent_.end() || k >= sit->second.size()) {
+    complain("safe at " + std::to_string(e.dst) + " from " + std::to_string(e.src) +
+             " in view " + core::to_string(g) + " has no cause");
+  } else {
+    const auto& [send_idx, payload] = sit->second[k];
+    if (payload != e.m)
+      complain("safe payload differs from its positional cause at " + std::to_string(e.dst));
+    else
+      safe_cause_[events_seen_] = send_idx;
+  }
+  ++k;
+
+  // Queue-order soundness: the j-th safe at q refers to the j-th element of
+  // the view's common order, and every view member has delivered past it.
+  const auto& order = order_[g];
+  auto& pos = safe_idx_[{g, e.dst}];
+  if (pos >= order.size()) {
+    complain("safe at " + std::to_string(e.dst) + " for a message nobody delivered yet");
+  } else if (order[pos].first != e.src || order[pos].second != e.m) {
+    complain("safe order violated at " + std::to_string(e.dst) + " in view " +
+             core::to_string(g) + " position " + std::to_string(pos));
+  } else {
+    for (ProcId r : cur->members) {
+      auto it = recv_idx_.find({g, r});
+      const std::size_t delivered = it == recv_idx_.end() ? 0 : it->second;
+      if (delivered <= pos)
+        complain("safe at " + std::to_string(e.dst) + " but member " + std::to_string(r) +
+                 " has delivered only " + std::to_string(delivered) + " messages in view " +
+                 core::to_string(g));
+    }
+  }
+  ++pos;
+}
+
+const std::vector<std::pair<ProcId, util::Bytes>>& VSTraceChecker::view_order(
+    const core::ViewId& g) const {
+  static const std::vector<std::pair<ProcId, util::Bytes>> kEmpty;
+  auto it = order_.find(g);
+  return it == order_.end() ? kEmpty : it->second;
+}
+
+const std::optional<core::View>& VSTraceChecker::current_view(ProcId p) const {
+  assert(p >= 0 && p < n_);
+  return current_[static_cast<std::size_t>(p)];
+}
+
+}  // namespace vsg::spec

@@ -1,0 +1,14 @@
+#include "spec/weak_vs_machine.hpp"
+
+namespace vsg::spec {
+
+bool WeakVSMachine::createview_enabled(const core::View& v) const {
+  for (ProcId p : v.members)
+    if (p < 0 || p >= size()) return false;
+  if (v.members.empty()) return false;
+  for (const auto& w : created())
+    if (v.id == w.id) return false;
+  return true;
+}
+
+}  // namespace vsg::spec

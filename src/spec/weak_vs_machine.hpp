@@ -1,0 +1,23 @@
+#pragma once
+
+// WeakVS-machine (Remark, Section 4.1): identical to VS-machine except the
+// createview precondition only enforces *unique* ids, not in-order creation.
+//
+// The paper states (without proof) that WeakVS-machine and VS-machine allow
+// exactly the same finite traces — creation order of views is unobservable
+// because newview still presents views to each processor in increasing id
+// order. tests/spec_weak_vs_test.cpp probes this equivalence empirically.
+
+#include "spec/vs_machine.hpp"
+
+namespace vsg::spec {
+
+class WeakVSMachine final : public VSMachine {
+ public:
+  WeakVSMachine(int n, int n0) : VSMachine(n, n0) {}
+
+  /// Weak precondition: only id uniqueness (plus well-formed membership).
+  bool createview_enabled(const core::View& v) const override;
+};
+
+}  // namespace vsg::spec

@@ -1,0 +1,159 @@
+#include "to/sequencer_to.hpp"
+
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace vsg::to {
+namespace {
+
+constexpr std::uint8_t kMsgSubmit = 1;   // sender -> sequencer
+constexpr std::uint8_t kMsgStamped = 2;  // sequencer -> everyone
+constexpr std::uint8_t kMsgNack = 3;     // receiver -> sequencer
+
+util::Bytes frame(util::Bytes body) {
+  util::Encoder framed;
+  framed.u32(static_cast<std::uint32_t>(util::fnv1a(body)));
+  framed.raw(body);
+  return framed.take();
+}
+
+std::optional<util::Bytes> unframe(const util::Bytes& bytes) {
+  util::Decoder d(bytes);
+  const std::uint32_t checksum = d.u32();
+  util::Bytes body = d.raw();
+  if (!d.complete()) return std::nullopt;
+  if (checksum != static_cast<std::uint32_t>(util::fnv1a(body))) return std::nullopt;
+  return body;
+}
+
+}  // namespace
+
+SequencerTO::SequencerTO(sim::Simulator& simulator, net::Network& network,
+                         trace::Recorder& recorder, SequencerConfig config)
+    : sim_(&simulator),
+      network_(&network),
+      recorder_(&recorder),
+      config_(config),
+      sender_seq_(static_cast<std::size_t>(network.size()), 0),
+      admitted_(static_cast<std::size_t>(network.size()), 1),
+      next_deliver_(static_cast<std::size_t>(network.size()), 1),
+      reorder_(static_cast<std::size_t>(network.size())),
+      delivered_(static_cast<std::size_t>(network.size())) {
+  assert(config_.sequencer >= 0 && config_.sequencer < network.size());
+  for (ProcId p = 0; p < network.size(); ++p) {
+    network_->attach(p, [this, p](ProcId src, const util::Bytes& pkt) {
+      on_packet(p, src, pkt);
+    });
+    sim_->after(config_.nack_interval + p, [this, p] { nack_tick(p); });
+  }
+}
+
+void SequencerTO::bcast(ProcId p, core::Value a) {
+  recorder_->record(trace::BcastEvent{p, a});
+  const std::uint64_t seq = ++sender_seq_[static_cast<std::size_t>(p)];
+  if (p == config_.sequencer) {
+    sequencer_admit(p, seq, std::move(a));
+    return;
+  }
+  util::Encoder e;
+  e.u8(kMsgSubmit);
+  e.u64(seq);
+  e.str(a);
+  network_->send(p, config_.sequencer, frame(e.take()));
+}
+
+void SequencerTO::sequencer_admit(ProcId origin, std::uint64_t sender_seq, core::Value a) {
+  // Admit each sender's stream in submission order (buffer gaps), so the
+  // global order respects per-sender FIFO even if the network reordered.
+  auto& expected = admitted_[static_cast<std::size_t>(origin)];
+  if (sender_seq < expected) return;  // duplicate
+  admit_buffer_[{origin, sender_seq}] = std::move(a);
+  for (;;) {
+    const auto it = admit_buffer_.find({origin, expected});
+    if (it == admit_buffer_.end()) break;
+    stamp_and_broadcast(origin, std::move(it->second));
+    admit_buffer_.erase(it);
+    ++expected;
+  }
+}
+
+void SequencerTO::stamp_and_broadcast(ProcId origin, core::Value a) {
+  const Stamped stamped{next_stamp_++, origin, std::move(a)};
+  history_.push_back(stamped);
+  util::Encoder e;
+  e.u8(kMsgStamped);
+  e.u64(stamped.seq);
+  e.u32(static_cast<std::uint32_t>(stamped.origin));
+  e.str(stamped.value);
+  const auto pkt = frame(e.take());
+  for (ProcId q = 0; q < network_->size(); ++q)
+    if (q != config_.sequencer) network_->send(config_.sequencer, q, pkt);
+  receiver_accept(config_.sequencer, stamped);
+}
+
+void SequencerTO::receiver_accept(ProcId me, const Stamped& s) {
+  auto& next = next_deliver_[static_cast<std::size_t>(me)];
+  if (s.seq < next) return;  // duplicate (retransmission)
+  reorder_[static_cast<std::size_t>(me)].emplace(s.seq, s);
+  auto& pending = reorder_[static_cast<std::size_t>(me)];
+  for (;;) {
+    const auto it = pending.find(next);
+    if (it == pending.end()) break;
+    const Stamped& ready = it->second;
+    recorder_->record(trace::BrcvEvent{ready.origin, me, ready.value});
+    delivered_[static_cast<std::size_t>(me)].emplace_back(ready.origin, ready.value);
+    if (delivery_) delivery_(me, ready.origin, ready.value);
+    pending.erase(it);
+    ++next;
+  }
+}
+
+void SequencerTO::on_packet(ProcId me, ProcId src, const util::Bytes& bytes) {
+  const auto body = unframe(bytes);
+  if (!body.has_value()) return;
+  util::Decoder d(*body);
+  const std::uint8_t tag = d.u8();
+  if (tag == kMsgSubmit && me == config_.sequencer) {
+    const std::uint64_t seq = d.u64();
+    core::Value a = d.str();
+    if (d.complete()) sequencer_admit(src, seq, std::move(a));
+  } else if (tag == kMsgStamped) {
+    Stamped s;
+    s.seq = d.u64();
+    s.origin = static_cast<ProcId>(d.u32());
+    s.value = d.str();
+    if (d.complete()) receiver_accept(me, s);
+  } else if (tag == kMsgNack && me == config_.sequencer) {
+    const std::uint64_t from = d.u64();
+    if (!d.complete()) return;
+    // Retransmit everything the receiver is missing (bounded burst).
+    for (std::uint64_t seq = from; seq < next_stamp_ && seq < from + 64; ++seq) {
+      const Stamped& s = history_[static_cast<std::size_t>(seq - 1)];
+      util::Encoder e;
+      e.u8(kMsgStamped);
+      e.u64(s.seq);
+      e.u32(static_cast<std::uint32_t>(s.origin));
+      e.str(s.value);
+      network_->send(config_.sequencer, src, frame(e.take()));
+    }
+  }
+}
+
+void SequencerTO::nack_tick(ProcId me) {
+  if (me != config_.sequencer) {
+    // Ask for anything missing: either a gap (buffered ahead) or possibly
+    // stamps we have never seen. We cannot know about unseen stamps, so we
+    // nack whenever a gap exists, and probe blindly otherwise — a real
+    // implementation piggybacks the latest stamp on heartbeats; our probe
+    // asks from next_deliver_, which the sequencer answers only if there
+    // is history beyond it.
+    util::Encoder e;
+    e.u8(kMsgNack);
+    e.u64(next_deliver_[static_cast<std::size_t>(me)]);
+    network_->send(me, config_.sequencer, frame(e.take()));
+  }
+  sim_->after(config_.nack_interval, [this, me] { nack_tick(me); });
+}
+
+}  // namespace vsg::to

@@ -1,0 +1,3 @@
+#include "to/service.hpp"
+// Interface-only translation unit.
+namespace vsg::to {}

@@ -1,0 +1,31 @@
+#pragma once
+
+// The TO service interface (Figure 2, top): clients submit values with
+// bcast and receive deliveries via a callback. The paper's TO specification
+// (Section 3) is the contract: deliveries at each processor form a prefix of
+// one total order consistent with per-sender submission order, with
+// conditional timeliness per TO-property.
+
+#include <functional>
+
+#include "core/types.hpp"
+
+namespace vsg::to {
+
+/// Delivery callback: brcv(a)_{origin, dest}.
+using DeliveryFn = std::function<void(ProcId dest, ProcId origin, const core::Value& a)>;
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  virtual int size() const = 0;
+
+  /// bcast(a)_p: submit value a at processor p.
+  virtual void bcast(ProcId p, core::Value a) = 0;
+
+  /// Register the (single, global) delivery callback.
+  virtual void set_delivery(DeliveryFn fn) = 0;
+};
+
+}  // namespace vsg::to

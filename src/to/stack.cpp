@@ -1,0 +1,28 @@
+#include "to/stack.hpp"
+
+#include <cassert>
+
+namespace vsg::to {
+
+Stack::Stack(vs::Service& vs_service, trace::Recorder& recorder,
+             std::shared_ptr<const core::QuorumSystem> quorums, int n0) {
+  const int n = vs_service.size();
+  procs_.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<vstoto::Process>(p, n0, quorums, vs_service, recorder);
+    proc->set_delivery([this, p](ProcId origin, const core::Value& a) {
+      if (delivery_) delivery_(p, origin, a);
+    });
+    vs_service.attach(p, *proc);
+    procs_.push_back(std::move(proc));
+  }
+}
+
+void Stack::bcast(ProcId p, core::Value a) {
+  assert(p >= 0 && p < size());
+  procs_[static_cast<std::size_t>(p)]->bcast(std::move(a));
+}
+
+void Stack::set_delivery(DeliveryFn fn) { delivery_ = std::move(fn); }
+
+}  // namespace vsg::to

@@ -1,0 +1,40 @@
+#pragma once
+
+// The TO stack (Figure 1): one VStoTO process per processor, composed with
+// a VS service back end. This is the "TO Service" dashed box of the paper —
+// clients see only bcast/brcv; everything else is internal.
+
+#include <memory>
+#include <vector>
+
+#include "core/quorum.hpp"
+#include "to/service.hpp"
+#include "trace/recorder.hpp"
+#include "vs/service.hpp"
+#include "vstoto/process.hpp"
+
+namespace vsg::to {
+
+class Stack final : public Service {
+ public:
+  /// Builds and attaches one VStoTO process per processor of `vs_service`.
+  /// `n0` is the initial-view size (processors 0..n0-1).
+  Stack(vs::Service& vs_service, trace::Recorder& recorder,
+        std::shared_ptr<const core::QuorumSystem> quorums, int n0);
+
+  int size() const override { return static_cast<int>(procs_.size()); }
+  void bcast(ProcId p, core::Value a) override;
+  void set_delivery(DeliveryFn fn) override;
+
+  /// Direct access to a VStoTO process (verification layer, tests).
+  vstoto::Process& process(ProcId p) { return *procs_[static_cast<std::size_t>(p)]; }
+  const vstoto::Process& process(ProcId p) const {
+    return *procs_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<vstoto::Process>> procs_;
+  DeliveryFn delivery_;
+};
+
+}  // namespace vsg::to

@@ -1,0 +1,79 @@
+#pragma once
+
+// Timed trace events at the two service interfaces of Figure 2, plus the
+// failure-status input actions of Figure 4.
+//
+// Everything the property checkers (spec/, props/) consume is one of these
+// records; checkers never look inside implementations. Payloads at the VS
+// interface are the raw bytes handed to gpsnd, so event identity and
+// correlation work for any client protocol.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/failure_table.hpp"
+#include "sim/time.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::trace {
+
+/// bcast(a)_p — client at p submits value a to the TO service.
+struct BcastEvent {
+  ProcId p = kNoProc;
+  core::Value a;
+};
+
+/// brcv(a)_{p,q} — delivery at q of value a originated at p.
+struct BrcvEvent {
+  ProcId origin = kNoProc;
+  ProcId dest = kNoProc;
+  core::Value a;
+};
+
+/// gpsnd(m)_p — client at p hands message m to the VS service.
+struct GpsndEvent {
+  ProcId p = kNoProc;
+  util::Bytes m;
+};
+
+/// gprcv(m)_{p,q} — VS delivers to q the message m sent by p.
+struct GprcvEvent {
+  ProcId src = kNoProc;
+  ProcId dst = kNoProc;
+  util::Bytes m;
+};
+
+/// safe(m)_{p,q} — VS notifies q that m (sent by p) reached every member of
+/// q's current view.
+struct SafeEvent {
+  ProcId src = kNoProc;
+  ProcId dst = kNoProc;
+  util::Bytes m;
+};
+
+/// newview(v)_p — VS informs p of its new current view.
+struct NewViewEvent {
+  ProcId p = kNoProc;
+  core::View v;
+};
+
+/// One event, any interface. sim::StatusEvent covers good/bad/ugly actions.
+using Event = std::variant<BcastEvent, BrcvEvent, GpsndEvent, GprcvEvent, SafeEvent,
+                           NewViewEvent, sim::StatusEvent>;
+
+struct TimedEvent {
+  sim::Time at = 0;
+  Event event;
+};
+
+/// Typed access: pointer to the alternative if the event holds it.
+template <typename T>
+const T* as(const TimedEvent& te) {
+  return std::get_if<T>(&te.event);
+}
+
+std::string describe(const TimedEvent& te);
+
+}  // namespace vsg::trace

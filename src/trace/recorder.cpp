@@ -1,0 +1,10 @@
+#include "trace/recorder.hpp"
+
+namespace vsg::trace {
+
+void Recorder::record(Event event) {
+  events_.push_back(TimedEvent{sim_->now(), std::move(event)});
+  for (const auto& tap : taps_) tap(events_.back());
+}
+
+}  // namespace vsg::trace

@@ -1,0 +1,44 @@
+#pragma once
+
+// Trace recorder: the single sink all layers report interface events to.
+// Timestamps come from the simulator clock, so the recorded sequence is a
+// timed trace in the sense of Section 2 (non-decreasing times, total order).
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/events.hpp"
+
+namespace vsg::trace {
+
+class Recorder {
+ public:
+  explicit Recorder(sim::Simulator& simulator) : sim_(&simulator) {}
+
+  void record(Event event);
+
+  const std::vector<TimedEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Copy out only the events of type T (in trace order), with times.
+  template <typename T>
+  std::vector<std::pair<sim::Time, T>> select() const {
+    std::vector<std::pair<sim::Time, T>> out;
+    for (const auto& te : events_)
+      if (const T* e = as<T>(te)) out.emplace_back(te.at, *e);
+    return out;
+  }
+
+  /// Live tap invoked on every recorded event (used by online checkers).
+  using Tap = std::function<void(const TimedEvent&)>;
+  void subscribe(Tap tap) { taps_.push_back(std::move(tap)); }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<TimedEvent> events_;
+  std::vector<Tap> taps_;
+};
+
+}  // namespace vsg::trace

@@ -1,0 +1,26 @@
+#pragma once
+
+// FNV-1a hashing, used as the packet checksum on the simulated wire (the
+// paper's channels lose or delay messages but never corrupt them; our
+// ugly-link corruption injector is an extension, so packets carry a
+// checksum the way real datagrams do).
+
+#include <cstdint>
+
+#include "util/serde.hpp"
+
+namespace vsg::util {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(const Bytes& data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace vsg::util

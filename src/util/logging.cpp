@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace vsg::util {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+void default_sink(LogLevel level, const std::string& msg) {
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(level);
+  std::fprintf(stderr, "[%s] %s\n", idx >= 0 && idx < 4 ? names[idx] : "?", msg.c_str());
+}
+
+Log::Sink& sink_ref() {
+  static Log::Sink sink = default_sink;
+  return sink;
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_sink(Sink sink) { sink_ref() = std::move(sink); }
+void Log::reset_sink() { sink_ref() = default_sink; }
+
+bool Log::enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(g_level) && g_level != LogLevel::kOff;
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (enabled(level)) sink_ref()(level, msg);
+}
+
+}  // namespace vsg::util

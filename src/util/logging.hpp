@@ -1,0 +1,60 @@
+#pragma once
+
+// Minimal leveled logger for the simulation harness.
+//
+// Logging is off by default (benchmarks and tests run silent); examples turn
+// it on to narrate protocol activity. All output goes through a single sink
+// so tests can capture it.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vsg::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration. Not thread-safe by design: the whole system is
+/// a single-threaded deterministic simulation (see DESIGN.md).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+  static void set_sink(Sink sink);
+  /// Restore the default stderr sink.
+  static void reset_sink();
+
+  static bool enabled(LogLevel level) noexcept;
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace vsg::util
+
+#define VSG_LOG(lvl)                                  \
+  if (!::vsg::util::Log::enabled(lvl)) {              \
+  } else                                              \
+    ::vsg::util::detail::LogLine(lvl)
+
+#define VSG_DEBUG VSG_LOG(::vsg::util::LogLevel::kDebug)
+#define VSG_INFO VSG_LOG(::vsg::util::LogLevel::kInfo)
+#define VSG_WARN VSG_LOG(::vsg::util::LogLevel::kWarn)
+#define VSG_ERROR VSG_LOG(::vsg::util::LogLevel::kError)

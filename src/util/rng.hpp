@@ -1,0 +1,45 @@
+#pragma once
+
+// Deterministic, splittable random number generation.
+//
+// Every source of nondeterminism in the simulation (link jitter on "ugly"
+// links, scheduling choices in spec drivers, workload generators) draws from
+// an Rng seeded from the scenario seed, so a (seed, scenario) pair replays
+// bit-identically. We use xoshiro256**, seeded via splitmix64, rather than
+// std::mt19937 so that streams are cheap to fork per component.
+
+#include <array>
+#include <cstdint>
+
+namespace vsg::util {
+
+/// xoshiro256** PRNG with a splitmix64-based seeder and a `split()`
+/// operation that derives an independent child stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound) using Lemire-style rejection; bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Derive an independent child generator; deterministic in this
+  /// generator's current state (and advances it).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace vsg::util

@@ -1,0 +1,83 @@
+#pragma once
+
+// Sequence utilities mirroring the paper's mathematical preliminaries
+// (Section 2): prefix ordering, consistent collections, lub, applyall.
+//
+// The paper manipulates finite sequences of labels and of (value, origin)
+// pairs; we model them as std::vector and provide the exact operations the
+// proofs rely on, so the verification layer can be a literal transcription.
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace vsg::util {
+
+/// True iff `shorter` is a prefix of `longer` (the paper's s <= t).
+template <typename T>
+bool is_prefix(const std::vector<T>& shorter, const std::vector<T>& longer) {
+  if (shorter.size() > longer.size()) return false;
+  return std::equal(shorter.begin(), shorter.end(), longer.begin());
+}
+
+/// True iff one of the two sequences is a prefix of the other.
+template <typename T>
+bool comparable(const std::vector<T>& a, const std::vector<T>& b) {
+  return is_prefix(a, b) || is_prefix(b, a);
+}
+
+/// True iff every pair in the collection is prefix-comparable
+/// (the paper's "consistent collection of sequences").
+template <typename T>
+bool is_consistent(const std::vector<std::vector<T>>& seqs) {
+  for (std::size_t i = 0; i < seqs.size(); ++i)
+    for (std::size_t j = i + 1; j < seqs.size(); ++j)
+      if (!comparable(seqs[i], seqs[j])) return false;
+  return true;
+}
+
+/// Least upper bound of a consistent collection: the minimum sequence that
+/// has every member as a prefix (i.e. the longest member). Returns
+/// std::nullopt if the collection is not consistent.
+template <typename T>
+std::optional<std::vector<T>> lub(const std::vector<std::vector<T>>& seqs) {
+  if (!is_consistent(seqs)) return std::nullopt;
+  const std::vector<T>* longest = nullptr;
+  for (const auto& s : seqs)
+    if (longest == nullptr || s.size() > longest->size()) longest = &s;
+  if (longest == nullptr) return std::vector<T>{};
+  return *longest;
+}
+
+/// The paper's applyall(f, s): map f over sequence s.
+template <typename T, typename F>
+auto applyall(F&& f, const std::vector<T>& s) {
+  using R = decltype(f(s.front()));
+  std::vector<R> out;
+  out.reserve(s.size());
+  for (const auto& x : s) out.push_back(f(x));
+  return out;
+}
+
+/// First `n` elements of `s` (n may exceed s.size(); then the whole of s).
+template <typename T>
+std::vector<T> prefix_of(const std::vector<T>& s, std::size_t n) {
+  return std::vector<T>(s.begin(), s.begin() + std::min(n, s.size()));
+}
+
+/// True iff `x` occurs in `s`.
+template <typename T>
+bool contains(const std::vector<T>& s, const T& x) {
+  return std::find(s.begin(), s.end(), x) != s.end();
+}
+
+/// Index of the first occurrence of `x` in `s`, or nullopt.
+template <typename T>
+std::optional<std::size_t> index_of(const std::vector<T>& s, const T& x) {
+  auto it = std::find(s.begin(), s.end(), x);
+  if (it == s.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - s.begin());
+}
+
+}  // namespace vsg::util

@@ -1,0 +1,79 @@
+#include "util/serde.hpp"
+
+namespace vsg::util {
+
+void Encoder::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Encoder::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Encoder::str(const std::string& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Encoder::raw(const Bytes& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+bool Decoder::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || buf_->size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = buf_->data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t Decoder::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return *p;
+}
+
+std::uint32_t Decoder::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t Decoder::i64() { return static_cast<std::int64_t>(u64()); }
+
+bool Decoder::boolean() { return u8() != 0; }
+
+std::string Decoder::str() {
+  const std::uint32_t n = u32();
+  const std::uint8_t* p = nullptr;
+  if (!take(n, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+Bytes Decoder::raw() {
+  const std::uint32_t n = u32();
+  const std::uint8_t* p = nullptr;
+  if (!take(n, &p)) return {};
+  return Bytes(p, p + n);
+}
+
+}  // namespace vsg::util

@@ -1,0 +1,87 @@
+#pragma once
+
+// Compact binary serialization used on the simulated wire.
+//
+// The membership/token-ring implementation and the VStoTO peer protocol
+// exchange real byte buffers (so message sizes in benchmarks are honest and
+// the decode path is exercised by failure-injection tests). The format is a
+// simple length-prefixed little-endian encoding; Decoder is defensive and
+// reports malformed input via ok() rather than UB.
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsg::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only binary writer.
+class Encoder {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void boolean(bool v);
+  void str(const std::string& v);
+  void raw(const Bytes& v);  // length-prefixed blob
+
+  const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential binary reader over a borrowed buffer. Any out-of-bounds read
+/// sets ok() to false and yields zero values; callers check ok() once at the
+/// end of decoding a message.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& buf) noexcept : buf_(&buf) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  bool boolean();
+  std::string str();
+  Bytes raw();
+
+  bool ok() const noexcept { return ok_; }
+  bool at_end() const noexcept { return pos_ == buf_->size(); }
+  /// True iff decoding consumed the whole buffer without error.
+  bool complete() const noexcept { return ok_ && at_end(); }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  const Bytes* buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Generic helpers for containers -------------------------------------
+
+template <typename T, typename F>
+void encode_vector(Encoder& e, const std::vector<T>& v, F&& encode_elem) {
+  e.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& x : v) encode_elem(e, x);
+}
+
+template <typename T, typename F>
+std::vector<T> decode_vector(Decoder& d, F&& decode_elem) {
+  const std::uint32_t n = d.u32();
+  std::vector<T> v;
+  // Guard against hostile lengths: cap reserve, rely on ok() to stop loops.
+  v.reserve(std::min<std::uint32_t>(n, 4096));
+  for (std::uint32_t i = 0; i < n && d.ok(); ++i) v.push_back(decode_elem(d));
+  return v;
+}
+
+}  // namespace vsg::util

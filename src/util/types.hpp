@@ -1,0 +1,16 @@
+#pragma once
+
+// Fundamental identifier types shared across every layer.
+
+#include <cstdint>
+#include <limits>
+
+namespace vsg {
+
+/// Processor identifier; the paper's totally ordered finite set P.
+/// Processors are numbered 0..n-1.
+using ProcId = std::int32_t;
+
+constexpr ProcId kNoProc = -1;
+
+}  // namespace vsg

@@ -1,0 +1,70 @@
+#pragma once
+
+// Derived variables of the safety proof (Section 6): allstate[p,g],
+// allstate, allcontent, allconfirm, computed over the *global* state of
+// VStoTO-system = (VS-machine, VStoTO_0..VStoTO_{n-1}).
+//
+// allstate[p,g] collects every summary of p's state "in flight" for view g:
+//   1. p's own local summary, if p's current view is g;
+//   2. summaries in VS-machine's pending[p,g];
+//   3. summaries from p in VS-machine's queue[g];
+//   4. summaries recorded as gotstate(p) by any q whose current view is g.
+// allcontent is the union of con components (a function, by Lemma 6.5);
+// allconfirm is the lub of the confirm prefixes (well defined by
+// Corollary 6.24). Both lemmas are *checked*, not assumed: the accessors
+// report violations instead of asserting.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/quorum.hpp"
+#include "core/summary.hpp"
+#include "spec/vs_machine.hpp"
+#include "vstoto/process.hpp"
+
+namespace vsg::verify {
+
+/// A read-only composite of the whole system's state.
+struct GlobalState {
+  const spec::VSMachine* machine = nullptr;
+  std::vector<const vstoto::Process*> procs;  // indexed by ProcId
+  const core::QuorumSystem* quorums = nullptr;
+
+  int size() const { return static_cast<int>(procs.size()); }
+  const vstoto::ProcessState& st(ProcId p) const {
+    return procs[static_cast<std::size_t>(p)]->state();
+  }
+};
+
+/// allstate[p,g].
+std::vector<core::Summary> allstate_pg(const GlobalState& s, ProcId p, const core::ViewId& g);
+
+/// allstate[g] = union over p.
+std::vector<core::Summary> allstate_g(const GlobalState& s, const core::ViewId& g);
+
+/// All view ids with any VS-machine or process state (the sweep domain).
+std::vector<core::ViewId> relevant_viewids(const GlobalState& s);
+
+/// allstate = union over p, g.
+std::vector<core::Summary> allstate(const GlobalState& s);
+
+/// allcontent; any (label -> two different values) conflict is appended to
+/// `violations` (Lemma 6.5 failure).
+std::map<core::Label, core::Value> allcontent(const GlobalState& s,
+                                              std::vector<std::string>* violations = nullptr);
+
+/// allconfirm = lub of confirm prefixes; nullopt (plus a violation entry)
+/// if the prefixes are not pairwise consistent (Corollary 6.24 failure).
+std::optional<std::vector<core::Label>> allconfirm(
+    const GlobalState& s, std::vector<std::string>* violations = nullptr);
+
+/// Decode a VS payload as a summary, if it is one (helper shared with the
+/// invariant checkers).
+std::optional<core::Summary> payload_summary(const util::Bytes& payload);
+
+/// Decode a VS payload as a labeled value, if it is one.
+std::optional<vstoto::LabeledValue> payload_labeled(const util::Bytes& payload);
+
+}  // namespace vsg::verify

@@ -1,0 +1,123 @@
+#include "verify/forward_simulation.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace vsg::verify {
+
+std::optional<TOImage> compute_f(const GlobalState& s, std::vector<std::string>* violations) {
+  const auto content = allcontent(s, violations);
+  const auto confirm = allconfirm(s, violations);
+  if (!confirm.has_value()) return std::nullopt;
+
+  TOImage image;
+  image.queue.reserve(confirm->size());
+  std::set<core::Label> confirmed(confirm->begin(), confirm->end());
+  for (const auto& l : *confirm) {
+    const auto it = content.find(l);
+    if (it == content.end()) {
+      if (violations != nullptr)
+        violations->push_back("f: confirmed label " + core::to_string(l) +
+                              " missing from allcontent");
+      return std::nullopt;
+    }
+    image.queue.push_back(spec::TOMachine::Entry{it->second, l.origin});
+  }
+
+  const int n = s.size();
+  image.pending.resize(static_cast<std::size_t>(n));
+  image.next.resize(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    auto& pend = image.pending[static_cast<std::size_t>(p)];
+    // Unconfirmed labels with origin p, in label order (map iteration).
+    for (const auto& [l, a] : content)
+      if (l.origin == p && confirmed.count(l) == 0) pend.push_back(a);
+    for (const auto& a : s.st(p).delay) pend.push_back(a);
+    image.next[static_cast<std::size_t>(p)] = s.st(p).nextreport;
+  }
+  return image;
+}
+
+SimulationChecker::SimulationChecker(GlobalState s)
+    : state_(std::move(s)), oracle_(state_.size()) {}
+
+void SimulationChecker::sync() {
+  const auto confirm = allconfirm(state_, &violations_);
+  if (!confirm.has_value()) return;
+  if (oracle_.queue().size() > confirm->size()) {
+    violations_.push_back("simulation: allconfirm shrank below the oracle queue");
+    return;
+  }
+  const auto content = allcontent(state_, &violations_);
+  for (std::size_t i = oracle_.queue().size(); i < confirm->size(); ++i) {
+    const core::Label& l = (*confirm)[i];
+    const auto it = content.find(l);
+    if (it == content.end()) {
+      violations_.push_back("simulation: confirmed label missing from allcontent");
+      return;
+    }
+    const ProcId origin = l.origin;
+    if (!oracle_.to_order_enabled(origin)) {
+      violations_.push_back("simulation: to-order not enabled for origin " +
+                            std::to_string(origin) + " (nothing pending)");
+      return;
+    }
+    if (oracle_.pending(origin).front() != it->second) {
+      violations_.push_back(
+          "simulation: to-order would order a value out of per-sender FIFO order");
+      return;
+    }
+    oracle_.to_order(origin);
+  }
+}
+
+void SimulationChecker::on_event(const trace::TimedEvent& te) {
+  if (const auto* b = trace::as<trace::BcastEvent>(te)) {
+    oracle_.bcast(b->p, b->a);
+    return;
+  }
+  const auto* r = trace::as<trace::BrcvEvent>(te);
+  if (r == nullptr) return;
+  sync();
+  const auto entry = oracle_.brcv_next(r->dest);
+  if (!entry.has_value()) {
+    violations_.push_back("simulation: brcv at " + std::to_string(r->dest) +
+                          " but the oracle queue has nothing for it");
+    return;
+  }
+  if (entry->a != r->a || entry->p != r->origin) {
+    violations_.push_back("simulation: brcv at " + std::to_string(r->dest) +
+                          " delivered (" + r->a + "," + std::to_string(r->origin) +
+                          ") but the oracle expected (" + entry->a + "," +
+                          std::to_string(entry->p) + ")");
+    return;
+  }
+  oracle_.brcv(r->dest);
+}
+
+bool SimulationChecker::check_f_matches() {
+  sync();
+  const auto image = compute_f(state_, &violations_);
+  if (!image.has_value()) return false;
+  bool match = true;
+  if (image->queue != oracle_.queue()) {
+    violations_.push_back("f-match: queue differs from oracle");
+    match = false;
+  }
+  for (ProcId p = 0; p < state_.size(); ++p) {
+    const auto& oracle_pending = oracle_.pending(p);
+    const auto& f_pending = image->pending[static_cast<std::size_t>(p)];
+    if (!std::equal(oracle_pending.begin(), oracle_pending.end(), f_pending.begin(),
+                    f_pending.end())) {
+      violations_.push_back("f-match: pending[" + std::to_string(p) + "] differs");
+      match = false;
+    }
+    if (image->next[static_cast<std::size_t>(p)] != oracle_.next(p)) {
+      violations_.push_back("f-match: next[" + std::to_string(p) + "] differs");
+      match = false;
+    }
+  }
+  return match;
+}
+
+}  // namespace vsg::verify

@@ -1,0 +1,68 @@
+#pragma once
+
+// The forward simulation f from VStoTO-system to TO-machine (Section 6.2),
+// made executable two ways:
+//
+//  1. compute_f(state): the literal definition —
+//       f(x).queue      = applyall(<allcontent, origin>, allconfirm)
+//       f(x).next[p]    = nextreport_p
+//       f(x).pending[p] = values of p's unconfirmed labels (label order)
+//                         followed by delay_p
+//
+//  2. SimulationChecker: an online refinement checker. It maintains a live
+//     TO-machine oracle; every bcast/brcv trace event must be a legal
+//     TO-machine transition after catching the oracle up with to-order
+//     steps dictated by the growth of allconfirm. If the oracle ever gets
+//     stuck, the simulation relation (and hence Theorem 6.26) is violated.
+//     At quiescent points, check_f_matches verifies f(state) equals the
+//     oracle state exactly.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/to_machine.hpp"
+#include "trace/events.hpp"
+#include "verify/derived.hpp"
+
+namespace vsg::verify {
+
+/// The image of the simulation relation: a TO-machine state.
+struct TOImage {
+  std::vector<spec::TOMachine::Entry> queue;
+  std::vector<std::vector<core::Value>> pending;  // per processor
+  std::vector<std::size_t> next;                  // per processor, 1-based
+};
+
+/// Compute f(state); nullopt (with reasons in `violations`) when the
+/// derived variables are ill-defined (an invariant violation).
+std::optional<TOImage> compute_f(const GlobalState& s, std::vector<std::string>* violations);
+
+class SimulationChecker {
+ public:
+  /// The GlobalState must outlive the checker and always reflect the
+  /// current system state (it holds pointers).
+  explicit SimulationChecker(GlobalState s);
+
+  /// Feed every trace event (non-TO events are ignored). Brcv events
+  /// trigger a sync against allconfirm first.
+  void on_event(const trace::TimedEvent& te);
+
+  /// Catch the oracle's queue up with allconfirm (performs to-order steps).
+  void sync();
+
+  /// Compare f(state) with the oracle state; call at quiescent points.
+  /// Appends discrepancies to violations(); returns true when equal.
+  bool check_f_matches();
+
+  bool ok() const noexcept { return violations_.empty(); }
+  const std::vector<std::string>& violations() const noexcept { return violations_; }
+  const spec::TOMachine& oracle() const noexcept { return oracle_; }
+
+ private:
+  GlobalState state_;
+  spec::TOMachine oracle_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace vsg::verify

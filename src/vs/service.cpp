@@ -1,0 +1,4 @@
+#include "vs/service.hpp"
+// Interface-only translation unit; keeps the library non-empty and gives the
+// vtable a home.
+namespace vsg::vs {}

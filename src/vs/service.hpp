@@ -1,0 +1,54 @@
+#pragma once
+
+// The VS service interface, as seen by a client process (Figure 2).
+//
+// A client at processor p calls gpsnd and receives gprcv / safe / newview
+// callbacks. Two interchangeable back ends implement this interface:
+//   - vs::SpecVS        — VS-machine itself, driven by a partition oracle
+//                         (the reference implementation, zero protocol noise);
+//   - membership::TokenRingVS — the Section 8 protocol (Cristian-Schmuck
+//                         membership + token ring) over the simulated network.
+// Every back end records its interface events in a trace::Recorder, so the
+// same checkers validate both.
+
+#include "core/types.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::vs {
+
+using Payload = util::Bytes;
+
+/// Client-side callbacks. All callbacks for processor p are invoked in
+/// trace order for p; implementations must be reentrant-safe in the sense
+/// that callbacks may call Service::gpsnd.
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// gprcv(m)_{src,p}: delivery of m sent by src in p's current view.
+  virtual void on_gprcv(ProcId src, const Payload& m) = 0;
+
+  /// safe(m)_{src,p}: m has been delivered to every member of the view.
+  virtual void on_safe(ProcId src, const Payload& m) = 0;
+
+  /// newview(v)_p: p's current view is now v.
+  virtual void on_newview(const core::View& v) = 0;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  virtual int size() const = 0;
+
+  /// Register the client for processor p. Must be called for every p before
+  /// the simulation starts.
+  virtual void attach(ProcId p, Client& client) = 0;
+
+  /// gpsnd(m)_p: submit message m at processor p (input action; never
+  /// fails — a message sent while p's view is undefined is silently lost,
+  /// per the specification).
+  virtual void gpsnd(ProcId p, Payload m) = 0;
+};
+
+}  // namespace vsg::vs

@@ -1,0 +1,185 @@
+#include "vs/spec_vs.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace vsg::vs {
+
+SpecVS::SpecVS(sim::Simulator& simulator, sim::FailureTable& failures,
+               trace::Recorder& recorder, int n, int n0, SpecVSConfig config, util::Rng rng)
+    : sim_(&simulator),
+      failures_(&failures),
+      recorder_(&recorder),
+      config_(config),
+      rng_(rng),
+      machine_(n, n0),
+      clients_(static_cast<std::size_t>(n), nullptr),
+      target_(static_cast<std::size_t>(n)),
+      step_scheduled_(static_cast<std::size_t>(n), false) {
+  const core::View v0 = core::initial_view(n0);
+  for (ProcId p = 0; p < n0; ++p) target_[static_cast<std::size_t>(p)] = v0;
+  failures_->subscribe([this](const sim::StatusEvent& ev) { on_failure_change(ev); });
+  // Initial oracle pass: if the network at time zero is connected beyond P0,
+  // views covering the extra processors form after one formation delay.
+  eval_scheduled_ = true;
+  sim_->after(config_.view_form_delay, [this] {
+    eval_scheduled_ = false;
+    evaluate_views();
+  });
+}
+
+void SpecVS::attach(ProcId p, Client& client) {
+  assert(p >= 0 && p < size());
+  clients_[static_cast<std::size_t>(p)] = &client;
+}
+
+void SpecVS::gpsnd(ProcId p, Payload m) {
+  assert(p >= 0 && p < size());
+  recorder_->record(trace::GpsndEvent{p, m});
+  const auto cur = machine_.current_viewid(p);
+  machine_.gpsnd(p, std::move(m));
+  if (cur.has_value()) {
+    // Resolve the vs-order nondeterminism eagerly: FIFO into the view queue.
+    while (machine_.vs_order_enabled(p, *cur)) machine_.vs_order(p, *cur);
+    const auto members = machine_.created_membership(*cur);
+    if (members.has_value())
+      for (ProcId q : *members) schedule_step(q);
+  }
+}
+
+void SpecVS::on_failure_change(const sim::StatusEvent& ev) {
+  if (!eval_scheduled_) {
+    eval_scheduled_ = true;
+    sim_->after(config_.view_form_delay, [this] {
+      eval_scheduled_ = false;
+      evaluate_views();
+    });
+  }
+  // A processor coming back from `bad` resumes pumping.
+  if (!ev.is_link && ev.status != sim::Status::kBad) schedule_step(ev.p);
+}
+
+void SpecVS::evaluate_views() {
+  const int n = size();
+  // Connected components of the undirected graph with an edge between p and
+  // q iff both directed links are good; bad processors are excluded.
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int ncomp = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    if (comp[static_cast<std::size_t>(p)] != -1) continue;
+    if (failures_->proc(p) == sim::Status::kBad) continue;
+    const int c = ncomp++;
+    std::vector<ProcId> stack{p};
+    comp[static_cast<std::size_t>(p)] = c;
+    while (!stack.empty()) {
+      const ProcId u = stack.back();
+      stack.pop_back();
+      for (ProcId v = 0; v < n; ++v) {
+        if (comp[static_cast<std::size_t>(v)] != -1) continue;
+        if (failures_->proc(v) == sim::Status::kBad) continue;
+        if (failures_->link(u, v) == sim::Status::kGood &&
+            failures_->link(v, u) == sim::Status::kGood) {
+          comp[static_cast<std::size_t>(v)] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  for (int c = 0; c < ncomp; ++c) {
+    std::set<ProcId> members;
+    for (ProcId p = 0; p < n; ++p)
+      if (comp[static_cast<std::size_t>(p)] == c) members.insert(p);
+
+    // Skip if every member is already targeted at one identical view with
+    // exactly this membership.
+    bool already = true;
+    const auto& first = target_[static_cast<std::size_t>(*members.begin())];
+    for (ProcId p : members) {
+      const auto& t = target_[static_cast<std::size_t>(p)];
+      if (!t.has_value() || t->members != members || !first.has_value() || !(*t == *first)) {
+        already = false;
+        break;
+      }
+    }
+    if (already) continue;
+
+    core::View v;
+    v.id = core::ViewId{next_epoch_++, *members.begin()};
+    v.members = members;
+    assert(machine_.createview_enabled(v));
+    machine_.createview(v);
+    VSG_DEBUG << "oracle created view " << core::to_string(v);
+    for (ProcId p : members) {
+      target_[static_cast<std::size_t>(p)] = v;
+      schedule_step(p);
+    }
+  }
+}
+
+void SpecVS::schedule_step(ProcId p) {
+  if (step_scheduled_[static_cast<std::size_t>(p)]) return;
+  step_scheduled_[static_cast<std::size_t>(p)] = true;
+  sim::Time delay = rng_.range(config_.deliver_min, config_.deliver_max);
+  if (failures_->proc(p) == sim::Status::kUgly)
+    delay += rng_.range(0, config_.ugly_extra_max);
+  sim_->after(delay, [this, p] {
+    step_scheduled_[static_cast<std::size_t>(p)] = false;
+    step(p);
+  });
+}
+
+bool SpecVS::anything_enabled(ProcId p) const {
+  const auto& t = target_[static_cast<std::size_t>(p)];
+  if (t.has_value()) {
+    const auto cur = machine_.current_viewid(p);
+    if (!cur.has_value() || t->id > *cur) return true;
+  }
+  return machine_.gprcv_next(p).has_value() || machine_.safe_next(p).has_value();
+}
+
+void SpecVS::step(ProcId p) {
+  // The paper's VStoTO' model: a bad processor performs no locally
+  // controlled actions. Pumping resumes when its status changes.
+  if (failures_->proc(p) == sim::Status::kBad) return;
+
+  Client* client = clients_[static_cast<std::size_t>(p)];
+
+  // 1. Install the oracle's latest view if it is newer than p's current one.
+  const auto& t = target_[static_cast<std::size_t>(p)];
+  if (t.has_value() && machine_.newview_enabled(*t, p)) {
+    machine_.newview(*t, p);
+    recorder_->record(trace::NewViewEvent{p, *t});
+    if (client != nullptr) client->on_newview(*t);
+  }
+
+  // 2. Deliver everything currently deliverable at p, then safes.
+  while (auto entry = machine_.gprcv_next(p)) {
+    machine_.gprcv(p);
+    recorder_->record(trace::GprcvEvent{entry->p, p, entry->m});
+    if (client != nullptr) client->on_gprcv(entry->p, entry->m);
+  }
+  bool advanced_safe = false;
+  while (auto entry = machine_.safe_next(p)) {
+    machine_.safe(p);
+    recorder_->record(trace::SafeEvent{entry->p, p, entry->m});
+    if (client != nullptr) client->on_safe(entry->p, entry->m);
+    advanced_safe = true;
+  }
+  (void)advanced_safe;
+
+  // 3. p's deliveries may have enabled safe at fellow members; reschedule
+  // anyone with work (each proc checks enabledness before being scheduled,
+  // so this converges).
+  const auto cur = machine_.current_viewid(p);
+  if (cur.has_value()) {
+    const auto members = machine_.created_membership(*cur);
+    if (members.has_value())
+      for (ProcId q : *members)
+        if (anything_enabled(q)) schedule_step(q);
+  }
+  if (anything_enabled(p)) schedule_step(p);
+}
+
+}  // namespace vsg::vs

@@ -1,0 +1,75 @@
+#pragma once
+
+// SpecVS: the VS specification machine run as an actual service.
+//
+// VS-machine (Figure 6) is nondeterministic; SpecVS resolves the
+// nondeterminism with a *partition oracle*: it watches the FailureTable,
+// computes connected components of the bidirectionally-good link graph
+// (excluding bad processors), and creates exactly the views that match the
+// components — so executions of SpecVS stabilize the way VS-property
+// demands, with a configurable view-formation latency standing in for a
+// membership protocol's convergence time.
+//
+// SpecVS is the reference back end: it is useful for validating VStoTO in
+// isolation (any bug observed over SpecVS is a VStoTO bug, not a membership
+// protocol bug) and for differential testing against TokenRingVS.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/failure_table.hpp"
+#include "sim/simulator.hpp"
+#include "spec/vs_machine.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+#include "vs/service.hpp"
+
+namespace vsg::vs {
+
+struct SpecVSConfig {
+  /// Latency from a failure-status change to the oracle installing matching
+  /// views (stands in for the membership protocol's stabilization time b).
+  sim::Time view_form_delay = sim::msec(10);
+  /// Per-hop delivery latency range for gprcv/safe pumping.
+  sim::Time deliver_min = sim::usec(100);
+  sim::Time deliver_max = sim::msec(2);
+  /// Extra delay applied to pumping at an `ugly` processor.
+  sim::Time ugly_extra_max = sim::msec(200);
+};
+
+class SpecVS final : public Service {
+ public:
+  /// n processors, 0..n0-1 in the initial view.
+  SpecVS(sim::Simulator& simulator, sim::FailureTable& failures, trace::Recorder& recorder,
+         int n, int n0, SpecVSConfig config, util::Rng rng);
+
+  int size() const override { return machine_.size(); }
+  void attach(ProcId p, Client& client) override;
+  void gpsnd(ProcId p, Payload m) override;
+
+  /// The underlying specification machine (read-only; used by the
+  /// verification layer to inspect global state).
+  const spec::VSMachine& machine() const noexcept { return machine_; }
+
+ private:
+  void on_failure_change(const sim::StatusEvent& ev);
+  void evaluate_views();
+  void schedule_step(ProcId p);
+  void step(ProcId p);
+  bool anything_enabled(ProcId p) const;
+
+  sim::Simulator* sim_;
+  sim::FailureTable* failures_;
+  trace::Recorder* recorder_;
+  SpecVSConfig config_;
+  util::Rng rng_;
+  spec::VSMachine machine_;
+  std::vector<Client*> clients_;
+  std::vector<std::optional<core::View>> target_;  // latest oracle view per proc
+  std::vector<bool> step_scheduled_;
+  std::uint64_t next_epoch_ = 1;
+  bool eval_scheduled_ = false;
+};
+
+}  // namespace vsg::vs

@@ -1,0 +1,238 @@
+#include "vstoto/process.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+#include "util/sequence.hpp"
+
+namespace vsg::vstoto {
+
+const char* to_string(PStatus s) noexcept {
+  switch (s) {
+    case PStatus::kNormal:
+      return "normal";
+    case PStatus::kSend:
+      return "send";
+    case PStatus::kCollect:
+      return "collect";
+  }
+  return "?";
+}
+
+Process::Process(ProcId p, int n0, std::shared_ptr<const core::QuorumSystem> quorums,
+                 vs::Service& service, trace::Recorder& recorder)
+    : p_(p), quorums_(std::move(quorums)), service_(&service), recorder_(&recorder) {
+  assert(quorums_ != nullptr);
+  if (p < n0) {
+    st_.current = core::initial_view(n0);
+    st_.highprimary = core::ViewId::initial();
+    // The initial view is established by fiat: every member starts in it
+    // with status normal (Figure 9 initializes status to normal).
+    st_.established.insert(core::ViewId::initial());
+    st_.buildorder[core::ViewId::initial()] = {};
+  }
+}
+
+void Process::restore(const Checkpoint& cp) {
+  st_ = cp.st;
+  delivered_ = cp.delivered;
+  order_members_ = std::set<core::Label>(st_.order.begin(), st_.order.end());
+}
+
+bool Process::primary() const {
+  return st_.current.has_value() && quorums_->contains_quorum(st_.current->members);
+}
+
+core::Summary Process::local_summary() const {
+  core::Summary x;
+  x.con = st_.content;
+  x.ord = st_.order;
+  x.next = st_.nextconfirm;
+  x.high = st_.highprimary;
+  return x;
+}
+
+void Process::assign_order(std::vector<core::Label> order) {
+  st_.order = std::move(order);
+  order_members_ = std::set<core::Label>(st_.order.begin(), st_.order.end());
+  if (st_.current.has_value()) st_.buildorder[st_.current->id] = st_.order;
+}
+
+void Process::append_order(const core::Label& l) {
+  st_.order.push_back(l);
+  order_members_.insert(l);
+  if (st_.current.has_value()) st_.buildorder[st_.current->id] = st_.order;
+}
+
+// --- Input bcast(a)_p --------------------------------------------------------
+
+void Process::bcast(core::Value a) {
+  recorder_->record(trace::BcastEvent{p_, a});
+  st_.delay.push_back(std::move(a));
+  run_to_quiescence();
+}
+
+// --- Internal label(a)_p -----------------------------------------------------
+
+bool Process::try_label() {
+  if (st_.delay.empty() || !st_.current.has_value()) return false;
+  const core::Label l{st_.current->id, st_.nextseqno, p_};
+  st_.content.emplace(l, st_.delay.front());
+  st_.buffer.push_back(l);
+  ++st_.nextseqno;
+  st_.delay.pop_front();
+  return true;
+}
+
+// --- Output gpsnd(<l, a>)_p --------------------------------------------------
+
+bool Process::try_gpsnd_value() {
+  if (st_.status != PStatus::kNormal || st_.buffer.empty()) return false;
+  const core::Label l = st_.buffer.front();
+  const auto it = st_.content.find(l);
+  assert(it != st_.content.end());  // Lemma 6.6
+  service_->gpsnd(p_, encode_message(Message{LabeledValue{l, it->second}}));
+  st_.buffer.pop_front();
+  return true;
+}
+
+// --- Internal confirm_p ------------------------------------------------------
+
+bool Process::try_confirm() {
+  if (!primary()) return false;
+  if (st_.nextconfirm > st_.order.size()) return false;
+  const core::Label& l = st_.order[st_.nextconfirm - 1];
+  if (st_.safe_labels.count(l) == 0) return false;
+  ++st_.nextconfirm;
+  return true;
+}
+
+// --- Output brcv(a)_{q,p} ----------------------------------------------------
+
+bool Process::try_brcv() {
+  if (st_.nextreport >= st_.nextconfirm) return false;
+  assert(st_.nextreport <= st_.order.size());
+  const core::Label& l = st_.order[st_.nextreport - 1];
+  const auto it = st_.content.find(l);
+  assert(it != st_.content.end());
+  const ProcId origin = l.origin;
+  recorder_->record(trace::BrcvEvent{origin, p_, it->second});
+  delivered_.emplace_back(origin, it->second);
+  if (deliver_) deliver_(origin, it->second);
+  ++st_.nextreport;
+  return true;
+}
+
+void Process::run_to_quiescence() {
+  // Locally controlled actions fire until none is enabled. Each iteration
+  // performs at least one transition, and every transition strictly consumes
+  // (delay, buffer) or advances a monotone counter bounded by order/content
+  // sizes, so the loop terminates.
+  for (;;) {
+    bool progressed = false;
+    while (try_label()) progressed = true;
+    while (try_gpsnd_value()) progressed = true;
+    while (try_confirm()) progressed = true;
+    while (try_brcv()) progressed = true;
+    if (!progressed) break;
+  }
+}
+
+// --- Input newview(v)_p ------------------------------------------------------
+
+void Process::on_newview(const core::View& v) {
+  assert(v.contains(p_));
+  st_.current = v;
+  st_.nextseqno = 1;
+  st_.buffer.clear();
+  st_.gotstate.clear();
+  st_.safe_exch.clear();
+  st_.safe_labels.clear();
+  st_.status = PStatus::kSend;
+
+  // Output gpsnd(x)_p with x = <content, order, nextconfirm, highprimary>:
+  // performed immediately (see the header comment: sending the summary
+  // before any other local action closes the label/state-exchange race).
+  service_->gpsnd(p_, encode_message(Message{local_summary()}));
+  st_.status = PStatus::kCollect;
+
+  run_to_quiescence();
+}
+
+// --- Inputs gprcv(m)_{q,p} ---------------------------------------------------
+
+void Process::on_gprcv(ProcId src, const vs::Payload& payload) {
+  auto decoded = decode_message(payload);
+  if (!decoded.has_value()) {
+    VSG_WARN << "process " << p_ << ": undecodable gprcv payload dropped";
+    return;
+  }
+  if (const auto* lv = std::get_if<LabeledValue>(&*decoded))
+    handle_labeled(src, *lv);
+  else
+    handle_summary(src, std::get<core::Summary>(*decoded));
+  run_to_quiescence();
+}
+
+void Process::handle_labeled(ProcId src, const LabeledValue& lv) {
+  (void)src;
+  st_.content.emplace(lv.label, lv.value);
+  if (primary() && order_members_.count(lv.label) == 0) append_order(lv.label);
+}
+
+void Process::handle_summary(ProcId src, const core::Summary& x) {
+  st_.content.insert(x.con.begin(), x.con.end());
+  st_.gotstate.insert_or_assign(src, x);
+
+  if (!st_.current.has_value()) return;
+  // Establishment: all members' summaries collected.
+  std::set<ProcId> have;
+  for (const auto& [q, xs] : st_.gotstate) have.insert(q);
+  if (have != st_.current->members || st_.status != PStatus::kCollect) return;
+
+  st_.nextconfirm = core::maxnextconfirm(st_.gotstate);
+  if (primary()) {
+    assign_order(core::fullorder(st_.gotstate));
+    st_.highprimary = st_.current->id;
+  } else {
+    assign_order(core::shortorder(st_.gotstate));
+    st_.highprimary = core::maxprimary(st_.gotstate);
+  }
+  st_.status = PStatus::kNormal;
+  st_.established.insert(st_.current->id);  // history variable
+  VSG_DEBUG << "process " << p_ << " established view " << core::to_string(*st_.current)
+            << (primary() ? " (primary)" : " (non-primary)");
+}
+
+// --- Inputs safe(m)_{q,p} ----------------------------------------------------
+
+void Process::on_safe(ProcId src, const vs::Payload& payload) {
+  auto decoded = decode_message(payload);
+  if (!decoded.has_value()) {
+    VSG_WARN << "process " << p_ << ": undecodable safe payload dropped";
+    return;
+  }
+  if (const auto* lv = std::get_if<LabeledValue>(&*decoded))
+    handle_safe_labeled(src, *lv);
+  else
+    handle_safe_summary(src, std::get<core::Summary>(*decoded));
+  run_to_quiescence();
+}
+
+void Process::handle_safe_labeled(ProcId src, const LabeledValue& lv) {
+  (void)src;
+  if (primary()) st_.safe_labels.insert(lv.label);
+}
+
+void Process::handle_safe_summary(ProcId src, const core::Summary& x) {
+  (void)x;
+  st_.safe_exch.insert(src);
+  if (!st_.current.has_value()) return;
+  if (st_.safe_exch == st_.current->members && primary()) {
+    // All state-exchange messages are safe: every label placed by the
+    // exchange is now safe (second phase of recovery, Section 5).
+    for (const auto& l : core::fullorder(st_.gotstate)) st_.safe_labels.insert(l);
+  }
+}
+
+}  // namespace vsg::vstoto

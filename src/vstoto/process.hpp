@@ -1,0 +1,143 @@
+#pragma once
+
+// VStoTO_p (Figures 9 and 10): the per-processor automaton that implements
+// totally ordered broadcast on top of a view-synchronous group service.
+//
+// The transcription is literal; each handler below is one transition of the
+// paper's automaton, and the locally controlled actions (label, gpsnd,
+// confirm, brcv) are run eagerly to quiescence after every input — the
+// "good processors take enabled steps immediately" discipline of Section 7.
+// (Failure modelling — bad/ugly processors — happens in the VS back end's
+// delivery pump, not here: a stopped processor simply receives no
+// callbacks.)
+//
+// One deliberate deviation, documented in DESIGN.md: on gprcv of an
+// ordinary message in a primary view we append the label to `order` only if
+// it is not already present. With a scheduler that may interleave `label`
+// between newview and the state-exchange send, the literal code can append
+// a label that establishment already placed in `order` via fullorder
+// (because the sender's summary contained it), double-delivering the value.
+// Our eager executor never produces that interleaving, and the guard makes
+// the automaton safe under every scheduler.
+//
+// History variables established[p,g] and buildorder[p,g] (Section 6) are
+// maintained so the verification layer can check the paper's invariants.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/quorum.hpp"
+#include "core/summary.hpp"
+#include "trace/recorder.hpp"
+#include "vs/service.hpp"
+#include "vstoto/wire.hpp"
+
+namespace vsg::vstoto {
+
+enum class PStatus : std::uint8_t { kNormal, kSend, kCollect };
+
+const char* to_string(PStatus s) noexcept;
+
+/// The full automaton state of Figure 9, plus the proof's history variables.
+struct ProcessState {
+  std::optional<core::View> current;        // current (views_bot)
+  PStatus status = PStatus::kNormal;        // status
+  std::map<core::Label, core::Value> content;
+  std::uint32_t nextseqno = 1;
+  std::deque<core::Label> buffer;
+  std::vector<core::Label> order;
+  std::uint32_t nextconfirm = 1;
+  std::uint32_t nextreport = 1;
+  std::optional<core::ViewId> highprimary;  // G_bot
+  std::deque<core::Value> delay;
+  core::SummaryMap gotstate;
+  std::set<ProcId> safe_exch;
+  std::set<core::Label> safe_labels;
+
+  // History variables (not part of the algorithm; used by verify/).
+  std::set<core::ViewId> established;
+  std::map<core::ViewId, std::vector<core::Label>> buildorder;
+};
+
+class Process final : public vs::Client {
+ public:
+  /// Called on each brcv(a)_{origin, p} output.
+  using DeliveryFn = std::function<void(ProcId origin, const core::Value& a)>;
+
+  /// `n0` is |P0|; processors 0..n0-1 start in the initial view with
+  /// highprimary = g0 (Figure 9's initialization).
+  Process(ProcId p, int n0, std::shared_ptr<const core::QuorumSystem> quorums,
+          vs::Service& service, trace::Recorder& recorder);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcId id() const noexcept { return p_; }
+
+  /// Input bcast(a)_p. Records the trace event and runs to quiescence.
+  void bcast(core::Value a);
+
+  void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
+
+  // vs::Client (inputs from the VS layer):
+  void on_gprcv(ProcId src, const vs::Payload& m) override;
+  void on_safe(ProcId src, const vs::Payload& m) override;
+  void on_newview(const core::View& v) override;
+
+  /// Derived variable `primary` (Figure 9).
+  bool primary() const;
+
+  /// The summary <content, order, nextconfirm, highprimary> of local state.
+  core::Summary local_summary() const;
+
+  const ProcessState& state() const noexcept { return st_; }
+
+  /// Values confirmed-and-reported so far, in order (for tests).
+  const std::vector<std::pair<ProcId, core::Value>>& delivered() const noexcept {
+    return delivered_;
+  }
+
+  /// Checkpoint/restore of the full automaton state (used by the
+  /// exhaustive small-scope explorer to branch over schedules, and handy
+  /// for debugging). The service/recorder bindings are not part of the
+  /// checkpoint.
+  struct Checkpoint {
+    ProcessState st;
+    std::vector<std::pair<ProcId, core::Value>> delivered;
+  };
+  Checkpoint checkpoint() const { return Checkpoint{st_, delivered_}; }
+  void restore(const Checkpoint& cp);
+
+ private:
+  // Locally controlled actions (preconditions checked by callers via the
+  // run-to-quiescence loop).
+  bool try_label();
+  bool try_gpsnd_value();
+  bool try_confirm();
+  bool try_brcv();
+  void run_to_quiescence();
+
+  void handle_labeled(ProcId src, const LabeledValue& lv);
+  void handle_summary(ProcId src, const core::Summary& x);
+  void handle_safe_labeled(ProcId src, const LabeledValue& lv);
+  void handle_safe_summary(ProcId src, const core::Summary& x);
+
+  void assign_order(std::vector<core::Label> order);
+  void append_order(const core::Label& l);
+
+  ProcId p_;
+  std::shared_ptr<const core::QuorumSystem> quorums_;
+  vs::Service* service_;
+  trace::Recorder* recorder_;
+  DeliveryFn deliver_;
+  ProcessState st_;
+  std::set<core::Label> order_members_;  // duplicate guard index over st_.order
+  std::vector<std::pair<ProcId, core::Value>> delivered_;
+};
+
+}  // namespace vsg::vstoto

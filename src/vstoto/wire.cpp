@@ -1,0 +1,40 @@
+#include "vstoto/wire.hpp"
+
+namespace vsg::vstoto {
+namespace {
+constexpr std::uint8_t kTagLabeledValue = 1;
+constexpr std::uint8_t kTagSummary = 2;
+}  // namespace
+
+util::Bytes encode_message(const Message& m) {
+  util::Encoder e;
+  if (const auto* lv = std::get_if<LabeledValue>(&m)) {
+    e.u8(kTagLabeledValue);
+    core::encode(e, lv->label);
+    e.str(lv->value);
+  } else {
+    e.u8(kTagSummary);
+    core::encode(e, std::get<core::Summary>(m));
+  }
+  return e.take();
+}
+
+std::optional<Message> decode_message(const util::Bytes& bytes) {
+  util::Decoder d(bytes);
+  const std::uint8_t tag = d.u8();
+  if (tag == kTagLabeledValue) {
+    LabeledValue lv;
+    lv.label = core::decode_label(d);
+    lv.value = d.str();
+    if (!d.complete()) return std::nullopt;
+    return Message{std::move(lv)};
+  }
+  if (tag == kTagSummary) {
+    core::Summary x = core::decode_summary(d);
+    if (!d.complete()) return std::nullopt;
+    return Message{std::move(x)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace vsg::vstoto

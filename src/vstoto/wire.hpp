@@ -1,0 +1,32 @@
+#pragma once
+
+// Wire format for the two kinds of messages VStoTO processes exchange
+// through VS (Figure 9's signature): labeled client values <l, a> during
+// normal activity, and state-exchange summaries during recovery.
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "core/label.hpp"
+#include "core/summary.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::vstoto {
+
+/// An ordinary message: a labeled client value.
+struct LabeledValue {
+  core::Label label;
+  core::Value value;
+  bool operator==(const LabeledValue&) const = default;
+};
+
+using Message = std::variant<LabeledValue, core::Summary>;
+
+util::Bytes encode_message(const Message& m);
+
+/// Decode; nullopt on malformed input (defensive: the network layer hands
+/// us raw bytes).
+std::optional<Message> decode_message(const util::Bytes& bytes);
+
+}  // namespace vsg::vstoto

@@ -1,0 +1,101 @@
+// Load balancing over raw VS: disjoint slices in stable views, at-least-
+// once (never lost) work under partitions, reconciliation on merge.
+
+#include <gtest/gtest.h>
+
+#include "app/load_balancer.hpp"
+#include "harness/world.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+WorldConfig cfg_for(Backend backend, int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = backend;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class LoadBalanceTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(LoadBalanceTest, StableGroupDoesEachTaskExactlyOnce) {
+  World world(cfg_for(GetParam(), 4, 50));
+  app::LoadBalancerConfig lb_cfg;
+  lb_cfg.total_tasks = 40;
+  app::LoadBalancer lb(world.vs(), world.simulator(), lb_cfg);
+  world.run_until(sim::sec(5));
+
+  for (ProcId p = 0; p < 4; ++p) EXPECT_TRUE(lb.all_done(p)) << "worker " << p;
+  EXPECT_EQ(lb.total_executions(), 40u) << "disjoint slices: no duplicate work";
+  // Work was split evenly (40 tasks / 4 workers).
+  for (ProcId p = 0; p < 4; ++p) EXPECT_EQ(lb.executed(p), 10u);
+  EXPECT_TRUE(world.check_vs_safety().empty());
+}
+
+TEST_P(LoadBalanceTest, PartitionedComponentsBothFinishEverything) {
+  World world(cfg_for(GetParam(), 4, 51));
+  app::LoadBalancerConfig lb_cfg;
+  lb_cfg.total_tasks = 20;
+  app::LoadBalancer lb(world.vs(), world.simulator(), lb_cfg);
+  // Partition immediately: each side re-slices over its own view and
+  // completes all 20 tasks independently (at-least-once, no primary
+  // needed — load balancing works in every component).
+  world.partition_at(sim::msec(30), {{0, 1}, {2, 3}});
+  world.run_until(sim::sec(6));
+
+  for (ProcId p = 0; p < 4; ++p) EXPECT_TRUE(lb.all_done(p)) << "worker " << p;
+  EXPECT_GT(lb.total_executions(), 20u) << "both sides worked: duplicates expected";
+  EXPECT_LE(lb.total_executions(), 40u);
+  EXPECT_TRUE(world.check_vs_safety().empty());
+}
+
+TEST_P(LoadBalanceTest, MergeReconcilesDoneSets) {
+  World world(cfg_for(GetParam(), 4, 52));
+  app::LoadBalancerConfig lb_cfg;
+  lb_cfg.total_tasks = 200;
+  lb_cfg.task_duration = sim::msec(30);
+  app::LoadBalancer lb(world.vs(), world.simulator(), lb_cfg);
+  // Partition mid-run, then heal well before the work could finish on one
+  // side alone; the merged group must not redo reconciled work.
+  world.partition_at(sim::msec(200), {{0, 1}, {2, 3}});
+  world.heal_at(sim::sec(1));
+  world.run_until(sim::sec(20));
+
+  for (ProcId p = 0; p < 4; ++p) EXPECT_TRUE(lb.all_done(p)) << "worker " << p;
+  // Duplicates only from the partition window (~2 sides x ~27 ticks), far
+  // fewer than doing everything twice.
+  EXPECT_LT(lb.total_executions(), 300u);
+  EXPECT_TRUE(world.check_vs_safety().empty());
+}
+
+TEST_P(LoadBalanceTest, CrashedWorkerShedsItsSlice) {
+  World world(cfg_for(GetParam(), 3, 53));
+  app::LoadBalancerConfig lb_cfg;
+  lb_cfg.total_tasks = 30;
+  lb_cfg.task_duration = sim::msec(40);
+  app::LoadBalancer lb(world.vs(), world.simulator(), lb_cfg);
+  // Worker 2 dies almost immediately; the survivors' next view covers its
+  // slice.
+  world.proc_status_at(sim::msec(100), 2, sim::Status::kBad);
+  world.partition_at(sim::msec(100), {{0, 1}});
+  world.run_until(sim::sec(10));
+
+  EXPECT_TRUE(lb.all_done(0));
+  EXPECT_TRUE(lb.all_done(1));
+  EXPECT_GE(lb.executed(0) + lb.executed(1), 28u)
+      << "survivors did (nearly) all the work";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, LoadBalanceTest,
+                         ::testing::Values(Backend::kSpec, Backend::kTokenRing),
+                         [](const auto& info) {
+                           return info.param == Backend::kSpec ? "SpecVS" : "TokenRing";
+                         });
+
+}  // namespace
+}  // namespace vsg

@@ -1,0 +1,81 @@
+// Ordered shared log over the full stack.
+
+#include <gtest/gtest.h>
+
+#include "app/ordered_log.hpp"
+#include "harness/world.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+WorldConfig cfg_for(Backend backend, int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = backend;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class OrderedLogTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(OrderedLogTest, AppendsShowUpEverywhereInOneOrder) {
+  World world(cfg_for(GetParam(), 3, 10));
+  app::OrderedLog log(world.stack());
+  for (int k = 0; k < 6; ++k)
+    world.simulator().at(sim::msec(10 + 5 * k), [&log, k] {
+      log.append(static_cast<ProcId>(k % 3), "entry" + std::to_string(k));
+    });
+  world.run_until(sim::sec(3));
+
+  EXPECT_TRUE(log.prefix_consistent());
+  ASSERT_EQ(log.log(0).size(), 6u);
+  for (ProcId p = 1; p < 3; ++p) EXPECT_EQ(log.log(p), log.log(0));
+}
+
+TEST_P(OrderedLogTest, AuthorsRecordedCorrectly) {
+  World world(cfg_for(GetParam(), 2, 11));
+  app::OrderedLog log(world.stack());
+  world.simulator().at(sim::msec(5), [&] { log.append(1, "from-one"); });
+  world.run_until(sim::sec(2));
+  ASSERT_EQ(log.log(0).size(), 1u);
+  EXPECT_EQ(log.log(0)[0].author, 1);
+  EXPECT_EQ(log.log(0)[0].text, "from-one");
+}
+
+TEST_P(OrderedLogTest, PrefixConsistencyThroughPartition) {
+  World world(cfg_for(GetParam(), 5, 12));
+  app::OrderedLog log(world.stack());
+  world.partition_at(sim::msec(100), {{0, 1, 2}, {3, 4}});
+  world.simulator().at(sim::sec(1), [&] { log.append(0, "maj-entry"); });
+  world.simulator().at(sim::sec(1), [&] { log.append(3, "min-entry"); });
+  world.run_until(sim::sec(4));
+  EXPECT_TRUE(log.prefix_consistent());
+  EXPECT_EQ(log.log(0).size(), 1u);
+  EXPECT_TRUE(log.log(3).empty());
+
+  world.heal_at(sim::sec(4));
+  world.run_until(sim::sec(10));
+  EXPECT_TRUE(log.prefix_consistent());
+  EXPECT_EQ(log.log(3).size(), 2u) << "minority catches up with both entries";
+  EXPECT_EQ(log.log(3), log.log(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, OrderedLogTest,
+                         ::testing::Values(Backend::kSpec, Backend::kTokenRing),
+                         [](const auto& info) {
+                           return info.param == Backend::kSpec ? "SpecVS" : "TokenRing";
+                         });
+
+TEST(OrderedLog, EmptyLogsAreConsistent) {
+  World world(cfg_for(Backend::kSpec, 2, 13));
+  app::OrderedLog log(world.stack());
+  EXPECT_TRUE(log.prefix_consistent());
+  EXPECT_TRUE(log.log(0).empty());
+}
+
+}  // namespace
+}  // namespace vsg

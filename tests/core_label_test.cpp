@@ -1,0 +1,68 @@
+// Labels (Figure 8): lexicographic order on (viewid, seqno, origin) —
+// the basis of the system-wide unique naming of client values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/label.hpp"
+
+namespace vsg::core {
+namespace {
+
+TEST(Label, ViewIdDominates) {
+  Label a{ViewId{1, 0}, 99, 5};
+  Label b{ViewId{2, 0}, 1, 0};
+  EXPECT_LT(a, b);
+}
+
+TEST(Label, SeqnoBreaksViewTies) {
+  Label a{ViewId{1, 0}, 1, 5};
+  Label b{ViewId{1, 0}, 2, 0};
+  EXPECT_LT(a, b);
+}
+
+TEST(Label, OriginBreaksSeqnoTies) {
+  Label a{ViewId{1, 0}, 1, 0};
+  Label b{ViewId{1, 0}, 1, 1};
+  EXPECT_LT(a, b);
+}
+
+TEST(Label, TotalOrderSortsDeterministically) {
+  std::vector<Label> ls{
+      {ViewId{2, 0}, 1, 0}, {ViewId{1, 0}, 2, 1}, {ViewId{1, 0}, 1, 1}, {ViewId{1, 0}, 1, 0}};
+  std::sort(ls.begin(), ls.end());
+  EXPECT_EQ(ls[0], (Label{ViewId{1, 0}, 1, 0}));
+  EXPECT_EQ(ls[1], (Label{ViewId{1, 0}, 1, 1}));
+  EXPECT_EQ(ls[2], (Label{ViewId{1, 0}, 2, 1}));
+  EXPECT_EQ(ls[3], (Label{ViewId{2, 0}, 1, 0}));
+}
+
+TEST(Label, LabelsOfOneSenderInOneViewAreSeqnoOrdered) {
+  // The per-(processor, view) uniqueness of seqnos makes labels unique; the
+  // label order then matches submission order.
+  std::vector<Label> ls;
+  for (std::uint32_t k = 1; k <= 5; ++k) ls.push_back(Label{ViewId{3, 1}, k, 2});
+  EXPECT_TRUE(std::is_sorted(ls.begin(), ls.end()));
+}
+
+TEST(Label, SerdeRoundTrip) {
+  const Label l{ViewId{123456789, 7}, 42, 3};
+  util::Encoder e;
+  encode(e, l);
+  const auto buf = e.take();
+  util::Decoder d(buf);
+  EXPECT_EQ(decode_label(d), l);
+  EXPECT_TRUE(d.complete());
+}
+
+TEST(Label, ToStringMentionsAllComponents) {
+  const auto s = to_string(Label{ViewId{2, 1}, 7, 3});
+  EXPECT_NE(s.find("g(2.1)"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsg::core

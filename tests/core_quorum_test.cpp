@@ -1,0 +1,86 @@
+// Quorum systems: majority, weighted, explicit — the primary-view test and
+// the pairwise-intersection requirement the proofs rely on.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/quorum.hpp"
+
+namespace vsg::core {
+namespace {
+
+TEST(MajorityQuorums, StrictMajorityRequired) {
+  MajorityQuorums q(5);
+  EXPECT_TRUE(q.contains_quorum({0, 1, 2}));
+  EXPECT_FALSE(q.contains_quorum({0, 1}));
+  EXPECT_TRUE(q.contains_quorum({0, 1, 2, 3, 4}));
+  EXPECT_FALSE(q.contains_quorum({}));
+}
+
+TEST(MajorityQuorums, EvenUniverseNeedsMoreThanHalf) {
+  MajorityQuorums q(4);
+  EXPECT_FALSE(q.contains_quorum({0, 1})) << "half is not a majority";
+  EXPECT_TRUE(q.contains_quorum({0, 1, 2}));
+}
+
+TEST(MajorityQuorums, AnyTwoMajoritiesIntersect) {
+  // Structural property: |A|+|B| > n forces intersection. Spot-check n=5.
+  MajorityQuorums q(5);
+  const std::set<ProcId> a{0, 1, 2};
+  const std::set<ProcId> b{2, 3, 4};
+  EXPECT_TRUE(q.contains_quorum(a) && q.contains_quorum(b));
+  std::set<ProcId> inter;
+  for (ProcId p : a)
+    if (b.count(p)) inter.insert(p);
+  EXPECT_FALSE(inter.empty());
+}
+
+TEST(WeightedQuorums, WeightsDecide) {
+  // Processor 0 is a heavyweight tie-breaker.
+  WeightedQuorums q({3, 1, 1, 1});  // total 6, need > 3
+  EXPECT_TRUE(q.contains_quorum({0, 1}));   // 4 > 3
+  EXPECT_FALSE(q.contains_quorum({1, 2, 3}));  // 3 !> 3
+  EXPECT_FALSE(q.contains_quorum({0}));     // 3 !> 3
+}
+
+TEST(WeightedQuorums, IgnoresUnknownProcessors) {
+  WeightedQuorums q({1, 1, 1});
+  EXPECT_FALSE(q.contains_quorum({7, 8, 9}));
+}
+
+TEST(WeightedQuorums, RejectsBadWeights) {
+  EXPECT_THROW(WeightedQuorums({0, 0}), std::invalid_argument);
+  EXPECT_THROW(WeightedQuorums({2, -1}), std::invalid_argument);
+}
+
+TEST(ExplicitQuorums, MembershipBySuperset) {
+  ExplicitQuorums q({{0, 1}, {1, 2}});
+  EXPECT_TRUE(q.contains_quorum({0, 1}));
+  EXPECT_TRUE(q.contains_quorum({0, 1, 2}));
+  EXPECT_FALSE(q.contains_quorum({0, 2})) << "contains no listed quorum";
+}
+
+TEST(ExplicitQuorums, RejectsDisjointFamilies) {
+  EXPECT_THROW(ExplicitQuorums({{0, 1}, {2, 3}}), std::invalid_argument);
+  EXPECT_THROW(ExplicitQuorums(std::vector<std::set<ProcId>>{}), std::invalid_argument);
+}
+
+TEST(ExplicitQuorums, AcceptsIntersectingFamilies) {
+  EXPECT_NO_THROW(ExplicitQuorums({{0, 1}, {1, 2}, {0, 2}}));
+}
+
+TEST(QuorumSystem, Names) {
+  EXPECT_EQ(MajorityQuorums(3).name(), "majority(3)");
+  EXPECT_EQ(WeightedQuorums({1, 2}).name(), "weighted");
+  EXPECT_EQ(ExplicitQuorums(std::vector<std::set<ProcId>>{{0}}).name(), "explicit(1)");
+}
+
+TEST(QuorumSystem, MajoritiesFactory) {
+  const auto q = majorities(3);
+  EXPECT_TRUE(q->contains_quorum({0, 1}));
+  EXPECT_FALSE(q->contains_quorum({2}));
+}
+
+}  // namespace
+}  // namespace vsg::core

@@ -1,0 +1,140 @@
+// The state-exchange algebra of Figure 8: confirm prefixes, knowncontent,
+// maxprimary / reps / chosenrep, shortorder / fullorder, maxnextconfirm.
+
+#include <gtest/gtest.h>
+
+#include "core/summary.hpp"
+
+namespace vsg::core {
+namespace {
+
+Label lab(std::uint64_t epoch, std::uint32_t seqno, ProcId origin) {
+  return Label{ViewId{epoch, 0}, seqno, origin};
+}
+
+TEST(Summary, ConfirmedPrefixIsNextMinusOne) {
+  Summary x;
+  x.ord = {lab(1, 1, 0), lab(1, 2, 0), lab(1, 3, 0)};
+  x.next = 3;
+  EXPECT_EQ(confirmed_prefix(x), (std::vector<Label>{lab(1, 1, 0), lab(1, 2, 0)}));
+}
+
+TEST(Summary, ConfirmedPrefixClampsToOrdLength) {
+  Summary x;
+  x.ord = {lab(1, 1, 0)};
+  x.next = 10;
+  EXPECT_EQ(confirmed_prefix(x).size(), 1u);
+  x.next = 0;  // degenerate
+  EXPECT_TRUE(confirmed_prefix(x).empty());
+}
+
+TEST(Summary, ConfirmedPrefixEmptyWhenNextIsOne) {
+  Summary x;
+  x.ord = {lab(1, 1, 0)};
+  x.next = 1;
+  EXPECT_TRUE(confirmed_prefix(x).empty());
+}
+
+SummaryMap two_summaries() {
+  Summary x0;
+  x0.con = {{lab(1, 1, 0), "a"}, {lab(1, 1, 1), "b"}};
+  x0.ord = {lab(1, 1, 0)};
+  x0.next = 2;
+  x0.high = ViewId{1, 0};
+  Summary x1;
+  x1.con = {{lab(1, 1, 1), "b"}, {lab(1, 2, 1), "c"}};
+  x1.ord = {lab(1, 1, 0), lab(1, 1, 1)};
+  x1.next = 1;
+  x1.high = ViewId{2, 0};
+  return SummaryMap{{0, x0}, {1, x1}};
+}
+
+TEST(Summary, KnowncontentUnionsAllCon) {
+  const auto kc = knowncontent(two_summaries());
+  EXPECT_EQ(kc.size(), 3u);
+  EXPECT_EQ(kc.at(lab(1, 1, 0)), "a");
+  EXPECT_EQ(kc.at(lab(1, 2, 1)), "c");
+}
+
+TEST(Summary, MaxprimaryPicksGreatestHigh) {
+  EXPECT_EQ(maxprimary(two_summaries()), std::optional<ViewId>(ViewId{2, 0}));
+}
+
+TEST(Summary, MaxprimaryAllBottomIsBottom) {
+  SummaryMap y{{0, Summary{}}, {1, Summary{}}};
+  EXPECT_FALSE(maxprimary(y).has_value());
+}
+
+TEST(Summary, RepsAreTheMaximizers) {
+  auto y = two_summaries();
+  EXPECT_EQ(reps(y), std::vector<ProcId>{1});
+  // Tie: both at {2,0}.
+  y.at(0).high = ViewId{2, 0};
+  EXPECT_EQ(reps(y), (std::vector<ProcId>{0, 1}));
+}
+
+TEST(Summary, ChosenrepIsDeterministicHighestId) {
+  auto y = two_summaries();
+  y.at(0).high = ViewId{2, 0};
+  EXPECT_EQ(chosenrep(y), 1);
+}
+
+TEST(Summary, ShortorderIsChosenrepsOrd) {
+  const auto y = two_summaries();
+  EXPECT_EQ(shortorder(y), (std::vector<Label>{lab(1, 1, 0), lab(1, 1, 1)}));
+}
+
+TEST(Summary, FullorderAppendsRemainingKnownLabelsInLabelOrder) {
+  const auto y = two_summaries();
+  // shortorder = [l(1,1,0), l(1,1,1)]; remaining known label is l(1,2,1).
+  EXPECT_EQ(fullorder(y),
+            (std::vector<Label>{lab(1, 1, 0), lab(1, 1, 1), lab(1, 2, 1)}));
+}
+
+TEST(Summary, FullorderKeepsRepresentativePrefixUnsorted) {
+  // The representative's ord need not be in label order; fullorder must
+  // preserve it as a prefix verbatim.
+  Summary x;
+  x.con = {{lab(1, 1, 0), "a"}, {lab(1, 1, 1), "b"}, {lab(1, 2, 0), "c"}};
+  x.ord = {lab(1, 1, 1), lab(1, 1, 0)};  // deliberately "out of order"
+  x.high = ViewId{1, 0};
+  SummaryMap y{{0, x}};
+  const auto full = fullorder(y);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full[0], lab(1, 1, 1));
+  EXPECT_EQ(full[1], lab(1, 1, 0));
+  EXPECT_EQ(full[2], lab(1, 2, 0));
+}
+
+TEST(Summary, MaxnextconfirmPicksGreatest) {
+  EXPECT_EQ(maxnextconfirm(two_summaries()), 2u);
+  SummaryMap empty_next{{0, Summary{}}};
+  EXPECT_EQ(maxnextconfirm(empty_next), 1u);
+}
+
+TEST(Summary, SerdeRoundTrip) {
+  auto y = two_summaries();
+  for (const auto& [p, x] : y) {
+    util::Encoder e;
+    encode(e, x);
+    const auto buf = e.take();
+    util::Decoder d(buf);
+    EXPECT_EQ(decode_summary(d), x);
+    EXPECT_TRUE(d.complete());
+  }
+}
+
+TEST(Summary, SerdeRoundTripBottomHigh) {
+  Summary x;
+  x.next = 5;
+  util::Encoder e;
+  encode(e, x);
+  const auto buf = e.take();
+  util::Decoder d(buf);
+  const auto back = decode_summary(d);
+  EXPECT_EQ(back, x);
+  EXPECT_FALSE(back.high.has_value());
+}
+
+}  // namespace
+}  // namespace vsg::core

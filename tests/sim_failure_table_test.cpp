@@ -1,0 +1,114 @@
+// Failure table: defaults, transitions, partition/heal helpers, history and
+// listeners — the substrate of the good/bad/ugly model (Figure 4).
+
+#include <gtest/gtest.h>
+
+#include "sim/failure_table.hpp"
+
+namespace vsg::sim {
+namespace {
+
+TEST(FailureTable, EverythingStartsGood) {
+  FailureTable t(4);
+  for (ProcId p = 0; p < 4; ++p) {
+    EXPECT_EQ(t.proc(p), Status::kGood);
+    for (ProcId q = 0; q < 4; ++q) EXPECT_EQ(t.link(p, q), Status::kGood);
+  }
+  EXPECT_TRUE(t.history().empty());
+}
+
+TEST(FailureTable, SelfLinkAlwaysGood) {
+  FailureTable t(2);
+  EXPECT_EQ(t.link(1, 1), Status::kGood);
+}
+
+TEST(FailureTable, SetProcAndLink) {
+  FailureTable t(3);
+  t.set_proc(1, Status::kBad, 10);
+  t.set_link(0, 2, Status::kUgly, 20);
+  EXPECT_EQ(t.proc(1), Status::kBad);
+  EXPECT_EQ(t.link(0, 2), Status::kUgly);
+  EXPECT_EQ(t.link(2, 0), Status::kGood) << "links are directed";
+}
+
+TEST(FailureTable, SymmetricLinkHelper) {
+  FailureTable t(3);
+  t.set_link_sym(0, 1, Status::kBad, 5);
+  EXPECT_EQ(t.link(0, 1), Status::kBad);
+  EXPECT_EQ(t.link(1, 0), Status::kBad);
+}
+
+TEST(FailureTable, PartitionSetsIntraGoodInterBad) {
+  FailureTable t(5);
+  t.partition({{0, 1, 2}, {3, 4}}, 100);
+  EXPECT_EQ(t.link(0, 1), Status::kGood);
+  EXPECT_EQ(t.link(1, 2), Status::kGood);
+  EXPECT_EQ(t.link(3, 4), Status::kGood);
+  EXPECT_EQ(t.link(0, 3), Status::kBad);
+  EXPECT_EQ(t.link(4, 2), Status::kBad);
+}
+
+TEST(FailureTable, PartitionIsolatesUnlistedProcessors) {
+  FailureTable t(3);
+  t.partition({{0, 1}}, 1);
+  EXPECT_EQ(t.link(0, 2), Status::kBad);
+  EXPECT_EQ(t.link(2, 0), Status::kBad);
+  EXPECT_EQ(t.link(2, 1), Status::kBad);
+  EXPECT_EQ(t.link(0, 1), Status::kGood);
+}
+
+TEST(FailureTable, HealRestoresAllLinks) {
+  FailureTable t(4);
+  t.partition({{0}, {1}, {2}, {3}}, 1);
+  t.heal(2);
+  for (ProcId p = 0; p < 4; ++p)
+    for (ProcId q = 0; q < 4; ++q) EXPECT_EQ(t.link(p, q), Status::kGood);
+}
+
+TEST(FailureTable, HealDoesNotTouchProcStatus) {
+  FailureTable t(2);
+  t.set_proc(0, Status::kBad, 1);
+  t.heal(2);
+  EXPECT_EQ(t.proc(0), Status::kBad);
+}
+
+TEST(FailureTable, HistoryRecordsEveryChangeInOrder) {
+  FailureTable t(3);
+  t.set_proc(0, Status::kUgly, 10);
+  t.set_link(1, 2, Status::kBad, 20);
+  ASSERT_EQ(t.history().size(), 2u);
+  EXPECT_FALSE(t.history()[0].is_link);
+  EXPECT_EQ(t.history()[0].at, 10);
+  EXPECT_EQ(t.history()[0].status, Status::kUgly);
+  EXPECT_TRUE(t.history()[1].is_link);
+  EXPECT_EQ(t.history()[1].p, 1);
+  EXPECT_EQ(t.history()[1].q, 2);
+}
+
+TEST(FailureTable, PartitionOnlyRecordsActualChanges) {
+  FailureTable t(3);
+  t.partition({{0, 1, 2}}, 5);  // already all-good: no events
+  EXPECT_TRUE(t.history().empty());
+  t.partition({{0, 1}, {2}}, 6);
+  EXPECT_EQ(t.history().size(), 4u);  // 0<->2 and 1<->2, both directions
+}
+
+TEST(FailureTable, ListenersFireSynchronously) {
+  FailureTable t(2);
+  int calls = 0;
+  t.subscribe([&](const StatusEvent& ev) {
+    ++calls;
+    EXPECT_EQ(ev.status, Status::kBad);
+  });
+  t.set_link_sym(0, 1, Status::kBad, 1);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FailureTable, ToStringNames) {
+  EXPECT_STREQ(to_string(Status::kGood), "good");
+  EXPECT_STREQ(to_string(Status::kBad), "bad");
+  EXPECT_STREQ(to_string(Status::kUgly), "ugly");
+}
+
+}  // namespace
+}  // namespace vsg::sim

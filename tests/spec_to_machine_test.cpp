@@ -1,0 +1,103 @@
+// TO-machine (Figure 3): transition legality and the prefix-delivery
+// discipline, including randomized interleavings.
+
+#include <gtest/gtest.h>
+
+#include "spec/to_machine.hpp"
+#include "util/rng.hpp"
+
+namespace vsg::spec {
+namespace {
+
+TEST(TOMachine, InitialState) {
+  TOMachine m(3);
+  EXPECT_TRUE(m.queue().empty());
+  for (ProcId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(m.pending(p).empty());
+    EXPECT_EQ(m.next(p), 1u);
+    EXPECT_FALSE(m.to_order_enabled(p));
+    EXPECT_FALSE(m.brcv_next(p).has_value());
+  }
+}
+
+TEST(TOMachine, BcastGoesToPending) {
+  TOMachine m(2);
+  m.bcast(0, "a");
+  m.bcast(0, "b");
+  EXPECT_EQ(m.pending(0).size(), 2u);
+  EXPECT_EQ(m.pending(0).front(), "a");
+  EXPECT_TRUE(m.to_order_enabled(0));
+}
+
+TEST(TOMachine, ToOrderMovesHeadToQueue) {
+  TOMachine m(2);
+  m.bcast(1, "x");
+  m.bcast(1, "y");
+  m.to_order(1);
+  ASSERT_EQ(m.queue().size(), 1u);
+  EXPECT_EQ(m.queue()[0], (TOMachine::Entry{"x", 1}));
+  EXPECT_EQ(m.pending(1).size(), 1u);
+}
+
+TEST(TOMachine, BrcvDeliversQueuePrefixInOrder) {
+  TOMachine m(2);
+  m.bcast(0, "a");
+  m.bcast(1, "b");
+  m.to_order(0);
+  m.to_order(1);
+  EXPECT_EQ(m.brcv(0), (TOMachine::Entry{"a", 0}));
+  EXPECT_EQ(m.brcv(0), (TOMachine::Entry{"b", 1}));
+  EXPECT_FALSE(m.brcv_next(0).has_value());
+  // Receiver 1 is independent.
+  EXPECT_EQ(m.brcv(1), (TOMachine::Entry{"a", 0}));
+  EXPECT_EQ(m.next(1), 2u);
+}
+
+TEST(TOMachine, InterleavedSendersKeepPerSenderOrder) {
+  TOMachine m(2);
+  m.bcast(0, "a1");
+  m.bcast(0, "a2");
+  m.bcast(1, "b1");
+  m.to_order(1);  // b1 first globally
+  m.to_order(0);
+  m.to_order(0);
+  ASSERT_EQ(m.queue().size(), 3u);
+  EXPECT_EQ(m.queue()[0].a, "b1");
+  EXPECT_EQ(m.queue()[1].a, "a1");
+  EXPECT_EQ(m.queue()[2].a, "a2") << "per-sender FIFO preserved";
+}
+
+class TOMachineRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TOMachineRandom, RandomScheduleKeepsInvariants) {
+  util::Rng rng(GetParam());
+  const int n = 3;
+  TOMachine m(n);
+  int sent = 0;
+  for (int step = 0; step < 500; ++step) {
+    const auto choice = rng.below(3);
+    const auto p = static_cast<ProcId>(rng.below(n));
+    if (choice == 0 && sent < 100) {
+      m.bcast(p, "v" + std::to_string(sent++));
+    } else if (choice == 1 && m.to_order_enabled(p)) {
+      m.to_order(p);
+    } else if (choice == 2 && m.brcv_next(p).has_value()) {
+      m.brcv(p);
+    }
+    // Invariants: next pointers within range; queue size bounded by sends.
+    for (ProcId q = 0; q < n; ++q) ASSERT_LE(m.next(q), m.queue().size() + 1);
+    ASSERT_LE(m.queue().size(), static_cast<std::size_t>(sent));
+  }
+  // Drain: everything eventually deliverable everywhere.
+  for (ProcId p = 0; p < n; ++p)
+    while (m.to_order_enabled(p)) m.to_order(p);
+  for (ProcId p = 0; p < n; ++p) {
+    while (m.brcv_next(p).has_value()) m.brcv(p);
+    EXPECT_EQ(m.next(p), m.queue().size() + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TOMachineRandom, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace vsg::spec

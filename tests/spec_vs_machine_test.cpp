@@ -1,0 +1,202 @@
+// VS-machine (Figure 6): transition preconditions, per-view queues, safe
+// semantics, and the Lemma 4.1 state invariants under random exploration.
+
+#include <gtest/gtest.h>
+
+#include "spec/vs_machine.hpp"
+#include "util/rng.hpp"
+
+namespace vsg::spec {
+namespace {
+
+util::Bytes msg(std::uint8_t b) { return util::Bytes{b}; }
+
+core::View view(std::uint64_t epoch, std::set<ProcId> members) {
+  return core::View{core::ViewId{epoch, *members.begin()}, std::move(members)};
+}
+
+TEST(VSMachine, InitialState) {
+  VSMachine m(4, 3);
+  ASSERT_EQ(m.created().size(), 1u);
+  EXPECT_EQ(m.created()[0], core::initial_view(3));
+  for (ProcId p = 0; p < 3; ++p)
+    EXPECT_EQ(m.current_viewid(p), std::optional<core::ViewId>(core::ViewId::initial()));
+  EXPECT_FALSE(m.current_viewid(3).has_value()) << "outside P0: bottom view";
+}
+
+TEST(VSMachine, CreateviewRequiresStrictlyIncreasingIds) {
+  VSMachine m(3, 3);
+  EXPECT_FALSE(m.createview_enabled(core::initial_view(3))) << "id not above g0";
+  const auto v1 = view(1, {0, 1});
+  EXPECT_TRUE(m.createview_enabled(v1));
+  m.createview(v1);
+  EXPECT_FALSE(m.createview_enabled(core::View{v1.id, {2}})) << "same id not above";
+  EXPECT_TRUE(m.createview_enabled(view(1, {2}))) << "same epoch, higher origin is above";
+  EXPECT_TRUE(m.createview_enabled(view(2, {2})));
+}
+
+TEST(VSMachine, CreateviewRejectsBadMembership) {
+  VSMachine m(3, 3);
+  EXPECT_FALSE(m.createview_enabled(view(1, {0, 7})));
+  EXPECT_FALSE(m.createview_enabled(core::View{core::ViewId{1, 0}, {}}));
+}
+
+TEST(VSMachine, NewviewOnlyForMembersAndOnlyForward) {
+  VSMachine m(3, 3);
+  const auto v1 = view(1, {0, 1});
+  m.createview(v1);
+  EXPECT_TRUE(m.newview_enabled(v1, 0));
+  EXPECT_FALSE(m.newview_enabled(v1, 2)) << "2 is not a member";
+  m.newview(v1, 0);
+  EXPECT_FALSE(m.newview_enabled(v1, 0)) << "not above current";
+  EXPECT_TRUE(m.newview_enabled(v1, 1)) << "1 has not advanced yet";
+}
+
+TEST(VSMachine, GpsndIntoBottomViewIsIgnored) {
+  VSMachine m(2, 1);
+  m.gpsnd(1, msg(9));  // processor 1 starts with bottom view
+  for (const auto& g : m.touched_viewids()) EXPECT_TRUE(m.pending(1, g).empty());
+}
+
+TEST(VSMachine, SendOrderDeliverWithinView) {
+  VSMachine m(2, 2);
+  const auto g0 = core::ViewId::initial();
+  m.gpsnd(0, msg(1));
+  m.gpsnd(0, msg(2));
+  EXPECT_TRUE(m.vs_order_enabled(0, g0));
+  m.vs_order(0, g0);
+  m.vs_order(0, g0);
+  EXPECT_FALSE(m.vs_order_enabled(0, g0));
+  ASSERT_EQ(m.queue(g0).size(), 2u);
+
+  auto e = m.gprcv(1);
+  EXPECT_EQ(e.m, msg(1));
+  EXPECT_EQ(e.p, 0);
+  e = m.gprcv(1);
+  EXPECT_EQ(e.m, msg(2));
+  EXPECT_FALSE(m.gprcv_next(1).has_value());
+}
+
+TEST(VSMachine, SafeRequiresAllMembersDelivered) {
+  VSMachine m(2, 2);
+  const auto g0 = core::ViewId::initial();
+  m.gpsnd(0, msg(7));
+  m.vs_order(0, g0);
+  m.gprcv(0);
+  EXPECT_FALSE(m.safe_next(0).has_value()) << "1 has not delivered yet";
+  m.gprcv(1);
+  ASSERT_TRUE(m.safe_next(0).has_value());
+  EXPECT_EQ(m.safe(0).m, msg(7));
+  EXPECT_EQ(m.safe(1).m, msg(7));
+  EXPECT_FALSE(m.safe_next(0).has_value());
+}
+
+TEST(VSMachine, SafeNeverOvertakesOwnDelivery) {
+  VSMachine m(2, 2);
+  const auto g0 = core::ViewId::initial();
+  m.gpsnd(0, msg(1));
+  m.gpsnd(0, msg(2));
+  m.vs_order(0, g0);
+  m.vs_order(0, g0);
+  m.gprcv(0);
+  m.gprcv(0);
+  m.gprcv(1);  // 1 delivered only the first message
+  ASSERT_TRUE(m.safe_next(0).has_value());
+  m.safe(0);
+  EXPECT_FALSE(m.safe_next(0).has_value()) << "second message not at member 1 yet";
+}
+
+TEST(VSMachine, MessagesSentInOldViewNotDeliveredInNew) {
+  VSMachine m(2, 2);
+  const auto g0 = core::ViewId::initial();
+  m.gpsnd(0, msg(5));
+  m.vs_order(0, g0);
+  const auto v1 = view(1, {0, 1});
+  m.createview(v1);
+  m.newview(v1, 1);
+  EXPECT_FALSE(m.gprcv_next(1).has_value())
+      << "1 moved to v1; the old view's queue is out of reach";
+  // 0 is still in g0 and may deliver.
+  ASSERT_TRUE(m.gprcv_next(0).has_value());
+}
+
+TEST(VSMachine, PerViewQueuesAreIndependent) {
+  VSMachine m(2, 2);
+  const auto g0 = core::ViewId::initial();
+  const auto v1 = view(1, {0, 1});
+  m.createview(v1);
+  m.gpsnd(0, msg(1));  // into g0
+  m.vs_order(0, g0);
+  m.newview(v1, 0);
+  m.gpsnd(0, msg(2));  // into v1
+  m.vs_order(0, v1.id);
+  EXPECT_EQ(m.queue(g0).size(), 1u);
+  EXPECT_EQ(m.queue(v1.id).size(), 1u);
+  // 0 (in v1) sees only the v1 message.
+  ASSERT_TRUE(m.gprcv_next(0).has_value());
+  EXPECT_EQ(m.gprcv_next(0)->m, msg(2));
+}
+
+TEST(VSMachine, Lemma41HoldsInitially) {
+  VSMachine m(5, 3);
+  EXPECT_TRUE(check_lemma_4_1(m).empty());
+}
+
+class VSMachineRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VSMachineRandom, RandomExplorationPreservesLemma41) {
+  util::Rng rng(GetParam());
+  const int n = 4;
+  VSMachine m(n, 3);
+  std::uint64_t next_epoch = 1;
+  std::uint8_t next_msg = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const auto choice = rng.below(6);
+    const auto p = static_cast<ProcId>(rng.below(n));
+    switch (choice) {
+      case 0: {  // createview of a random membership
+        std::set<ProcId> members;
+        for (ProcId q = 0; q < n; ++q)
+          if (rng.chance(0.5)) members.insert(q);
+        if (members.empty()) members.insert(p);
+        const core::View v{core::ViewId{next_epoch, *members.begin()}, members};
+        if (m.createview_enabled(v)) {
+          m.createview(v);
+          ++next_epoch;
+        }
+        break;
+      }
+      case 1: {  // newview: advance p to a random created view containing it
+        const auto& created = m.created();
+        const auto& v = created[rng.below(created.size())];
+        if (m.newview_enabled(v, p)) m.newview(v, p);
+        break;
+      }
+      case 2:
+        m.gpsnd(p, msg(next_msg++));
+        break;
+      case 3: {  // vs-order anywhere enabled for p
+        for (const auto& g : m.touched_viewids())
+          if (m.vs_order_enabled(p, g)) {
+            m.vs_order(p, g);
+            break;
+          }
+        break;
+      }
+      case 4:
+        if (m.gprcv_next(p).has_value()) m.gprcv(p);
+        break;
+      case 5:
+        if (m.safe_next(p).has_value()) m.safe(p);
+        break;
+    }
+    const auto bad = check_lemma_4_1(m);
+    ASSERT_TRUE(bad.empty()) << "step " << step << ": " << bad.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VSMachineRandom, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace vsg::spec

@@ -1,0 +1,178 @@
+// VSTraceChecker: accepts VS-machine behaviours and flags each safety
+// violation class — self-inclusion, monotonicity, id uniqueness, the
+// initial-view rule, sending-view delivery, per-view total order, and safe
+// soundness.
+
+#include <gtest/gtest.h>
+
+#include "spec/vs_trace_checker.hpp"
+
+namespace vsg::spec {
+namespace {
+
+using trace::GprcvEvent;
+using trace::GpsndEvent;
+using trace::NewViewEvent;
+using trace::SafeEvent;
+using trace::TimedEvent;
+
+std::vector<TimedEvent> t(std::initializer_list<trace::Event> events) {
+  std::vector<TimedEvent> out;
+  sim::Time at = 0;
+  for (auto& e : events) out.push_back({at++, e});
+  return out;
+}
+
+util::Bytes b(std::uint8_t x) { return util::Bytes{x}; }
+
+core::View view(std::uint64_t epoch, ProcId origin, std::set<ProcId> members) {
+  return core::View{core::ViewId{epoch, origin}, std::move(members)};
+}
+
+TEST(VSTraceChecker, HappyPathWithSafe) {
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},
+      GprcvEvent{0, 0, b(1)},
+      GprcvEvent{0, 1, b(1)},
+      SafeEvent{0, 0, b(1)},
+      SafeEvent{0, 1, b(1)},
+  }));
+  EXPECT_TRUE(c.ok()) << c.violations().front();
+  EXPECT_EQ(c.view_order(core::ViewId::initial()).size(), 1u);
+}
+
+TEST(VSTraceChecker, SelfInclusionViolation) {
+  VSTraceChecker c(3, 3);
+  c.check_all(t({NewViewEvent{2, view(1, 0, {0, 1})}}));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, LocalMonotonicityViolation) {
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      NewViewEvent{0, view(5, 0, {0, 1})},
+      NewViewEvent{0, view(3, 0, {0})},  // id goes backwards at 0
+  }));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, DuplicateViewIdDifferentMembership) {
+  VSTraceChecker c(3, 3);
+  c.check_all(t({
+      NewViewEvent{0, view(1, 0, {0, 1})},
+      NewViewEvent{2, view(1, 0, {0, 2})},  // same id, different set
+  }));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, InitialViewRule) {
+  // Processor 2 starts outside P0 (n0 = 2) and must not receive anything
+  // before its first newview.
+  VSTraceChecker c(3, 2);
+  c.check_all(t({GpsndEvent{0, b(1)}, GprcvEvent{0, 2, b(1)}}));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, SendIntoBottomViewNeverDelivered) {
+  VSTraceChecker c(3, 2);
+  c.check_all(t({GpsndEvent{2, b(1)}, GprcvEvent{2, 0, b(1)}}));
+  EXPECT_FALSE(c.ok()) << "message sent before any view must be lost";
+}
+
+TEST(VSTraceChecker, SendingViewDeliveryViolation) {
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},                  // sent in g0
+      NewViewEvent{0, view(1, 0, {0, 1})},
+      NewViewEvent{1, view(1, 0, {0, 1})},
+      GprcvEvent{0, 1, b(1)},               // delivered in the new view
+  }));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, PerViewTotalOrderViolation) {
+  VSTraceChecker c(3, 3);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},
+      GpsndEvent{1, b(2)},
+      GprcvEvent{0, 2, b(1)},  // 2 fixes order: msg(0) first
+      GprcvEvent{1, 0, b(2)},  // 0 delivers msg(1) first -> divergent order
+  }));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, SafeBeforeAllMembersDeliveredFlagged) {
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},
+      GprcvEvent{0, 0, b(1)},
+      SafeEvent{0, 0, b(1)},  // member 1 has not delivered yet
+  }));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, SafeRespectsQueueOrder) {
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},
+      GpsndEvent{0, b(2)},
+      GprcvEvent{0, 0, b(1)},
+      GprcvEvent{0, 0, b(2)},
+      GprcvEvent{0, 1, b(1)},
+      GprcvEvent{0, 1, b(2)},
+      SafeEvent{0, 0, b(2)},  // skips the first message in safe order
+  }));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(VSTraceChecker, ViewChangeDropsUndeliveredMessagesLegally) {
+  // 0 sends two; only the first is delivered before the view changes at
+  // both members; the second is silently lost — legal (prefix delivery).
+  const auto v1 = view(1, 0, {0, 1});
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},
+      GpsndEvent{0, b(2)},
+      GprcvEvent{0, 0, b(1)},
+      GprcvEvent{0, 1, b(1)},
+      NewViewEvent{0, v1},
+      NewViewEvent{1, v1},
+      GpsndEvent{1, b(3)},
+      GprcvEvent{1, 0, b(3)},
+      GprcvEvent{1, 1, b(3)},
+  }));
+  EXPECT_TRUE(c.ok()) << c.violations().front();
+}
+
+TEST(VSTraceChecker, DisjointConcurrentViewsAreLegal) {
+  // A partitioned run: {0,1} and {2} in different views concurrently.
+  VSTraceChecker c(3, 3);
+  const auto va = view(1, 0, {0, 1});
+  const auto vb = view(2, 2, {2});
+  c.check_all(t({
+      NewViewEvent{0, va},
+      NewViewEvent{1, va},
+      NewViewEvent{2, vb},
+      GpsndEvent{0, b(1)},
+      GprcvEvent{0, 1, b(1)},
+      GpsndEvent{2, b(9)},
+      GprcvEvent{2, 2, b(9)},
+      SafeEvent{2, 2, b(9)},  // singleton view: own delivery suffices
+  }));
+  EXPECT_TRUE(c.ok()) << c.violations().front();
+}
+
+TEST(VSTraceChecker, CauseMapsExposed) {
+  VSTraceChecker c(2, 2);
+  c.check_all(t({
+      GpsndEvent{0, b(1)},
+      GprcvEvent{0, 1, b(1)},
+      SafeEvent{0, 1, b(1)},  // bad (0 hasn't delivered) but cause exists
+  }));
+  EXPECT_EQ(c.gprcv_cause().at(1), 0u);
+  EXPECT_EQ(c.safe_cause().at(2), 0u);
+}
+
+}  // namespace
+}  // namespace vsg::spec

@@ -1,0 +1,77 @@
+// Configuration matrix: the canonical partition-heal-verify pipeline swept
+// over (group size) x (back end) x (seed). Each instance runs traffic
+// through a partition and a heal, then asserts full trace safety and
+// eventual uniform delivery — broad, cheap coverage of size- and
+// schedule-dependent corner cases.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+using MatrixParam = std::tuple<int, Backend, std::uint64_t>;
+
+class StackMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(StackMatrix, PartitionHealPipeline) {
+  const auto [n, backend, seed] = GetParam();
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = backend;
+  cfg.seed = seed;
+  World world(cfg);
+
+  // Majority/minority split (majority keeps a quorum for n >= 3).
+  std::set<ProcId> maj, min;
+  for (ProcId p = 0; p < n; ++p) (2 * (p + 1) <= n ? min : maj).insert(p);
+  world.partition_at(sim::msec(200), {maj, min});
+
+  // Traffic from one member of each side, before and during the partition.
+  const ProcId maj_sender = *maj.begin();
+  const ProcId min_sender = min.empty() ? maj_sender : *min.begin();
+  world.bcast_at(sim::msec(50), maj_sender, "pre");
+  world.bcast_at(sim::sec(1), maj_sender, "maj");
+  if (!min.empty()) world.bcast_at(sim::sec(1), min_sender, "min");
+
+  world.heal_at(sim::sec(3));
+  world.run_until(sim::sec(12));
+
+  const auto to_violations = world.check_to_safety();
+  ASSERT_TRUE(to_violations.empty())
+      << "n=" << n << " seed=" << seed << ": " << to_violations.front();
+  const auto vs_violations = world.check_vs_safety();
+  ASSERT_TRUE(vs_violations.empty())
+      << "n=" << n << " seed=" << seed << ": " << vs_violations.front();
+
+  const std::size_t expect = min.empty() ? 2u : 3u;
+  const auto& reference = world.stack().process(0).delivered();
+  EXPECT_EQ(reference.size(), expect) << "n=" << n << " seed=" << seed;
+  for (ProcId p = 1; p < n; ++p)
+    EXPECT_EQ(world.stack().process(p).delivered(), reference)
+        << "n=" << n << " seed=" << seed << " at " << p;
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto [n, backend, seed] = info.param;
+  return "n" + std::to_string(n) +
+         (backend == Backend::kSpec ? "_spec_" : "_ring_") + "s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StackMatrix,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(Backend::kSpec, Backend::kTokenRing),
+                       ::testing::Values(1u, 2u, 3u)),
+    matrix_name);
+
+}  // namespace
+}  // namespace vsg

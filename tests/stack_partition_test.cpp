@@ -1,0 +1,160 @@
+// Partition behaviour of the TO stack: primary side keeps confirming,
+// minority stalls, healing reconciles the divergent histories into one
+// total order (the state-exchange recovery of Section 5), and safety holds
+// through arbitrary churn.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+WorldConfig cfg_for(Backend backend, int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = backend;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class StackPartition : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(StackPartition, MajoritySideKeepsDelivering) {
+  World world(cfg_for(GetParam(), 5, 31));
+  world.partition_at(sim::msec(100), {{0, 1, 2}, {3, 4}});
+  world.bcast_at(sim::sec(2), 0, "maj");
+  world.bcast_at(sim::sec(2), 3, "min");
+  world.run_until(sim::sec(8));
+
+  EXPECT_TRUE(world.check_to_safety().empty());
+  EXPECT_TRUE(world.check_vs_safety().empty());
+  // The majority side confirms and delivers its value.
+  for (ProcId p = 0; p < 3; ++p) {
+    const auto& got = world.stack().process(p).delivered();
+    ASSERT_EQ(got.size(), 1u) << "at majority member " << p;
+    EXPECT_EQ(got[0].second, "maj");
+  }
+  // The minority never forms a primary view: nothing is confirmed there.
+  for (ProcId p = 3; p < 5; ++p)
+    EXPECT_TRUE(world.stack().process(p).delivered().empty())
+        << "minority member " << p << " must not deliver";
+}
+
+TEST_P(StackPartition, HealReconcilesMinorityBacklog) {
+  World world(cfg_for(GetParam(), 5, 37));
+  world.partition_at(sim::msec(100), {{0, 1, 2}, {3, 4}});
+  // Both sides submit during the partition.
+  world.bcast_at(sim::sec(2), 1, "from-majority");
+  world.bcast_at(sim::sec(2), 4, "from-minority");
+  world.heal_at(sim::sec(4));
+  world.run_until(sim::sec(12));
+
+  EXPECT_TRUE(world.check_to_safety().empty());
+  EXPECT_TRUE(world.check_vs_safety().empty());
+  // After healing, everyone delivers both values in one common order, with
+  // the majority's confirmed value first (it was confirmed in the earlier
+  // primary view; the minority value enters the order at state exchange).
+  const auto& reference = world.stack().process(0).delivered();
+  ASSERT_EQ(reference.size(), 2u);
+  EXPECT_EQ(reference[0].second, "from-majority");
+  EXPECT_EQ(reference[1].second, "from-minority");
+  for (ProcId p = 1; p < 5; ++p)
+    EXPECT_EQ(world.stack().process(p).delivered(), reference) << "at processor " << p;
+}
+
+TEST_P(StackPartition, ValuesSubmittedWhilePartitionedSurviveHeal) {
+  World world(cfg_for(GetParam(), 4, 41));
+  // Split so that NO side has a quorum (2-2): nothing can be confirmed.
+  world.partition_at(sim::msec(100), {{0, 1}, {2, 3}});
+  for (int k = 0; k < 3; ++k) {
+    world.bcast_at(sim::sec(1) + k * sim::msec(50), 0, "a" + std::to_string(k));
+    world.bcast_at(sim::sec(1) + k * sim::msec(50), 2, "b" + std::to_string(k));
+  }
+  world.run_until(sim::sec(3));
+  for (ProcId p = 0; p < 4; ++p)
+    EXPECT_TRUE(world.stack().process(p).delivered().empty())
+        << "no quorum: nothing may be confirmed at " << p;
+
+  world.heal_at(sim::sec(3));
+  world.run_until(sim::sec(10));
+
+  EXPECT_TRUE(world.check_to_safety().empty());
+  const auto& reference = world.stack().process(0).delivered();
+  EXPECT_EQ(reference.size(), 6u) << "all six values delivered after heal";
+  for (ProcId p = 1; p < 4; ++p)
+    EXPECT_EQ(world.stack().process(p).delivered(), reference);
+}
+
+TEST_P(StackPartition, CascadingPartitionsStaySafe) {
+  World world(cfg_for(GetParam(), 6, 43));
+  world.partition_at(sim::msec(200), {{0, 1, 2, 3}, {4, 5}});
+  world.bcast_at(sim::sec(1), 0, "x0");
+  world.partition_at(sim::sec(2), {{0, 1}, {2, 3}, {4, 5}});
+  world.bcast_at(sim::sec(3), 2, "x1");
+  world.partition_at(sim::sec(4), {{0, 1, 2, 3, 4}, {5}});
+  world.bcast_at(sim::sec(5), 4, "x2");
+  world.heal_at(sim::sec(6));
+  world.bcast_at(sim::sec(8), 5, "x3");
+  world.run_until(sim::sec(14));
+
+  const auto to_violations = world.check_to_safety();
+  EXPECT_TRUE(to_violations.empty()) << (to_violations.empty() ? "" : to_violations.front());
+  const auto vs_violations = world.check_vs_safety();
+  EXPECT_TRUE(vs_violations.empty()) << (vs_violations.empty() ? "" : vs_violations.front());
+  // All values eventually delivered everywhere, same order.
+  const auto& reference = world.stack().process(0).delivered();
+  EXPECT_EQ(reference.size(), 4u);
+  for (ProcId p = 1; p < 6; ++p)
+    EXPECT_EQ(world.stack().process(p).delivered(), reference);
+}
+
+TEST_P(StackPartition, CrashedProcessorDoesNotBlockQuorum) {
+  World world(cfg_for(GetParam(), 5, 47));
+  // Processor 4 goes bad (stopped) and its links drop; the remaining four
+  // are a quorum and keep working.
+  world.proc_status_at(sim::msec(100), 4, sim::Status::kBad);
+  world.partition_at(sim::msec(100), {{0, 1, 2, 3}});
+  world.bcast_at(sim::sec(2), 1, "without-4");
+  world.run_until(sim::sec(8));
+
+  EXPECT_TRUE(world.check_to_safety().empty());
+  for (ProcId p = 0; p < 4; ++p) {
+    const auto& got = world.stack().process(p).delivered();
+    ASSERT_EQ(got.size(), 1u) << "at processor " << p;
+    EXPECT_EQ(got[0].second, "without-4");
+  }
+}
+
+TEST_P(StackPartition, RecoveredProcessorCatchesUp) {
+  World world(cfg_for(GetParam(), 3, 53));
+  world.proc_status_at(sim::msec(100), 2, sim::Status::kBad);
+  world.partition_at(sim::msec(100), {{0, 1}});
+  world.bcast_at(sim::sec(1), 0, "while-down");
+  world.run_until(sim::sec(3));
+  // 2 is down; {0,1} is a majority of 3, so the value is confirmed there.
+  ASSERT_EQ(world.stack().process(0).delivered().size(), 1u);
+
+  world.proc_status_at(sim::sec(3), 2, sim::Status::kGood);
+  world.heal_at(sim::sec(3));
+  world.run_until(sim::sec(10));
+
+  EXPECT_TRUE(world.check_to_safety().empty());
+  const auto& got = world.stack().process(2).delivered();
+  ASSERT_EQ(got.size(), 1u) << "recovered processor must catch up";
+  EXPECT_EQ(got[0].second, "while-down");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, StackPartition,
+                         ::testing::Values(Backend::kSpec, Backend::kTokenRing),
+                         [](const auto& info) {
+                           return info.param == Backend::kSpec ? "SpecVS" : "TokenRing";
+                         });
+
+}  // namespace
+}  // namespace vsg

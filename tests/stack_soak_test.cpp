@@ -1,0 +1,107 @@
+// Soak: one long randomized run per seed mixing everything the harness can
+// throw — repeated partitions with and without quorums, heals, processor
+// crash/recovery/slowness, ugly links with corruption, and client traffic
+// throughout — over a minute of simulated time. Safety checked wholesale
+// at the end; liveness checked for the final stabilized group.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+class Soak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Soak, MinuteOfChaosStaysSafeAndRecovers) {
+  const auto seed = GetParam();
+  const int n = 6;
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = Backend::kTokenRing;
+  cfg.seed = seed;
+  cfg.link.ugly_corrupt = 0.2;
+  World world(cfg);
+  util::Rng rng(seed * 6089 + 17);
+
+  // Phase structure: 6 chaos windows of 8s each, then stabilization.
+  int value_count = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    const sim::Time base = phase * sim::sec(8);
+    // Random partition shape for this phase.
+    std::vector<std::set<ProcId>> comps(1 + rng.below(3));
+    for (ProcId p = 0; p < n; ++p)
+      comps[rng.below(comps.size())].insert(p);
+    std::vector<std::set<ProcId>> nonempty;
+    for (auto& c : comps)
+      if (!c.empty()) nonempty.push_back(std::move(c));
+    world.partition_at(base + sim::msec(500), nonempty);
+
+    // A random processor misbehaves for part of the phase.
+    const auto victim = static_cast<ProcId>(rng.below(n));
+    const auto status = rng.chance(0.5) ? sim::Status::kBad : sim::Status::kUgly;
+    world.proc_status_at(base + sim::sec(2), victim, status);
+    world.proc_status_at(base + sim::sec(5), victim, sim::Status::kGood);
+
+    // Random ugly links.
+    for (int k = 0; k < 3; ++k) {
+      const auto p = static_cast<ProcId>(rng.below(n));
+      auto q = static_cast<ProcId>(rng.below(n));
+      if (q == p) q = (q + 1) % n;
+      world.link_status_at(base + sim::sec(3), p, q, sim::Status::kUgly);
+    }
+
+    // Traffic all along.
+    for (int k = 0; k < 5; ++k) {
+      const auto sender = static_cast<ProcId>(rng.below(n));
+      world.bcast_at(base + sim::sec(1) + k * sim::msec(700), sender,
+                     "s" + std::to_string(seed) + ".v" + std::to_string(value_count++));
+    }
+  }
+  // Stabilize: everything good and connected, let recovery finish.
+  world.heal_at(sim::sec(49));
+  world.simulator().at(sim::sec(49), [&world, n] {
+    for (ProcId p = 0; p < n; ++p)
+      if (world.failures().proc(p) != sim::Status::kGood)
+        world.failures().set_proc(p, sim::Status::kGood, world.simulator().now());
+  });
+  world.run_until(sim::sec(80));
+
+  const auto to_violations = world.check_to_safety();
+  ASSERT_TRUE(to_violations.empty())
+      << "seed " << seed << ": " << to_violations.front();
+  const auto vs_violations = world.check_vs_safety();
+  ASSERT_TRUE(vs_violations.empty())
+      << "seed " << seed << ": " << vs_violations.front();
+
+  // Liveness after stabilization: every submitted value reaches everyone,
+  // in one identical order.
+  const auto& reference = world.stack().process(0).delivered();
+  EXPECT_EQ(reference.size(), static_cast<std::size_t>(value_count))
+      << "seed " << seed << ": all " << value_count << " values recovered";
+  for (ProcId p = 1; p < n; ++p)
+    EXPECT_EQ(world.stack().process(p).delivered(), reference)
+        << "seed " << seed << " at processor " << p;
+
+  // And the stabilized group satisfies the conditional properties.
+  std::set<ProcId> q;
+  for (ProcId p = 0; p < n; ++p) q.insert(p);
+  const auto& ring = world.config().ring;
+  const sim::Time b = 9 * ring.delta + std::max(ring.pi + (n + 3) * ring.delta, ring.mu);
+  const sim::Time d = 3 * (ring.pi + n * ring.delta);
+  const auto vs = world.vs_report(q, d, sim::sec(75));
+  ASSERT_TRUE(vs.stability.premise_holds) << "seed " << seed << ": "
+                                          << vs.stability.why_not;
+  EXPECT_TRUE(vs.views_converged) << "seed " << seed;
+  EXPECT_TRUE(vs.holds_with(b)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soak, ::testing::Values(1001, 1002, 1003, 1004, 1005, 1006));
+
+}  // namespace
+}  // namespace vsg

@@ -1,0 +1,113 @@
+// The sequencer baseline: correct totally ordered broadcast on a healthy
+// network, resilient to message loss via NACK/retransmit — but, unlike
+// VStoTO, completely unavailable in any component that loses the
+// sequencer. That contrast is the paper's motivation for partitionable
+// group communication.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/failure_table.hpp"
+#include "sim/simulator.hpp"
+#include "spec/to_trace_checker.hpp"
+#include "to/sequencer_to.hpp"
+#include "trace/recorder.hpp"
+
+namespace vsg::to {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  sim::FailureTable failures;
+  trace::Recorder recorder{sim};
+  net::Network net;
+  SequencerTO service;
+
+  explicit Fixture(int n, std::uint64_t seed = 1, net::LinkModel model = {})
+      : failures(n),
+        net(sim, failures, model, util::Rng(seed)),
+        service(sim, net, recorder, SequencerConfig{}) {}
+
+  bool to_safe() {
+    spec::TOTraceChecker checker(net.size());
+    checker.check_all(recorder.events());
+    return checker.ok();
+  }
+};
+
+TEST(SequencerTO, DeliversToEveryoneInOneOrder) {
+  Fixture f(4);
+  for (int k = 0; k < 5; ++k)
+    f.sim.at(sim::msec(10 + k), [&f, k] {
+      f.service.bcast(static_cast<ProcId>(k % 4), "v" + std::to_string(k));
+    });
+  f.sim.run_until(sim::sec(2));
+
+  EXPECT_TRUE(f.to_safe());
+  const auto& reference = f.service.delivered(0);
+  ASSERT_EQ(reference.size(), 5u);
+  for (ProcId p = 1; p < 4; ++p) EXPECT_EQ(f.service.delivered(p), reference);
+}
+
+TEST(SequencerTO, PerSenderFifoDespiteNetworkReordering) {
+  // Wide delay spread: later submissions can overtake earlier ones in
+  // flight; the sequencer's per-sender admission must reorder them back.
+  net::LinkModel model;
+  model.min_delay = sim::usec(100);
+  model.delta = sim::msec(50);
+  Fixture f(3, 7, model);
+  for (int k = 0; k < 10; ++k)
+    f.sim.at(sim::msec(1), [&f, k] { f.service.bcast(1, "m" + std::to_string(k)); });
+  f.sim.run_until(sim::sec(2));
+
+  EXPECT_TRUE(f.to_safe());
+  const auto& got = f.service.delivered(2);
+  ASSERT_EQ(got.size(), 10u);
+  for (int k = 0; k < 10; ++k)
+    EXPECT_EQ(got[static_cast<std::size_t>(k)].second, "m" + std::to_string(k));
+}
+
+TEST(SequencerTO, NackRecoversFromLoss) {
+  Fixture f(3, 11);
+  // Make the sequencer->2 link ugly (half the stamps drop) for a while.
+  f.failures.set_link(0, 2, sim::Status::kUgly, 0);
+  for (int k = 0; k < 10; ++k)
+    f.sim.at(sim::msec(10 * k + 1), [&f, k] {
+      f.service.bcast(1, "x" + std::to_string(k));
+    });
+  f.sim.at(sim::sec(1), [&f] { f.failures.set_link(0, 2, sim::Status::kGood, f.sim.now()); });
+  f.sim.run_until(sim::sec(4));
+
+  EXPECT_TRUE(f.to_safe());
+  EXPECT_EQ(f.service.delivered(2).size(), 10u) << "retransmission filled the gaps";
+}
+
+TEST(SequencerTO, PartitionWithoutSequencerStallsCompletely) {
+  Fixture f(4, 13);
+  // {2,3} lose the sequencer (processor 0).
+  f.failures.partition({{0, 1}, {2, 3}}, 0);
+  f.sim.at(sim::msec(10), [&f] { f.service.bcast(2, "doomed"); });
+  f.sim.at(sim::msec(10), [&f] { f.service.bcast(0, "seq-side"); });
+  f.sim.run_until(sim::sec(3));
+
+  EXPECT_TRUE(f.to_safe());
+  // The sequencer's side delivers its own value...
+  EXPECT_EQ(f.service.delivered(0).size(), 1u);
+  EXPECT_EQ(f.service.delivered(1).size(), 1u);
+  // ...but the other component gets NOTHING, not even its own submission —
+  // this is exactly what a partitionable group service avoids.
+  EXPECT_TRUE(f.service.delivered(2).empty());
+  EXPECT_TRUE(f.service.delivered(3).empty());
+}
+
+TEST(SequencerTO, SequencerCrashIsFatalForEveryone) {
+  Fixture f(3, 17);
+  f.failures.partition({{1, 2}}, 0);  // 0 (the sequencer) cut off entirely
+  f.sim.at(sim::msec(10), [&f] { f.service.bcast(1, "nobody-will-see"); });
+  f.sim.run_until(sim::sec(3));
+  EXPECT_TRUE(f.service.delivered(1).empty());
+  EXPECT_TRUE(f.service.delivered(2).empty());
+}
+
+}  // namespace
+}  // namespace vsg::to

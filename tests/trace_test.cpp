@@ -1,0 +1,83 @@
+// Trace events and recorder: describe() rendering, typed selection, taps,
+// timestamping from the simulator clock.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "trace/events.hpp"
+#include "trace/recorder.hpp"
+
+namespace vsg::trace {
+namespace {
+
+TEST(Describe, EveryEventKindRenders) {
+  const core::View v{core::ViewId{2, 1}, {0, 1}};
+  EXPECT_EQ(describe({5, BcastEvent{0, "hi"}}), "@5 bcast(hi)_0");
+  EXPECT_EQ(describe({6, BrcvEvent{0, 1, "hi"}}), "@6 brcv(hi)_{0,1}");
+  EXPECT_EQ(describe({7, GpsndEvent{2, util::Bytes{0xAB, 0xCD}}}), "@7 gpsnd(abcd)_2");
+  EXPECT_EQ(describe({8, GprcvEvent{0, 1, util::Bytes{0xFF}}}), "@8 gprcv(ff)_{0,1}");
+  EXPECT_EQ(describe({9, SafeEvent{0, 1, util::Bytes{}}}), "@9 safe()_{0,1}");
+  EXPECT_EQ(describe({10, NewViewEvent{1, v}}), "@10 newview(g(2.1){0,1})_1");
+  EXPECT_EQ(describe({11, sim::StatusEvent{11, false, 2, kNoProc, sim::Status::kBad}}),
+            "@11 bad_2");
+  EXPECT_EQ(describe({12, sim::StatusEvent{12, true, 0, 1, sim::Status::kUgly}}),
+            "@12 ugly_{0,1}");
+}
+
+TEST(Describe, LongPayloadsTruncate) {
+  const util::Bytes big(32, 0x11);
+  const auto text = describe({0, GpsndEvent{0, big}});
+  EXPECT_NE(text.find(".."), std::string::npos);
+  EXPECT_LT(text.size(), 40u);
+}
+
+TEST(Recorder, StampsWithSimulatorClock) {
+  sim::Simulator simulator;
+  Recorder recorder(simulator);
+  simulator.at(sim::msec(7), [&] { recorder.record(BcastEvent{0, "a"}); });
+  simulator.run();
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.events()[0].at, sim::msec(7));
+}
+
+TEST(Recorder, SelectFiltersByType) {
+  sim::Simulator simulator;
+  Recorder recorder(simulator);
+  recorder.record(BcastEvent{0, "a"});
+  recorder.record(BrcvEvent{0, 1, "a"});
+  recorder.record(BcastEvent{1, "b"});
+  const auto bcasts = recorder.select<BcastEvent>();
+  ASSERT_EQ(bcasts.size(), 2u);
+  EXPECT_EQ(bcasts[1].second.a, "b");
+  EXPECT_EQ(recorder.select<NewViewEvent>().size(), 0u);
+}
+
+TEST(Recorder, TapsFireSynchronouslyInOrder) {
+  sim::Simulator simulator;
+  Recorder recorder(simulator);
+  std::vector<std::string> seen;
+  recorder.subscribe([&](const TimedEvent& te) { seen.push_back(describe(te)); });
+  recorder.subscribe([&](const TimedEvent&) { seen.push_back("second-tap"); });
+  recorder.record(BcastEvent{0, "x"});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "@0 bcast(x)_0");
+  EXPECT_EQ(seen[1], "second-tap");
+}
+
+TEST(Recorder, ClearEmptiesEvents) {
+  sim::Simulator simulator;
+  Recorder recorder(simulator);
+  recorder.record(BcastEvent{0, "x"});
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(EventAccess, AsReturnsNullForOtherTypes) {
+  const TimedEvent te{0, BcastEvent{0, "a"}};
+  EXPECT_NE(as<BcastEvent>(te), nullptr);
+  EXPECT_EQ(as<BrcvEvent>(te), nullptr);
+  EXPECT_EQ(as<sim::StatusEvent>(te), nullptr);
+}
+
+}  // namespace
+}  // namespace vsg::trace

@@ -1,0 +1,69 @@
+// Logging: levels, sink capture, macro short-circuiting.
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace vsg::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_sink([this](LogLevel level, const std::string& msg) {
+      captured.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    Log::reset_sink();
+    Log::set_level(LogLevel::kOff);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+TEST_F(LoggingTest, OffByDefaultNothingLogged) {
+  Log::set_level(LogLevel::kOff);
+  VSG_INFO << "invisible";
+  VSG_ERROR << "also invisible";
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingTest, LevelThresholdFilters) {
+  Log::set_level(LogLevel::kWarn);
+  VSG_DEBUG << "nope";
+  VSG_INFO << "nope";
+  VSG_WARN << "yes1";
+  VSG_ERROR << "yes2";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].second, "yes1");
+  EXPECT_EQ(captured[1].second, "yes2");
+}
+
+TEST_F(LoggingTest, StreamingComposesMessage) {
+  Log::set_level(LogLevel::kDebug);
+  VSG_DEBUG << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LoggingTest, DisabledMacroDoesNotEvaluateOperands) {
+  Log::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "costly";
+  };
+  VSG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0) << "operands must be skipped when logging is off";
+}
+
+TEST_F(LoggingTest, EnabledReflectsLevel) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace vsg::util

@@ -1,0 +1,107 @@
+// Sequence algebra (Section 2 preliminaries): prefix ordering laws,
+// consistency, lub, applyall.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sequence.hpp"
+
+namespace vsg::util {
+namespace {
+
+using V = std::vector<int>;
+
+TEST(Sequence, EmptyIsPrefixOfEverything) {
+  EXPECT_TRUE(is_prefix(V{}, V{}));
+  EXPECT_TRUE(is_prefix(V{}, V{1, 2, 3}));
+  EXPECT_FALSE(is_prefix(V{1}, V{}));
+}
+
+TEST(Sequence, PrefixBasics) {
+  EXPECT_TRUE(is_prefix(V{1, 2}, V{1, 2, 3}));
+  EXPECT_FALSE(is_prefix(V{2, 1}, V{1, 2, 3}));
+  EXPECT_TRUE(is_prefix(V{1, 2, 3}, V{1, 2, 3}));
+  EXPECT_FALSE(is_prefix(V{1, 2, 3, 4}, V{1, 2, 3}));
+}
+
+TEST(Sequence, PrefixIsReflexiveAntisymmetricTransitive) {
+  const V a{1, 2};
+  const V b{1, 2, 3};
+  const V c{1, 2, 3, 4};
+  EXPECT_TRUE(is_prefix(a, a));
+  EXPECT_TRUE(is_prefix(a, b) && is_prefix(b, c) && is_prefix(a, c));
+  EXPECT_FALSE(is_prefix(a, b) && is_prefix(b, a));
+}
+
+TEST(Sequence, ComparableMatchesPrefixEitherWay) {
+  EXPECT_TRUE(comparable(V{1}, V{1, 2}));
+  EXPECT_TRUE(comparable(V{1, 2}, V{1}));
+  EXPECT_FALSE(comparable(V{1, 3}, V{1, 2}));
+}
+
+TEST(Sequence, ConsistencyOfCollections) {
+  EXPECT_TRUE(is_consistent<int>({}));
+  EXPECT_TRUE(is_consistent<int>({{1}, {1, 2}, {}, {1, 2, 3}}));
+  EXPECT_FALSE(is_consistent<int>({{1}, {2}}));
+  EXPECT_FALSE(is_consistent<int>({{1, 2, 3}, {1, 2, 4}}));
+}
+
+TEST(Sequence, LubOfConsistentCollectionIsLongestMember) {
+  const auto result = lub<int>({{1}, {1, 2, 3}, {1, 2}});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, (V{1, 2, 3}));
+}
+
+TEST(Sequence, LubOfEmptyCollectionIsEmptySequence) {
+  const auto result = lub<int>({});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(Sequence, LubRejectsInconsistentCollections) {
+  EXPECT_FALSE(lub<int>({{1, 2}, {1, 3}}).has_value());
+}
+
+TEST(Sequence, ApplyallMapsInOrder) {
+  const auto result = applyall([](int x) { return x * 2; }, V{1, 2, 3});
+  EXPECT_EQ(result, (V{2, 4, 6}));
+}
+
+TEST(Sequence, PrefixOfClampsAtLength) {
+  EXPECT_EQ(prefix_of(V{1, 2, 3}, 2), (V{1, 2}));
+  EXPECT_EQ(prefix_of(V{1, 2, 3}, 9), (V{1, 2, 3}));
+  EXPECT_EQ(prefix_of(V{1, 2, 3}, 0), V{});
+}
+
+TEST(Sequence, ContainsAndIndexOf) {
+  EXPECT_TRUE(contains(V{5, 6, 7}, 6));
+  EXPECT_FALSE(contains(V{5, 6, 7}, 8));
+  EXPECT_EQ(index_of(V{5, 6, 7}, 7), std::optional<std::size_t>(2));
+  EXPECT_FALSE(index_of(V{5, 6, 7}, 9).has_value());
+}
+
+// Property sweep: for random sequence pairs, comparable(a,b) agrees with a
+// direct definition, and lub of any chain is its maximum.
+class SequenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SequenceProperty, RandomChainsHaveLub) {
+  Rng rng(GetParam());
+  V base;
+  for (int i = 0; i < 20; ++i) base.push_back(static_cast<int>(rng.below(100)));
+  std::vector<V> chain;
+  for (int i = 0; i < 6; ++i)
+    chain.push_back(prefix_of(base, static_cast<std::size_t>(rng.below(21))));
+  EXPECT_TRUE(is_consistent(chain));
+  const auto l = lub(chain);
+  ASSERT_TRUE(l.has_value());
+  for (const auto& s : chain) EXPECT_TRUE(is_prefix(s, *l));
+  EXPECT_TRUE(contains(chain, *l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequenceProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace vsg::util

@@ -1,0 +1,138 @@
+// Binary serialization: round trips, defensive decoding of truncated and
+// garbage input, container helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::util {
+namespace {
+
+TEST(Serde, ScalarRoundTrip) {
+  Encoder e;
+  e.u8(0xAB);
+  e.u32(0xDEADBEEF);
+  e.u64(0x0123456789ABCDEFULL);
+  e.i64(-42);
+  e.boolean(true);
+  e.boolean(false);
+  const Bytes buf = e.take();
+
+  Decoder d(buf);
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.i64(), -42);
+  EXPECT_TRUE(d.boolean());
+  EXPECT_FALSE(d.boolean());
+  EXPECT_TRUE(d.complete());
+}
+
+TEST(Serde, StringRoundTrip) {
+  Encoder e;
+  e.str("");
+  e.str("hello");
+  e.str(std::string("emb\0edded", 9));
+  const Bytes buf = e.take();
+
+  Decoder d(buf);
+  EXPECT_EQ(d.str(), "");
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.str(), std::string("emb\0edded", 9));
+  EXPECT_TRUE(d.complete());
+}
+
+TEST(Serde, RawBlobRoundTrip) {
+  Encoder e;
+  e.raw(Bytes{1, 2, 3});
+  e.raw(Bytes{});
+  const Bytes buf = e.take();
+  Decoder d(buf);
+  EXPECT_EQ(d.raw(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(d.raw(), Bytes{});
+  EXPECT_TRUE(d.complete());
+}
+
+TEST(Serde, TruncatedInputSetsNotOk) {
+  Encoder e;
+  e.u64(7);
+  Bytes buf = e.take();
+  buf.resize(4);  // cut the u64 in half
+  Decoder d(buf);
+  EXPECT_EQ(d.u64(), 0u);
+  EXPECT_FALSE(d.ok());
+  EXPECT_FALSE(d.complete());
+}
+
+TEST(Serde, OnceNotOkStaysNotOk) {
+  const Bytes buf{1};
+  Decoder d(buf);
+  (void)d.u32();  // too short
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.u8(), 0);  // still not ok, returns zero
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Serde, HostileLengthPrefixDoesNotCrash) {
+  Encoder e;
+  e.u32(0xFFFFFFFFu);  // claims a 4 GiB string follows
+  const Bytes buf = e.take();
+  Decoder d(buf);
+  EXPECT_EQ(d.str(), "");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Serde, CompleteRequiresFullConsumption) {
+  Encoder e;
+  e.u32(1);
+  e.u32(2);
+  const Bytes buf = e.take();
+  Decoder d(buf);
+  (void)d.u32();
+  EXPECT_TRUE(d.ok());
+  EXPECT_FALSE(d.complete());  // one u32 left unread
+}
+
+TEST(Serde, VectorHelpersRoundTrip) {
+  Encoder e;
+  std::vector<std::string> in{"a", "bb", "ccc"};
+  encode_vector(e, in, [](Encoder& enc, const std::string& s) { enc.str(s); });
+  const Bytes buf = e.take();
+  Decoder d(buf);
+  const auto out = decode_vector<std::string>(d, [](Decoder& dec) { return dec.str(); });
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(d.complete());
+}
+
+TEST(Serde, VectorHelperStopsOnMalformedInput) {
+  Encoder e;
+  e.u32(1000);  // claims 1000 elements, provides none
+  const Bytes buf = e.take();
+  Decoder d(buf);
+  const auto out = decode_vector<std::string>(d, [](Decoder& dec) { return dec.str(); });
+  EXPECT_FALSE(d.ok());
+  EXPECT_LE(out.size(), 1u);
+}
+
+class SerdeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerdeFuzz, RandomGarbageNeverCrashesDecoder) {
+  Rng rng(GetParam());
+  Bytes buf;
+  const auto len = rng.below(64);
+  for (std::uint64_t i = 0; i < len; ++i) buf.push_back(static_cast<std::uint8_t>(rng.next()));
+  Decoder d(buf);
+  // Interleave reads of every kind; must never crash or loop.
+  (void)d.u8();
+  (void)d.str();
+  (void)d.u64();
+  (void)d.raw();
+  (void)d.boolean();
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace vsg::util

@@ -1,0 +1,112 @@
+// The forward simulation f (Section 6.2, Theorem 6.26), checked online:
+// every bcast/brcv in the stack's trace must be a legal TO-machine step of
+// the oracle after syncing to-order steps with allconfirm, and at quiescent
+// points f(state) must equal the oracle state exactly.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+#include "verify/forward_simulation.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+WorldConfig spec_cfg(int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = Backend::kSpec;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ForwardSimulation, FOfInitialStateIsInitial) {
+  World world(spec_cfg(3, 1));
+  std::vector<std::string> bad;
+  const auto image = verify::compute_f(world.global_state(), &bad);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_TRUE(image->queue.empty());
+  for (ProcId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(image->pending[static_cast<std::size_t>(p)].empty());
+    EXPECT_EQ(image->next[static_cast<std::size_t>(p)], 1u);
+  }
+}
+
+TEST(ForwardSimulation, NormalTrafficRefinesTOMachine) {
+  World world(spec_cfg(3, 5));
+  verify::SimulationChecker checker(world.global_state());
+  world.recorder().subscribe(
+      [&checker](const trace::TimedEvent& te) { checker.on_event(te); });
+
+  harness::steady_traffic({0, 1, 2}, 8, sim::msec(10), sim::msec(20)).apply(world);
+  world.run_until(sim::sec(2));
+
+  EXPECT_TRUE(checker.ok()) << checker.violations().front();
+  EXPECT_TRUE(checker.check_f_matches())
+      << (checker.violations().empty() ? "" : checker.violations().back());
+  EXPECT_EQ(checker.oracle().queue().size(), 24u);
+}
+
+TEST(ForwardSimulation, PartitionHealRefinesTOMachine) {
+  World world(spec_cfg(5, 6));
+  verify::SimulationChecker checker(world.global_state());
+  world.recorder().subscribe(
+      [&checker](const trace::TimedEvent& te) { checker.on_event(te); });
+
+  world.partition_at(sim::msec(50), {{0, 1, 2}, {3, 4}});
+  world.bcast_at(sim::msec(200), 1, "maj");
+  world.bcast_at(sim::msec(200), 4, "min");
+  world.heal_at(sim::msec(500));
+  world.run_until(sim::sec(3));
+
+  EXPECT_TRUE(checker.ok()) << checker.violations().front();
+  EXPECT_TRUE(checker.check_f_matches());
+  EXPECT_EQ(checker.oracle().queue().size(), 2u);
+}
+
+TEST(ForwardSimulation, FMatchesAtEveryQuiescentPoint) {
+  World world(spec_cfg(3, 7));
+  verify::SimulationChecker checker(world.global_state());
+  world.recorder().subscribe(
+      [&checker](const trace::TimedEvent& te) { checker.on_event(te); });
+  harness::steady_traffic({0, 2}, 5, sim::msec(10), sim::msec(30)).apply(world);
+
+  while (world.simulator().step()) {
+    ASSERT_TRUE(checker.ok()) << checker.violations().front();
+    // f must match between *every* pair of events, not just at the end:
+    // all our transitions are atomic w.r.t. simulator events.
+    ASSERT_TRUE(checker.check_f_matches())
+        << "t=" << world.simulator().now() << ": " << checker.violations().back();
+  }
+}
+
+class SimulationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulationFuzz, ChurnyExecutionsRefineTOMachine) {
+  const auto seed = GetParam();
+  World world(spec_cfg(4, seed));
+  verify::SimulationChecker checker(world.global_state());
+  world.recorder().subscribe(
+      [&checker](const trace::TimedEvent& te) { checker.on_event(te); });
+
+  util::Rng rng(seed * 131 + 11);
+  harness::random_churn(4, 8, sim::msec(20), sim::msec(700), {{0, 1, 2, 3}}, rng)
+      .apply(world);
+  harness::random_traffic(4, 20, sim::msec(10), sim::msec(900), rng).apply(world);
+  world.run_until(sim::sec(4));
+
+  EXPECT_TRUE(checker.ok()) << "seed " << seed << ": " << checker.violations().front();
+  EXPECT_TRUE(checker.check_f_matches()) << "seed " << seed;
+  // After healing to the full group, everything is eventually ordered.
+  checker.sync();
+  EXPECT_EQ(checker.oracle().queue().size(), 20u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationFuzz, ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace vsg

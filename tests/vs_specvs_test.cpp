@@ -1,0 +1,124 @@
+// SpecVS (the VS-machine-backed reference service): the partition oracle
+// creates views matching connectivity components, pumping respects
+// processor failure status, and the machine state stays visible and
+// Lemma-4.1-clean throughout.
+
+#include <gtest/gtest.h>
+
+#include "harness/world.hpp"
+#include "spec/vs_machine.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+WorldConfig spec_cfg(int n, std::uint64_t seed, int n0 = -1) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.n0 = n0;
+  cfg.backend = Backend::kSpec;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SpecVS, StableNetworkCreatesNoViews) {
+  World world(spec_cfg(3, 1));
+  world.run_until(sim::sec(2));
+  EXPECT_EQ(world.spec_vs()->machine().created().size(), 1u) << "only the initial view";
+  for (const auto& te : world.recorder().events())
+    EXPECT_EQ(trace::as<trace::NewViewEvent>(te), nullptr);
+}
+
+TEST(SpecVS, OracleViewsMatchComponents) {
+  World world(spec_cfg(5, 2));
+  world.partition_at(sim::msec(100), {{0, 1, 2}, {3, 4}});
+  world.run_until(sim::sec(1));
+  const auto& machine = world.spec_vs()->machine();
+  // Two new views created, one per component, with matching membership.
+  ASSERT_EQ(machine.created().size(), 3u);
+  std::set<std::set<ProcId>> memberships;
+  for (std::size_t i = 1; i < machine.created().size(); ++i)
+    memberships.insert(machine.created()[i].members);
+  EXPECT_TRUE(memberships.count({0, 1, 2}));
+  EXPECT_TRUE(memberships.count({3, 4}));
+  // Everyone's current viewid is its component's view.
+  for (ProcId p = 0; p < 5; ++p) {
+    const auto cur = machine.current_viewid(p);
+    ASSERT_TRUE(cur.has_value());
+    const auto members = machine.created_membership(*cur);
+    ASSERT_TRUE(members.has_value());
+    EXPECT_TRUE(members->count(p));
+  }
+}
+
+TEST(SpecVS, RepeatedIdenticalPartitionCreatesNoDuplicateViews) {
+  World world(spec_cfg(4, 3));
+  world.partition_at(sim::msec(100), {{0, 1}, {2, 3}});
+  world.run_until(sim::sec(1));
+  const auto created = world.spec_vs()->machine().created().size();
+  // Re-issuing the same partition must not spawn fresh views.
+  world.partition_at(world.simulator().now(), {{0, 1}, {2, 3}});
+  world.run_until(sim::sec(2));
+  EXPECT_EQ(world.spec_vs()->machine().created().size(), created);
+}
+
+TEST(SpecVS, LateJoinerGetsViewViaOracle) {
+  World world(spec_cfg(3, 4, /*n0=*/2));
+  world.run_until(sim::sec(1));
+  // The oracle notices 2 is connected to {0,1} and forms a 3-member view.
+  const auto cur = world.spec_vs()->machine().current_viewid(2);
+  ASSERT_TRUE(cur.has_value());
+  const auto members = world.spec_vs()->machine().created_membership(*cur);
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(*members, (std::set<ProcId>{0, 1, 2}));
+  EXPECT_TRUE(world.check_vs_safety().empty());
+}
+
+TEST(SpecVS, BadProcessorReceivesNothingUntilGood) {
+  World world(spec_cfg(3, 5));
+  world.proc_status_at(sim::msec(10), 2, sim::Status::kBad);
+  world.bcast_at(sim::msec(100), 0, "x");
+  world.run_until(sim::sec(2));
+  // 2 is stopped: no gprcv events at it.
+  for (const auto& te : world.recorder().events())
+    if (const auto* e = trace::as<trace::GprcvEvent>(te)) EXPECT_NE(e->dst, 2);
+
+  world.proc_status_at(world.simulator().now(), 2, sim::Status::kGood);
+  world.run_until(sim::sec(4));
+  std::size_t at_2 = 0;
+  for (const auto& te : world.recorder().events())
+    if (const auto* e = trace::as<trace::GprcvEvent>(te))
+      if (e->dst == 2) ++at_2;
+  EXPECT_GT(at_2, 0u) << "pumping resumed on recovery";
+  EXPECT_TRUE(world.check_vs_safety().empty());
+}
+
+TEST(SpecVS, MachineStateStaysLemma41Clean) {
+  World world(spec_cfg(4, 6));
+  world.partition_at(sim::msec(100), {{0, 2}, {1, 3}});
+  world.bcast_at(sim::msec(300), 0, "a");
+  world.heal_at(sim::msec(600));
+  while (world.simulator().now() < sim::sec(3) && world.simulator().step()) {
+    const auto bad = spec::check_lemma_4_1(world.spec_vs()->machine());
+    ASSERT_TRUE(bad.empty()) << bad.front();
+  }
+}
+
+TEST(SpecVS, SafeFollowsDeliveryEverywhere) {
+  World world(spec_cfg(3, 7));
+  world.bcast_at(sim::msec(50), 1, "v");
+  world.run_until(sim::sec(2));
+  // Each safe event at q is preceded by gprcv of the same payload at every
+  // member — enforced wholesale by the checker.
+  EXPECT_TRUE(world.check_vs_safety().empty());
+  std::size_t safes = 0;
+  for (const auto& te : world.recorder().events())
+    if (trace::as<trace::SafeEvent>(te)) ++safes;
+  EXPECT_GT(safes, 0u);
+}
+
+}  // namespace
+}  // namespace vsg

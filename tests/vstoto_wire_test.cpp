@@ -1,0 +1,90 @@
+// VStoTO wire format: round trips and defensive decoding.
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "vstoto/wire.hpp"
+
+namespace vsg::vstoto {
+namespace {
+
+core::Label lab(std::uint64_t epoch, std::uint32_t seqno, ProcId origin) {
+  return core::Label{core::ViewId{epoch, 0}, seqno, origin};
+}
+
+TEST(Wire, LabeledValueRoundTrip) {
+  const LabeledValue lv{lab(3, 7, 1), "payload"};
+  const auto bytes = encode_message(Message{lv});
+  const auto back = decode_message(bytes);
+  ASSERT_TRUE(back.has_value());
+  const auto* got = std::get_if<LabeledValue>(&*back);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, lv);
+}
+
+TEST(Wire, EmptyValueRoundTrip) {
+  const LabeledValue lv{lab(1, 1, 0), ""};
+  const auto back = decode_message(encode_message(Message{lv}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<LabeledValue>(*back).value, "");
+}
+
+TEST(Wire, SummaryRoundTrip) {
+  core::Summary x;
+  x.con = {{lab(1, 1, 0), "a"}, {lab(1, 2, 1), "b"}};
+  x.ord = {lab(1, 1, 0), lab(1, 2, 1)};
+  x.next = 2;
+  x.high = core::ViewId{1, 0};
+  const auto back = decode_message(encode_message(Message{x}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<core::Summary>(*back), x);
+}
+
+TEST(Wire, EmptySummaryRoundTrip) {
+  const core::Summary x;
+  const auto back = decode_message(encode_message(Message{x}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<core::Summary>(*back), x);
+}
+
+TEST(Wire, UnknownTagRejected) {
+  util::Bytes garbage{0x7F, 1, 2, 3};
+  EXPECT_FALSE(decode_message(garbage).has_value());
+}
+
+TEST(Wire, EmptyBufferRejected) {
+  EXPECT_FALSE(decode_message(util::Bytes{}).has_value());
+}
+
+TEST(Wire, TruncatedMessageRejected) {
+  const LabeledValue lv{lab(3, 7, 1), "payload"};
+  auto bytes = encode_message(Message{lv});
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  const LabeledValue lv{lab(3, 7, 1), "p"};
+  auto bytes = encode_message(Message{lv});
+  bytes.push_back(0xAA);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, RandomBytesNeverCrash) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    util::Bytes buf;
+    const auto len = rng.below(40);
+    for (std::uint64_t k = 0; k < len; ++k)
+      buf.push_back(static_cast<std::uint8_t>(rng.next()));
+    (void)decode_message(buf);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace vsg::vstoto
