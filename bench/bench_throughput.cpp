@@ -4,23 +4,35 @@
 // since the previous lap). We saturate every member with client traffic
 // and measure confirmed deliveries per second at one processor, sweeping n
 // and pi.
+//
+// With `--export PATH` the full sweep's metrics registry (shared across
+// every World in the sweep) is written as a vsg-metrics-v1 JSON snapshot;
+// see docs/OBSERVABILITY.md.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace vsg;
 
 namespace {
 
-double run_one(int n, sim::Time pi, std::uint64_t seed) {
+double run_one(int n, sim::Time pi, std::uint64_t seed,
+               const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
+
   harness::WorldConfig cfg;
   cfg.n = n;
   cfg.backend = harness::Backend::kTokenRing;
   cfg.ring.pi = pi;
   cfg.seed = seed;
+  cfg.metrics = metrics;  // all sweep runs accumulate into one registry
   harness::World world(cfg);
 
   // Saturation: every processor submits a value every pi/4.
@@ -41,15 +53,22 @@ double run_one(int n, sim::Time pi, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("E6: confirmed-delivery throughput vs ring size and token spacing\n\n");
   const std::vector<int> widths{4, 10, 14, 16};
   std::printf("%s\n",
               harness::fmt_row({"n", "pi", "deliv/sec", "offered/sec"}, widths).c_str());
   for (int n : {2, 3, 4, 6, 8}) {
     for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)}) {
-      const double rate = run_one(n, pi, 2200 + n);
+      const double rate = run_one(n, pi, 2200 + n, metrics);
       const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
+      metrics
+          ->gauge("bench.deliv_per_sec.n" + std::to_string(n) + ".pi_ms" +
+                  std::to_string(pi / 1000))
+          .set(static_cast<std::int64_t>(rate));
       char r[24], o[24];
       std::snprintf(r, sizeof r, "%.0f", rate);
       std::snprintf(o, sizeof o, "%.0f", offered);
@@ -62,5 +81,13 @@ int main() {
       "\nreading: the token batches, so throughput tracks the offered load (all\n"
       "submitted values are confirmed) while latency is governed by pi (see E2);\n"
       "the serialization point does not collapse as n grows.\n");
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_throughput")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n", export_path->c_str());
+  }
   return 0;
 }

@@ -3,13 +3,20 @@
 // system through a partition that stabilizes to a quorum component, and
 // measure (a) the TO-level stabilization l' against b + d and (b) the
 // bcast -> delivered-at-all-of-Q latency against d.
+//
+// With `--export PATH` the sweep's shared metrics registry — including the
+// stack-recorded to.brcv_latency.* histograms feeding the latency columns
+// below — is written as a vsg-metrics-v1 JSON snapshot.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace vsg;
 
@@ -21,7 +28,10 @@ sim::Time bound_b(const membership::TokenRingConfig& cfg, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("E3: TO-property(b+d, d, Q) for the full stack (Theorem 7.1/7.2)\n");
   const membership::TokenRingConfig ring;
   const std::vector<int> widths{4, 12, 12, 12, 12, 12, 8};
@@ -32,12 +42,15 @@ int main() {
                   .c_str());
   bool all_ok = true;
   for (int group = 2; group <= 7; ++group) {
+    obs::ScopedWallTimer timer(
+        metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
     const int n = group + 2;
     harness::WorldConfig cfg;
     cfg.n = n;
     cfg.backend = harness::Backend::kTokenRing;
     cfg.ring = ring;
     cfg.seed = 900 + group;
+    cfg.metrics = metrics;
     harness::World world(cfg);
 
     std::set<ProcId> q;
@@ -67,6 +80,11 @@ int main() {
     const auto lat =
         harness::to_delivery_latency(world.recorder().events(), q, sim::sec(3));
 
+    if (report.required_lprime)
+      metrics->gauge("bench.to_lprime.q" + std::to_string(group))
+          .set(*report.required_lprime);
+    metrics->gauge("bench.deliv_p90.q" + std::to_string(group)).set(lat.p90);
+
     const bool ok = !quorum || (report.holds_with(b + d) && world.check_to_safety().empty());
     all_ok = all_ok && ok;
     std::printf(
@@ -83,5 +101,13 @@ int main() {
   std::printf("\npaper claim (Thm 7.1): TO stabilizes within b+d and delivers within d\n"
               "for every Q containing a quorum -> %s\n",
               all_ok ? "REPRODUCED" : "NOT reproduced");
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_to_latency")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", export_path->c_str());
+  }
   return all_ok ? 0 : 1;
 }

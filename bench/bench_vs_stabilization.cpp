@@ -5,12 +5,19 @@
 // with membership exactly Q within l' <= b. We measure l' for (a) a
 // partition shrinking the group and (b) a heal merging two groups, across
 // group sizes and timing parameters, and compare with the bound.
+//
+// With `--export PATH` the sweep's shared metrics registry — packet
+// counts, ring.formation_rounds, state-exchange bytes — is written as a
+// vsg-metrics-v1 JSON snapshot.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace vsg;
 
@@ -28,7 +35,11 @@ struct Row {
   bool ok;
 };
 
-Row run_one(int group, const membership::TokenRingConfig& ring, std::uint64_t seed) {
+Row run_one(int group, const membership::TokenRingConfig& ring, std::uint64_t seed,
+            const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
+
   const int n = group + 2;  // two extra processors get partitioned away
   harness::WorldConfig cfg;
   cfg.n = n;
@@ -38,6 +49,7 @@ Row run_one(int group, const membership::TokenRingConfig& ring, std::uint64_t se
   // physical link model in sync with the protocol's assumption.
   cfg.link.delta = ring.delta;
   cfg.seed = seed;
+  cfg.metrics = metrics;
   harness::World world(cfg);
 
   std::set<ProcId> q;
@@ -65,6 +77,11 @@ Row run_one(int group, const membership::TokenRingConfig& ring, std::uint64_t se
   const auto merged = world.vs_report(all, 3 * (ring.pi + n * ring.delta));
   const sim::Time merge_lprime = merged.required_lprime.value_or(-1);
 
+  // Stabilization samples feed the exported histogram; -1 means "never".
+  auto& hist = metrics->histogram("bench.stabilization", obs::Unit::kSimMicros);
+  if (split_lprime >= 0) hist.observe(split_lprime);
+  if (merge_lprime >= 0) hist.observe(merge_lprime);
+
   Row row;
   row.n = group;
   row.b = b;
@@ -77,7 +94,10 @@ Row run_one(int group, const membership::TokenRingConfig& ring, std::uint64_t se
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("E1: view stabilization vs the Section 8 bound b = 9d + max{pi+(n+3)d, mu}\n");
   struct ParamSet {
     const char* name;
@@ -98,7 +118,7 @@ int main() {
                                          widths)
                             .c_str());
     for (int group = 2; group <= 8; ++group) {
-      const Row row = run_one(group, ps.ring, 1000 + group);
+      const Row row = run_one(group, ps.ring, 1000 + group, metrics);
       all_ok = all_ok && row.ok;
       std::printf("%s\n",
                   harness::fmt_row({std::to_string(row.n), harness::fmt_time(row.b),
@@ -113,5 +133,14 @@ int main() {
   }
   std::printf("\npaper claim: measured l' <= b for every configuration -> %s\n",
               all_ok ? "REPRODUCED" : "NOT reproduced");
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path,
+                                       "bench_vs_stabilization")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", export_path->c_str());
+  }
   return all_ok ? 0 : 1;
 }

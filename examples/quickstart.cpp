@@ -7,7 +7,7 @@
 // This is the smallest end-to-end use of the library: World assembles the
 // simulator, failure model, network, the Section 8 token-ring VS
 // implementation and one VStoTO process per processor; clients interact
-// only through bcast and the delivery callback.
+// only through bcast and a per-processor to::Client.
 
 #include <cstdio>
 
@@ -22,12 +22,13 @@ int main() {
   cfg.seed = 2024;
   harness::World world(cfg);
 
-  // Print deliveries as they happen at processor 0.
-  world.stack().set_delivery([&](ProcId dest, ProcId origin, const core::Value& a) {
-    if (dest == 0)
-      std::printf("  t=%-8lld processor %d delivers \"%s\" (from %d)\n",
-                  static_cast<long long>(world.simulator().now()), dest, a.c_str(), origin);
+  // Print deliveries as they happen at processor 0: attach a to::Client
+  // there (each processor gets its own client; the others stay silent).
+  to::CallbackClient printer([&](ProcId origin, const core::Value& a) {
+    std::printf("  t=%-8lld processor 0 delivers \"%s\" (from %d)\n",
+                static_cast<long long>(world.simulator().now()), a.c_str(), origin);
   });
+  world.stack().attach(0, printer);
 
   // Each processor broadcasts two values.
   std::printf("submitting six values...\n");
@@ -52,5 +53,18 @@ int main() {
   std::printf("\nTO safety check: %s\n",
               violations.empty() ? "OK (trace is a TO-machine behaviour)"
                                  : violations.front().c_str());
+
+  // Every layer reported into the world's shared metrics registry.
+  const auto& m = world.metrics();
+  const auto* lat = m.find_histogram("to.brcv_latency.all");
+  std::printf("\nobservability (world.metrics()):\n");
+  std::printf("  net.packets_sent     = %llu\n",
+              static_cast<unsigned long long>(m.find_counter("net.packets_sent")->value()));
+  std::printf("  ring.token_rotations = %llu\n",
+              static_cast<unsigned long long>(m.find_counter("ring.token_rotations")->value()));
+  std::printf("  bcast->brcv latency  = p50 <= %lldus, max %lldus over %llu deliveries\n",
+              static_cast<long long>(lat->quantile_upper(0.5)),
+              static_cast<long long>(lat->max()),
+              static_cast<unsigned long long>(lat->count()));
   return violations.empty() ? 0 : 1;
 }

@@ -23,8 +23,14 @@ int main() {
   cfg.backend = harness::Backend::kTokenRing;
   cfg.seed = 99;
   harness::World world(cfg);
-  app::ReplicatedKV kv(world.stack());
+  app::ReplicatedKV kv(world.stack());  // attaches one to::Client per replica
   app::SeqCstChecker checker(3);
+
+  // The KV owns the per-processor clients; the legacy global callback is
+  // still free, so observers can tap the same delivery stream.
+  std::size_t to_deliveries = 0;
+  world.stack().set_delivery(
+      [&](ProcId, ProcId, const core::Value&) { ++to_deliveries; });
 
   auto write = [&](sim::Time t, ProcId p, const std::string& key, const std::string& value) {
     world.simulator().at(t, [&, t, p, key, value] {
@@ -79,5 +85,9 @@ int main() {
   std::printf("\nsequential consistency audit: %s\n",
               checker.ok() ? "OK" : checker.violations().front().c_str());
   std::printf("common write order has %zu writes\n", checker.common_order().size());
+  std::printf("%zu TO deliveries; %llu packets on the wire (world.metrics())\n",
+              to_deliveries,
+              static_cast<unsigned long long>(
+                  world.metrics().find_counter("net.packets_sent")->value()));
   return checker.ok() ? 0 : 1;
 }

@@ -97,13 +97,20 @@ int main() {
   cfg.seed = 1987;
   harness::World world(cfg);
 
+  // One to::Client per trading site: each site's order book consumes the
+  // common TO order independently.
   std::vector<OrderBook> books(3);
   std::vector<std::vector<std::string>> trades(3);
-  world.stack().set_delivery([&](ProcId dest, ProcId origin, const core::Value& v) {
-    if (const auto order = decode_order(v, origin))
-      books[static_cast<std::size_t>(dest)].apply(*order,
-                                                  &trades[static_cast<std::size_t>(dest)]);
-  });
+  std::vector<std::unique_ptr<to::CallbackClient>> sites;
+  for (ProcId p = 0; p < 3; ++p) {
+    sites.push_back(std::make_unique<to::CallbackClient>(
+        [&, p](ProcId origin, const core::Value& v) {
+          if (const auto order = decode_order(v, origin))
+            books[static_cast<std::size_t>(p)].apply(
+                *order, &trades[static_cast<std::size_t>(p)]);
+        }));
+    world.stack().attach(p, *sites.back());
+  }
 
   auto submit = [&world](sim::Time t, ProcId site, bool buy, int price, int qty) {
     world.bcast_at(t, site, encode_order(Order{buy, price, qty, site}));

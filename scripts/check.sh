@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: build, run the tier-1 test suite, then exercise one bench
+# in --export mode and sanity-check the emitted vsg-metrics-v1 snapshot.
+#
+#   $ scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tier-1 verify line (ROADMAP.md).
+cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+# Observability smoke: the throughput bench must emit a parseable snapshot.
+./build/bench/bench_throughput --export build/BENCH_throughput.json
+test -s build/BENCH_throughput.json
+grep -q '"schema": "vsg-metrics-v1"' build/BENCH_throughput.json
+grep -q '"net.packets_sent"' build/BENCH_throughput.json
+grep -q '"ring.formation_rounds"' build/BENCH_throughput.json
+grep -q '"to.brcv_latency.all"' build/BENCH_throughput.json
+
+echo "check.sh: all green"

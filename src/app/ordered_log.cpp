@@ -6,9 +6,13 @@ namespace vsg::app {
 
 OrderedLog::OrderedLog(to::Service& to_service)
     : to_(&to_service), logs_(static_cast<std::size_t>(to_service.size())) {
-  to_->set_delivery([this](ProcId dest, ProcId origin, const core::Value& v) {
-    logs_[static_cast<std::size_t>(dest)].push_back(Entry{origin, v});
-  });
+  for (ProcId p = 0; p < to_->size(); ++p) {
+    clients_.push_back(std::make_unique<to::CallbackClient>(
+        [this, p](ProcId origin, const core::Value& v) {
+          logs_[static_cast<std::size_t>(p)].push_back(Entry{origin, v});
+        }));
+    to_->attach(p, *clients_.back());
+  }
 }
 
 void OrderedLog::append(ProcId p, std::string text) {

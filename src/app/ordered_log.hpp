@@ -4,6 +4,7 @@
 // totally ordered broadcast. Every process appends entries; all processes
 // observe the same log, each seeing a prefix of the common order.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,7 @@ class OrderedLog {
     bool operator==(const Entry&) const = default;
   };
 
-  /// Takes over the TO service's delivery callback.
+  /// Attaches one to::Client per processor of `to_service`.
   explicit OrderedLog(to::Service& to_service);
 
   /// Append an entry authored at processor p.
@@ -34,6 +35,7 @@ class OrderedLog {
 
  private:
   to::Service* to_;
+  std::vector<std::unique_ptr<to::Client>> clients_;  // one per processor
   std::vector<std::vector<Entry>> logs_;
 };
 

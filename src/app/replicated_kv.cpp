@@ -85,9 +85,11 @@ ReplicatedKV::ReplicatedKV(to::Service& to_service)
       applied_own_(static_cast<std::size_t>(to_service.size()), 0),
       pending_reads_(static_cast<std::size_t>(to_service.size())),
       pending_cas_(static_cast<std::size_t>(to_service.size())) {
-  to_->set_delivery([this](ProcId dest, ProcId origin, const core::Value& v) {
-    on_delivery(dest, origin, v);
-  });
+  for (ProcId p = 0; p < to_->size(); ++p) {
+    clients_.push_back(std::make_unique<to::CallbackClient>(
+        [this, p](ProcId origin, const core::Value& v) { on_delivery(p, origin, v); }));
+    to_->attach(p, *clients_.back());
+  }
 }
 
 void ReplicatedKV::write(ProcId p, const std::string& key, const std::string& value) {

@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,7 +39,8 @@ struct AppliedWrite {
 
 class ReplicatedKV {
  public:
-  /// Takes over the TO service's delivery callback.
+  /// Attaches one to::Client per processor of `to_service` (the legacy
+  /// global set_delivery callback stays free for observers).
   explicit ReplicatedKV(to::Service& to_service);
 
   /// Submit a write at processor p (takes effect when TO delivers it).
@@ -81,6 +83,7 @@ class ReplicatedKV {
   void on_delivery(ProcId dest, ProcId origin, const core::Value& encoded);
 
   to::Service* to_;
+  std::vector<std::unique_ptr<to::Client>> clients_;  // one per processor
   std::vector<std::map<std::string, std::string>> stores_;
   std::vector<std::vector<AppliedWrite>> applied_;
   std::vector<std::size_t> submitted_;

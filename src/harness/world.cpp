@@ -1,19 +1,57 @@
 #include "harness/world.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "spec/to_trace_checker.hpp"
 #include "spec/vs_trace_checker.hpp"
 
 namespace vsg::harness {
 
+void WorldConfig::validate() const {
+  if (n <= 0)
+    throw std::invalid_argument("WorldConfig: n must be positive, got n=" +
+                                std::to_string(n));
+  if (n0 != -1 && (n0 <= 0 || n0 > n))
+    throw std::invalid_argument(
+        "WorldConfig: initial-view size n0 must be -1 (meaning n) or in [1, n=" +
+        std::to_string(n) + "], got n0=" + std::to_string(n0));
+  if (quorums != nullptr) {
+    std::set<ProcId> universe;
+    for (ProcId p = 0; p < n; ++p) universe.insert(p);
+    if (!quorums->contains_quorum(universe))
+      throw std::invalid_argument(
+          "WorldConfig: quorum system '" + quorums->name() + "' is unsatisfiable by the " +
+          std::to_string(n) +
+          "-processor universe {0.." + std::to_string(n - 1) +
+          "} — no primary view could ever form (was it built for a larger universe?)");
+  }
+  if (backend == Backend::kTokenRing && (ring.delta <= 0 || ring.pi <= 0 || ring.mu <= 0))
+    throw std::invalid_argument(
+        "WorldConfig: token-ring timing parameters must be positive (delta=" +
+        std::to_string(ring.delta) + ", pi=" + std::to_string(ring.pi) +
+        ", mu=" + std::to_string(ring.mu) + ")");
+}
+
+namespace {
+// Validation must run before any subsystem sees the config (FailureTable
+// asserts on n, the ring divides by timing parameters).
+int validated_n(const WorldConfig& config) {
+  config.validate();
+  return config.n;
+}
+}  // namespace
+
 World::World(WorldConfig config)
     : config_(std::move(config)),
       sim_(),
-      failures_(config_.n),
+      failures_(validated_n(config_)),
       recorder_(sim_) {
   if (config_.n0 < 0) config_.n0 = config_.n;
   if (config_.quorums == nullptr) config_.quorums = core::majorities(config_.n);
+  if (config_.metrics == nullptr) config_.metrics = std::make_shared<obs::MetricsRegistry>();
+  metrics_ = config_.metrics;
   util::Rng rng(config_.seed);
 
   // Failure-status changes are input actions of the timed trace (Figure 4);
@@ -27,18 +65,23 @@ World::World(WorldConfig config)
     vs_ = std::move(spec);
   } else {
     net_ = std::make_unique<net::Network>(sim_, failures_, config_.link, rng.split());
+    net_->bind_metrics(*metrics_);
     auto ring = std::make_unique<membership::TokenRingVS>(
         sim_, *net_, failures_, recorder_, config_.n, config_.n0, config_.ring, rng.split());
     ring_ = ring.get();
+    ring_->bind_metrics(*metrics_);
     vs_ = std::move(ring);
   }
 
   stack_ = std::make_unique<to::Stack>(*vs_, recorder_, config_.quorums, config_.n0);
+  stack_->bind_metrics(*metrics_);
   if (ring_ != nullptr) ring_->start();
 }
 
 void World::bcast_at(sim::Time t, ProcId p, core::Value a) {
-  sim_.at(t, [this, p, a = std::move(a)] { stack_->bcast(p, a); });
+  // mutable + move: the value travels World -> Stack -> Process without a
+  // copy (to.payload_copies counts what remains).
+  sim_.at(t, [this, p, a = std::move(a)]() mutable { stack_->bcast(p, std::move(a)); });
 }
 
 void World::partition_at(sim::Time t, std::vector<std::set<ProcId>> components) {

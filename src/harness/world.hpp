@@ -12,6 +12,7 @@
 #include "core/quorum.hpp"
 #include "membership/token_ring_vs.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "props/to_property.hpp"
 #include "props/vs_property.hpp"
 #include "sim/failure_table.hpp"
@@ -38,6 +39,17 @@ struct WorldConfig {
   std::uint64_t seed = 1;
   /// Quorum system; defaults to majorities of n.
   std::shared_ptr<const core::QuorumSystem> quorums;
+  /// Metrics registry every layer reports into; defaults to a fresh one
+  /// per World. Pass a shared registry to accumulate across several runs
+  /// (this is how benches build one BENCH_*.json from a parameter sweep).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Rejects misconfiguration with std::invalid_argument: n <= 0, an
+  /// explicit n0 outside [1, n], a quorum system no subset of {0..n-1} can
+  /// ever satisfy (wrong universe), or non-positive ring timing
+  /// parameters. Called by the World constructor; callers may invoke it
+  /// early for a better error site.
+  void validate() const;
 };
 
 class World {
@@ -51,6 +63,10 @@ class World {
   sim::Simulator& simulator() noexcept { return sim_; }
   sim::FailureTable& failures() noexcept { return failures_; }
   trace::Recorder& recorder() noexcept { return recorder_; }
+  /// The registry all layers of this World report into (shared with other
+  /// Worlds when WorldConfig::metrics was supplied).
+  obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
   net::Network* network() noexcept { return net_.get(); }
   to::Stack& stack() noexcept { return *stack_; }
   vs::Service& vs() noexcept { return *vs_; }
@@ -85,6 +101,7 @@ class World {
 
  private:
   WorldConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   sim::Simulator sim_;
   sim::FailureTable failures_;
   trace::Recorder recorder_;

@@ -103,6 +103,7 @@ void Node::initiate_proposal() {
   prop_accepted_ = {me_};
   last_propose_ = parent_->simulator().now();
   ++stats_.proposals;
+  obs::bump(parent_->obs().proposals);
   VSG_DEBUG << "node " << me_ << " proposes view " << core::to_string(prop_gid_);
   parent_->network().broadcast(me_, encode_packet(Packet{Call{prop_gid_}}));
   parent_->simulator().after(cfg.formation_wait(),
@@ -129,6 +130,7 @@ void Node::initiate_one_round() {
   promised_ = v.id;
   last_propose_ = now;
   ++stats_.proposals;
+  obs::bump(parent_->obs().proposals);
   VSG_DEBUG << "node " << me_ << " one-round announces " << core::to_string(v);
   for (ProcId q : v.members)
     if (q != me_)
@@ -181,6 +183,7 @@ void Node::install_view(const core::View& v, bool initial) {
   view_ = v;
   ++view_gen_;
   ++stats_.views_installed;
+  obs::bump(parent_->obs().views_installed);
   log_.clear();
   delivered_ = 0;
   safe_emitted_ = 0;
@@ -229,6 +232,7 @@ void Node::probe_tick() {
         parent_->network().send(me_, q,
                                 encode_packet(Packet{Probe{view_->id}}));
         ++stats_.probes_sent;
+        obs::bump(parent_->obs().probes_sent);
       }
     }
   }

@@ -51,6 +51,7 @@ void Node::handle_token(ProcId src, Token t) {
 
 void Node::process_token(Token& t) {
   ++stats_.tokens_processed;
+  obs::bump(parent_->obs().tokens_processed);
 
   // 1. Absorb entries we have not seen (the token is authoritative for the
   // order; indices are t.base + k).
@@ -69,6 +70,7 @@ void Node::process_token(Token& t) {
     const auto& [src, payload] = log_[delivered_];
     ++delivered_;
     ++stats_.entries_delivered;
+    obs::bump(parent_->obs().entries_delivered);
     parent_->emit_gprcv(me_, src, payload);
   }
 
@@ -86,6 +88,7 @@ void Node::process_token(Token& t) {
     t.entries.emplace_back(me_, payload);
     ++delivered_;
     ++stats_.entries_delivered;
+    obs::bump(parent_->obs().entries_delivered);
     parent_->emit_gprcv(me_, me_, log_.back().second);
   }
 
@@ -103,11 +106,14 @@ void Node::process_token(Token& t) {
     const auto& [src, payload] = log_[safe_emitted_];
     ++safe_emitted_;
     ++stats_.safes_emitted;
+    obs::bump(parent_->obs().safes_emitted);
     parent_->emit_safe(me_, src, payload);
   }
 
   if (t.entries.size() > stats_.max_token_entries)
     stats_.max_token_entries = t.entries.size();
+  if (parent_->obs().max_token_entries != nullptr)
+    parent_->obs().max_token_entries->max_of(static_cast<std::int64_t>(t.entries.size()));
 
   // 6. Trim: entries below the threshold are delivered everywhere and never
   // needed again; drop them so the token stays small.
@@ -123,6 +129,7 @@ void Node::process_token(Token& t) {
 void Node::forward_token(const Token& t, ProcId to) {
   util::Bytes bytes = encode_packet(Packet{t});
   stats_.token_bytes_sent += bytes.size();
+  obs::bump(parent_->obs().token_bytes_sent, bytes.size());
   parent_->network().send(me_, to, std::move(bytes));
 }
 

@@ -41,7 +41,23 @@ void TokenRingVS::attach(ProcId p, vs::Client& client) {
 void TokenRingVS::gpsnd(ProcId p, vs::Payload m) {
   assert(p >= 0 && p < size());
   recorder_->record(trace::GpsndEvent{p, m});
+  if (obs_.gpsnd != nullptr) obs_.gpsnd->inc();
   nodes_[static_cast<std::size_t>(p)]->submit(std::move(m));
+}
+
+void TokenRingVS::bind_metrics(obs::MetricsRegistry& registry) {
+  obs_.proposals = &registry.counter("ring.formation_rounds");
+  obs_.views_installed = &registry.counter("ring.views_installed");
+  obs_.tokens_processed = &registry.counter("ring.token_rotations");
+  obs_.entries_delivered = &registry.counter("ring.entries_delivered");
+  obs_.safes_emitted = &registry.counter("ring.safes_emitted");
+  obs_.probes_sent = &registry.counter("ring.probes_sent");
+  obs_.token_bytes_sent = &registry.counter("ring.state_exchange_bytes");
+  obs_.max_token_entries = &registry.gauge("ring.max_token_entries");
+  obs_.gpsnd = &registry.counter("vs.gpsnd");
+  obs_.gprcv = &registry.counter("vs.gprcv");
+  obs_.safe = &registry.counter("vs.safe");
+  obs_.newview = &registry.counter("vs.newview");
 }
 
 NodeStats TokenRingVS::total_stats() const {
@@ -62,18 +78,21 @@ NodeStats TokenRingVS::total_stats() const {
 
 void TokenRingVS::emit_gprcv(ProcId dst, ProcId src, const util::Bytes& m) {
   recorder_->record(trace::GprcvEvent{src, dst, m});
+  if (obs_.gprcv != nullptr) obs_.gprcv->inc();
   auto* client = clients_[static_cast<std::size_t>(dst)];
   if (client != nullptr) client->on_gprcv(src, m);
 }
 
 void TokenRingVS::emit_safe(ProcId dst, ProcId src, const util::Bytes& m) {
   recorder_->record(trace::SafeEvent{src, dst, m});
+  if (obs_.safe != nullptr) obs_.safe->inc();
   auto* client = clients_[static_cast<std::size_t>(dst)];
   if (client != nullptr) client->on_safe(src, m);
 }
 
 void TokenRingVS::emit_newview(ProcId p, const core::View& v) {
   recorder_->record(trace::NewViewEvent{p, v});
+  if (obs_.newview != nullptr) obs_.newview->inc();
   auto* client = clients_[static_cast<std::size_t>(p)];
   if (client != nullptr) client->on_newview(v);
 }

@@ -13,12 +13,31 @@
 
 #include "membership/membership.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/failure_table.hpp"
 #include "sim/simulator.hpp"
 #include "trace/recorder.hpp"
 #include "vs/service.hpp"
 
 namespace vsg::membership {
+
+/// Shared counters the ring reports into when metrics are bound (names:
+/// ring.* and vs.*). All pointers null until bind_metrics; Node checks one
+/// pointer per event.
+struct RingObs {
+  obs::Counter* proposals = nullptr;         // view-formation rounds initiated
+  obs::Counter* views_installed = nullptr;   // newview installations (all nodes)
+  obs::Counter* tokens_processed = nullptr;  // token rotations through a node
+  obs::Counter* entries_delivered = nullptr;
+  obs::Counter* safes_emitted = nullptr;
+  obs::Counter* probes_sent = nullptr;
+  obs::Counter* token_bytes_sent = nullptr;  // state-exchange bytes on the wire
+  obs::Gauge* max_token_entries = nullptr;   // watermark across all tokens
+  obs::Counter* gpsnd = nullptr;             // VS interface events
+  obs::Counter* gprcv = nullptr;
+  obs::Counter* safe = nullptr;
+  obs::Counter* newview = nullptr;
+};
 
 class TokenRingVS final : public vs::Service {
  public:
@@ -37,6 +56,10 @@ class TokenRingVS final : public vs::Service {
 
   const Node& node(ProcId p) const { return *nodes_[static_cast<std::size_t>(p)]; }
   NodeStats total_stats() const;
+
+  /// Publish ring protocol counters into `registry` (names: ring.*, vs.*).
+  void bind_metrics(obs::MetricsRegistry& registry);
+  RingObs& obs() noexcept { return obs_; }
 
   // --- services for Node ------------------------------------------------------
   sim::Simulator& simulator() noexcept { return *sim_; }
@@ -58,6 +81,7 @@ class TokenRingVS final : public vs::Service {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<vs::Client*> clients_;
   bool started_ = false;
+  RingObs obs_;
 };
 
 }  // namespace vsg::membership

@@ -18,10 +18,23 @@ void Network::attach(ProcId p, Handler handler) {
   handlers_[static_cast<std::size_t>(p)] = std::move(handler);
 }
 
+void Network::bind_metrics(obs::MetricsRegistry& registry) {
+  obs_.packets_sent = &registry.counter("net.packets_sent");
+  obs_.packets_delivered = &registry.counter("net.packets_delivered");
+  obs_.packets_dropped = &registry.counter("net.packets_dropped");
+  obs_.packets_corrupted = &registry.counter("net.packets_corrupted");
+  obs_.bytes_sent = &registry.counter("net.bytes_sent");
+  obs_.bytes_delivered = &registry.counter("net.bytes_delivered");
+}
+
 void Network::send(ProcId p, ProcId q, util::Bytes packet) {
   assert(p >= 0 && p < size() && q >= 0 && q < size());
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.size();
+  if (obs_.packets_sent != nullptr) {
+    obs_.packets_sent->inc();
+    obs_.bytes_sent->inc(packet.size());
+  }
 
   if (p == q) {
     sim_->after(model_.min_delay,
@@ -33,6 +46,7 @@ void Network::send(ProcId p, ProcId q, util::Bytes packet) {
   const auto fate = model_.decide(status, rng_);
   if (!fate) {
     ++stats_.packets_dropped;
+    if (obs_.packets_dropped != nullptr) obs_.packets_dropped->inc();
     return;
   }
   // Ugly links may also corrupt what they deliver.
@@ -42,6 +56,7 @@ void Network::send(ProcId p, ProcId q, util::Bytes packet) {
     for (std::size_t i = 0; i < flips; ++i)
       packet[rng_.below(packet.size())] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
     ++stats_.packets_corrupted;
+    if (obs_.packets_corrupted != nullptr) obs_.packets_corrupted->inc();
   }
   sim_->after(*fate,
               [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
@@ -51,10 +66,15 @@ void Network::deliver(ProcId src, ProcId dst, util::Bytes packet) {
   // A link that went bad while the packet was in flight loses it.
   if (src != dst && failures_->link(src, dst) == sim::Status::kBad) {
     ++stats_.packets_dropped;
+    if (obs_.packets_dropped != nullptr) obs_.packets_dropped->inc();
     return;
   }
   ++stats_.packets_delivered;
   stats_.bytes_delivered += packet.size();
+  if (obs_.packets_delivered != nullptr) {
+    obs_.packets_delivered->inc();
+    obs_.bytes_delivered->inc(packet.size());
+  }
   auto& handler = handlers_[static_cast<std::size_t>(dst)];
   if (handler) handler(src, packet);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/link_model.hpp"
+#include "obs/metrics.hpp"
 #include "sim/failure_table.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -58,8 +59,21 @@ class Network {
   const NetStats& stats() const noexcept { return stats_; }
   const LinkModel& model() const noexcept { return model_; }
 
+  /// Publish packet/byte counters into `registry` (names: net.*). Counter
+  /// references are cached, so binding costs nothing on the send path.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   void deliver(ProcId src, ProcId dst, util::Bytes packet);
+
+  struct Obs {
+    obs::Counter* packets_sent = nullptr;
+    obs::Counter* packets_delivered = nullptr;
+    obs::Counter* packets_dropped = nullptr;
+    obs::Counter* packets_corrupted = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_delivered = nullptr;
+  };
 
   sim::Simulator* sim_;
   sim::FailureTable* failures_;
@@ -67,6 +81,7 @@ class Network {
   util::Rng rng_;
   std::vector<Handler> handlers_;
   NetStats stats_;
+  Obs obs_;
 };
 
 }  // namespace vsg::net

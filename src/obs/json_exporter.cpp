@@ -1,0 +1,360 @@
+#include "obs/json_exporter.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace vsg::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+template <typename Int>
+void append_int(std::string& out, Int v) {
+  out += std::to_string(v);
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader covering what vsg-metrics-v1 uses: objects, arrays,
+// strings, and integer numbers. No floats, no unicode escapes beyond what
+// the exporter emits; good enough for round-tripping our own snapshots.
+
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : s_(text.c_str()), end_(s_ + text.size()) {}
+
+  bool ok() const noexcept { return ok_; }
+  void fail() noexcept { ok_ = false; }
+
+  void skip_ws() {
+    while (s_ < end_ && std::isspace(static_cast<unsigned char>(*s_))) ++s_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (!ok_ || s_ >= end_ || *s_ != c) return false;
+    ++s_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return ok_ && s_ < end_ && *s_ == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return s_ >= end_;
+  }
+
+  std::string string() {
+    skip_ws();
+    std::string out;
+    if (!consume('"')) {
+      fail();
+      return out;
+    }
+    // consume('"') already advanced past the opening quote.
+    while (s_ < end_ && *s_ != '"') {
+      if (*s_ == '\\' && s_ + 1 < end_) {
+        ++s_;
+        switch (*s_) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (end_ - s_ < 5) {
+              fail();
+              return out;
+            }
+            out += static_cast<char>(std::strtol(std::string(s_ + 1, s_ + 5).c_str(),
+                                                 nullptr, 16));
+            s_ += 4;
+            break;
+          }
+          default:
+            out += *s_;
+        }
+        ++s_;
+      } else {
+        out += *s_++;
+      }
+    }
+    if (s_ >= end_) {
+      fail();
+      return out;
+    }
+    ++s_;  // closing quote
+    return out;
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    char* after = nullptr;
+    const long long v = std::strtoll(s_, &after, 10);
+    if (after == s_) {
+      fail();
+      return 0;
+    }
+    s_ = after;
+    return v;
+  }
+
+  /// Skip any JSON value (for fields we do not model).
+  void skip_value() {
+    skip_ws();
+    if (!ok_ || s_ >= end_) {
+      fail();
+      return;
+    }
+    if (*s_ == '"') {
+      string();
+    } else if (*s_ == '{') {
+      ++s_;
+      if (peek('}')) {
+        consume('}');
+        return;
+      }
+      do {
+        string();
+        if (!consume(':')) fail();
+        skip_value();
+      } while (ok_ && consume(','));
+      if (!consume('}')) fail();
+    } else if (*s_ == '[') {
+      ++s_;
+      if (peek(']')) {
+        consume(']');
+        return;
+      }
+      do skip_value();
+      while (ok_ && consume(','));
+      if (!consume(']')) fail();
+    } else {
+      // number / true / false / null
+      while (s_ < end_ && (std::isalnum(static_cast<unsigned char>(*s_)) || *s_ == '-' ||
+                           *s_ == '+' || *s_ == '.'))
+        ++s_;
+    }
+  }
+
+  /// Iterate an object: calls fn(key) positioned at the value; fn must
+  /// consume the value.
+  template <typename Fn>
+  void object(Fn fn) {
+    if (!consume('{')) {
+      fail();
+      return;
+    }
+    if (consume('}')) return;
+    do {
+      std::string key = string();
+      if (!consume(':')) {
+        fail();
+        return;
+      }
+      fn(key);
+    } while (ok_ && consume(','));
+    if (!consume('}')) fail();
+  }
+
+  template <typename Fn>
+  void array(Fn fn) {
+    if (!consume('[')) {
+      fail();
+      return;
+    }
+    if (consume(']')) return;
+    do fn();
+    while (ok_ && consume(','));
+    if (!consume(']')) fail();
+  }
+
+ private:
+  const char* s_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+std::optional<Unit> unit_from_string(const std::string& s) {
+  if (s == "us_sim") return Unit::kSimMicros;
+  if (s == "us_wall") return Unit::kWallMicros;
+  if (s == "count") return Unit::kCount;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string JsonExporter::to_json(const MetricsSnapshot& snap, const std::string& label) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"schema\": \"vsg-metrics-v1\",\n  \"label\": ";
+  append_escaped(out, label);
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_int(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_int(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, h.name);
+    out += ": {\n      \"unit\": ";
+    append_escaped(out, to_string(h.unit));
+    out += ",\n      \"count\": ";
+    append_int(out, h.count);
+    out += ",\n      \"sum\": ";
+    append_int(out, h.sum);
+    out += ",\n      \"min\": ";
+    append_int(out, h.min);
+    out += ",\n      \"max\": ";
+    append_int(out, h.max);
+    out += ",\n      \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ", ";
+      append_int(out, h.bounds[i]);
+    }
+    out += "],\n      \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ", ";
+      append_int(out, h.buckets[i]);
+    }
+    out += "]\n    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool JsonExporter::write_file(const MetricsRegistry& registry, const std::string& path,
+                              const std::string& label) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << to_json(registry, label);
+  return static_cast<bool>(f);
+}
+
+std::optional<MetricsSnapshot> JsonExporter::parse(const std::string& json) {
+  Reader r(json);
+  MetricsSnapshot snap;
+  bool schema_ok = false;
+  r.object([&](const std::string& key) {
+    if (key == "schema") {
+      schema_ok = r.string() == "vsg-metrics-v1";
+    } else if (key == "counters") {
+      r.object([&](const std::string& name) {
+        snap.counters.emplace_back(name, static_cast<std::uint64_t>(r.integer()));
+      });
+    } else if (key == "gauges") {
+      r.object([&](const std::string& name) { snap.gauges.emplace_back(name, r.integer()); });
+    } else if (key == "histograms") {
+      r.object([&](const std::string& name) {
+        HistogramSnapshot h;
+        h.name = name;
+        bool unit_ok = true;
+        r.object([&](const std::string& field) {
+          if (field == "unit") {
+            const auto u = unit_from_string(r.string());
+            if (u)
+              h.unit = *u;
+            else
+              unit_ok = false;
+          } else if (field == "count") {
+            h.count = static_cast<std::uint64_t>(r.integer());
+          } else if (field == "sum") {
+            h.sum = r.integer();
+          } else if (field == "min") {
+            h.min = r.integer();
+          } else if (field == "max") {
+            h.max = r.integer();
+          } else if (field == "bounds") {
+            r.array([&] { h.bounds.push_back(r.integer()); });
+          } else if (field == "buckets") {
+            r.array([&] { h.buckets.push_back(static_cast<std::uint64_t>(r.integer())); });
+          } else {
+            r.skip_value();
+          }
+        });
+        if (!unit_ok || h.buckets.size() != h.bounds.size() + 1) r.fail();
+        snap.histograms.push_back(std::move(h));
+      });
+    } else {
+      r.skip_value();
+    }
+  });
+  if (!r.ok() || !r.at_end() || !schema_ok) return std::nullopt;
+  return snap;
+}
+
+std::string JsonExporter::parse_label(const std::string& json) {
+  Reader r(json);
+  std::string label;
+  r.object([&](const std::string& key) {
+    if (key == "label")
+      label = r.string();
+    else
+      r.skip_value();
+  });
+  return r.ok() ? label : "";
+}
+
+std::optional<std::string> export_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--export" && i + 1 < argc) return std::string(argv[i + 1]);
+    if (arg.rfind("--export=", 0) == 0) return arg.substr(std::strlen("--export="));
+  }
+  return std::nullopt;
+}
+
+}  // namespace vsg::obs

@@ -1,0 +1,159 @@
+#pragma once
+
+// Observability primitives: counters, gauges and fixed-bucket histograms,
+// collected in a MetricsRegistry that every layer of an assembled World
+// reports into (net packets, ring protocol activity, VStoTO order depth,
+// TO-level bcast->brcv latency). The registry is the measurement
+// counterpart of the trace::Recorder: the recorder captures *what*
+// happened for the safety checkers, the registry captures *how much / how
+// fast* for the performance properties (TO-property, Theorem 7.1/7.2) and
+// the BENCH_*.json trajectory.
+//
+// Design notes:
+//  - get-or-create by name; references returned by the registry are stable
+//    for its lifetime (node-based map), so hot paths cache Counter*/
+//    Histogram* once at bind time and pay one pointer increment per event;
+//  - histograms carry a time unit (simulated vs wall microseconds) so an
+//    exported snapshot is self-describing;
+//  - no locking: the simulator is single-threaded by design.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsg::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level; may go up and down.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void add(std::int64_t delta) noexcept { value_ += delta; }
+  /// Retain the maximum of the current value and v (watermark gauges).
+  void max_of(std::int64_t v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Increment through a possibly-unbound cached counter pointer (layers
+/// keep null pointers until bind_metrics is called).
+inline void bump(Counter* c, std::uint64_t delta = 1) noexcept {
+  if (c != nullptr) c->inc(delta);
+}
+
+/// What a histogram's samples measure. Simulated time and wall-clock time
+/// are both microseconds but must never be mixed in one series.
+enum class Unit : std::uint8_t { kSimMicros, kWallMicros, kCount };
+
+const char* to_string(Unit u) noexcept;
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing inclusive
+/// upper bounds; one implicit +inf bucket is appended. Also tracks count,
+/// sum, min and max exactly.
+class Histogram {
+ public:
+  Histogram(std::vector<std::int64_t> bounds, Unit unit);
+
+  void observe(std::int64_t sample) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::int64_t sum() const noexcept { return sum_; }
+  /// Exact extremes; 0 when empty.
+  std::int64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const noexcept { return count_ == 0 ? 0 : max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  Unit unit() const noexcept { return unit_; }
+
+  const std::vector<std::int64_t>& bounds() const noexcept { return bounds_; }
+  /// buckets()[i] counts samples <= bounds()[i]; the last entry (index
+  /// bounds().size()) is the overflow (+inf) bucket. Non-cumulative.
+  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+  /// Upper bound of the bucket containing quantile q in (0, 1]; max() when
+  /// q lands in the overflow bucket, 0 when empty. A bucketed estimate,
+  /// not an exact order statistic.
+  std::int64_t quantile_upper(double q) const noexcept;
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  Unit unit_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Default latency buckets in microseconds: 250us .. 10s, roughly 1-2-5
+/// per decade. Suits both message latencies (~ms) and stabilization times
+/// (~100ms..s) under the default TokenRingConfig.
+std::vector<std::int64_t> default_latency_buckets();
+
+/// Everything a registry holds, frozen for export. Entries are sorted by
+/// name (the registry iterates its ordered maps).
+struct HistogramSnapshot {
+  std::string name;
+  Unit unit = Unit::kSimMicros;
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. Returned references are stable for the registry's
+  /// lifetime; hot paths should cache them.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` empty means default_latency_buckets(). If the histogram
+  /// already exists, unit/bounds arguments are ignored.
+  Histogram& histogram(const std::string& name, Unit unit = Unit::kSimMicros,
+                       std::vector<std::int64_t> bounds = {});
+
+  /// Lookup without creating; nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace vsg::obs

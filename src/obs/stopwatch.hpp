@@ -1,0 +1,34 @@
+#pragma once
+
+// Wall-clock measurement for benches: simulated time tells us what the
+// *model* predicts; wall time tells us what the simulator itself costs.
+// Samples land in Unit::kWallMicros histograms so exported snapshots keep
+// the two time bases apart.
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace vsg::obs {
+
+inline std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Observes the elapsed wall microseconds into a histogram on destruction.
+class ScopedWallTimer {
+ public:
+  explicit ScopedWallTimer(Histogram& hist) : hist_(&hist), start_(wall_now_us()) {}
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+  ~ScopedWallTimer() { hist_->observe(wall_now_us() - start_); }
+
+ private:
+  Histogram* hist_;
+  std::int64_t start_;
+};
+
+}  // namespace vsg::obs

@@ -39,7 +39,8 @@ SequencerTO::SequencerTO(sim::Simulator& simulator, net::Network& network,
       admitted_(static_cast<std::size_t>(network.size()), 1),
       next_deliver_(static_cast<std::size_t>(network.size()), 1),
       reorder_(static_cast<std::size_t>(network.size())),
-      delivered_(static_cast<std::size_t>(network.size())) {
+      delivered_(static_cast<std::size_t>(network.size())),
+      clients_(static_cast<std::size_t>(network.size()), nullptr) {
   assert(config_.sequencer >= 0 && config_.sequencer < network.size());
   for (ProcId p = 0; p < network.size(); ++p) {
     network_->attach(p, [this, p](ProcId src, const util::Bytes& pkt) {
@@ -92,6 +93,11 @@ void SequencerTO::stamp_and_broadcast(ProcId origin, core::Value a) {
   receiver_accept(config_.sequencer, stamped);
 }
 
+void SequencerTO::attach(ProcId p, Client& client) {
+  assert(p >= 0 && p < size());
+  clients_[static_cast<std::size_t>(p)] = &client;
+}
+
 void SequencerTO::receiver_accept(ProcId me, const Stamped& s) {
   auto& next = next_deliver_[static_cast<std::size_t>(me)];
   if (s.seq < next) return;  // duplicate (retransmission)
@@ -103,6 +109,8 @@ void SequencerTO::receiver_accept(ProcId me, const Stamped& s) {
     const Stamped& ready = it->second;
     recorder_->record(trace::BrcvEvent{ready.origin, me, ready.value});
     delivered_[static_cast<std::size_t>(me)].emplace_back(ready.origin, ready.value);
+    if (clients_[static_cast<std::size_t>(me)] != nullptr)
+      clients_[static_cast<std::size_t>(me)]->on_brcv(ready.origin, ready.value);
     if (delivery_) delivery_(me, ready.origin, ready.value);
     pending.erase(it);
     ++next;

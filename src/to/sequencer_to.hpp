@@ -52,6 +52,7 @@ class SequencerTO final : public Service {
 
   int size() const override { return network_->size(); }
   void bcast(ProcId p, core::Value a) override;
+  void attach(ProcId p, Client& client) override;
   void set_delivery(DeliveryFn fn) override { delivery_ = std::move(fn); }
 
   /// Values delivered at p so far (origin, value), in order.
@@ -91,6 +92,7 @@ class SequencerTO final : public Service {
   std::vector<std::uint64_t> next_deliver_;                  // per-receiver next stamp
   std::vector<std::map<std::uint64_t, Stamped>> reorder_;    // per-receiver gap buffer
   std::vector<std::vector<std::pair<ProcId, core::Value>>> delivered_;
+  std::vector<Client*> clients_;  // per-processor delivery clients
 };
 
 }  // namespace vsg::to

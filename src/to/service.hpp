@@ -1,19 +1,53 @@
 #pragma once
 
 // The TO service interface (Figure 2, top): clients submit values with
-// bcast and receive deliveries via a callback. The paper's TO specification
-// (Section 3) is the contract: deliveries at each processor form a prefix of
-// one total order consistent with per-sender submission order, with
-// conditional timeliness per TO-property.
+// bcast and receive deliveries through a per-processor Client, mirroring
+// vs::Client one layer down. The paper's TO specification (Section 3) is
+// the contract: deliveries at each processor form a prefix of one total
+// order consistent with per-sender submission order, with conditional
+// timeliness per TO-property.
+//
+// API note: the original interface had a single global set_delivery
+// callback; it remains as a compatibility shim (it fires in addition to
+// any attached client) but new code should attach a to::Client per
+// processor — that is what the stack itself, the app layer and the
+// examples use.
 
 #include <functional>
+#include <utility>
 
 #include "core/types.hpp"
 
 namespace vsg::to {
 
-/// Delivery callback: brcv(a)_{origin, dest}.
+/// Legacy delivery callback: brcv(a)_{origin, dest} for every processor.
 using DeliveryFn = std::function<void(ProcId dest, ProcId origin, const core::Value& a)>;
+
+/// Per-processor client-side callback (mirrors vs::Client).
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// brcv(a)_{origin, p}: value a, originated at `origin`, delivered at
+  /// the processor this client is attached to.
+  virtual void on_brcv(ProcId origin, const core::Value& a) = 0;
+};
+
+/// Adapts a callable to a Client for call sites that want a lambda:
+///   to::CallbackClient tap([&](ProcId origin, const core::Value& a) { ... });
+///   world.stack().attach(0, tap);
+/// The adapter must outlive the service it is attached to (or the run).
+class CallbackClient final : public Client {
+ public:
+  using Fn = std::function<void(ProcId origin, const core::Value& a)>;
+  explicit CallbackClient(Fn fn) : fn_(std::move(fn)) {}
+  void on_brcv(ProcId origin, const core::Value& a) override {
+    if (fn_) fn_(origin, a);
+  }
+
+ private:
+  Fn fn_;
+};
 
 class Service {
  public:
@@ -24,7 +58,13 @@ class Service {
   /// bcast(a)_p: submit value a at processor p.
   virtual void bcast(ProcId p, core::Value a) = 0;
 
-  /// Register the (single, global) delivery callback.
+  /// Register the client for processor p. At most one per processor;
+  /// attaching again replaces the previous client.
+  virtual void attach(ProcId p, Client& client) = 0;
+
+  /// Legacy: register a single global delivery callback. Compat shim over
+  /// the Client interface — it observes the same deliveries, after any
+  /// attached per-processor client.
   virtual void set_delivery(DeliveryFn fn) = 0;
 };
 

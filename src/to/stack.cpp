@@ -5,13 +5,15 @@
 namespace vsg::to {
 
 Stack::Stack(vs::Service& vs_service, trace::Recorder& recorder,
-             std::shared_ptr<const core::QuorumSystem> quorums, int n0) {
+             std::shared_ptr<const core::QuorumSystem> quorums, int n0)
+    : recorder_(&recorder) {
   const int n = vs_service.size();
   procs_.reserve(static_cast<std::size_t>(n));
+  clients_.resize(static_cast<std::size_t>(n), nullptr);
   for (ProcId p = 0; p < n; ++p) {
     auto proc = std::make_unique<vstoto::Process>(p, n0, quorums, vs_service, recorder);
     proc->set_delivery([this, p](ProcId origin, const core::Value& a) {
-      if (delivery_) delivery_(p, origin, a);
+      on_deliver(p, origin, a);
     });
     vs_service.attach(p, *proc);
     procs_.push_back(std::move(proc));
@@ -20,9 +22,57 @@ Stack::Stack(vs::Service& vs_service, trace::Recorder& recorder,
 
 void Stack::bcast(ProcId p, core::Value a) {
   assert(p >= 0 && p < size());
+  if (latency_all_ != nullptr)
+    bcast_times_[static_cast<std::size_t>(p)].push_back(recorder_->now());
   procs_[static_cast<std::size_t>(p)]->bcast(std::move(a));
 }
 
+void Stack::attach(ProcId p, Client& client) {
+  assert(p >= 0 && p < size());
+  clients_[static_cast<std::size_t>(p)] = &client;
+}
+
 void Stack::set_delivery(DeliveryFn fn) { delivery_ = std::move(fn); }
+
+void Stack::bind_metrics(obs::MetricsRegistry& registry) {
+  vstoto::ProcessObs obs;
+  obs.labels_assigned = &registry.counter("to.labels_assigned");
+  obs.values_sent = &registry.counter("to.values_sent");
+  obs.summaries_sent = &registry.counter("to.summaries_sent");
+  obs.summaries_received = &registry.counter("to.summaries_received");
+  obs.payload_copies = &registry.counter("to.payload_copies");
+  obs.payload_moves = &registry.counter("to.payload_moves");
+  obs.order_depth = &registry.gauge("to.order_depth");
+  obs.confirmed_depth = &registry.gauge("to.confirmed_depth");
+  for (auto& proc : procs_) proc->bind_metrics(obs);
+
+  latency_all_ = &registry.histogram("to.brcv_latency.all");
+  latency_per_proc_.assign(static_cast<std::size_t>(size()), nullptr);
+  for (ProcId p = 0; p < size(); ++p)
+    latency_per_proc_[static_cast<std::size_t>(p)] =
+        &registry.histogram("to.brcv_latency.p" + std::to_string(p));
+  bcast_times_.assign(static_cast<std::size_t>(size()), {});
+  deliver_index_.assign(static_cast<std::size_t>(size()),
+                        std::vector<std::size_t>(static_cast<std::size_t>(size()), 0));
+}
+
+void Stack::on_deliver(ProcId dest, ProcId origin, const core::Value& a) {
+  if (latency_all_ != nullptr) {
+    // TO's per-sender FIFO: the k-th delivery at dest from origin is
+    // origin's k-th submission; its bcast timestamp gives the latency.
+    std::size_t& k = deliver_index_[static_cast<std::size_t>(dest)]
+                                   [static_cast<std::size_t>(origin)];
+    const auto& times = bcast_times_[static_cast<std::size_t>(origin)];
+    if (k < times.size()) {
+      const sim::Time lat = recorder_->now() - times[k];
+      latency_all_->observe(lat);
+      latency_per_proc_[static_cast<std::size_t>(dest)]->observe(lat);
+    }
+    ++k;
+  }
+  if (clients_[static_cast<std::size_t>(dest)] != nullptr)
+    clients_[static_cast<std::size_t>(dest)]->on_brcv(origin, a);
+  if (delivery_) delivery_(dest, origin, a);
+}
 
 }  // namespace vsg::to

@@ -2,12 +2,14 @@
 
 // The TO stack (Figure 1): one VStoTO process per processor, composed with
 // a VS service back end. This is the "TO Service" dashed box of the paper —
-// clients see only bcast/brcv; everything else is internal.
+// clients see only bcast/brcv (via an attached to::Client per processor, or
+// the legacy global callback); everything else is internal.
 
 #include <memory>
 #include <vector>
 
 #include "core/quorum.hpp"
+#include "obs/metrics.hpp"
 #include "to/service.hpp"
 #include "trace/recorder.hpp"
 #include "vs/service.hpp"
@@ -24,7 +26,17 @@ class Stack final : public Service {
 
   int size() const override { return static_cast<int>(procs_.size()); }
   void bcast(ProcId p, core::Value a) override;
+  void attach(ProcId p, Client& client) override;
   void set_delivery(DeliveryFn fn) override;
+
+  /// Publish TO-level metrics into `registry`: the shared to.* counters and
+  /// depth gauges of every VStoTO process, plus bcast->brcv latency
+  /// histograms — one per processor ("to.brcv_latency.p<i>") and one
+  /// aggregate ("to.brcv_latency.all"). Latency is matched positionally per
+  /// origin (TO's per-sender FIFO makes the k-th delivery from an origin
+  /// the k-th submission), so for exact histograms submit via this Stack
+  /// rather than poking vstoto::Process::bcast directly.
+  void bind_metrics(obs::MetricsRegistry& registry);
 
   /// Direct access to a VStoTO process (verification layer, tests).
   vstoto::Process& process(ProcId p) { return *procs_[static_cast<std::size_t>(p)]; }
@@ -33,8 +45,18 @@ class Stack final : public Service {
   }
 
  private:
+  void on_deliver(ProcId dest, ProcId origin, const core::Value& a);
+
+  trace::Recorder* recorder_;
   std::vector<std::unique_ptr<vstoto::Process>> procs_;
+  std::vector<Client*> clients_;
   DeliveryFn delivery_;
+
+  // Latency tracking (active only when metrics are bound).
+  obs::Histogram* latency_all_ = nullptr;
+  std::vector<obs::Histogram*> latency_per_proc_;        // indexed by dest
+  std::vector<std::vector<sim::Time>> bcast_times_;      // per origin, in order
+  std::vector<std::vector<std::size_t>> deliver_index_;  // [dest][origin]
 };
 
 }  // namespace vsg::to

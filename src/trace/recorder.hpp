@@ -18,6 +18,10 @@ class Recorder {
 
   void record(Event event);
 
+  /// The simulator clock events are stamped with (for layers that hold a
+  /// recorder but not the simulator itself).
+  sim::Time now() const noexcept { return sim_->now(); }
+
   const std::vector<TimedEvent>& events() const noexcept { return events_; }
   std::size_t size() const noexcept { return events_.size(); }
   void clear() { events_.clear(); }

@@ -34,6 +34,12 @@ Process::Process(ProcId p, int n0, std::shared_ptr<const core::QuorumSystem> quo
 }
 
 void Process::restore(const Checkpoint& cp) {
+  if (obs_.order_depth != nullptr)
+    obs_.order_depth->add(static_cast<std::int64_t>(cp.st.order.size()) -
+                          static_cast<std::int64_t>(st_.order.size()));
+  if (obs_.confirmed_depth != nullptr)
+    obs_.confirmed_depth->add(static_cast<std::int64_t>(cp.st.nextconfirm) -
+                              static_cast<std::int64_t>(st_.nextconfirm));
   st_ = cp.st;
   delivered_ = cp.delivered;
   order_members_ = std::set<core::Label>(st_.order.begin(), st_.order.end());
@@ -53,12 +59,16 @@ core::Summary Process::local_summary() const {
 }
 
 void Process::assign_order(std::vector<core::Label> order) {
+  if (obs_.order_depth != nullptr)
+    obs_.order_depth->add(static_cast<std::int64_t>(order.size()) -
+                          static_cast<std::int64_t>(st_.order.size()));
   st_.order = std::move(order);
   order_members_ = std::set<core::Label>(st_.order.begin(), st_.order.end());
   if (st_.current.has_value()) st_.buildorder[st_.current->id] = st_.order;
 }
 
 void Process::append_order(const core::Label& l) {
+  if (obs_.order_depth != nullptr) obs_.order_depth->add(1);
   st_.order.push_back(l);
   order_members_.insert(l);
   if (st_.current.has_value()) st_.buildorder[st_.current->id] = st_.order;
@@ -67,8 +77,10 @@ void Process::append_order(const core::Label& l) {
 // --- Input bcast(a)_p --------------------------------------------------------
 
 void Process::bcast(core::Value a) {
-  recorder_->record(trace::BcastEvent{p_, a});
+  recorder_->record(trace::BcastEvent{p_, a});  // the trace keeps its own copy
+  obs::bump(obs_.payload_copies);
   st_.delay.push_back(std::move(a));
+  obs::bump(obs_.payload_moves);
   run_to_quiescence();
 }
 
@@ -77,7 +89,9 @@ void Process::bcast(core::Value a) {
 bool Process::try_label() {
   if (st_.delay.empty() || !st_.current.has_value()) return false;
   const core::Label l{st_.current->id, st_.nextseqno, p_};
-  st_.content.emplace(l, st_.delay.front());
+  st_.content.emplace(l, std::move(st_.delay.front()));
+  obs::bump(obs_.payload_moves);
+  obs::bump(obs_.labels_assigned);
   st_.buffer.push_back(l);
   ++st_.nextseqno;
   st_.delay.pop_front();
@@ -92,6 +106,7 @@ bool Process::try_gpsnd_value() {
   const auto it = st_.content.find(l);
   assert(it != st_.content.end());  // Lemma 6.6
   service_->gpsnd(p_, encode_message(Message{LabeledValue{l, it->second}}));
+  obs::bump(obs_.values_sent);
   st_.buffer.pop_front();
   return true;
 }
@@ -104,6 +119,7 @@ bool Process::try_confirm() {
   const core::Label& l = st_.order[st_.nextconfirm - 1];
   if (st_.safe_labels.count(l) == 0) return false;
   ++st_.nextconfirm;
+  if (obs_.confirmed_depth != nullptr) obs_.confirmed_depth->add(1);
   return true;
 }
 
@@ -116,8 +132,10 @@ bool Process::try_brcv() {
   const auto it = st_.content.find(l);
   assert(it != st_.content.end());
   const ProcId origin = l.origin;
+  // Two deliberate copies: the trace event and the delivered() accessor.
   recorder_->record(trace::BrcvEvent{origin, p_, it->second});
   delivered_.emplace_back(origin, it->second);
+  obs::bump(obs_.payload_copies, 2);
   if (deliver_) deliver_(origin, it->second);
   ++st_.nextreport;
   return true;
@@ -154,6 +172,7 @@ void Process::on_newview(const core::View& v) {
   // performed immediately (see the header comment: sending the summary
   // before any other local action closes the label/state-exchange race).
   service_->gpsnd(p_, encode_message(Message{local_summary()}));
+  obs::bump(obs_.summaries_sent);
   st_.status = PStatus::kCollect;
 
   run_to_quiescence();
@@ -167,20 +186,24 @@ void Process::on_gprcv(ProcId src, const vs::Payload& payload) {
     VSG_WARN << "process " << p_ << ": undecodable gprcv payload dropped";
     return;
   }
-  if (const auto* lv = std::get_if<LabeledValue>(&*decoded))
-    handle_labeled(src, *lv);
+  if (auto* lv = std::get_if<LabeledValue>(&*decoded))
+    handle_labeled(src, std::move(*lv));
   else
     handle_summary(src, std::get<core::Summary>(*decoded));
   run_to_quiescence();
 }
 
-void Process::handle_labeled(ProcId src, const LabeledValue& lv) {
+void Process::handle_labeled(ProcId src, LabeledValue&& lv) {
   (void)src;
-  st_.content.emplace(lv.label, lv.value);
+  // The self-delivered copy (the VS layer gprcvs to the sender too) finds
+  // its label already in content; only a genuine insertion is a move.
+  if (st_.content.emplace(lv.label, std::move(lv.value)).second)
+    obs::bump(obs_.payload_moves);
   if (primary() && order_members_.count(lv.label) == 0) append_order(lv.label);
 }
 
 void Process::handle_summary(ProcId src, const core::Summary& x) {
+  obs::bump(obs_.summaries_received);
   st_.content.insert(x.con.begin(), x.con.end());
   st_.gotstate.insert_or_assign(src, x);
 
@@ -190,7 +213,11 @@ void Process::handle_summary(ProcId src, const core::Summary& x) {
   for (const auto& [q, xs] : st_.gotstate) have.insert(q);
   if (have != st_.current->members || st_.status != PStatus::kCollect) return;
 
+  const std::uint32_t prevconfirm = st_.nextconfirm;
   st_.nextconfirm = core::maxnextconfirm(st_.gotstate);
+  if (obs_.confirmed_depth != nullptr)
+    obs_.confirmed_depth->add(static_cast<std::int64_t>(st_.nextconfirm) -
+                              static_cast<std::int64_t>(prevconfirm));
   if (primary()) {
     assign_order(core::fullorder(st_.gotstate));
     st_.highprimary = st_.current->id;

@@ -33,11 +33,28 @@
 
 #include "core/quorum.hpp"
 #include "core/summary.hpp"
+#include "obs/metrics.hpp"
 #include "trace/recorder.hpp"
 #include "vs/service.hpp"
 #include "vstoto/wire.hpp"
 
 namespace vsg::vstoto {
+
+/// Shared metrics all VStoTO processes of one stack report into (names:
+/// to.*). Counters/gauges aggregate over every process bound to them; the
+/// depth gauges are maintained incrementally, so for one registry they read
+/// as the current totals across processes. Null pointers (the default) are
+/// skipped — an unbound process pays one branch per event.
+struct ProcessObs {
+  obs::Counter* labels_assigned = nullptr;     // label_p actions (label churn)
+  obs::Counter* values_sent = nullptr;         // gpsnd of <l, a> messages
+  obs::Counter* summaries_sent = nullptr;      // state-exchange sends
+  obs::Counter* summaries_received = nullptr;  // state-exchange receipts
+  obs::Counter* payload_copies = nullptr;      // Value copies on the bcast->brcv path
+  obs::Counter* payload_moves = nullptr;       // Value moves on the bcast->brcv path
+  obs::Gauge* order_depth = nullptr;           // sum over procs of |order|
+  obs::Gauge* confirmed_depth = nullptr;       // sum over procs of nextconfirm-1
+};
 
 enum class PStatus : std::uint8_t { kNormal, kSend, kCollect };
 
@@ -84,6 +101,9 @@ class Process final : public vs::Client {
 
   void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
 
+  /// Point this process at shared to.* metrics (see ProcessObs).
+  void bind_metrics(const ProcessObs& obs) { obs_ = obs; }
+
   // vs::Client (inputs from the VS layer):
   void on_gprcv(ProcId src, const vs::Payload& m) override;
   void on_safe(ProcId src, const vs::Payload& m) override;
@@ -122,7 +142,7 @@ class Process final : public vs::Client {
   bool try_brcv();
   void run_to_quiescence();
 
-  void handle_labeled(ProcId src, const LabeledValue& lv);
+  void handle_labeled(ProcId src, LabeledValue&& lv);
   void handle_summary(ProcId src, const core::Summary& x);
   void handle_safe_labeled(ProcId src, const LabeledValue& lv);
   void handle_safe_summary(ProcId src, const core::Summary& x);
@@ -135,6 +155,7 @@ class Process final : public vs::Client {
   vs::Service* service_;
   trace::Recorder* recorder_;
   DeliveryFn deliver_;
+  ProcessObs obs_;
   ProcessState st_;
   std::set<core::Label> order_members_;  // duplicate guard index over st_.order
   std::vector<std::pair<ProcId, core::Value>> delivered_;

@@ -83,8 +83,11 @@ TEST(SpecVS, BadProcessorReceivesNothingUntilGood) {
   world.bcast_at(sim::msec(100), 0, "x");
   world.run_until(sim::sec(2));
   // 2 is stopped: no gprcv events at it.
-  for (const auto& te : world.recorder().events())
-    if (const auto* e = trace::as<trace::GprcvEvent>(te)) EXPECT_NE(e->dst, 2);
+  for (const auto& te : world.recorder().events()) {
+    if (const auto* e = trace::as<trace::GprcvEvent>(te)) {
+      EXPECT_NE(e->dst, 2);
+    }
+  }
 
   world.proc_status_at(world.simulator().now(), 2, sim::Status::kGood);
   world.run_until(sim::sec(4));
