@@ -10,7 +10,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 
 #include "harness/scenario_parser.hpp"
 #include "harness/timeline.hpp"
@@ -37,6 +39,11 @@ struct Options {
   harness::Backend backend = harness::Backend::kTokenRing;
   sim::Time until = sim::sec(15);
   bool timeline = false;
+  // Explicit flags beat `config` directives in the scenario file, which in
+  // turn beat the defaults above.
+  bool n_given = false;
+  bool seed_given = false;
+  bool until_given = false;
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -47,10 +54,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.n = std::atoi(v);
+      opt.n_given = true;
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+      opt.seed_given = true;
     } else if (arg == "--backend") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -66,6 +75,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const auto t = harness::parse_duration(v);
       if (!t.has_value()) return false;
       opt.until = *t;
+      opt.until_given = true;
     } else if (arg == "--timeline") {
       opt.timeline = true;
     } else if (arg[0] != '-') {
@@ -110,14 +120,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!opt.n_given && parsed.meta.n.has_value()) opt.n = *parsed.meta.n;
+  if (!opt.seed_given && parsed.meta.seed.has_value()) opt.seed = *parsed.meta.seed;
+  if (!opt.until_given && parsed.meta.until.has_value()) opt.until = *parsed.meta.until;
+
   harness::WorldConfig cfg;
   cfg.n = opt.n;
   cfg.backend = opt.backend;
   cfg.seed = opt.seed;
-  harness::World world(cfg);
-  parsed.scenario->apply(world);
+  std::optional<harness::World> world;
+  try {
+    world.emplace(cfg);
+    parsed.scenario->apply(*world);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 2;
+  }
 
-  world.recorder().subscribe([&](const trace::TimedEvent& te) {
+  world->recorder().subscribe([&](const trace::TimedEvent& te) {
     if (const auto* v = trace::as<trace::NewViewEvent>(te))
       std::printf("t=%-10s newview %s at %d\n", harness::fmt_time(te.at).c_str(),
                   core::to_string(v->v).c_str(), v->p);
@@ -126,29 +146,29 @@ int main(int argc, char** argv) {
                   harness::fmt_time(te.at).c_str(), b->a.c_str(), b->dest, b->origin);
   });
 
-  world.run_until(opt.until);
+  world->run_until(opt.until);
 
   std::printf("\n-- final state --\n");
   for (ProcId p = 0; p < opt.n; ++p) {
     std::printf("processor %d delivered:", p);
-    for (const auto& [origin, value] : world.stack().process(p).delivered())
+    for (const auto& [origin, value] : world->stack().process(p).delivered())
       std::printf(" %s", value.c_str());
     std::printf("\n");
   }
 
   if (opt.timeline) {
-    const auto tl = harness::build_timeline(world.recorder().events(), opt.n, opt.n);
+    const auto tl = harness::build_timeline(world->recorder().events(), opt.n, opt.n);
     std::printf("\n%s", harness::render_timeline(tl).c_str());
   }
 
-  const auto to_violations = world.check_to_safety();
-  const auto vs_violations = world.check_vs_safety();
+  const auto to_violations = world->check_to_safety();
+  const auto vs_violations = world->check_vs_safety();
   std::printf("\nTO safety: %s\n",
               to_violations.empty() ? "OK" : to_violations.front().c_str());
   std::printf("VS safety: %s\n",
               vs_violations.empty() ? "OK" : vs_violations.front().c_str());
-  if (world.token_ring() != nullptr) {
-    const auto stats = world.token_ring()->total_stats();
+  if (world->token_ring() != nullptr) {
+    const auto stats = world->token_ring()->total_stats();
     std::printf("protocol: %llu proposals, %llu views, %llu token passes\n",
                 static_cast<unsigned long long>(stats.proposals),
                 static_cast<unsigned long long>(stats.views_installed),

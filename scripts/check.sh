@@ -17,4 +17,24 @@ grep -q '"net.packets_sent"' build/BENCH_throughput.json
 grep -q '"ring.formation_rounds"' build/BENCH_throughput.json
 grep -q '"to.brcv_latency.all"' build/BENCH_throughput.json
 
+# Chaos smoke campaign (docs/CHAOS.md): 200 fixed seeds under the full
+# oracle set must run clean, and the campaign metrics must export.
+./build/tools/chaos_runner --seeds 200 --smoke --export build/CHAOS_smoke.json
+grep -q '"schema": "vsg-metrics-v1"' build/CHAOS_smoke.json
+grep -q '"chaos.runs": 200' build/CHAOS_smoke.json
+grep -q '"chaos.failures": 0' build/CHAOS_smoke.json
+
+# Minimized regression scenarios from past campaign finds must replay clean.
+for scn in tests/scenarios/*.scn; do
+  ./build/tools/chaos_runner --replay "$scn"
+done
+
+# The injected-fault demo: with the historical decode bug re-enabled, the
+# same oracles must catch it (exit 1) on its minimized repro.
+if ./build/tools/chaos_runner --replay tests/scenarios/chaos_seed75_unchecked_decode.scn \
+    --inject-unchecked-decode >/dev/null; then
+  echo "check.sh: injected decode fault was NOT caught" >&2
+  exit 1
+fi
+
 echo "check.sh: all green"

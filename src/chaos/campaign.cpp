@@ -1,0 +1,171 @@
+#include "chaos/campaign.hpp"
+
+#include <stdexcept>
+
+#include "chaos/oracles.hpp"
+#include "harness/scenario_parser.hpp"
+
+namespace vsg::chaos {
+namespace {
+
+int count_bcasts(const harness::Scenario& s) {
+  int count = 0;
+  for (const auto& timed : s.ops)
+    if (std::get_if<harness::OpBcast>(&timed.op) != nullptr) ++count;
+  return count;
+}
+
+bool is_recovery_violation(const std::string& v) { return v.rfind("recovery:", 0) == 0; }
+
+bool has_safety_violation(const std::vector<std::string>& vs) {
+  for (const auto& v : vs)
+    if (!is_recovery_violation(v)) return true;
+  return false;
+}
+
+// Stabilization suffix: all processors good + heal at `at`. Appended to
+// recovery-class shrink candidates so ddmin cannot fake a failure by merely
+// dropping the heal (an unhealed partition trivially never recovers).
+// gcc-12 -O2 flags the variant move path of vector growth here as
+// maybe-uninitialized; it is a known false positive (PR105562).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+harness::Scenario with_stabilization(harness::Scenario s, int n, sim::Time at) {
+  for (ProcId p = 0; p < n; ++p) s.add(at, harness::OpProcStatus{p, sim::Status::kGood});
+  s.add(at, harness::OpHeal{});
+  return s;
+}
+#pragma GCC diagnostic pop
+
+void count_ops(const harness::Scenario& s, obs::MetricsRegistry& m) {
+  for (const auto& timed : s.ops) {
+    if (std::get_if<harness::OpBcast>(&timed.op) != nullptr)
+      m.counter("chaos.ops.bcast").inc();
+    else if (std::get_if<harness::OpPartition>(&timed.op) != nullptr)
+      m.counter("chaos.ops.partition").inc();
+    else if (std::get_if<harness::OpHeal>(&timed.op) != nullptr)
+      m.counter("chaos.ops.heal").inc();
+    else if (std::get_if<harness::OpProcStatus>(&timed.op) != nullptr)
+      m.counter("chaos.ops.proc_status").inc();
+    else
+      m.counter("chaos.ops.link_status").inc();
+  }
+}
+
+}  // namespace
+
+RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, int n,
+                  std::uint64_t seed, sim::Time run_until, int expected_bcasts) {
+  harness::WorldConfig wc;
+  wc.n = n;
+  wc.backend = cfg.backend;
+  wc.seed = seed;
+  wc.link = cfg.link;
+  wc.ring = cfg.ring;
+  harness::World world(wc);
+  OracleSet oracles(world);
+
+  RunResult result;
+  try {
+    scenario.apply(world);
+  } catch (const std::invalid_argument& e) {
+    // A malformed schedule is itself a failure (the generator and shrinker
+    // only produce valid ones; replayed files may not).
+    result.violations.push_back(std::string("schedule rejected: ") + e.what());
+    return result;
+  }
+  world.run_until(run_until);
+  oracles.finalize();
+  result.violations = oracles.violations();
+
+  if (cfg.check_recovery) {
+    const auto& reference = world.stack().process(0).delivered();
+    if (expected_bcasts >= 0 &&
+        reference.size() != static_cast<std::size_t>(expected_bcasts))
+      result.violations.push_back(
+          "recovery: processor 0 delivered " + std::to_string(reference.size()) + "/" +
+          std::to_string(expected_bcasts) + " values after stabilization");
+    for (ProcId p = 1; p < n; ++p)
+      if (world.stack().process(p).delivered() != reference) {
+        result.violations.push_back("recovery: delivered sequence at processor " +
+                                    std::to_string(p) + " diverges from processor 0");
+        break;
+      }
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  auto metrics = cfg.metrics != nullptr ? cfg.metrics
+                                        : std::make_shared<obs::MetricsRegistry>();
+  // Touch the headline counters so a clean campaign exports explicit zeros
+  // (counters only materialize on first increment).
+  metrics->counter("chaos.runs");
+  metrics->counter("chaos.failures");
+  metrics->counter("chaos.violations");
+  CampaignResult result;
+  for (int i = 0; i < cfg.seeds; ++i) {
+    const std::uint64_t seed = cfg.first_seed + static_cast<std::uint64_t>(i);
+    GeneratedSchedule schedule = generate_schedule(cfg.schedule, seed);
+    metrics->counter("chaos.runs").inc();
+    count_ops(schedule.scenario, *metrics);
+    result.ops += schedule.scenario.ops.size();
+    ++result.runs;
+
+    RunResult run = run_one(cfg, schedule.scenario, cfg.schedule.n, seed,
+                            schedule.run_until, schedule.bcasts);
+    if (run.ok()) continue;
+
+    metrics->counter("chaos.failures").inc();
+    metrics->counter("chaos.violations").inc(run.violations.size());
+
+    Failure failure;
+    failure.seed = seed;
+    failure.violations = run.violations;
+    failure.schedule = schedule;
+    if (cfg.shrink) {
+      // Preserve the failure class while shrinking. Safety violations (TO /
+      // VS / forward-simulation) must survive as safety violations; for
+      // recovery-only failures every candidate gets the stabilization
+      // suffix re-appended, and the recovery oracle uses the candidate's
+      // own bcast count (dropping a bcast legitimately lowers it).
+      const bool safety = has_safety_violation(run.violations);
+      const sim::Time run_until = schedule.run_until;
+      const sim::Time horizon = cfg.schedule.horizon;
+      auto fails = [&cfg, seed, run_until, horizon, safety](const harness::Scenario& s,
+                                                            int n) {
+        harness::Scenario candidate = safety ? s : with_stabilization(s, n, horizon);
+        const RunResult r =
+            run_one(cfg, candidate, n, seed, run_until, count_bcasts(candidate));
+        return safety ? has_safety_violation(r.violations) : !r.ok();
+      };
+      failure.minimal =
+          shrink_schedule(schedule.scenario, cfg.schedule.n, fails, cfg.shrink_options);
+      if (!safety)
+        failure.minimal.scenario =
+            with_stabilization(std::move(failure.minimal.scenario), failure.minimal.n, horizon);
+      metrics->counter("chaos.shrink.candidates")
+          .inc(static_cast<std::uint64_t>(failure.minimal.candidates));
+      metrics->counter("chaos.shrink.reductions")
+          .inc(static_cast<std::uint64_t>(failure.minimal.reductions));
+    } else {
+      failure.minimal = ShrinkOutcome{schedule.scenario, cfg.schedule.n, 0, 0};
+    }
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+std::string repro_text(const Failure& f) {
+  harness::ScenarioMeta meta;
+  meta.n = f.minimal.n;
+  meta.seed = f.seed;
+  meta.until = f.schedule.run_until;
+  std::string text = "# chaos repro: seed " + std::to_string(f.seed) + ", " +
+                     std::to_string(f.minimal.scenario.ops.size()) + " ops (from " +
+                     std::to_string(f.schedule.scenario.ops.size()) + ")\n";
+  for (const auto& v : f.violations) text += "# " + v + "\n";
+  return text + write_scenario(f.minimal.scenario, meta);
+}
+
+}  // namespace vsg::chaos

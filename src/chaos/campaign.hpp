@@ -1,0 +1,79 @@
+#pragma once
+
+// Chaos campaign: many seeded random schedules, each executed with the full
+// oracle set attached, failures shrunk to minimal repros.
+//
+// Per seed: generate_schedule -> World(seed) + OracleSet -> run -> collect
+// oracle violations plus the recovery oracle (after the healed quiescence
+// tail, every processor must have delivered every broadcast value, in one
+// identical order — the conclusion of the paper's TO-property once its
+// stabilization premise holds). On failure the ddmin shrinker minimizes
+// the schedule; repro_text() serializes it as a self-contained scenario
+// file (config n/seed/until + ops) replayable by scenario_parser /
+// `chaos_runner --replay`.
+//
+// Campaign statistics report into an obs::MetricsRegistry (chaos.runs,
+// chaos.failures, chaos.violations, chaos.ops.*, chaos.shrink.*) so the
+// existing --export JSON path publishes them.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule_gen.hpp"
+#include "chaos/shrink.hpp"
+#include "harness/world.hpp"
+#include "obs/metrics.hpp"
+
+namespace vsg::chaos {
+
+struct CampaignConfig {
+  ScheduleConfig schedule;
+  harness::Backend backend = harness::Backend::kTokenRing;
+  net::LinkModel link;  // campaign default enables ugly-link corruption
+  membership::TokenRingConfig ring;
+  std::uint64_t first_seed = 1;
+  int seeds = 50;
+  bool check_recovery = true;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Optional shared registry; a fresh one is used when null.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  CampaignConfig() { link.ugly_corrupt = 0.25; }
+};
+
+struct RunResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Execute one schedule under full oracle attachment. Deterministic in
+/// (cfg, scenario, n, seed, run_until, expected_bcasts). expected_bcasts < 0
+/// disables the recovery oracle's completeness check (used when replaying
+/// hand-written scenarios whose traffic is not known a priori — order
+/// agreement across processors is still enforced).
+RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, int n,
+                  std::uint64_t seed, sim::Time run_until, int expected_bcasts);
+
+struct Failure {
+  std::uint64_t seed = 0;
+  std::vector<std::string> violations;  // of the original schedule
+  GeneratedSchedule schedule;           // as generated
+  ShrinkOutcome minimal;                // shrunk repro (== original if !shrink)
+};
+
+struct CampaignResult {
+  int runs = 0;
+  std::uint64_t ops = 0;  // total ops scheduled across all runs
+  std::vector<Failure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+/// Self-contained scenario file for a failure's minimized schedule.
+std::string repro_text(const Failure& f);
+
+}  // namespace vsg::chaos

@@ -1,0 +1,28 @@
+#include "chaos/oracles.hpp"
+
+namespace vsg::chaos {
+
+OracleSet::OracleSet(harness::World& world)
+    : to_(world.n()), vs_(world.n(), world.n0()) {
+  to_.attach(world.recorder());
+  vs_.attach(world.recorder());
+  if (world.spec_vs() != nullptr) {
+    fsim_ = std::make_unique<verify::SimulationChecker>(world.global_state());
+    fsim_->attach(world.recorder());
+  }
+}
+
+void OracleSet::finalize() {
+  if (fsim_ != nullptr) fsim_->check_f_matches();
+}
+
+std::vector<std::string> OracleSet::violations() const {
+  std::vector<std::string> out;
+  out.insert(out.end(), to_.violations().begin(), to_.violations().end());
+  out.insert(out.end(), vs_.violations().begin(), vs_.violations().end());
+  if (fsim_ != nullptr)
+    out.insert(out.end(), fsim_->violations().begin(), fsim_->violations().end());
+  return out;
+}
+
+}  // namespace vsg::chaos

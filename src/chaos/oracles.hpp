@@ -1,0 +1,48 @@
+#pragma once
+
+// Oracle attachment for chaos executions.
+//
+// An OracleSet subscribes the online spec checkers to a World's trace
+// recorder *before* the run: the TO trace checker (Figure 3 semantics), the
+// VS trace checker (Figure 6 semantics), and — on the spec backend, where
+// the VS-machine state is observable — the forward-simulation refinement
+// checker of Section 6.2. Violations are detected the moment the offending
+// event is recorded, against the live system state.
+//
+// The set must outlive the run (the recorder keeps callbacks into it);
+// create it right after the World and keep both until checking is done.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "spec/to_trace_checker.hpp"
+#include "spec/vs_trace_checker.hpp"
+#include "verify/forward_simulation.hpp"
+
+namespace vsg::chaos {
+
+class OracleSet {
+ public:
+  explicit OracleSet(harness::World& world);
+
+  /// Call once at the quiescent end of the run: the forward-simulation
+  /// oracle compares f(state) against its TO-machine image (spec backend
+  /// only; a no-op otherwise).
+  void finalize();
+
+  /// All violations across the attached oracles, in oracle order.
+  std::vector<std::string> violations() const;
+  bool ok() const { return violations().empty(); }
+
+  const spec::TOTraceChecker& to() const noexcept { return to_; }
+  const spec::VSTraceChecker& vs() const noexcept { return vs_; }
+
+ private:
+  spec::TOTraceChecker to_;
+  spec::VSTraceChecker vs_;
+  std::unique_ptr<verify::SimulationChecker> fsim_;  // spec backend only
+};
+
+}  // namespace vsg::chaos

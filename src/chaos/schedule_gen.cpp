@@ -1,0 +1,119 @@
+#include "chaos/schedule_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace vsg::chaos {
+namespace {
+
+// Random disjoint covering component set: every processor lands in exactly
+// one of 1..min(n,3) buckets, empty buckets dropped.
+std::vector<std::set<ProcId>> random_components(int n, util::Rng& rng) {
+  const int k = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(std::min(n, 3))));
+  std::vector<std::set<ProcId>> buckets(static_cast<std::size_t>(k));
+  for (ProcId p = 0; p < n; ++p)
+    buckets[rng.below(static_cast<std::uint64_t>(k))].insert(p);
+  std::vector<std::set<ProcId>> components;
+  for (auto& b : buckets)
+    if (!b.empty()) components.push_back(std::move(b));
+  return components;
+}
+
+sim::Time random_in(sim::Time lo, sim::Time hi, util::Rng& rng) {
+  if (hi <= lo) return lo;
+  // Millisecond grid: keeps generated (and shrunk) schedules readable.
+  const sim::Time t = lo + rng.range(0, hi - lo - 1);
+  return t - t % 1000;
+}
+
+sim::Status random_fault(util::Rng& rng) {
+  return rng.chance(0.5) ? sim::Status::kBad : sim::Status::kUgly;
+}
+
+}  // namespace
+
+GeneratedSchedule generate_schedule(const ScheduleConfig& cfg, std::uint64_t seed) {
+  if (cfg.n <= 0)
+    throw std::invalid_argument("generate_schedule: n must be positive, got n=" +
+                                std::to_string(cfg.n));
+  // Offset stream from the World seed so schedule randomness and link-level
+  // randomness (jitter, corruption) are independent per seed.
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xc8a5);
+  GeneratedSchedule out;
+  harness::Scenario& s = out.scenario;
+  const int n = cfg.n;
+  const sim::Time lo = cfg.start;
+  const sim::Time hi = std::max(cfg.horizon, lo + 1);
+
+  // Partition/heal churn. Components are always valid covering sets
+  // (validate_partition documents the contract; the self-check below makes
+  // a generator regression loud instead of a confusing campaign failure).
+  for (int i = 0; i < cfg.partition_rounds; ++i) {
+    auto components = random_components(n, rng);
+    harness::World::validate_partition(n, components);
+    s.add(random_in(lo, hi, rng), harness::OpPartition{std::move(components)});
+    if (rng.chance(0.6)) s.add(random_in(lo, hi, rng), harness::OpHeal{});
+  }
+
+  // Processor fault windows: bad/ugly, restored good before the horizon.
+  for (int i = 0; i < cfg.proc_flips; ++i) {
+    const auto p = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    const sim::Time down = random_in(lo, hi, rng);
+    s.add(down, harness::OpProcStatus{p, random_fault(rng)});
+    s.add(random_in(down, hi, rng), harness::OpProcStatus{p, sim::Status::kGood});
+  }
+
+  // Directed-link flips (any status, including spurious good).
+  for (int i = 0; i < cfg.link_flips && n > 1; ++i) {
+    const auto p = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto q = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (q == p) q = static_cast<ProcId>((q + 1) % n);
+    const auto status = static_cast<sim::Status>(rng.below(3));
+    s.add(random_in(lo, hi, rng), harness::OpLinkStatus{p, q, status});
+  }
+
+  // Token-loss windows: one processor's outgoing links all go bad for a
+  // short window, so a token it holds (or receives) is lost and the ring
+  // must recover via the token-check timer (Section 8).
+  for (int i = 0; i < cfg.token_loss_windows && n > 1; ++i) {
+    const auto p = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    const sim::Time at = random_in(lo, hi, rng);
+    const sim::Time until = std::min(at + cfg.token_loss_window, hi);
+    for (ProcId q = 0; q < n; ++q) {
+      if (q == p) continue;
+      s.add(at, harness::OpLinkStatus{p, q, sim::Status::kBad});
+      s.add(until, harness::OpLinkStatus{p, q, sim::Status::kGood});
+    }
+  }
+
+  // Client traffic: spread singles plus same-instant bursts, then a little
+  // post-heal traffic to exercise the recovered group.
+  auto bcast = [&](sim::Time at) {
+    const auto p = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(n)));
+    s.add(at, harness::OpBcast{p, "c" + std::to_string(p) + "." + std::to_string(out.bcasts)});
+    ++out.bcasts;
+  };
+  for (int k = 0; k < cfg.traffic; ++k) bcast(random_in(lo, hi, rng));
+  for (int b = 0; b < cfg.bursts; ++b) {
+    const sim::Time at = random_in(lo, hi, rng);
+    for (int k = 0; k < cfg.burst_size; ++k) bcast(at);
+  }
+  for (int k = 0; k < cfg.post_heal_traffic; ++k)
+    bcast(random_in(hi, hi + cfg.quiescence / 4, rng));
+
+  // Stabilization: everything healthy from the horizon on.
+  for (ProcId p = 0; p < n; ++p)
+    s.add(cfg.horizon, harness::OpProcStatus{p, sim::Status::kGood});
+  s.add(cfg.horizon, harness::OpHeal{});
+
+  std::stable_sort(s.ops.begin(), s.ops.end(),
+                   [](const harness::TimedOp& a, const harness::TimedOp& b) {
+                     return a.at < b.at;
+                   });
+  out.run_until = cfg.horizon + cfg.quiescence;
+  return out;
+}
+
+}  // namespace vsg::chaos

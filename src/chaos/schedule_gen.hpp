@@ -1,0 +1,51 @@
+#pragma once
+
+// Seeded random fault-schedule generator for the chaos campaign.
+//
+// A schedule is an ordinary harness::Scenario: a chaos window of partitions
+// and heals (always with valid, covering component sets), per-processor and
+// per-link good/bad/ugly status flips, token-loss windows (one processor's
+// outgoing links go dark, so any token it holds is lost — the Section 8
+// recovery path), and client traffic both spread out and in same-instant
+// bursts. After the chaos window everything is forced healthy and a long
+// quiescence tail follows, giving the stack the stabilization premise the
+// paper's TO-/VS-properties (and the recovery oracle) require.
+//
+// generate_schedule(cfg, seed) is a pure function of its arguments — the
+// same pair always yields the same schedule, so a failing seed is a
+// complete, replayable repro.
+
+#include <cstdint>
+
+#include "harness/scenario.hpp"
+
+namespace vsg::chaos {
+
+struct ScheduleConfig {
+  int n = 4;
+
+  sim::Time start = sim::msec(100);     // earliest chaos op
+  sim::Time horizon = sim::sec(5);      // chaos stops; heal + all-good here
+  sim::Time quiescence = sim::sec(12);  // stabilization tail after horizon
+
+  int partition_rounds = 2;  // partition ops (heals interleave randomly)
+  int proc_flips = 3;        // bad/ugly windows on random processors
+  int link_flips = 5;        // directed-link status flips
+  int token_loss_windows = 1;
+  sim::Time token_loss_window = sim::msec(150);
+
+  int traffic = 14;           // broadcasts spread over the chaos window
+  int bursts = 1;             // same-instant broadcast bursts
+  int burst_size = 4;
+  int post_heal_traffic = 2;  // broadcasts after the heal (recovery traffic)
+};
+
+struct GeneratedSchedule {
+  harness::Scenario scenario;
+  sim::Time run_until = 0;  // horizon + quiescence
+  int bcasts = 0;           // OpBcast count (the recovery oracle expectation)
+};
+
+GeneratedSchedule generate_schedule(const ScheduleConfig& cfg, std::uint64_t seed);
+
+}  // namespace vsg::chaos

@@ -1,0 +1,144 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace vsg::chaos {
+namespace {
+
+struct Shrinker {
+  const FailPredicate& fails;
+  const ShrinkOptions& opts;
+  harness::Scenario best;
+  int n;
+  int candidates = 0;
+  int reductions = 0;
+
+  bool budget_left() const { return candidates < opts.max_candidates; }
+
+  /// Evaluate a candidate; adopt it when it still fails.
+  bool try_accept(harness::Scenario candidate, int candidate_n) {
+    if (!budget_left()) return false;
+    if (candidate.ops == best.ops && candidate_n == n) return false;
+    ++candidates;
+    if (!fails(candidate, candidate_n)) return false;
+    best = std::move(candidate);
+    n = candidate_n;
+    ++reductions;
+    return true;
+  }
+
+  /// ddmin over the op list: remove chunks, halving the chunk size.
+  bool drop_ops() {
+    bool changed = false;
+    std::size_t chunk = std::max<std::size_t>(1, best.ops.size() / 2);
+    while (chunk >= 1 && budget_left()) {
+      bool removed_any = false;
+      for (std::size_t start = 0; start < best.ops.size() && budget_left();) {
+        harness::Scenario candidate;
+        const std::size_t stop = std::min(best.ops.size(), start + chunk);
+        candidate.ops.reserve(best.ops.size() - (stop - start));
+        candidate.ops.insert(candidate.ops.end(), best.ops.begin(),
+                             best.ops.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.ops.insert(candidate.ops.end(),
+                             best.ops.begin() + static_cast<std::ptrdiff_t>(stop),
+                             best.ops.end());
+        if (!candidate.ops.empty() && try_accept(std::move(candidate), n)) {
+          changed = removed_any = true;
+          // best shrank; the window at `start` now holds fresh ops.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+      if (!removed_any) chunk /= 2;
+    }
+    return changed;
+  }
+
+  /// Restrict the schedule to processors [0, new_n): ops mentioning dropped
+  /// processors disappear, partition components lose the dropped members.
+  /// Returns nullopt when the restriction degenerates (a partition with no
+  /// members left keeps its op count honest by failing the candidate).
+  static std::optional<harness::Scenario> restrict_universe(const harness::Scenario& s,
+                                                            int new_n) {
+    harness::Scenario out;
+    for (const auto& timed : s.ops) {
+      if (const auto* b = std::get_if<harness::OpBcast>(&timed.op)) {
+        if (b->p >= new_n) continue;
+      } else if (const auto* ps = std::get_if<harness::OpProcStatus>(&timed.op)) {
+        if (ps->p >= new_n) continue;
+      } else if (const auto* ls = std::get_if<harness::OpLinkStatus>(&timed.op)) {
+        if (ls->p >= new_n || ls->q >= new_n) continue;
+      } else if (const auto* part = std::get_if<harness::OpPartition>(&timed.op)) {
+        harness::OpPartition restricted;
+        for (const auto& comp : part->components) {
+          std::set<ProcId> kept;
+          for (ProcId p : comp)
+            if (p < new_n) kept.insert(p);
+          if (!kept.empty()) restricted.components.push_back(std::move(kept));
+        }
+        if (restricted.components.empty()) return std::nullopt;
+        out.add(timed.at, std::move(restricted));
+        continue;
+      }
+      out.ops.push_back(timed);
+    }
+    if (out.ops.empty()) return std::nullopt;
+    return out;
+  }
+
+  bool drop_processors() {
+    bool changed = false;
+    while (n > 2 && budget_left()) {
+      auto candidate = restrict_universe(best, n - 1);
+      if (!candidate.has_value() || !try_accept(std::move(*candidate), n - 1)) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  /// Times only ever move earlier, preserving op order, so accepted
+  /// candidates stay sorted if the input was.
+  bool compress_times() {
+    bool changed = false;
+    // Global halving (on a millisecond grid, keeping order).
+    while (budget_left()) {
+      harness::Scenario candidate = best;
+      sim::Time prev = 0;
+      for (auto& timed : candidate.ops) {
+        sim::Time t = timed.at / 2;
+        t -= t % 1000;
+        timed.at = std::max(t, prev);
+        prev = timed.at;
+      }
+      if (!try_accept(std::move(candidate), n)) break;
+      changed = true;
+    }
+    // Pull each op back to its predecessor's time.
+    for (std::size_t i = 0; i < best.ops.size() && budget_left(); ++i) {
+      const sim::Time target = i == 0 ? 0 : best.ops[i - 1].at;
+      if (best.ops[i].at == target) continue;
+      harness::Scenario candidate = best;
+      candidate.ops[i].at = target;
+      if (try_accept(std::move(candidate), n)) changed = true;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+ShrinkOutcome shrink_schedule(harness::Scenario scenario, int n, const FailPredicate& fails,
+                              const ShrinkOptions& opts) {
+  Shrinker sh{fails, opts, std::move(scenario), n};
+  for (int round = 0; round < opts.max_rounds && sh.budget_left(); ++round) {
+    bool changed = sh.drop_ops();
+    if (opts.shrink_universe && sh.drop_processors()) changed = true;
+    if (opts.shrink_times && sh.compress_times()) changed = true;
+    if (!changed) break;
+  }
+  return ShrinkOutcome{std::move(sh.best), sh.n, sh.candidates, sh.reductions};
+}
+
+}  // namespace vsg::chaos

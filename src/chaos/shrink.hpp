@@ -1,0 +1,48 @@
+#pragma once
+
+// Delta-debugging schedule shrinker.
+//
+// Given a failing schedule and a deterministic predicate "does this
+// (scenario, n) still fail?", shrink_schedule greedily minimizes along
+// three axes until a fixpoint:
+//   - drop ops (classic ddmin: halving chunk sizes, then singles);
+//   - shrink the universe (drop the highest processors, restricting
+//     partition components and discarding ops that mention them);
+//   - shrink times (scale everything down, pull ops to their predecessor).
+// Each accepted step keeps the schedule failing, so the result is a
+// 1-minimal repro: removing any single op makes the failure disappear.
+//
+// The predicate runs a full simulation per candidate; candidates are
+// budgeted (ShrinkOptions::max_candidates) so pathological schedules
+// cannot stall a campaign.
+
+#include <functional>
+
+#include "harness/scenario.hpp"
+
+namespace vsg::chaos {
+
+/// Must be deterministic in (scenario, n) — it is called many times and the
+/// final accepted candidate is re-run by tests and CI.
+using FailPredicate = std::function<bool(const harness::Scenario&, int n)>;
+
+struct ShrinkOptions {
+  int max_rounds = 6;         // full passes over all three axes
+  int max_candidates = 400;   // total predicate evaluations
+  bool shrink_times = true;
+  bool shrink_universe = true;
+};
+
+struct ShrinkOutcome {
+  harness::Scenario scenario;  // minimized (still failing) schedule
+  int n = 0;                   // possibly reduced universe size
+  int candidates = 0;          // predicate evaluations spent
+  int reductions = 0;          // accepted shrink steps
+};
+
+/// `scenario` must fail under `fails` with universe size `n` (the outcome
+/// merely echoes the input back if it somehow does not).
+ShrinkOutcome shrink_schedule(harness::Scenario scenario, int n, const FailPredicate& fails,
+                              const ShrinkOptions& opts = {});
+
+}  // namespace vsg::chaos

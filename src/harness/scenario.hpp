@@ -16,22 +16,30 @@
 
 namespace vsg::harness {
 
+// Equality on ops/scenarios backs the round-trip property test of the
+// scenario writer and lets the chaos shrinker detect fixpoints.
 struct OpBcast {
   ProcId p;
   core::Value a;
+  bool operator==(const OpBcast&) const = default;
 };
 struct OpPartition {
   std::vector<std::set<ProcId>> components;
+  bool operator==(const OpPartition&) const = default;
 };
-struct OpHeal {};
+struct OpHeal {
+  bool operator==(const OpHeal&) const = default;
+};
 struct OpProcStatus {
   ProcId p;
   sim::Status status;
+  bool operator==(const OpProcStatus&) const = default;
 };
 struct OpLinkStatus {
   ProcId p;
   ProcId q;
   sim::Status status;
+  bool operator==(const OpLinkStatus&) const = default;
 };
 
 using Op = std::variant<OpBcast, OpPartition, OpHeal, OpProcStatus, OpLinkStatus>;
@@ -39,6 +47,7 @@ using Op = std::variant<OpBcast, OpPartition, OpHeal, OpProcStatus, OpLinkStatus
 struct TimedOp {
   sim::Time at;
   Op op;
+  bool operator==(const TimedOp&) const = default;
 };
 
 struct Scenario {
@@ -50,6 +59,8 @@ struct Scenario {
 
   /// Time of the last scheduled operation.
   sim::Time last_time() const;
+
+  bool operator==(const Scenario&) const = default;
 };
 
 /// Steady traffic: every sender in `senders` broadcasts `count` values,

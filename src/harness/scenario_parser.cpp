@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 namespace vsg::harness {
 namespace {
@@ -78,6 +79,26 @@ ParseResult parse_scenario(const std::string& text) {
     ++lineno;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
+    if (tokens[0] == "config") {
+      if (tokens.size() != 3) return fail("config needs: config <n|seed|until> <value>");
+      if (tokens[1] == "n") {
+        const auto n = parse_proc(tokens[2]);
+        if (!n.has_value() || *n <= 0) return fail("bad config n '" + tokens[2] + "'");
+        result.meta.n = static_cast<int>(*n);
+      } else if (tokens[1] == "seed") {
+        for (char c : tokens[2])
+          if (!std::isdigit(static_cast<unsigned char>(c)))
+            return fail("bad config seed '" + tokens[2] + "'");
+        result.meta.seed = std::stoull(tokens[2]);
+      } else if (tokens[1] == "until") {
+        const auto until = parse_duration(tokens[2]);
+        if (!until.has_value()) return fail("bad config until '" + tokens[2] + "'");
+        result.meta.until = *until;
+      } else {
+        return fail("unknown config key '" + tokens[1] + "'");
+      }
+      continue;
+    }
     if (tokens.size() < 3 || tokens[0] != "at")
       return fail("expected 'at <time> <op> ...'");
     const auto at = parse_duration(tokens[1]);
@@ -124,6 +145,75 @@ ParseResult parse_scenario(const std::string& text) {
   }
   result.scenario = std::move(scenario);
   return result;
+}
+
+std::string format_duration(sim::Time t) {
+  if (t < 0) throw std::invalid_argument("format_duration: negative duration");
+  if (t % 1'000'000 == 0) return std::to_string(t / 1'000'000) + "s";
+  if (t % 1'000 == 0) return std::to_string(t / 1'000) + "ms";
+  return std::to_string(t) + "us";
+}
+
+namespace {
+
+void check_writable_value(const core::Value& a) {
+  if (a.empty())
+    throw std::invalid_argument("write_scenario: empty bcast value is not representable");
+  for (char c : a)
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '#' || c == '|')
+      throw std::invalid_argument(
+          "write_scenario: bcast value '" + a +
+          "' contains whitespace/'#'/'|' — not representable in the text format");
+}
+
+std::string format_proc_set(const std::set<ProcId>& procs) {
+  std::string out;
+  for (ProcId p : procs) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(p);
+  }
+  return out;
+}
+
+struct OpWriter {
+  std::ostringstream& os;
+
+  void operator()(const OpBcast& b) const {
+    check_writable_value(b.a);
+    os << "bcast " << b.p << ' ' << b.a;
+  }
+  void operator()(const OpPartition& part) const {
+    if (part.components.empty())
+      throw std::invalid_argument("write_scenario: partition with no components");
+    os << "partition";
+    for (std::size_t i = 0; i < part.components.size(); ++i) {
+      if (part.components[i].empty())
+        throw std::invalid_argument("write_scenario: empty partition component");
+      os << (i == 0 ? " " : " | ") << format_proc_set(part.components[i]);
+    }
+  }
+  void operator()(const OpHeal&) const { os << "heal"; }
+  void operator()(const OpProcStatus& ps) const {
+    os << "proc " << ps.p << ' ' << sim::to_string(ps.status);
+  }
+  void operator()(const OpLinkStatus& ls) const {
+    os << "link " << ls.p << ' ' << ls.q << ' ' << sim::to_string(ls.status);
+  }
+};
+
+}  // namespace
+
+std::string write_scenario(const Scenario& scenario, const ScenarioMeta& meta) {
+  std::ostringstream os;
+  if (meta.n.has_value()) os << "config n " << *meta.n << '\n';
+  if (meta.seed.has_value()) os << "config seed " << *meta.seed << '\n';
+  if (meta.until.has_value()) os << "config until " << format_duration(*meta.until) << '\n';
+  for (const auto& timed : scenario.ops) {
+    os << "at " << format_duration(timed.at) << ' ';
+    std::visit(OpWriter{os}, timed.op);
+    os << '\n';
+  }
+  return os.str();
 }
 
 }  // namespace vsg::harness

@@ -1,9 +1,13 @@
 #pragma once
 
 // Text scenario format, so experiments can be described in files and run
-// through the CLI tool (examples/scenario_runner) without recompiling:
+// through the CLI tools (examples/scenario_runner, tools/chaos_runner)
+// without recompiling:
 //
 //   # comments and blank lines are ignored
+//   config n 5                   # optional world metadata (see ScenarioMeta)
+//   config seed 42
+//   config until 20s
 //   at 100ms partition 0,1,2 | 3,4
 //   at 2s    bcast 0 hello-world
 //   at 2.5s  proc 2 bad          # good | bad | ugly
@@ -11,7 +15,12 @@
 //   at 4s    heal
 //
 // Times accept us / ms / s suffixes (integer values).
+//
+// write_scenario() is the exact inverse of parse_scenario(): the chaos
+// shrinker serializes minimized repros with it, and the round-trip property
+// parse(write(s)) == s is locked in by tests/harness_scenario_roundtrip_test.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -19,8 +28,19 @@
 
 namespace vsg::harness {
 
+/// Optional world parameters embedded in a scenario file via `config`
+/// directives, so a minimized chaos repro is self-contained (replayable
+/// without remembering the campaign's command line).
+struct ScenarioMeta {
+  std::optional<int> n;              // config n <int>
+  std::optional<std::uint64_t> seed;  // config seed <u64>
+  std::optional<sim::Time> until;    // config until <duration>
+  bool operator==(const ScenarioMeta&) const = default;
+};
+
 struct ParseResult {
   std::optional<Scenario> scenario;  // engaged on success
+  ScenarioMeta meta;                 // config directives (if any)
   std::string error;                 // human-readable, with line number
   bool ok() const noexcept { return scenario.has_value(); }
 };
@@ -30,5 +50,15 @@ ParseResult parse_scenario(const std::string& text);
 
 /// Parse one duration token ("250ms", "3s", "1500us"); nullopt on error.
 std::optional<sim::Time> parse_duration(const std::string& token);
+
+/// Shortest exact representation of a non-negative duration ("3s", "250ms",
+/// "1500us"). Throws std::invalid_argument on negative input.
+std::string format_duration(sim::Time t);
+
+/// Serialize a scenario (plus optional metadata) in the text format above.
+/// Throws std::invalid_argument for ops the format cannot represent:
+/// negative times, empty partition component lists or components, and bcast
+/// values that are empty or contain whitespace / '#' / '|'.
+std::string write_scenario(const Scenario& scenario, const ScenarioMeta& meta = {});
 
 }  // namespace vsg::harness

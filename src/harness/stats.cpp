@@ -10,6 +10,19 @@
 
 namespace vsg::harness {
 
+namespace {
+// Nearest-rank percentile on a sorted sample vector: the smallest sample
+// such that at least q of the distribution is <= it, i.e. index
+// ceil(q * n) - 1. The previous `n * 9 / 10` indexing overshot on small
+// counts (n=10 returned the max as p90) and `n / 2` took the upper median.
+sim::Time nearest_rank(const std::vector<sim::Time>& sorted, std::size_t num,
+                       std::size_t den) {
+  const std::size_t n = sorted.size();
+  const std::size_t rank = (n * num + den - 1) / den;  // ceil(n * num / den), >= 1
+  return sorted[rank - 1];
+}
+}  // namespace
+
 LatencySummary summarize(std::vector<sim::Time> samples, std::size_t incomplete) {
   LatencySummary s;
   s.incomplete = incomplete;
@@ -18,8 +31,8 @@ LatencySummary summarize(std::vector<sim::Time> samples, std::size_t incomplete)
   s.count = samples.size();
   s.min = samples.front();
   s.max = samples.back();
-  s.p50 = samples[samples.size() / 2];
-  s.p90 = samples[samples.size() * 9 / 10];
+  s.p50 = nearest_rank(samples, 1, 2);
+  s.p90 = nearest_rank(samples, 9, 10);
   s.mean = static_cast<double>(std::accumulate(samples.begin(), samples.end(), sim::Time{0})) /
            static_cast<double>(samples.size());
   return s;

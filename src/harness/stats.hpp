@@ -22,6 +22,10 @@ struct LatencySummary {
   double mean = 0.0;
 };
 
+/// Percentiles use the nearest-rank definition (index ceil(q*n)-1 on the
+/// sorted samples), so a single sample reports itself as every percentile
+/// and p90 of 10 samples is the 9th, not the max. Empty input yields the
+/// all-zero summary with only `incomplete` set.
 LatencySummary summarize(std::vector<sim::Time> samples, std::size_t incomplete = 0);
 
 /// For every value bcast at a member of Q after `from`, the latency until it

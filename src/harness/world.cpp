@@ -78,13 +78,45 @@ World::World(WorldConfig config)
   if (ring_ != nullptr) ring_->start();
 }
 
+namespace {
+void require_proc_id(int n, ProcId p, const char* what) {
+  if (p < 0 || p >= n)
+    throw std::invalid_argument(std::string(what) + ": processor " + std::to_string(p) +
+                                " out of range [0, " + std::to_string(n) + ")");
+}
+}  // namespace
+
+void World::validate_partition(int n, const std::vector<std::set<ProcId>>& components) {
+  if (components.empty())
+    throw std::invalid_argument("partition: component list is empty (use heal to reconnect)");
+  std::set<ProcId> seen;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    if (components[c].empty())
+      throw std::invalid_argument("partition: component " + std::to_string(c) + " is empty");
+    for (ProcId p : components[c]) {
+      require_proc_id(n, p, "partition");
+      if (!seen.insert(p).second)
+        throw std::invalid_argument("partition: processor " + std::to_string(p) +
+                                    " appears in more than one component");
+    }
+  }
+  for (ProcId p = 0; p < n; ++p)
+    if (seen.count(p) == 0)
+      throw std::invalid_argument(
+          "partition: processor " + std::to_string(p) +
+          " is in no component — components must cover all of [0, " + std::to_string(n) +
+          "); isolate a processor with an explicit singleton component");
+}
+
 void World::bcast_at(sim::Time t, ProcId p, core::Value a) {
+  require_proc_id(config_.n, p, "bcast_at");
   // mutable + move: the value travels World -> Stack -> Process without a
   // copy (to.payload_copies counts what remains).
   sim_.at(t, [this, p, a = std::move(a)]() mutable { stack_->bcast(p, std::move(a)); });
 }
 
 void World::partition_at(sim::Time t, std::vector<std::set<ProcId>> components) {
+  validate_partition(config_.n, components);
   sim_.at(t, [this, comps = std::move(components)] { failures_.partition(comps, sim_.now()); });
 }
 
@@ -93,10 +125,16 @@ void World::heal_at(sim::Time t) {
 }
 
 void World::proc_status_at(sim::Time t, ProcId p, sim::Status status) {
+  require_proc_id(config_.n, p, "proc_status_at");
   sim_.at(t, [this, p, status] { failures_.set_proc(p, status, sim_.now()); });
 }
 
 void World::link_status_at(sim::Time t, ProcId p, ProcId q, sim::Status status) {
+  require_proc_id(config_.n, p, "link_status_at");
+  require_proc_id(config_.n, q, "link_status_at");
+  if (p == q)
+    throw std::invalid_argument("link_status_at: self-link (p == q == " + std::to_string(p) +
+                                ")");
   sim_.at(t, [this, p, q, status] { failures_.set_link(p, q, status, sim_.now()); });
 }
 

@@ -76,11 +76,21 @@ class World {
   const membership::TokenRingVS* token_ring() const noexcept { return ring_; }
 
   // --- Scheduling helpers -----------------------------------------------------
+  // All helpers validate their arguments eagerly (at schedule time, not when
+  // the simulator fires the event) and throw std::invalid_argument with a
+  // descriptive message, mirroring WorldConfig::validate(). partition_at is
+  // strict: components must be non-empty, disjoint, within [0, n), and
+  // together cover every processor — an explicit singleton {p} isolates p.
   void bcast_at(sim::Time t, ProcId p, core::Value a);
   void partition_at(sim::Time t, std::vector<std::set<ProcId>> components);
   void heal_at(sim::Time t);
   void proc_status_at(sim::Time t, ProcId p, sim::Status status);
   void link_status_at(sim::Time t, ProcId p, ProcId q, sim::Status status);
+
+  /// The strict component-set check behind partition_at, usable standalone
+  /// (the chaos schedule generator self-checks with it). Throws
+  /// std::invalid_argument describing the first problem found.
+  static void validate_partition(int n, const std::vector<std::set<ProcId>>& components);
 
   void run_until(sim::Time t) { sim_.run_until(t); }
 

@@ -84,6 +84,12 @@ void Node::dispatch(ProcId src, const util::Bytes& bytes) {
 
 void Node::maybe_propose() {
   const sim::Time now = parent_->simulator().now();
+  // A proposal whose deadline passed while this processor was stopped can
+  // never complete: on_proposal_deadline took no step, so proposing_ would
+  // stay set forever and block every future proposal (found by the chaos
+  // campaign — tests/scenarios/chaos_seed248_stuck_proposal.scn).
+  if (proposing_ && now - last_propose_ > parent_->config().formation_wait())
+    proposing_ = false;
   if (proposing_) return;
   if (last_propose_ >= 0 && now - last_propose_ < parent_->config().proposal_cooldown())
     return;

@@ -63,28 +63,31 @@ util::Bytes encode_packet(const Packet& pkt) {
 }
 
 std::optional<Packet> decode_packet(const util::Bytes& bytes) {
+  // util::unchecked_decode() re-enables the historical accept-anything bug
+  // (no checksum, truncated fields read as zero) for chaos-oracle demos.
+  const bool strict = !util::unchecked_decode();
   util::Decoder frame(bytes);
   const std::uint32_t checksum = frame.u32();
   const util::Bytes body = frame.raw();
-  if (!frame.complete()) return std::nullopt;
-  if (checksum != static_cast<std::uint32_t>(util::fnv1a(body))) return std::nullopt;
+  if (strict && !frame.complete()) return std::nullopt;
+  if (strict && checksum != static_cast<std::uint32_t>(util::fnv1a(body))) return std::nullopt;
 
   util::Decoder d(body);
   const std::uint8_t tag = d.u8();
   switch (tag) {
     case kTagCall: {
       Call p{core::decode_viewid(d)};
-      if (!d.complete()) return std::nullopt;
+      if (strict && !d.complete()) return std::nullopt;
       return Packet{p};
     }
     case kTagCallReply: {
       CallReply p{core::decode_viewid(d)};
-      if (!d.complete()) return std::nullopt;
+      if (strict && !d.complete()) return std::nullopt;
       return Packet{p};
     }
     case kTagViewAnnounce: {
       ViewAnnounce p{core::decode_view(d)};
-      if (!d.complete()) return std::nullopt;
+      if (strict && !d.complete()) return std::nullopt;
       return Packet{p};
     }
     case kTagToken: {
@@ -102,13 +105,13 @@ std::optional<Packet> decode_packet(const util::Bytes& bytes) {
         const auto r = static_cast<ProcId>(d.u32());
         p.delivered[r] = d.u32();
       }
-      if (!d.complete()) return std::nullopt;
+      if (strict && !d.complete()) return std::nullopt;
       return Packet{std::move(p)};
     }
     case kTagProbe: {
       Probe p;
       if (d.boolean()) p.gid = core::decode_viewid(d);
-      if (!d.complete()) return std::nullopt;
+      if (strict && !d.complete()) return std::nullopt;
       return Packet{p};
     }
     default:

@@ -1,8 +1,18 @@
 #include "sim/failure_table.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace vsg::sim {
+
+namespace {
+void require_proc(int n, ProcId p, const char* what) {
+  if (p < 0 || p >= n)
+    throw std::invalid_argument(std::string(what) + ": processor " + std::to_string(p) +
+                                " out of range [0, " + std::to_string(n) + ")");
+}
+}  // namespace
 
 const char* to_string(Status s) noexcept {
   switch (s) {
@@ -40,13 +50,17 @@ void FailureTable::record(StatusEvent ev) {
 }
 
 void FailureTable::set_proc(ProcId p, Status s, Time now) {
-  assert(p >= 0 && p < n_);
+  // Real checks, not asserts: these take schedule-file / chaos-generator
+  // input, and asserts are compiled out of release builds (OOB write UB).
+  require_proc(n_, p, "FailureTable::set_proc");
   proc_[static_cast<std::size_t>(p)] = s;
   record(StatusEvent{now, false, p, kNoProc, s});
 }
 
 void FailureTable::set_link(ProcId p, ProcId q, Status s, Time now) {
-  assert(p >= 0 && p < n_ && q >= 0 && q < n_ && p != q);
+  require_proc(n_, p, "FailureTable::set_link");
+  require_proc(n_, q, "FailureTable::set_link");
+  if (p == q) throw std::invalid_argument("FailureTable::set_link: self-link (p == q)");
   link_[static_cast<std::size_t>(p) * n_ + q] = s;
   record(StatusEvent{now, true, p, q, s});
 }
@@ -60,8 +74,10 @@ void FailureTable::partition(const std::vector<std::set<ProcId>>& components, Ti
   std::vector<int> comp(static_cast<std::size_t>(n_), -1);
   for (std::size_t c = 0; c < components.size(); ++c) {
     for (ProcId p : components[c]) {
-      assert(p >= 0 && p < n_);
-      assert(comp[static_cast<std::size_t>(p)] == -1 && "components must be disjoint");
+      require_proc(n_, p, "FailureTable::partition");
+      if (comp[static_cast<std::size_t>(p)] != -1)
+        throw std::invalid_argument("FailureTable::partition: processor " + std::to_string(p) +
+                                    " appears in more than one component");
       comp[static_cast<std::size_t>(p)] = static_cast<int>(c);
     }
   }

@@ -41,6 +41,9 @@ class FailureTable {
   /// Status of the ordered pair (p, q). The pair (p, p) is always good.
   Status link(ProcId p, ProcId q) const;
 
+  /// Mutators validate their arguments (schedule files and chaos generators
+  /// feed them) and throw std::invalid_argument on out-of-range processors,
+  /// self-links, or overlapping partition components.
   void set_proc(ProcId p, Status s, Time now);
   void set_link(ProcId p, ProcId q, Status s, Time now);
   /// Set both (p,q) and (q,p).
@@ -49,7 +52,8 @@ class FailureTable {
   /// Scenario helper: make links within each component good and links
   /// between different components bad. Processors keep their own status.
   /// Components must be disjoint; processors absent from every component
-  /// are isolated (all their links become bad).
+  /// are isolated (all their links become bad). Throws std::invalid_argument
+  /// on overlapping or out-of-range components.
   void partition(const std::vector<std::set<ProcId>>& components, Time now);
 
   /// Scenario helper: fully connect everything with good links.

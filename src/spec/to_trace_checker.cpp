@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "trace/recorder.hpp"
+
 namespace vsg::spec {
 
 TOTraceChecker::TOTraceChecker(int n)
@@ -11,6 +13,10 @@ TOTraceChecker::TOTraceChecker(int n)
       ordered_per_sender_(static_cast<std::size_t>(n), 0),
       recv_idx_(static_cast<std::size_t>(n), 0) {
   assert(n > 0);
+}
+
+void TOTraceChecker::attach(trace::Recorder& recorder) {
+  recorder.subscribe([this](const trace::TimedEvent& te) { on_event(te); });
 }
 
 void TOTraceChecker::complain(const std::string& what) {

@@ -20,6 +20,10 @@
 
 #include "trace/events.hpp"
 
+namespace vsg::trace {
+class Recorder;
+}
+
 namespace vsg::spec {
 
 class TOTraceChecker {
@@ -31,6 +35,11 @@ class TOTraceChecker {
 
   /// Feed a whole trace.
   void check_all(const std::vector<trace::TimedEvent>& trace);
+
+  /// Subscribe as a live oracle: every event the recorder sees from now on
+  /// is fed to on_event as it happens. The checker must outlive the run
+  /// (the recorder keeps a reference to it until the recorder dies).
+  void attach(trace::Recorder& recorder);
 
   bool ok() const noexcept { return violations_.empty(); }
   const std::vector<std::string>& violations() const noexcept { return violations_; }

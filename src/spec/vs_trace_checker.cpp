@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "trace/recorder.hpp"
+
 namespace vsg::spec {
 
 VSTraceChecker::VSTraceChecker(int n, int n0) : n_(n), current_(static_cast<std::size_t>(n)) {
@@ -10,6 +12,10 @@ VSTraceChecker::VSTraceChecker(int n, int n0) : n_(n), current_(static_cast<std:
   const core::View v0 = core::initial_view(n0);
   views_by_id_[v0.id] = v0.members;
   for (ProcId p = 0; p < n0; ++p) current_[static_cast<std::size_t>(p)] = v0;
+}
+
+void VSTraceChecker::attach(trace::Recorder& recorder) {
+  recorder.subscribe([this](const trace::TimedEvent& te) { on_event(te); });
 }
 
 void VSTraceChecker::complain(const std::string& what) {

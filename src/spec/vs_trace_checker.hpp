@@ -28,6 +28,10 @@
 #include "core/types.hpp"
 #include "trace/events.hpp"
 
+namespace vsg::trace {
+class Recorder;
+}
+
 namespace vsg::spec {
 
 class VSTraceChecker {
@@ -37,6 +41,9 @@ class VSTraceChecker {
 
   void on_event(const trace::TimedEvent& te);
   void check_all(const std::vector<trace::TimedEvent>& trace);
+
+  /// Subscribe as a live oracle on the recorder (see TOTraceChecker::attach).
+  void attach(trace::Recorder& recorder);
 
   bool ok() const noexcept { return violations_.empty(); }
   const std::vector<std::string>& violations() const noexcept { return violations_; }

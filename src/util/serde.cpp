@@ -2,6 +2,13 @@
 
 namespace vsg::util {
 
+namespace {
+bool g_unchecked_decode = false;
+}  // namespace
+
+bool unchecked_decode() noexcept { return g_unchecked_decode; }
+void set_unchecked_decode_for_test(bool on) noexcept { g_unchecked_decode = on; }
+
 void Encoder::u8(std::uint8_t v) { buf_.push_back(v); }
 
 void Encoder::u32(std::uint32_t v) {

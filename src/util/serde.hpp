@@ -66,6 +66,30 @@ class Decoder {
   bool ok_ = true;
 };
 
+// --- Chaos fault injection ------------------------------------------------
+//
+// Historical bug, kept re-enableable so the chaos campaign's oracles can be
+// demonstrated against a known fault: when unchecked decode is on, the wire
+// decoders in vstoto/wire.cpp and membership/messages.cpp skip their
+// ok()/complete()/checksum validation, so truncated or corrupted packets
+// decode as zero-filled messages instead of being rejected. Never enable
+// outside tests or `chaos_runner --inject-unchecked-decode`.
+
+bool unchecked_decode() noexcept;
+void set_unchecked_decode_for_test(bool on) noexcept;
+
+/// RAII scope for the injection flag (restores the previous value).
+class UncheckedDecodeGuard {
+ public:
+  UncheckedDecodeGuard() : prev_(unchecked_decode()) { set_unchecked_decode_for_test(true); }
+  ~UncheckedDecodeGuard() { set_unchecked_decode_for_test(prev_); }
+  UncheckedDecodeGuard(const UncheckedDecodeGuard&) = delete;
+  UncheckedDecodeGuard& operator=(const UncheckedDecodeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 // --- Generic helpers for containers -------------------------------------
 
 template <typename T, typename F>

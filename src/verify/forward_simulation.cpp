@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "trace/recorder.hpp"
+
 namespace vsg::verify {
 
 std::optional<TOImage> compute_f(const GlobalState& s, std::vector<std::string>* violations) {
@@ -40,6 +42,10 @@ std::optional<TOImage> compute_f(const GlobalState& s, std::vector<std::string>*
 
 SimulationChecker::SimulationChecker(GlobalState s)
     : state_(std::move(s)), oracle_(state_.size()) {}
+
+void SimulationChecker::attach(trace::Recorder& recorder) {
+  recorder.subscribe([this](const trace::TimedEvent& te) { on_event(te); });
+}
 
 void SimulationChecker::sync() {
   const auto confirm = allconfirm(state_, &violations_);

@@ -25,6 +25,10 @@
 #include "trace/events.hpp"
 #include "verify/derived.hpp"
 
+namespace vsg::trace {
+class Recorder;
+}
+
 namespace vsg::verify {
 
 /// The image of the simulation relation: a TO-machine state.
@@ -47,6 +51,11 @@ class SimulationChecker {
   /// Feed every trace event (non-TO events are ignored). Brcv events
   /// trigger a sync against allconfirm first.
   void on_event(const trace::TimedEvent& te);
+
+  /// Subscribe as a live oracle on the recorder (refinement checking must
+  /// run online — it reads the live GlobalState at each event). The checker
+  /// must outlive the run.
+  void attach(trace::Recorder& recorder);
 
   /// Catch the oracle's queue up with allconfirm (performs to-order steps).
   void sync();

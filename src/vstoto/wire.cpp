@@ -20,18 +20,21 @@ util::Bytes encode_message(const Message& m) {
 }
 
 std::optional<Message> decode_message(const util::Bytes& bytes) {
+  // util::unchecked_decode() re-enables the historical accept-anything bug
+  // (truncated input decodes as a zero-filled message) for chaos-oracle demos.
+  const bool strict = !util::unchecked_decode();
   util::Decoder d(bytes);
   const std::uint8_t tag = d.u8();
   if (tag == kTagLabeledValue) {
     LabeledValue lv;
     lv.label = core::decode_label(d);
     lv.value = d.str();
-    if (!d.complete()) return std::nullopt;
+    if (strict && !d.complete()) return std::nullopt;
     return Message{std::move(lv)};
   }
   if (tag == kTagSummary) {
     core::Summary x = core::decode_summary(d);
-    if (!d.complete()) return std::nullopt;
+    if (strict && !d.complete()) return std::nullopt;
     return Message{std::move(x)};
   }
   return std::nullopt;

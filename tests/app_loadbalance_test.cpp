@@ -82,7 +82,7 @@ TEST_P(LoadBalanceTest, CrashedWorkerShedsItsSlice) {
   // Worker 2 dies almost immediately; the survivors' next view covers its
   // slice.
   world.proc_status_at(sim::msec(100), 2, sim::Status::kBad);
-  world.partition_at(sim::msec(100), {{0, 1}});
+  world.partition_at(sim::msec(100), {{0, 1}, {2}});
   world.run_until(sim::sec(10));
 
   EXPECT_TRUE(lb.all_done(0));

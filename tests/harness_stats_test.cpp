@@ -1,0 +1,66 @@
+// Percentile edge cases for harness::summarize — nearest-rank definition:
+// index ceil(q*n)-1 on the sorted samples. Empty and single-sample inputs
+// are the historical trouble spots.
+
+#include <gtest/gtest.h>
+
+#include "harness/stats.hpp"
+
+namespace vsg::harness {
+namespace {
+
+struct Case {
+  const char* name;
+  std::vector<sim::Time> samples;  // any order; summarize sorts
+  sim::Time min, p50, p90, max;
+};
+
+TEST(Stats, SummarizeNearestRankTable) {
+  const Case cases[] = {
+      {"single", {5}, 5, 5, 5, 5},
+      {"two", {10, 20}, 10, 10, 20, 20},
+      {"three-unsorted", {sim::msec(10), sim::msec(30), sim::msec(20)},
+       sim::msec(10), sim::msec(20), sim::msec(30), sim::msec(30)},
+      {"four", {1, 2, 3, 4}, 1, 2, 4, 4},
+      {"five", {1, 2, 3, 4, 5}, 1, 3, 5, 5},
+      // p90 of ten samples is the 9th order statistic, not the max.
+      {"ten", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1, 5, 9, 10},
+      {"eleven", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 1, 6, 10, 11},
+      {"ties", {7, 7, 7, 7}, 7, 7, 7, 7},
+      {"zeros", {0, 0, 0}, 0, 0, 0, 0},
+  };
+  for (const auto& c : cases) {
+    const auto s = summarize(c.samples);
+    EXPECT_EQ(s.count, c.samples.size()) << c.name;
+    EXPECT_EQ(s.min, c.min) << c.name;
+    EXPECT_EQ(s.p50, c.p50) << c.name;
+    EXPECT_EQ(s.p90, c.p90) << c.name;
+    EXPECT_EQ(s.max, c.max) << c.name;
+  }
+}
+
+TEST(Stats, SummarizeEmptyIsAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.incomplete, 0u);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.p50, 0);
+  EXPECT_EQ(s.p90, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeEmptyKeepsIncompleteCount) {
+  const auto s = summarize({}, 3);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.incomplete, 3u);
+  EXPECT_EQ(s.p90, 0);
+}
+
+TEST(Stats, SummarizeMean) {
+  const auto s = summarize({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.mean, 25.0);
+}
+
+}  // namespace
+}  // namespace vsg::harness

@@ -103,7 +103,7 @@ TEST(TokenRing, LeaderCrashTriggersReformation) {
   World world(ring_cfg(3, 6));
   // Leader of the initial view is 0 (min member). Stop it.
   world.proc_status_at(sim::sec(1), 0, sim::Status::kBad);
-  world.partition_at(sim::sec(1), {{1, 2}});
+  world.partition_at(sim::sec(1), {{0}, {1, 2}});
   world.run_until(sim::sec(5));
 
   EXPECT_TRUE(world.check_vs_safety().empty());

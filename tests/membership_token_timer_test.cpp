@@ -1,0 +1,95 @@
+// Token-loss timer regression tests (Section 8 recovery path).
+//
+// Audit result for the re-arm path in token_ring.cpp: every timer callback
+// (launch_tick, token-check, probe) captures the view generation at arm
+// time and returns early when the generation moved on, so a timer armed in
+// a dead view can neither fire into a new view nor fail to be replaced —
+// installing a view always arms a fresh generation's timers. These tests
+// pin the observable consequence: a lost token (holder's outgoing links go
+// dark mid-circulation) is always recovered via the token-check timeout,
+// with no stalled ring and no safety violation, including under view churn.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+
+namespace vsg::harness {
+namespace {
+
+WorldConfig ring_config(int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = Backend::kTokenRing;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_converged(World& w, int n, std::size_t min_delivered) {
+  const auto& reference = w.stack().process(0).delivered();
+  EXPECT_GE(reference.size(), min_delivered);
+  for (ProcId p = 1; p < n; ++p)
+    EXPECT_EQ(w.stack().process(p).delivered(), reference) << "processor " << p;
+  EXPECT_TRUE(w.check_to_safety().empty());
+  EXPECT_TRUE(w.check_vs_safety().empty());
+}
+
+// One processor's outgoing links go dark for a window long past the token
+// timeout, so any token it holds or receives is lost. The ring must reform
+// and, after the window, deliver traffic from every processor again.
+TEST(TokenTimer, LostTokenRecoveredViaTimeout) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    World w(ring_config(4, seed));
+    for (ProcId q = 1; q < 4; ++q) {
+      w.link_status_at(sim::msec(500), 0, q, sim::Status::kBad);
+      w.link_status_at(sim::msec(900), 0, q, sim::Status::kGood);
+    }
+    for (int k = 0; k < 6; ++k)
+      w.bcast_at(sim::msec(300 + 150 * k), static_cast<ProcId>(k % 4),
+                 "v" + std::to_string(k));
+    w.bcast_at(sim::sec(3), 0, "after-recovery");
+    w.run_until(sim::sec(10));
+    expect_converged(w, 4, 7);
+  }
+}
+
+// Same loss window while the membership is also churning (partition during
+// the window, heal after): the stale-generation guard must keep old-view
+// token-check timers from misfiring into the views formed meanwhile.
+TEST(TokenTimer, LossWindowUnderViewChurn) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    World w(ring_config(5, seed));
+    for (ProcId q = 0; q < 5; ++q) {
+      if (q == 2) continue;
+      w.link_status_at(sim::msec(400), 2, q, sim::Status::kBad);
+      w.link_status_at(sim::msec(800), 2, q, sim::Status::kGood);
+    }
+    w.partition_at(sim::msec(600), {{0, 1}, {2, 3, 4}});
+    w.heal_at(sim::msec(1200));
+    for (int k = 0; k < 8; ++k)
+      w.bcast_at(sim::msec(200 + 200 * k), static_cast<ProcId>(k % 5),
+                 "c" + std::to_string(k));
+    w.run_until(sim::sec(12));
+    expect_converged(w, 5, 8);
+  }
+}
+
+// Back-to-back loss windows: each recovery re-arms the next generation's
+// timers; a missing re-arm would stall the second window's recovery.
+TEST(TokenTimer, RepeatedLossWindowsKeepRecovering) {
+  World w(ring_config(3, 7));
+  for (int round = 0; round < 3; ++round) {
+    const sim::Time base = sim::msec(400 + 1500 * round);
+    for (ProcId q = 1; q < 3; ++q) {
+      w.link_status_at(base, 0, q, sim::Status::kBad);
+      w.link_status_at(base + sim::msec(400), 0, q, sim::Status::kGood);
+    }
+    w.bcast_at(base + sim::msec(700), static_cast<ProcId>(round % 3),
+               "r" + std::to_string(round));
+  }
+  w.run_until(sim::sec(12));
+  expect_converged(w, 3, 3);
+}
+
+}  // namespace
+}  // namespace vsg::harness

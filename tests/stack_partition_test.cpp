@@ -119,7 +119,7 @@ TEST_P(StackPartition, CrashedProcessorDoesNotBlockQuorum) {
   // Processor 4 goes bad (stopped) and its links drop; the remaining four
   // are a quorum and keep working.
   world.proc_status_at(sim::msec(100), 4, sim::Status::kBad);
-  world.partition_at(sim::msec(100), {{0, 1, 2, 3}});
+  world.partition_at(sim::msec(100), {{0, 1, 2, 3}, {4}});
   world.bcast_at(sim::sec(2), 1, "without-4");
   world.run_until(sim::sec(8));
 
@@ -134,7 +134,7 @@ TEST_P(StackPartition, CrashedProcessorDoesNotBlockQuorum) {
 TEST_P(StackPartition, RecoveredProcessorCatchesUp) {
   World world(cfg_for(GetParam(), 3, 53));
   world.proc_status_at(sim::msec(100), 2, sim::Status::kBad);
-  world.partition_at(sim::msec(100), {{0, 1}});
+  world.partition_at(sim::msec(100), {{0, 1}, {2}});
   world.bcast_at(sim::sec(1), 0, "while-down");
   world.run_until(sim::sec(3));
   // 2 is down; {0,1} is a majority of 3, so the value is confirmed there.

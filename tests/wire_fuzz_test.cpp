@@ -1,0 +1,144 @@
+// Decode-hardening regression tests: every wire message and membership
+// packet type must reject every strict-prefix truncation, any single-byte
+// corruption (membership packets are checksummed), and arbitrary garbage —
+// without crashing. The historical zero-filled-decode bug stays reproducible
+// behind util::unchecked_decode() and is pinned down here too.
+
+#include <gtest/gtest.h>
+
+#include "membership/messages.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+#include "vstoto/wire.hpp"
+
+namespace vsg {
+namespace {
+
+std::vector<vstoto::Message> all_messages() {
+  const core::Label label{core::ViewId{3, 1}, 7, 2};
+  core::Summary x;
+  x.con = {{label, "alpha"}, {core::Label{core::ViewId{3, 1}, 8, 0}, "beta"}};
+  x.ord = {label};
+  x.next = 1;
+  x.high = core::ViewId{3, 1};
+  return {vstoto::Message{vstoto::LabeledValue{label, "payload"}}, vstoto::Message{x}};
+}
+
+std::vector<membership::Packet> all_packets() {
+  membership::Token token;
+  token.gid = core::ViewId{5, 0};
+  token.lap = 2;
+  token.base = 1;
+  token.entries = {{0, util::Bytes{1, 2, 3}}, {2, util::Bytes{}}};
+  token.delivered = {{0, 4}, {2, 3}};
+  return {
+      membership::Packet{membership::Call{core::ViewId{7, 2}}},
+      membership::Packet{membership::CallReply{core::ViewId{9, 0}}},
+      membership::Packet{membership::ViewAnnounce{core::View{core::ViewId{3, 1}, {0, 1, 3}}}},
+      membership::Packet{token},
+      membership::Packet{membership::Probe{core::ViewId{4, 3}}},
+      membership::Packet{membership::Probe{std::nullopt}},
+  };
+}
+
+TEST(WireFuzz, EveryMessageTypeRejectsEveryTruncation) {
+  for (const auto& m : all_messages()) {
+    const auto bytes = vstoto::encode_message(m);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const util::Bytes prefix(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_FALSE(vstoto::decode_message(prefix).has_value())
+          << "message index accepted a " << len << "/" << bytes.size() << " prefix";
+    }
+  }
+}
+
+TEST(WireFuzz, EveryPacketTypeRejectsEveryTruncation) {
+  for (const auto& p : all_packets()) {
+    const auto bytes = membership::encode_packet(p);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const util::Bytes prefix(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_FALSE(membership::decode_packet(prefix).has_value())
+          << "packet index " << p.index() << " accepted a " << len << "/" << bytes.size()
+          << " prefix";
+    }
+  }
+}
+
+// The frame checksum covers the whole body, so no single-byte corruption may
+// slip through (a flip in the length prefix truncates the frame instead).
+TEST(WireFuzz, EveryPacketTypeRejectsEverySingleByteFlip) {
+  for (const auto& p : all_packets()) {
+    const auto bytes = membership::encode_packet(p);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0xFF}}) {
+        util::Bytes corrupt = bytes;
+        corrupt[i] ^= flip;
+        EXPECT_FALSE(membership::decode_packet(corrupt).has_value())
+            << "packet index " << p.index() << " accepted byte " << i << " ^ " << int(flip);
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, RandomGarbageNeverCrashes) {
+  util::Rng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    util::Bytes buf(rng.below(64));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)vstoto::decode_message(buf);   // must not crash; accept/reject is free
+    (void)membership::decode_packet(buf);
+  }
+}
+
+TEST(WireFuzz, RandomlyMangledEncodingsNeverCrash) {
+  util::Rng rng(4049);
+  const auto messages = all_messages();
+  const auto packets = all_packets();
+  for (int i = 0; i < 300; ++i) {
+    auto mangle = [&rng](util::Bytes bytes) {
+      const auto flips = 1 + rng.below(4);
+      for (std::uint64_t k = 0; k < flips && !bytes.empty(); ++k)
+        bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      return bytes;
+    };
+    (void)vstoto::decode_message(mangle(encode_message(messages[rng.below(messages.size())])));
+    (void)membership::decode_packet(mangle(encode_packet(packets[rng.below(packets.size())])));
+  }
+}
+
+// --- The injectable historical bug ---------------------------------------
+
+TEST(WireFuzz, UncheckedDecodeAcceptsTruncatedMessage) {
+  auto bytes = vstoto::encode_message(all_messages()[0]);
+  bytes.resize(bytes.size() - 3);
+  ASSERT_FALSE(vstoto::decode_message(bytes).has_value());
+
+  util::UncheckedDecodeGuard guard;
+  const auto lenient = vstoto::decode_message(bytes);
+  ASSERT_TRUE(lenient.has_value());  // zero-filled fields — the old bug
+}
+
+TEST(WireFuzz, UncheckedDecodeAcceptsCorruptPacket) {
+  auto bytes = membership::encode_packet(all_packets()[0]);
+  bytes.back() ^= 0x40;  // body payload byte: checksum is the only defense
+  ASSERT_FALSE(membership::decode_packet(bytes).has_value());
+
+  util::UncheckedDecodeGuard guard;
+  EXPECT_TRUE(membership::decode_packet(bytes).has_value());
+}
+
+TEST(WireFuzz, GuardRestoresStrictDecoding) {
+  {
+    util::UncheckedDecodeGuard guard;
+    EXPECT_TRUE(util::unchecked_decode());
+  }
+  EXPECT_FALSE(util::unchecked_decode());
+  auto bytes = vstoto::encode_message(all_messages()[0]);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(vstoto::decode_message(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace vsg

@@ -1,0 +1,217 @@
+// Chaos campaign runner: seeded random fault schedules against the full
+// stack with the VS / TO / forward-simulation trace checkers attached as
+// online oracles, plus a post-stabilization recovery oracle. Failures are
+// delta-debug shrunk and written out as replayable scenario files.
+//
+//   $ ./chaos_runner --seeds 200 --smoke            # CI smoke campaign
+//   $ ./chaos_runner --seeds 50 --n 5 --export CHAOS.json
+//   $ ./chaos_runner --replay tests/scenarios/some_repro.scn
+//   $ ./chaos_runner --seeds 20 --inject-unchecked-decode --repro-dir /tmp
+//
+// Exit status: 0 when every run (or the replay) is clean, 1 on violations,
+// 2 on usage/IO errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/campaign.hpp"
+#include "harness/scenario_parser.hpp"
+#include "obs/json_exporter.hpp"
+#include "util/serde.hpp"
+
+using namespace vsg;
+
+namespace {
+
+struct Options {
+  int seeds = 50;
+  std::uint64_t first_seed = 1;
+  int n = 4;
+  harness::Backend backend = harness::Backend::kTokenRing;
+  bool smoke = false;
+  bool shrink = true;
+  bool inject_unchecked_decode = false;
+  double corrupt = 0.25;
+  std::string replay_file;
+  std::string repro_dir;
+  std::string export_path;
+  sim::Time replay_until = 0;  // 0: meta / last op + tail
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.seeds = std::atoi(v);
+    } else if (arg == "--first-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.first_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--n") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.n = std::atoi(v);
+      if (opt.n < 1) return false;
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "ring") == 0)
+        opt.backend = harness::Backend::kTokenRing;
+      else if (std::strcmp(v, "spec") == 0)
+        opt.backend = harness::Backend::kSpec;
+      else
+        return false;
+    } else if (arg == "--corrupt") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.corrupt = std::atof(v);
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--no-shrink") {
+      opt.shrink = false;
+    } else if (arg == "--inject-unchecked-decode") {
+      opt.inject_unchecked_decode = true;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.replay_file = v;
+    } else if (arg == "--until") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const auto t = harness::parse_duration(v);
+      if (!t.has_value()) return false;
+      opt.replay_until = *t;
+    } else if (arg == "--repro-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.repro_dir = v;
+    } else if (arg == "--export") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.export_path = v;
+    } else if (arg.rfind("--export=", 0) == 0) {
+      opt.export_path = arg.substr(9);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+chaos::CampaignConfig campaign_config(const Options& opt) {
+  chaos::CampaignConfig cfg;
+  cfg.schedule.n = opt.n;
+  cfg.backend = opt.backend;
+  cfg.link.ugly_corrupt = opt.corrupt;
+  cfg.first_seed = opt.first_seed;
+  cfg.seeds = opt.seeds;
+  cfg.shrink = opt.shrink;
+  if (opt.smoke) {
+    // CI preset: shorter chaos window and tail, fewer ops per seed, so 200
+    // seeds finish in seconds while still covering every op kind.
+    cfg.schedule.horizon = sim::sec(3);
+    cfg.schedule.quiescence = sim::sec(8);
+    cfg.schedule.partition_rounds = 2;
+    cfg.schedule.proc_flips = 2;
+    cfg.schedule.link_flips = 4;
+    cfg.schedule.traffic = 8;
+    cfg.schedule.burst_size = 3;
+    cfg.schedule.post_heal_traffic = 1;
+  }
+  return cfg;
+}
+
+int replay(const Options& opt) {
+  std::ifstream in(opt.replay_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opt.replay_file.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = harness::parse_scenario(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "scenario error in %s: %s\n", opt.replay_file.c_str(),
+                 parsed.error.c_str());
+    return 2;
+  }
+  // CLI flags override file metadata; metadata overrides defaults.
+  const int n = parsed.meta.n.value_or(opt.n);
+  const std::uint64_t seed = parsed.meta.seed.value_or(opt.first_seed);
+  sim::Time until = opt.replay_until;
+  if (until == 0) until = parsed.meta.until.value_or(parsed.scenario->last_time() + sim::sec(12));
+
+  chaos::CampaignConfig cfg = campaign_config(opt);
+  // Hand-written scenarios may not deliver every bcast everywhere (e.g. a
+  // final partition); only order agreement is enforced on replay.
+  const auto result = chaos::run_one(cfg, *parsed.scenario, n, seed, until, -1);
+  std::printf("replay %s: n=%d seed=%llu until=%s — %s\n", opt.replay_file.c_str(), n,
+              static_cast<unsigned long long>(seed),
+              harness::format_duration(until).c_str(),
+              result.ok() ? "clean" : "VIOLATIONS");
+  for (const auto& v : result.violations) std::printf("  %s\n", v.c_str());
+  return result.ok() ? 0 : 1;
+}
+
+int campaign(const Options& opt) {
+  chaos::CampaignConfig cfg = campaign_config(opt);
+  cfg.metrics = std::make_shared<obs::MetricsRegistry>();
+  std::printf("chaos campaign: %d seeds from %llu, n=%d, backend=%s%s%s\n", cfg.seeds,
+              static_cast<unsigned long long>(cfg.first_seed), cfg.schedule.n,
+              cfg.backend == harness::Backend::kSpec ? "spec" : "ring",
+              opt.smoke ? " (smoke preset)" : "",
+              opt.inject_unchecked_decode ? " [FAULT INJECTED: unchecked decode]" : "");
+
+  const auto result = chaos::run_campaign(cfg);
+
+  for (const auto& f : result.failures) {
+    std::printf("seed %llu FAILED (%zu violation%s), shrunk %zu -> %zu ops (n=%d, %d "
+                "candidates)\n",
+                static_cast<unsigned long long>(f.seed), f.violations.size(),
+                f.violations.size() == 1 ? "" : "s", f.schedule.scenario.ops.size(),
+                f.minimal.scenario.ops.size(), f.minimal.n, f.minimal.candidates);
+    for (const auto& v : f.violations) std::printf("  %s\n", v.c_str());
+    if (!opt.repro_dir.empty()) {
+      const std::string path =
+          opt.repro_dir + "/chaos_seed" + std::to_string(f.seed) + ".scn";
+      std::ofstream out(path);
+      out << chaos::repro_text(f);
+      if (out)
+        std::printf("  repro written to %s\n", path.c_str());
+      else
+        std::fprintf(stderr, "  cannot write %s (does the directory exist?)\n",
+                     path.c_str());
+    }
+  }
+
+  if (!opt.export_path.empty() &&
+      !obs::JsonExporter::write_file(*cfg.metrics, opt.export_path, "chaos_campaign"))
+    std::fprintf(stderr, "cannot write %s\n", opt.export_path.c_str());
+
+  std::printf("%d/%d runs clean (%llu ops scheduled)\n",
+              result.runs - static_cast<int>(result.failures.size()), result.runs,
+              static_cast<unsigned long long>(result.ops));
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: %s [--seeds N] [--first-seed S] [--n N] [--backend ring|spec]\n"
+                 "          [--corrupt P] [--smoke] [--no-shrink] [--repro-dir DIR]\n"
+                 "          [--export PATH] [--inject-unchecked-decode]\n"
+                 "          [--replay FILE [--until T]]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (opt.inject_unchecked_decode) util::set_unchecked_decode_for_test(true);
+  return opt.replay_file.empty() ? campaign(opt) : replay(opt);
+}
