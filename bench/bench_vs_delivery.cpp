@@ -7,15 +7,19 @@
 // against both.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
 
 using namespace vsg;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
   std::printf("E2: send->safe latency in a stable group vs d = 2pi + n*delta\n");
   struct ParamSet {
     const char* name;
@@ -41,6 +45,7 @@ int main() {
       cfg.ring = ps.ring;
       cfg.link.delta = ps.ring.delta;  // delta must bound real link delay
       cfg.seed = 500 + n;
+      cfg.metrics = metrics;  // all sweep cells accumulate into one registry
       harness::World world(cfg);
 
       // Steady traffic from every member, spaced randomly relative to the
@@ -73,5 +78,12 @@ int main() {
   }
   std::printf("\npaper claim: max latency <= d, growing linearly in n and pi -> %s\n",
               all_ok ? "REPRODUCED (with d_impl = 3(pi + n*delta))" : "NOT reproduced");
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_vs_delivery")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", export_path->c_str());
+  }
   return all_ok ? 0 : 1;
 }

@@ -37,4 +37,13 @@ if ./build/tools/chaos_runner --replay tests/scenarios/chaos_seed75_unchecked_de
   exit 1
 fi
 
+# Sanitizer pass (docs/DATAPLANE.md): the zero-copy plane shares one
+# allocation across layers and holds slices past their parent Buffer, so the
+# whole suite plus a chaos smoke runs again under ASan + UBSan. Halt on the
+# first report (-fno-sanitize-recover=all makes any finding fatal).
+cmake -B build-asan -S . -DVSG_SANITIZE=ON
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j)
+./build-asan/tools/chaos_runner --seeds 200 --smoke
+
 echo "check.sh: all green"

@@ -70,4 +70,14 @@ std::uint32_t maxnextconfirm(const SummaryMap& y);
 void encode(util::Encoder& e, const Summary& x);
 Summary decode_summary(util::Decoder& d);
 
+/// Exact wire size of encode(e, x) (Encoder::reserve hint).
+inline std::size_t encoded_size(const Summary& x) noexcept {
+  std::size_t n = 4;  // con count
+  for (const auto& [l, a] : x.con) n += encoded_size(l) + 4 + a.size();
+  n += 4 + encoded_size(Label{}) * x.ord.size();  // ord
+  n += 4;                      // next
+  n += 1 + (x.high ? encoded_size(*x.high) : 0);
+  return n;
+}
+
 }  // namespace vsg::core

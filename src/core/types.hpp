@@ -52,6 +52,14 @@ ViewId decode_viewid(util::Decoder& d);
 void encode(util::Encoder& e, const View& v);
 View decode_view(util::Decoder& d);
 
+/// Exact wire sizes of the encodings above, used as Encoder::reserve hints
+/// so a whole message encodes with one allocation (wire_fuzz/serde tests
+/// assert the measured and actual sizes agree).
+constexpr std::size_t encoded_size(const ViewId&) noexcept { return 8 + 4; }
+inline std::size_t encoded_size(const View& v) noexcept {
+  return 12 + 4 + 4 * v.members.size();
+}
+
 /// The distinguished initial view v0 = (g0, P0). P0 = {0..n0-1}: the first
 /// n0 processors form the group at time zero; the rest start with view
 /// undefined (the paper's hybrid initial-view rule, Section 1 item 3).

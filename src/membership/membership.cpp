@@ -41,29 +41,30 @@ void Node::submit(vs::Payload m) {
   outbox_.push_back(std::move(m));
 }
 
-void Node::on_packet(ProcId src, const util::Bytes& bytes) {
+void Node::on_packet(ProcId src, const util::Buffer& packet) {
   switch (parent_->failures().proc(me_)) {
     case sim::Status::kBad:
       return;  // a stopped processor takes no steps
     case sim::Status::kUgly: {
       // Nondeterministic speed: handle after a random extra delay (and
       // re-check status then — the processor may have stopped meanwhile).
+      // Retaining the packet costs a refcount, not a byte copy.
       const sim::Time extra = rng_.range(0, parent_->config().ugly_proc_max_delay);
-      parent_->simulator().after(extra, [this, src, bytes] {
-        if (!self_bad()) dispatch(src, bytes);
+      parent_->simulator().after(extra, [this, src, packet] {
+        if (!self_bad()) dispatch(src, packet);
       });
       return;
     }
     case sim::Status::kGood:
       break;
   }
-  dispatch(src, bytes);
+  dispatch(src, packet);
 }
 
-void Node::dispatch(ProcId src, const util::Bytes& bytes) {
+void Node::dispatch(ProcId src, const util::Buffer& packet) {
   if (src >= 0 && src < parent_->size())
     last_heard_[static_cast<std::size_t>(src)] = parent_->simulator().now();
-  auto pkt = decode_packet(bytes);
+  auto pkt = decode_packet(packet);
   if (!pkt.has_value()) {
     VSG_WARN << "node " << me_ << ": undecodable packet from " << src;
     return;
@@ -138,9 +139,10 @@ void Node::initiate_one_round() {
   ++stats_.proposals;
   obs::bump(parent_->obs().proposals);
   VSG_DEBUG << "node " << me_ << " one-round announces " << core::to_string(v);
-  for (ProcId q : v.members)
-    if (q != me_)
-      parent_->network().send(me_, q, encode_packet(Packet{ViewAnnounce{v}}));
+  std::vector<ProcId> others(v.members.begin(), v.members.end());
+  others.erase(std::remove(others.begin(), others.end(), me_), others.end());
+  if (!others.empty())
+    parent_->network().multicast(me_, others, encode_packet(Packet{ViewAnnounce{v}}));
   install_view(v, /*initial=*/false);
 }
 
@@ -169,9 +171,10 @@ void Node::on_proposal_deadline(core::ViewId gid) {
   core::View v;
   v.id = prop_gid_;
   v.members = prop_accepted_;
-  for (ProcId q : v.members)
-    if (q != me_)
-      parent_->network().send(me_, q, encode_packet(Packet{ViewAnnounce{v}}));
+  std::vector<ProcId> others(v.members.begin(), v.members.end());
+  others.erase(std::remove(others.begin(), others.end(), me_), others.end());
+  if (!others.empty())
+    parent_->network().multicast(me_, others, encode_packet(Packet{ViewAnnounce{v}}));
   install_view(v, /*initial=*/false);
 }
 
@@ -233,12 +236,14 @@ void Node::probe_tick() {
       // No view at all: keep trying to form one (covers isolated startup).
       maybe_propose();
     } else {
-      for (ProcId q = 0; q < parent_->size(); ++q) {
-        if (q == me_ || view_->contains(q)) continue;
-        parent_->network().send(me_, q,
-                                encode_packet(Packet{Probe{view_->id}}));
-        ++stats_.probes_sent;
-        obs::bump(parent_->obs().probes_sent);
+      // One encode, one shared buffer for every stranger probed this tick.
+      std::vector<ProcId> dests;
+      for (ProcId q = 0; q < parent_->size(); ++q)
+        if (q != me_ && !view_->contains(q)) dests.push_back(q);
+      if (!dests.empty()) {
+        parent_->network().multicast(me_, dests, encode_packet(Packet{Probe{view_->id}}));
+        stats_.probes_sent += dests.size();
+        obs::bump(parent_->obs().probes_sent, dests.size());
       }
     }
   }

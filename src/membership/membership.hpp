@@ -94,8 +94,9 @@ class Node {
 
   /// A packet arrived from the network. A bad processor drops it (stopped
   /// processors take no steps); an ugly one handles it after a random
-  /// extra delay (nondeterministic speed).
-  void on_packet(ProcId src, const util::Bytes& bytes);
+  /// extra delay (nondeterministic speed). The buffer is shared with the
+  /// network; a delayed handler retains it by reference, not by copy.
+  void on_packet(ProcId src, const util::Buffer& packet);
 
   /// Client gpsnd at this processor. Silently dropped when the node has no
   /// view (the paper's bottom-view rule).
@@ -106,7 +107,7 @@ class Node {
 
  private:
   // --- membership.cpp -------------------------------------------------------
-  void dispatch(ProcId src, const util::Bytes& bytes);
+  void dispatch(ProcId src, const util::Buffer& packet);
   void handle_call(ProcId src, const Call& c);
   void handle_call_reply(ProcId src, const CallReply& r);
   void handle_announce(ProcId src, const ViewAnnounce& a);
@@ -143,11 +144,13 @@ class Node {
   std::uint64_t view_gen_ = 0;  // bumped on install; stale timers no-op
   std::vector<sim::Time> last_heard_;  // per-processor last packet time
 
-  // Per-view ordering state (reset on install).
-  std::vector<std::pair<ProcId, util::Bytes>> log_;  // the view's common order
-  std::size_t delivered_ = 0;                        // gprcv'd prefix (== log_.size())
-  std::size_t safe_emitted_ = 0;                     // safe'd prefix
-  std::deque<util::Bytes> outbox_;                   // submitted, not yet on token
+  // Per-view ordering state (reset on install). Payloads are shared
+  // Buffers: the log and outbox hold references into the packets / client
+  // submissions that carried them, never copies.
+  std::vector<std::pair<ProcId, util::Buffer>> log_;  // the view's common order
+  std::size_t delivered_ = 0;                         // gprcv'd prefix (== log_.size())
+  std::size_t safe_emitted_ = 0;                      // safe'd prefix
+  std::deque<util::Buffer> outbox_;                   // submitted, not yet on token
 
   // Leader token custody.
   Token token_;

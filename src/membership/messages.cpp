@@ -10,8 +10,36 @@ constexpr std::uint8_t kTagViewAnnounce = 3;
 constexpr std::uint8_t kTagToken = 4;
 constexpr std::uint8_t kTagProbe = 5;
 
-struct Encoder {
-  util::Encoder e;
+// Frame layout: u32 checksum | u32 body length | body. The checksum covers
+// the body only, so it matches what the pre-zero-copy framing produced.
+constexpr std::size_t kFrameHeader = 8;
+
+std::size_t entries_section_size(const Token& p) {
+  if (!p.entries_wire.empty()) return p.entries_wire.size();
+  std::size_t n = 4;  // count
+  for (const auto& [src, payload] : p.entries) n += 4 + 4 + payload.size();
+  return n;
+}
+
+struct BodySize {
+  std::size_t operator()(const Call&) const { return 1 + core::encoded_size(core::ViewId{}); }
+  std::size_t operator()(const CallReply&) const { return 1 + core::encoded_size(core::ViewId{}); }
+  std::size_t operator()(const ViewAnnounce& p) const { return 1 + core::encoded_size(p.view); }
+  std::size_t operator()(const Token& p) const {
+    return 1 + core::encoded_size(p.gid) + 4 + 4 + entries_section_size(p) + 4 +
+           8 * p.delivered.size();
+  }
+  std::size_t operator()(const Probe& p) const {
+    return 1 + 1 + (p.gid ? core::encoded_size(*p.gid) : 0);
+  }
+};
+
+struct BodyEncoder {
+  util::Encoder& e;
+  // Entries-section bounds within the packet (Token only), for warming the
+  // wire cache off the finished buffer.
+  std::size_t entries_begin = 0;
+  std::size_t entries_end = 0;
 
   void operator()(const Call& p) {
     e.u8(kTagCall);
@@ -30,11 +58,18 @@ struct Encoder {
     core::encode(e, p.gid);
     e.u32(p.lap);
     e.u32(p.base);
-    e.u32(static_cast<std::uint32_t>(p.entries.size()));
-    for (const auto& [src, payload] : p.entries) {
-      e.u32(static_cast<std::uint32_t>(src));
-      e.raw(payload);
+    entries_begin = e.size();
+    if (!p.entries_wire.empty()) {
+      // Warm cache: splice the encoded entries section verbatim.
+      e.append(p.entries_wire.view());
+    } else {
+      e.u32(static_cast<std::uint32_t>(p.entries.size()));
+      for (const auto& [src, payload] : p.entries) {
+        e.u32(static_cast<std::uint32_t>(src));
+        e.raw(payload.view());
+      }
     }
+    entries_end = e.size();
     e.u32(static_cast<std::uint32_t>(p.delivered.size()));
     for (const auto& [r, count] : p.delivered) {
       e.u32(static_cast<std::uint32_t>(r));
@@ -50,27 +85,37 @@ struct Encoder {
 
 }  // namespace
 
-util::Bytes encode_packet(const Packet& pkt) {
-  Encoder enc;
-  std::visit(enc, pkt);
-  util::Bytes body = enc.e.take();
-  // Checksum-framed: a corrupted packet must be detectably garbage, never
-  // a structurally valid packet with flipped payload bytes.
-  util::Encoder framed;
-  framed.u32(static_cast<std::uint32_t>(util::fnv1a(body)));
-  framed.raw(body);
-  return framed.take();
+std::size_t encoded_packet_size(const Packet& pkt) {
+  return kFrameHeader + std::visit(BodySize{}, pkt);
 }
 
-std::optional<Packet> decode_packet(const util::Bytes& bytes) {
+util::Buffer encode_packet(const Packet& pkt) {
+  const std::size_t body_size = std::visit(BodySize{}, pkt);
+  util::Encoder e;
+  e.reserve(kFrameHeader + body_size);
+  e.u32(0);  // checksum placeholder, back-patched below
+  e.u32(static_cast<std::uint32_t>(body_size));
+  BodyEncoder enc{e};
+  std::visit(enc, pkt);
+  e.patch_u32(0, static_cast<std::uint32_t>(util::fnv1a(
+                     util::BufferView(e.bytes().data() + kFrameHeader, e.size() - kFrameHeader))));
+  util::Buffer packet = e.finish();
+  if (const Token* t = std::get_if<Token>(&pkt); t != nullptr && t->entries_wire.empty()) {
+    t->entries_wire = packet.slice(enc.entries_begin, enc.entries_end - enc.entries_begin);
+  }
+  return packet;
+}
+
+std::optional<Packet> decode_packet(const util::Buffer& packet) {
   // util::unchecked_decode() re-enables the historical accept-anything bug
   // (no checksum, truncated fields read as zero) for chaos-oracle demos.
   const bool strict = !util::unchecked_decode();
-  util::Decoder frame(bytes);
+  util::Decoder frame(packet);
   const std::uint32_t checksum = frame.u32();
-  const util::Bytes body = frame.raw();
+  const util::Buffer body = frame.raw_buffer();  // zero-copy slice of packet
   if (strict && !frame.complete()) return std::nullopt;
-  if (strict && checksum != static_cast<std::uint32_t>(util::fnv1a(body))) return std::nullopt;
+  if (strict && checksum != static_cast<std::uint32_t>(util::fnv1a(body.view())))
+    return std::nullopt;
 
   util::Decoder d(body);
   const std::uint8_t tag = d.u8();
@@ -95,17 +140,20 @@ std::optional<Packet> decode_packet(const util::Bytes& bytes) {
       p.gid = core::decode_viewid(d);
       p.lap = d.u32();
       p.base = d.u32();
+      const std::size_t entries_begin = d.pos();
       const std::uint32_t ne = d.u32();
       for (std::uint32_t i = 0; i < ne && d.ok(); ++i) {
         const auto src = static_cast<ProcId>(d.u32());
-        p.entries.emplace_back(src, d.raw());
+        p.entries.emplace_back(src, d.raw_buffer());  // slice, not copy
       }
+      const std::size_t entries_end = d.pos();
       const std::uint32_t nd = d.u32();
       for (std::uint32_t i = 0; i < nd && d.ok(); ++i) {
         const auto r = static_cast<ProcId>(d.u32());
         p.delivered[r] = d.u32();
       }
       if (strict && !d.complete()) return std::nullopt;
+      if (d.ok()) p.entries_wire = d.input_slice(entries_begin, entries_end);
       return Packet{std::move(p)};
     }
     case kTagProbe: {
@@ -117,6 +165,10 @@ std::optional<Packet> decode_packet(const util::Bytes& bytes) {
     default:
       return std::nullopt;
   }
+}
+
+std::optional<Packet> decode_packet(const util::Bytes& bytes) {
+  return decode_packet(util::Buffer(bytes));
 }
 
 }  // namespace vsg::membership

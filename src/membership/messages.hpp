@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/buffer.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::membership {
@@ -40,8 +41,18 @@ struct Token {
   core::ViewId gid;
   std::uint32_t lap = 0;
   std::uint32_t base = 0;
-  std::vector<std::pair<ProcId, util::Bytes>> entries;
+  /// Ordered payloads; each Buffer is a slice of the packet that carried it
+  /// (absorb) or the client's original submission (board) — never a copy.
+  std::vector<std::pair<ProcId, util::Buffer>> entries;
   std::map<ProcId, std::uint32_t> delivered;
+
+  /// Cached wire image of the entries section (count + entries). Set by
+  /// decode_packet / encode_packet; MUST be cleared by any code that mutates
+  /// `entries` (boarding, trimming), or forward_token re-sends stale bytes.
+  /// Empty <=> invalid (a real entries section is at least its 4-byte count).
+  /// With the cache warm, forwarding a token re-encodes only the mutated
+  /// header/counter fields and splices the payload section verbatim.
+  mutable util::Buffer entries_wire;
 };
 
 /// Periodic contact attempt towards processors outside the current view;
@@ -52,7 +63,21 @@ struct Probe {
 
 using Packet = std::variant<Call, CallReply, ViewAnnounce, Token, Probe>;
 
-util::Bytes encode_packet(const Packet& pkt);
+/// Exact wire size of `pkt` (frame header + body). encode_packet reserves
+/// precisely this, so the whole encode costs one allocation.
+std::size_t encoded_packet_size(const Packet& pkt);
+
+/// Encode with exact measured reserve: one allocation per packet (tests
+/// assert Encoder::allocs() == 1). Checksum-framed; for a Token the cached
+/// entries_wire section is spliced if warm, and warmed (zero-copy, a slice
+/// of the returned packet) if cold.
+util::Buffer encode_packet(const Packet& pkt);
+
+/// Decode from a shared packet buffer. Token entry payloads and entries_wire
+/// come out as slices of `packet` (no payload copies).
+std::optional<Packet> decode_packet(const util::Buffer& packet);
+
+/// Deprecated shim for callers still holding plain bytes (copies once).
 std::optional<Packet> decode_packet(const util::Bytes& bytes);
 
 }  // namespace vsg::membership

@@ -82,15 +82,17 @@ void Node::process_token(Token& t) {
   std::size_t boarded = 0;
   while (!outbox_.empty() && (cap == 0 || boarded < cap)) {
     ++boarded;
-    util::Bytes payload = std::move(outbox_.front());
+    util::Buffer payload = std::move(outbox_.front());
     outbox_.pop_front();
-    log_.emplace_back(me_, payload);
-    t.entries.emplace_back(me_, payload);
+    log_.emplace_back(me_, payload);  // shares storage with the submission
+    t.entries.emplace_back(me_, std::move(payload));
     ++delivered_;
     ++stats_.entries_delivered;
     obs::bump(parent_->obs().entries_delivered);
     parent_->emit_gprcv(me_, me_, log_.back().second);
   }
+  // Boarding changed the entries section: the cached wire image is stale.
+  if (boarded > 0) t.entries_wire = util::Buffer{};
 
   // 4. Record how many entries we have passed to the client.
   t.delivered[me_] = static_cast<std::uint32_t>(delivered_);
@@ -123,14 +125,21 @@ void Node::process_token(Token& t) {
                     t.entries.begin() + static_cast<std::ptrdiff_t>(
                                             std::min(drop, t.entries.size())));
     t.base = threshold;
+    t.entries_wire = util::Buffer{};  // trimming invalidates the wire cache
   }
 }
 
 void Node::forward_token(const Token& t, ProcId to) {
-  util::Bytes bytes = encode_packet(Packet{t});
-  stats_.token_bytes_sent += bytes.size();
-  obs::bump(parent_->obs().token_bytes_sent, bytes.size());
-  parent_->network().send(me_, to, std::move(bytes));
+  // The variant copy shares entry storage with t (refcounts, not bytes).
+  // Encoding warms the copy's entries-section wire cache; propagate it back
+  // to t so the next forward of an unmutated token splices instead of
+  // re-encoding (entries_wire is mutable — this is cache state, not data).
+  Packet pkt{t};
+  util::Buffer packet = encode_packet(pkt);
+  t.entries_wire = std::get<Token>(pkt).entries_wire;
+  stats_.token_bytes_sent += packet.size();
+  obs::bump(parent_->obs().token_bytes_sent, packet.size());
+  parent_->network().send(me_, to, std::move(packet));
 }
 
 }  // namespace vsg::membership

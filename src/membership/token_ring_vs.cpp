@@ -20,7 +20,7 @@ TokenRingVS::TokenRingVS(sim::Simulator& simulator, net::Network& network,
   nodes_.reserve(static_cast<std::size_t>(n));
   for (ProcId p = 0; p < n; ++p) {
     nodes_.push_back(std::make_unique<Node>(p, *this, rng.split()));
-    net_->attach(p, [this, p](ProcId src, const util::Bytes& pkt) {
+    net_->attach(p, [this, p](ProcId src, const util::Buffer& pkt) {
       nodes_[static_cast<std::size_t>(p)]->on_packet(src, pkt);
     });
   }
@@ -76,14 +76,14 @@ NodeStats TokenRingVS::total_stats() const {
   return total;
 }
 
-void TokenRingVS::emit_gprcv(ProcId dst, ProcId src, const util::Bytes& m) {
+void TokenRingVS::emit_gprcv(ProcId dst, ProcId src, const util::Buffer& m) {
   recorder_->record(trace::GprcvEvent{src, dst, m});
   if (obs_.gprcv != nullptr) obs_.gprcv->inc();
   auto* client = clients_[static_cast<std::size_t>(dst)];
   if (client != nullptr) client->on_gprcv(src, m);
 }
 
-void TokenRingVS::emit_safe(ProcId dst, ProcId src, const util::Bytes& m) {
+void TokenRingVS::emit_safe(ProcId dst, ProcId src, const util::Buffer& m) {
   recorder_->record(trace::SafeEvent{src, dst, m});
   if (obs_.safe != nullptr) obs_.safe->inc();
   auto* client = clients_[static_cast<std::size_t>(dst)];

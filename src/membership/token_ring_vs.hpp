@@ -67,8 +67,8 @@ class TokenRingVS final : public vs::Service {
   sim::FailureTable& failures() noexcept { return *failures_; }
   const TokenRingConfig& config() const noexcept { return config_; }
 
-  void emit_gprcv(ProcId dst, ProcId src, const util::Bytes& m);
-  void emit_safe(ProcId dst, ProcId src, const util::Bytes& m);
+  void emit_gprcv(ProcId dst, ProcId src, const util::Buffer& m);
+  void emit_safe(ProcId dst, ProcId src, const util::Buffer& m);
   void emit_newview(ProcId p, const core::View& v);
 
  private:

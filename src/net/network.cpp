@@ -25,9 +25,18 @@ void Network::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.packets_corrupted = &registry.counter("net.packets_corrupted");
   obs_.bytes_sent = &registry.counter("net.bytes_sent");
   obs_.bytes_delivered = &registry.counter("net.bytes_delivered");
+  obs_.bytes_copied = &registry.counter("net.bytes_copied");
+  obs_.buffer_allocs = &registry.counter("net.buffer_allocs");
+  obs_.buffer_shares = &registry.counter("net.buffer_shares");
 }
 
-void Network::send(ProcId p, ProcId q, util::Bytes packet) {
+void Network::send(ProcId p, ProcId q, util::Buffer packet) {
+  ++stats_.buffer_allocs;
+  obs::bump(obs_.buffer_allocs);
+  send_one(p, q, std::move(packet));
+}
+
+void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
   assert(p >= 0 && p < size() && q >= 0 && q < size());
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.size();
@@ -49,20 +58,30 @@ void Network::send(ProcId p, ProcId q, util::Bytes packet) {
     if (obs_.packets_dropped != nullptr) obs_.packets_dropped->inc();
     return;
   }
-  // Ugly links may also corrupt what they deliver.
+  // Ugly links may also corrupt what they deliver. Copy-on-corrupt: the
+  // flipped bytes go into a private buffer for this destination only; the
+  // shared storage other destinations hold stays pristine.
   if (status == sim::Status::kUgly && !packet.empty() &&
       rng_.chance(model_.ugly_corrupt)) {
+    util::Bytes mut = packet.to_bytes();
     const std::size_t flips = 1 + rng_.below(3);
     for (std::size_t i = 0; i < flips; ++i)
-      packet[rng_.below(packet.size())] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+      mut[rng_.below(mut.size())] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    stats_.bytes_copied += mut.size();
+    ++stats_.buffer_allocs;
+    packet = util::Buffer(std::move(mut));
     ++stats_.packets_corrupted;
-    if (obs_.packets_corrupted != nullptr) obs_.packets_corrupted->inc();
+    if (obs_.packets_corrupted != nullptr) {
+      obs_.packets_corrupted->inc();
+      obs_.bytes_copied->inc(packet.size());
+      obs_.buffer_allocs->inc();
+    }
   }
   sim_->after(*fate,
               [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
 }
 
-void Network::deliver(ProcId src, ProcId dst, util::Bytes packet) {
+void Network::deliver(ProcId src, ProcId dst, util::Buffer packet) {
   // A link that went bad while the packet was in flight loses it.
   if (src != dst && failures_->link(src, dst) == sim::Status::kBad) {
     ++stats_.packets_dropped;
@@ -79,13 +98,33 @@ void Network::deliver(ProcId src, ProcId dst, util::Bytes packet) {
   if (handler) handler(src, packet);
 }
 
-void Network::multicast(ProcId p, const std::vector<ProcId>& dests, const util::Bytes& packet) {
-  for (ProcId q : dests) send(p, q, packet);
+void Network::multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet) {
+  ++stats_.buffer_allocs;
+  obs::bump(obs_.buffer_allocs);
+  bool first = true;
+  for (ProcId q : dests) {
+    if (!first) {
+      ++stats_.buffer_shares;
+      obs::bump(obs_.buffer_shares);
+    }
+    first = false;
+    send_one(p, q, packet);  // refcount bump, not a payload copy
+  }
 }
 
-void Network::broadcast(ProcId p, const util::Bytes& packet) {
-  for (ProcId q = 0; q < size(); ++q)
-    if (q != p) send(p, q, packet);
+void Network::broadcast(ProcId p, const util::Buffer& packet) {
+  ++stats_.buffer_allocs;
+  obs::bump(obs_.buffer_allocs);
+  bool first = true;
+  for (ProcId q = 0; q < size(); ++q) {
+    if (q == p) continue;
+    if (!first) {
+      ++stats_.buffer_shares;
+      obs::bump(obs_.buffer_shares);
+    }
+    first = false;
+    send_one(p, q, packet);
+  }
 }
 
 }  // namespace vsg::net

@@ -2,14 +2,21 @@
 
 // Simulated asynchronous point-to-point network.
 //
-// Packets are opaque byte buffers (everything above serializes), routed
-// between processors subject to the FailureTable:
+// Packets are opaque immutable byte buffers (everything above serializes),
+// routed between processors subject to the FailureTable:
 //  - the ordered-pair link status is consulted at send time (bad => drop,
 //    good => delay in [min_delay, delta], ugly => RNG drop/delay), and again
 //    at delivery time (a link that has become bad in flight drops the
 //    packet, matching "while bad, no packet is delivered");
 //  - processor status is NOT interpreted here; stopping/slowing a processor
 //    is the receiving executor's job (bad processors take no steps).
+//
+// Zero-copy data plane (docs/DATAPLANE.md): a multicast/broadcast shares one
+// util::Buffer across all destinations — fan-out costs refcount bumps, not
+// payload copies. The only physical copy the network ever makes is
+// copy-on-corrupt: an ugly link that flips bits materializes a private copy
+// for that destination so the shared storage stays immutable. The
+// bytes_copied / buffer_allocs / buffer_shares counters make this visible.
 
 #include <cstdint>
 #include <functional>
@@ -19,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "sim/failure_table.hpp"
 #include "sim/simulator.hpp"
+#include "util/buffer.hpp"
 #include "util/rng.hpp"
 #include "util/serde.hpp"
 
@@ -31,12 +39,17 @@ struct NetStats {
   std::uint64_t packets_corrupted = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  // Zero-copy accounting.
+  std::uint64_t bytes_copied = 0;    // payload bytes physically copied
+  std::uint64_t buffer_allocs = 0;   // logical packet buffers entering the plane
+  std::uint64_t buffer_shares = 0;   // extra zero-copy references (fan-out)
 };
 
 class Network {
  public:
-  /// Handler invoked at the destination when a packet arrives.
-  using Handler = std::function<void(ProcId src, const util::Bytes& packet)>;
+  /// Handler invoked at the destination when a packet arrives. The Buffer is
+  /// shared — keep slices, not copies.
+  using Handler = std::function<void(ProcId src, const util::Buffer& packet)>;
 
   Network(sim::Simulator& simulator, sim::FailureTable& failures, LinkModel model,
           util::Rng rng);
@@ -48,13 +61,14 @@ class Network {
 
   /// Send one packet from p to q. Self-sends are delivered with min delay
   /// regardless of failure status (local loopback never partitions).
-  void send(ProcId p, ProcId q, util::Bytes packet);
+  void send(ProcId p, ProcId q, util::Buffer packet);
 
-  /// Send the same packet from p to every processor in `dests`.
-  void multicast(ProcId p, const std::vector<ProcId>& dests, const util::Bytes& packet);
+  /// Send the same packet from p to every processor in `dests`: one shared
+  /// buffer, zero payload copies regardless of fan-out.
+  void multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet);
 
-  /// Send from p to all n processors except p.
-  void broadcast(ProcId p, const util::Bytes& packet);
+  /// Send from p to all n processors except p (shared buffer, as above).
+  void broadcast(ProcId p, const util::Buffer& packet);
 
   const NetStats& stats() const noexcept { return stats_; }
   const LinkModel& model() const noexcept { return model_; }
@@ -64,7 +78,8 @@ class Network {
   void bind_metrics(obs::MetricsRegistry& registry);
 
  private:
-  void deliver(ProcId src, ProcId dst, util::Bytes packet);
+  void send_one(ProcId p, ProcId q, util::Buffer packet);
+  void deliver(ProcId src, ProcId dst, util::Buffer packet);
 
   struct Obs {
     obs::Counter* packets_sent = nullptr;
@@ -73,6 +88,9 @@ class Network {
     obs::Counter* packets_corrupted = nullptr;
     obs::Counter* bytes_sent = nullptr;
     obs::Counter* bytes_delivered = nullptr;
+    obs::Counter* bytes_copied = nullptr;
+    obs::Counter* buffer_allocs = nullptr;
+    obs::Counter* buffer_shares = nullptr;
   };
 
   sim::Simulator* sim_;

@@ -23,7 +23,9 @@ class EventQueue {
   EventId schedule(Time at, std::function<void()> fn);
 
   /// Cancel a pending event. Cancelling an already-run or unknown id is a
-  /// no-op (timers race with the work they guard; that is expected).
+  /// true no-op (timers race with the work they guard; that is expected):
+  /// only ids actually in the heap are marked, so pending() cannot
+  /// underflow from stray cancels.
   void cancel(EventId id);
 
   bool empty() const;
@@ -35,6 +37,9 @@ class EventQueue {
   /// Returns the time at which the event ran.
   Time pop_and_run();
 
+  /// Number of pending (non-cancelled) events. cancelled_ is always a
+  /// subset of the ids in heap_ (cancel() checks membership), so the
+  /// subtraction cannot underflow.
   std::size_t pending() const { return heap_.size() - cancelled_.size(); }
 
  private:
@@ -53,7 +58,8 @@ class EventQueue {
   void drop_cancelled_head() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
+  mutable std::unordered_set<EventId> in_heap_;    // ids currently in heap_
+  mutable std::unordered_set<EventId> cancelled_;  // subset of in_heap_
   EventId next_id_ = 1;
 };
 

@@ -13,7 +13,7 @@ struct Walk {
   // Per-event context gathered in one pass over the trace.
   struct SendRec {
     std::size_t idx;
-    util::Bytes payload;
+    util::Buffer payload;  // shared reference to the traced buffer
   };
   using Key = std::pair<core::ViewId, ProcId>;  // (view, sender)
 

@@ -17,13 +17,16 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/buffer.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::spec {
 
 class VSMachine {
  public:
-  using Message = util::Bytes;
+  /// Shared immutable payload: queue[g] and pending[p,g] hold references to
+  /// the same storage the client submitted — the machine never copies bytes.
+  using Message = util::Buffer;
 
   /// One element of queue[g]: message plus sender.
   struct Entry {

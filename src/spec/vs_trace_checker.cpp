@@ -161,9 +161,9 @@ void VSTraceChecker::handle_safe(const trace::SafeEvent& e) {
   ++pos;
 }
 
-const std::vector<std::pair<ProcId, util::Bytes>>& VSTraceChecker::view_order(
+const std::vector<std::pair<ProcId, util::Buffer>>& VSTraceChecker::view_order(
     const core::ViewId& g) const {
-  static const std::vector<std::pair<ProcId, util::Bytes>> kEmpty;
+  static const std::vector<std::pair<ProcId, util::Buffer>> kEmpty;
   auto it = order_.find(g);
   return it == order_.end() ? kEmpty : it->second;
 }

@@ -54,8 +54,9 @@ class VSTraceChecker {
   const std::map<std::size_t, std::size_t>& gprcv_cause() const noexcept { return gprcv_cause_; }
   const std::map<std::size_t, std::size_t>& safe_cause() const noexcept { return safe_cause_; }
 
-  /// The reconstructed per-view common order (sender, payload).
-  const std::vector<std::pair<ProcId, util::Bytes>>& view_order(const core::ViewId& g) const;
+  /// The reconstructed per-view common order (sender, payload). Payloads are
+  /// shared references to the traced buffers, not copies.
+  const std::vector<std::pair<ProcId, util::Buffer>>& view_order(const core::ViewId& g) const;
 
   /// Latest view installed at p (nullopt before any newview for p >= n0).
   const std::optional<core::View>& current_view(ProcId p) const;
@@ -79,10 +80,10 @@ class VSTraceChecker {
   std::vector<std::optional<core::View>> current_;
   std::map<core::ViewId, std::set<ProcId>> views_by_id_;
   // gpsnd events per (view, sender): (event index, payload)
-  std::map<ViewProc, std::vector<std::pair<std::size_t, util::Bytes>>> sent_;
+  std::map<ViewProc, std::vector<std::pair<std::size_t, util::Buffer>>> sent_;
   std::map<PairKey, std::size_t> gprcv_count_;
   std::map<PairKey, std::size_t> safe_count_;
-  std::map<core::ViewId, std::vector<std::pair<ProcId, util::Bytes>>> order_;
+  std::map<core::ViewId, std::vector<std::pair<ProcId, util::Buffer>>> order_;
   std::map<ViewProc, std::size_t> recv_idx_;  // (g, q) -> prefix delivered at q
   std::map<ViewProc, std::size_t> safe_idx_;  // (g, q) -> prefix safe at q
   std::map<std::size_t, std::size_t> gprcv_cause_;

@@ -11,19 +11,33 @@ constexpr std::uint8_t kMsgSubmit = 1;   // sender -> sequencer
 constexpr std::uint8_t kMsgStamped = 2;  // sequencer -> everyone
 constexpr std::uint8_t kMsgNack = 3;     // receiver -> sequencer
 
-util::Bytes frame(util::Bytes body) {
-  util::Encoder framed;
-  framed.u32(static_cast<std::uint32_t>(util::fnv1a(body)));
-  framed.raw(body);
-  return framed.take();
-}
+// Checksum framing (u32 checksum | u32 length | body) built in a single
+// buffer: reserve the measured size, write a placeholder checksum, the body,
+// then back-patch. `Framer` keeps the call sites one-liner-ish.
+class Framer {
+ public:
+  explicit Framer(std::size_t body_size) {
+    e_.reserve(8 + body_size);
+    e_.u32(0);  // checksum placeholder
+    e_.u32(static_cast<std::uint32_t>(body_size));
+  }
+  util::Encoder& body() noexcept { return e_; }
+  util::Buffer finish() {
+    e_.patch_u32(0, static_cast<std::uint32_t>(util::fnv1a(
+                        util::BufferView(e_.bytes().data() + 8, e_.size() - 8))));
+    return e_.finish();
+  }
 
-std::optional<util::Bytes> unframe(const util::Bytes& bytes) {
-  util::Decoder d(bytes);
+ private:
+  util::Encoder e_;
+};
+
+std::optional<util::Buffer> unframe(const util::Buffer& packet) {
+  util::Decoder d(packet);
   const std::uint32_t checksum = d.u32();
-  util::Bytes body = d.raw();
+  util::Buffer body = d.raw_buffer();  // zero-copy slice of packet
   if (!d.complete()) return std::nullopt;
-  if (checksum != static_cast<std::uint32_t>(util::fnv1a(body))) return std::nullopt;
+  if (checksum != static_cast<std::uint32_t>(util::fnv1a(body.view()))) return std::nullopt;
   return body;
 }
 
@@ -43,7 +57,7 @@ SequencerTO::SequencerTO(sim::Simulator& simulator, net::Network& network,
       clients_(static_cast<std::size_t>(network.size()), nullptr) {
   assert(config_.sequencer >= 0 && config_.sequencer < network.size());
   for (ProcId p = 0; p < network.size(); ++p) {
-    network_->attach(p, [this, p](ProcId src, const util::Bytes& pkt) {
+    network_->attach(p, [this, p](ProcId src, const util::Buffer& pkt) {
       on_packet(p, src, pkt);
     });
     sim_->after(config_.nack_interval + p, [this, p] { nack_tick(p); });
@@ -57,11 +71,11 @@ void SequencerTO::bcast(ProcId p, core::Value a) {
     sequencer_admit(p, seq, std::move(a));
     return;
   }
-  util::Encoder e;
-  e.u8(kMsgSubmit);
-  e.u64(seq);
-  e.str(a);
-  network_->send(p, config_.sequencer, frame(e.take()));
+  Framer f(1 + 8 + 4 + a.size());
+  f.body().u8(kMsgSubmit);
+  f.body().u64(seq);
+  f.body().str(a);
+  network_->send(p, config_.sequencer, f.finish());
 }
 
 void SequencerTO::sequencer_admit(ProcId origin, std::uint64_t sender_seq, core::Value a) {
@@ -82,14 +96,16 @@ void SequencerTO::sequencer_admit(ProcId origin, std::uint64_t sender_seq, core:
 void SequencerTO::stamp_and_broadcast(ProcId origin, core::Value a) {
   const Stamped stamped{next_stamp_++, origin, std::move(a)};
   history_.push_back(stamped);
-  util::Encoder e;
-  e.u8(kMsgStamped);
-  e.u64(stamped.seq);
-  e.u32(static_cast<std::uint32_t>(stamped.origin));
-  e.str(stamped.value);
-  const auto pkt = frame(e.take());
+  Framer f(1 + 8 + 4 + 4 + stamped.value.size());
+  f.body().u8(kMsgStamped);
+  f.body().u64(stamped.seq);
+  f.body().u32(static_cast<std::uint32_t>(stamped.origin));
+  f.body().str(stamped.value);
+  // One shared buffer for the whole rebroadcast.
+  std::vector<ProcId> dests;
   for (ProcId q = 0; q < network_->size(); ++q)
-    if (q != config_.sequencer) network_->send(config_.sequencer, q, pkt);
+    if (q != config_.sequencer) dests.push_back(q);
+  if (!dests.empty()) network_->multicast(config_.sequencer, dests, f.finish());
   receiver_accept(config_.sequencer, stamped);
 }
 
@@ -117,8 +133,8 @@ void SequencerTO::receiver_accept(ProcId me, const Stamped& s) {
   }
 }
 
-void SequencerTO::on_packet(ProcId me, ProcId src, const util::Bytes& bytes) {
-  const auto body = unframe(bytes);
+void SequencerTO::on_packet(ProcId me, ProcId src, const util::Buffer& packet) {
+  const auto body = unframe(packet);
   if (!body.has_value()) return;
   util::Decoder d(*body);
   const std::uint8_t tag = d.u8();
@@ -138,12 +154,12 @@ void SequencerTO::on_packet(ProcId me, ProcId src, const util::Bytes& bytes) {
     // Retransmit everything the receiver is missing (bounded burst).
     for (std::uint64_t seq = from; seq < next_stamp_ && seq < from + 64; ++seq) {
       const Stamped& s = history_[static_cast<std::size_t>(seq - 1)];
-      util::Encoder e;
-      e.u8(kMsgStamped);
-      e.u64(s.seq);
-      e.u32(static_cast<std::uint32_t>(s.origin));
-      e.str(s.value);
-      network_->send(config_.sequencer, src, frame(e.take()));
+      Framer f(1 + 8 + 4 + 4 + s.value.size());
+      f.body().u8(kMsgStamped);
+      f.body().u64(s.seq);
+      f.body().u32(static_cast<std::uint32_t>(s.origin));
+      f.body().str(s.value);
+      network_->send(config_.sequencer, src, f.finish());
     }
   }
 }
@@ -156,10 +172,10 @@ void SequencerTO::nack_tick(ProcId me) {
     // implementation piggybacks the latest stamp on heartbeats; our probe
     // asks from next_deliver_, which the sequencer answers only if there
     // is history beyond it.
-    util::Encoder e;
-    e.u8(kMsgNack);
-    e.u64(next_deliver_[static_cast<std::size_t>(me)]);
-    network_->send(me, config_.sequencer, frame(e.take()));
+    Framer f(1 + 8);
+    f.body().u8(kMsgNack);
+    f.body().u64(next_deliver_[static_cast<std::size_t>(me)]);
+    network_->send(me, config_.sequencer, f.finish());
   }
   sim_->after(config_.nack_interval, [this, me] { nack_tick(me); });
 }

@@ -67,7 +67,7 @@ class SequencerTO final : public Service {
     core::Value value;
   };
 
-  void on_packet(ProcId me, ProcId src, const util::Bytes& bytes);
+  void on_packet(ProcId me, ProcId src, const util::Buffer& packet);
   void sequencer_admit(ProcId origin, std::uint64_t sender_seq, core::Value a);
   void stamp_and_broadcast(ProcId origin, core::Value a);
   void receiver_accept(ProcId me, const Stamped& s);

@@ -15,6 +15,10 @@ Stack::Stack(vs::Service& vs_service, trace::Recorder& recorder,
     proc->set_delivery([this, p](ProcId origin, const core::Value& a) {
       on_deliver(p, origin, a);
     });
+    // One decode-once cache per stack: the VS back end hands every process
+    // the same shared payload buffers, so fan-in decodes hit across
+    // processes, not just across the gprcv/safe pair.
+    proc->set_decode_cache(&decode_cache_);
     vs_service.attach(p, *proc);
     procs_.push_back(std::move(proc));
   }
@@ -44,6 +48,8 @@ void Stack::bind_metrics(obs::MetricsRegistry& registry) {
   obs.payload_moves = &registry.counter("to.payload_moves");
   obs.order_depth = &registry.gauge("to.order_depth");
   obs.confirmed_depth = &registry.gauge("to.confirmed_depth");
+  obs.decode_hits = &registry.counter("to.decode_hits");
+  obs.decode_misses = &registry.counter("to.decode_misses");
   for (auto& proc : procs_) proc->bind_metrics(obs);
 
   latency_all_ = &registry.histogram("to.brcv_latency.all");

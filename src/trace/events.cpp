@@ -5,7 +5,7 @@
 namespace vsg::trace {
 namespace {
 
-std::string hex_prefix(const util::Bytes& b) {
+std::string hex_prefix(util::BufferView b) {
   static const char* digits = "0123456789abcdef";
   std::string s;
   const std::size_t n = b.size() < 6 ? b.size() : 6;

@@ -15,6 +15,7 @@
 #include "core/types.hpp"
 #include "sim/failure_table.hpp"
 #include "sim/time.hpp"
+#include "util/buffer.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::trace {
@@ -32,17 +33,19 @@ struct BrcvEvent {
   core::Value a;
 };
 
-/// gpsnd(m)_p — client at p hands message m to the VS service.
+/// gpsnd(m)_p — client at p hands message m to the VS service. The recorder
+/// stores a shared reference to the submitted buffer (its storage id), not a
+/// copy of the bytes.
 struct GpsndEvent {
   ProcId p = kNoProc;
-  util::Bytes m;
+  util::Buffer m;
 };
 
 /// gprcv(m)_{p,q} — VS delivers to q the message m sent by p.
 struct GprcvEvent {
   ProcId src = kNoProc;
   ProcId dst = kNoProc;
-  util::Bytes m;
+  util::Buffer m;
 };
 
 /// safe(m)_{p,q} — VS notifies q that m (sent by p) reached every member of
@@ -50,7 +53,7 @@ struct GprcvEvent {
 struct SafeEvent {
   ProcId src = kNoProc;
   ProcId dst = kNoProc;
-  util::Bytes m;
+  util::Buffer m;
 };
 
 /// newview(v)_p — VS informs p of its new current view.

@@ -1,0 +1,55 @@
+#include "util/buffer.hpp"
+
+#include <cstring>
+
+namespace vsg::util {
+
+namespace {
+// Monotone storage ids: unlike a heap address, an id is never reused, so a
+// (id, offset, size) triple stays a safe cache key after the storage dies.
+// The simulator is single-threaded by design; no atomics needed.
+std::uint64_t g_next_storage_uid = 1;
+}  // namespace
+
+Buffer::Storage::Storage(Bytes&& b) : bytes(std::move(b)), uid(g_next_storage_uid++) {}
+
+BufferView BufferView::subview(std::size_t off, std::size_t len) const noexcept {
+  if (off > size_) return {};
+  return BufferView(data_ + off, len < size_ - off ? len : size_ - off);
+}
+
+bool BufferView::operator==(const BufferView& o) const noexcept {
+  if (size_ != o.size_) return false;
+  if (data_ == o.data_ || size_ == 0) return true;
+  return std::memcmp(data_, o.data_, size_) == 0;
+}
+
+Buffer::Buffer(Bytes&& b) {
+  if (b.empty()) return;
+  storage_ = std::make_shared<const Storage>(std::move(b));
+  data_ = storage_->bytes.data();
+  size_ = storage_->bytes.size();
+}
+
+Buffer::Buffer(const Bytes& b) : Buffer(Bytes(b)) {}
+
+Buffer Buffer::copy(BufferView v) { return Buffer(Bytes(v.begin(), v.end())); }
+
+Buffer Buffer::slice(std::size_t off, std::size_t len) const {
+  Buffer s;
+  if (off > size_) return s;
+  if (len > size_ - off) len = size_ - off;
+  if (len == 0) return s;
+  s.storage_ = storage_;
+  s.data_ = data_ + off;
+  s.size_ = len;
+  return s;
+}
+
+std::uint64_t Buffer::id() const noexcept { return storage_ ? storage_->uid : 0; }
+
+std::size_t Buffer::storage_offset() const noexcept {
+  return storage_ ? static_cast<std::size_t>(data_ - storage_->bytes.data()) : 0;
+}
+
+}  // namespace vsg::util

@@ -14,7 +14,7 @@ namespace vsg::util {
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
-inline std::uint64_t fnv1a(const Bytes& data) noexcept {
+inline std::uint64_t fnv1a(BufferView data) noexcept {
   std::uint64_t h = kFnvOffset;
   for (std::uint8_t b : data) {
     h ^= b;
@@ -22,5 +22,7 @@ inline std::uint64_t fnv1a(const Bytes& data) noexcept {
   }
   return h;
 }
+
+inline std::uint64_t fnv1a(const Bytes& data) noexcept { return fnv1a(BufferView(data)); }
 
 }  // namespace vsg::util

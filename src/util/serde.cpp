@@ -9,14 +9,31 @@ bool g_unchecked_decode = false;
 bool unchecked_decode() noexcept { return g_unchecked_decode; }
 void set_unchecked_decode_for_test(bool on) noexcept { g_unchecked_decode = on; }
 
-void Encoder::u8(std::uint8_t v) { buf_.push_back(v); }
+void Encoder::note_capacity() {
+  if (buf_.capacity() != last_cap_) {
+    last_cap_ = buf_.capacity();
+    ++allocs_;
+  }
+}
+
+void Encoder::reserve(std::size_t n) {
+  buf_.reserve(n);
+  note_capacity();
+}
+
+void Encoder::u8(std::uint8_t v) {
+  buf_.push_back(v);
+  note_capacity();
+}
 
 void Encoder::u32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  note_capacity();
 }
 
 void Encoder::u64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  note_capacity();
 }
 
 void Encoder::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
@@ -26,19 +43,32 @@ void Encoder::boolean(bool v) { u8(v ? 1 : 0); }
 void Encoder::str(const std::string& v) {
   u32(static_cast<std::uint32_t>(v.size()));
   buf_.insert(buf_.end(), v.begin(), v.end());
+  note_capacity();
 }
 
-void Encoder::raw(const Bytes& v) {
+void Encoder::raw(const Bytes& v) { raw(BufferView(v)); }
+
+void Encoder::raw(BufferView v) {
   u32(static_cast<std::uint32_t>(v.size()));
+  append(v);
+}
+
+void Encoder::append(BufferView v) {
   buf_.insert(buf_.end(), v.begin(), v.end());
+  note_capacity();
+}
+
+void Encoder::patch_u32(std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_[pos + static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 bool Decoder::take(std::size_t n, const std::uint8_t** out) {
-  if (!ok_ || buf_->size() - pos_ < n) {
+  if (!ok_ || view_.size() - pos_ < n) {
     ok_ = false;
     return false;
   }
-  *out = buf_->data() + pos_;
+  *out = view_.data() + pos_;
   pos_ += n;
   return true;
 }
@@ -81,6 +111,27 @@ Bytes Decoder::raw() {
   const std::uint8_t* p = nullptr;
   if (!take(n, &p)) return {};
   return Bytes(p, p + n);
+}
+
+BufferView Decoder::raw_view() {
+  const std::uint32_t n = u32();
+  const std::uint8_t* p = nullptr;
+  if (!take(n, &p)) return {};
+  return BufferView(p, n);
+}
+
+Buffer Decoder::raw_buffer() {
+  const std::size_t start = pos_ + 4;  // past the length prefix (if in range)
+  const BufferView v = raw_view();
+  if (!ok_ || v.empty()) return {};
+  if (!origin_.empty()) return origin_.slice(start, v.size());
+  return Buffer::copy(v);
+}
+
+Buffer Decoder::input_slice(std::size_t from, std::size_t to) const {
+  if (to > view_.size() || from > to) return {};
+  if (!origin_.empty()) return origin_.slice(from, to - from);
+  return Buffer::copy(view_.subview(from, to - from));
 }
 
 }  // namespace vsg::util

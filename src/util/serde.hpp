@@ -7,6 +7,11 @@
 // the decode path is exercised by failure-injection tests). The format is a
 // simple length-prefixed little-endian encoding; Decoder is defensive and
 // reports malformed input via ok() rather than UB.
+//
+// Zero-copy data plane (docs/DATAPLANE.md): Encoder::finish() hands the
+// encoded bytes off as an immutable shared Buffer without copying, and a
+// Decoder constructed from a Buffer can slice blobs out of it by reference
+// (raw_buffer) instead of copying them.
 
 #include <cstdint>
 #include <cstring>
@@ -16,34 +21,63 @@
 #include <string>
 #include <vector>
 
-namespace vsg::util {
+#include "util/buffer.hpp"
 
-using Bytes = std::vector<std::uint8_t>;
+namespace vsg::util {
 
 /// Append-only binary writer.
 class Encoder {
  public:
+  /// Pre-size the output; with a measured hint, the whole encode costs one
+  /// allocation (allocs() lets tests assert exactly that).
+  void reserve(std::size_t n);
+
   void u8(std::uint8_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void i64(std::int64_t v);
   void boolean(bool v);
   void str(const std::string& v);
-  void raw(const Bytes& v);  // length-prefixed blob
+  void raw(const Bytes& v);       // length-prefixed blob
+  void raw(BufferView v);         // length-prefixed blob
+  void append(BufferView v);      // splice bytes verbatim (no length prefix)
 
+  /// Overwrite 4 previously written bytes at `pos` (checksum back-patching,
+  /// so a framed packet needs no second buffer).
+  void patch_u32(std::size_t pos, std::uint32_t v);
+
+  std::size_t size() const noexcept { return buf_.size(); }
   const Bytes& bytes() const noexcept { return buf_; }
   Bytes take() noexcept { return std::move(buf_); }
+  /// Hand the encoded bytes off as an immutable shared Buffer (no copy).
+  Buffer finish() noexcept { return Buffer(std::move(buf_)); }
+
+  /// Number of backing-store (re)allocations so far, including the one made
+  /// by reserve(). A measured reserve + encode shows exactly 1.
+  std::size_t allocs() const noexcept { return allocs_; }
 
  private:
+  void note_capacity();
+
   Bytes buf_;
+  std::size_t last_cap_ = 0;
+  std::size_t allocs_ = 0;
 };
 
-/// Sequential binary reader over a borrowed buffer. Any out-of-bounds read
-/// sets ok() to false and yields zero values; callers check ok() once at the
-/// end of decoding a message.
+/// Sequential binary reader over a borrowed byte range. Any out-of-bounds
+/// read sets ok() to false and yields zero values; callers check ok() once
+/// at the end of decoding a message.
+///
+/// Constructed from a Buffer, the decoder remembers the owning storage so
+/// raw_buffer() can return refcounted slices instead of copies. The other
+/// constructors borrow; the source must outlive the decoder.
 class Decoder {
  public:
-  explicit Decoder(const Bytes& buf) noexcept : buf_(&buf) {}
+  explicit Decoder(const Bytes& buf) noexcept : view_(buf) {}
+  explicit Decoder(BufferView view) noexcept : view_(view) {}
+  /// Holds a (cheap, refcounted) reference to the Buffer, so decoding from a
+  /// temporary is safe and raw_buffer() slices stay alive.
+  explicit Decoder(const Buffer& buf) noexcept : view_(buf.view()), origin_(buf) {}
 
   std::uint8_t u8();
   std::uint32_t u32();
@@ -52,16 +86,28 @@ class Decoder {
   bool boolean();
   std::string str();
   Bytes raw();
+  /// Length-prefixed blob as a view into the decoder's input (no copy; same
+  /// lifetime as the input).
+  BufferView raw_view();
+  /// Length-prefixed blob as a Buffer. Zero-copy (a slice sharing the
+  /// input's storage) when the decoder was constructed from a Buffer; a
+  /// copying fallback otherwise.
+  Buffer raw_buffer();
 
   bool ok() const noexcept { return ok_; }
-  bool at_end() const noexcept { return pos_ == buf_->size(); }
+  bool at_end() const noexcept { return pos_ == view_.size(); }
   /// True iff decoding consumed the whole buffer without error.
   bool complete() const noexcept { return ok_ && at_end(); }
+  /// Current read offset (for slicing sections out of the input).
+  std::size_t pos() const noexcept { return pos_; }
+  /// Slice [from, to) of the input as a Buffer (zero-copy when possible).
+  Buffer input_slice(std::size_t from, std::size_t to) const;
 
  private:
   bool take(std::size_t n, const std::uint8_t** out);
 
-  const Bytes* buf_;
+  BufferView view_;
+  Buffer origin_;  // empty unless constructed from a Buffer
   std::size_t pos_ = 0;
   bool ok_ = true;
 };

@@ -61,10 +61,10 @@ std::optional<std::vector<core::Label>> allconfirm(
     const GlobalState& s, std::vector<std::string>* violations = nullptr);
 
 /// Decode a VS payload as a summary, if it is one (helper shared with the
-/// invariant checkers).
-std::optional<core::Summary> payload_summary(const util::Bytes& payload);
+/// invariant checkers). Accepts Buffer or Bytes via implicit view.
+std::optional<core::Summary> payload_summary(util::BufferView payload);
 
 /// Decode a VS payload as a labeled value, if it is one.
-std::optional<vstoto::LabeledValue> payload_labeled(const util::Bytes& payload);
+std::optional<vstoto::LabeledValue> payload_labeled(util::BufferView payload);
 
 }  // namespace vsg::verify

@@ -12,11 +12,14 @@
 // same checkers validate both.
 
 #include "core/types.hpp"
+#include "util/buffer.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::vs {
 
-using Payload = util::Bytes;
+/// Payloads are shared immutable buffers: a gpsnd'd message is delivered to
+/// every group member by reference, never re-copied (docs/DATAPLANE.md).
+using Payload = util::Buffer;
 
 /// Client-side callbacks. All callbacks for processor p are invoked in
 /// trace order for p; implementations must be reentrant-safe in the sense

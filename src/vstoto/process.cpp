@@ -180,25 +180,39 @@ void Process::on_newview(const core::View& v) {
 
 // --- Inputs gprcv(m)_{q,p} ---------------------------------------------------
 
+std::shared_ptr<const Message> Process::decode_shared(const vs::Payload& payload) {
+  if (cache_ != nullptr) {
+    const std::uint64_t h = cache_->hits();
+    auto msg = cache_->decode(payload);
+    obs::bump(cache_->hits() != h ? obs_.decode_hits : obs_.decode_misses);
+    return msg;
+  }
+  obs::bump(obs_.decode_misses);
+  auto decoded = decode_message(payload.view());
+  if (!decoded.has_value()) return nullptr;
+  return std::make_shared<const Message>(std::move(*decoded));
+}
+
 void Process::on_gprcv(ProcId src, const vs::Payload& payload) {
-  auto decoded = decode_message(payload);
-  if (!decoded.has_value()) {
+  const auto decoded = decode_shared(payload);
+  if (decoded == nullptr) {
     VSG_WARN << "process " << p_ << ": undecodable gprcv payload dropped";
     return;
   }
-  if (auto* lv = std::get_if<LabeledValue>(&*decoded))
-    handle_labeled(src, std::move(*lv));
+  if (const auto* lv = std::get_if<LabeledValue>(decoded.get()))
+    handle_labeled(src, *lv);
   else
     handle_summary(src, std::get<core::Summary>(*decoded));
   run_to_quiescence();
 }
 
-void Process::handle_labeled(ProcId src, LabeledValue&& lv) {
+void Process::handle_labeled(ProcId src, const LabeledValue& lv) {
   (void)src;
   // The self-delivered copy (the VS layer gprcvs to the sender too) finds
-  // its label already in content; only a genuine insertion is a move.
-  if (st_.content.emplace(lv.label, std::move(lv.value)).second)
-    obs::bump(obs_.payload_moves);
+  // its label already in content; only a genuine insertion copies the value
+  // out of the shared decoded message.
+  if (st_.content.emplace(lv.label, lv.value).second)
+    obs::bump(obs_.payload_copies);
   if (primary() && order_members_.count(lv.label) == 0) append_order(lv.label);
 }
 
@@ -234,12 +248,12 @@ void Process::handle_summary(ProcId src, const core::Summary& x) {
 // --- Inputs safe(m)_{q,p} ----------------------------------------------------
 
 void Process::on_safe(ProcId src, const vs::Payload& payload) {
-  auto decoded = decode_message(payload);
-  if (!decoded.has_value()) {
+  const auto decoded = decode_shared(payload);
+  if (decoded == nullptr) {
     VSG_WARN << "process " << p_ << ": undecodable safe payload dropped";
     return;
   }
-  if (const auto* lv = std::get_if<LabeledValue>(&*decoded))
+  if (const auto* lv = std::get_if<LabeledValue>(decoded.get()))
     handle_safe_labeled(src, *lv);
   else
     handle_safe_summary(src, std::get<core::Summary>(*decoded));

@@ -54,6 +54,8 @@ struct ProcessObs {
   obs::Counter* payload_moves = nullptr;       // Value moves on the bcast->brcv path
   obs::Gauge* order_depth = nullptr;           // sum over procs of |order|
   obs::Gauge* confirmed_depth = nullptr;       // sum over procs of nextconfirm-1
+  obs::Counter* decode_hits = nullptr;         // decode-once cache hits (fan-in)
+  obs::Counter* decode_misses = nullptr;       // payloads actually parsed
 };
 
 enum class PStatus : std::uint8_t { kNormal, kSend, kCollect };
@@ -104,6 +106,13 @@ class Process final : public vs::Client {
   /// Point this process at shared to.* metrics (see ProcessObs).
   void bind_metrics(const ProcessObs& obs) { obs_ = obs; }
 
+  /// Share a decode-once cache (owned by the Stack, shared by its
+  /// processes). VS delivers the same Buffer to every member and again for
+  /// the safe indication, so with a shared cache each distinct payload is
+  /// parsed once per node rather than once per callback. Unset: decode
+  /// per callback.
+  void set_decode_cache(DecodeCache* cache) { cache_ = cache; }
+
   // vs::Client (inputs from the VS layer):
   void on_gprcv(ProcId src, const vs::Payload& m) override;
   void on_safe(ProcId src, const vs::Payload& m) override;
@@ -142,7 +151,11 @@ class Process final : public vs::Client {
   bool try_brcv();
   void run_to_quiescence();
 
-  void handle_labeled(ProcId src, LabeledValue&& lv);
+  /// Decode via the shared cache when bound, else parse locally. nullptr on
+  /// malformed input.
+  std::shared_ptr<const Message> decode_shared(const vs::Payload& payload);
+
+  void handle_labeled(ProcId src, const LabeledValue& lv);
   void handle_summary(ProcId src, const core::Summary& x);
   void handle_safe_labeled(ProcId src, const LabeledValue& lv);
   void handle_safe_summary(ProcId src, const core::Summary& x);
@@ -155,6 +168,7 @@ class Process final : public vs::Client {
   vs::Service* service_;
   trace::Recorder* recorder_;
   DeliveryFn deliver_;
+  DecodeCache* cache_ = nullptr;
   ProcessObs obs_;
   ProcessState st_;
   std::set<core::Label> order_members_;  // duplicate guard index over st_.order

@@ -6,8 +6,15 @@ constexpr std::uint8_t kTagLabeledValue = 1;
 constexpr std::uint8_t kTagSummary = 2;
 }  // namespace
 
-util::Bytes encode_message(const Message& m) {
+std::size_t encoded_message_size(const Message& m) {
+  if (const auto* lv = std::get_if<LabeledValue>(&m))
+    return 1 + core::encoded_size(lv->label) + 4 + lv->value.size();
+  return 1 + core::encoded_size(std::get<core::Summary>(m));
+}
+
+util::Buffer encode_message(const Message& m) {
   util::Encoder e;
+  e.reserve(encoded_message_size(m));
   if (const auto* lv = std::get_if<LabeledValue>(&m)) {
     e.u8(kTagLabeledValue);
     core::encode(e, lv->label);
@@ -16,10 +23,10 @@ util::Bytes encode_message(const Message& m) {
     e.u8(kTagSummary);
     core::encode(e, std::get<core::Summary>(m));
   }
-  return e.take();
+  return e.finish();
 }
 
-std::optional<Message> decode_message(const util::Bytes& bytes) {
+std::optional<Message> decode_message(util::BufferView bytes) {
   // util::unchecked_decode() re-enables the historical accept-anything bug
   // (truncated input decodes as a zero-filled message) for chaos-oracle demos.
   const bool strict = !util::unchecked_decode();
@@ -38,6 +45,34 @@ std::optional<Message> decode_message(const util::Bytes& bytes) {
     return Message{std::move(x)};
   }
   return std::nullopt;
+}
+
+std::shared_ptr<const Message> DecodeCache::decode(const util::Buffer& payload) {
+  // Identity-keyed caching is only sound for real shared storage (id != 0),
+  // and only while strict decoding is on — the chaos injection changes what
+  // the same bytes decode to, so a warm cache would mask the injected bug.
+  const bool cacheable = payload.id() != 0 && !util::unchecked_decode();
+  const Key key{payload.id(), payload.storage_offset(), payload.size()};
+  if (cacheable) {
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  auto decoded = decode_message(payload.view());
+  if (!decoded.has_value()) return nullptr;  // malformed: not cached
+  auto msg = std::make_shared<const Message>(std::move(*decoded));
+  if (cacheable) {
+    if (order_.size() >= capacity_ && !order_.empty()) {
+      by_key_.erase(order_.front());
+      order_.pop_front();
+    }
+    by_key_.emplace(key, msg);
+    order_.push_back(key);
+  }
+  return msg;
 }
 
 }  // namespace vsg::vstoto

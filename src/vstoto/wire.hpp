@@ -3,13 +3,25 @@
 // Wire format for the two kinds of messages VStoTO processes exchange
 // through VS (Figure 9's signature): labeled client values <l, a> during
 // normal activity, and state-exchange summaries during recovery.
+//
+// Decode-once fan-in (docs/DATAPLANE.md): VS delivers the same shared
+// Buffer to every member and again for the safe indication, so the same
+// bytes reach decode_message several times per node. DecodeCache keys on
+// the buffer's storage identity (uid, offset, size) — never its contents —
+// and hands back one shared decoded Message for all of them.
 
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <optional>
+#include <tuple>
 #include <utility>
 #include <variant>
 
 #include "core/label.hpp"
 #include "core/summary.hpp"
+#include "util/buffer.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::vstoto {
@@ -23,10 +35,47 @@ struct LabeledValue {
 
 using Message = std::variant<LabeledValue, core::Summary>;
 
-util::Bytes encode_message(const Message& m);
+/// Exact wire size of encode_message(m) (Encoder::reserve hint).
+std::size_t encoded_message_size(const Message& m);
 
-/// Decode; nullopt on malformed input (defensive: the network layer hands
-/// us raw bytes).
-std::optional<Message> decode_message(const util::Bytes& bytes);
+/// Encode with a measured reserve: exactly one allocation (asserted by
+/// vstoto_wire_test via Encoder::allocs()).
+util::Buffer encode_message(const Message& m);
+
+/// Decode from a borrowed view; nullopt on malformed input (defensive: the
+/// network layer hands us raw bytes).
+std::optional<Message> decode_message(util::BufferView bytes);
+
+/// Deprecated shim for callers still holding plain bytes.
+inline std::optional<Message> decode_message(const util::Bytes& bytes) {
+  return decode_message(util::BufferView(bytes));
+}
+
+/// Decode-once cache over buffer identity. Only successful strict decodes
+/// are cached; identity is the storage uid (process-unique, never reused)
+/// plus the window, so a hit can never alias different bytes. Bounded FIFO
+/// with deterministic eviction. Single-threaded, like the whole stack.
+class DecodeCache {
+ public:
+  explicit DecodeCache(std::size_t capacity = 128) : capacity_(capacity) {}
+
+  /// The decoded message for `payload`, from cache or by decoding now.
+  /// nullptr if the payload is malformed (malformed payloads are not
+  /// cached: they are rare and never re-delivered by a correct VS).
+  std::shared_ptr<const Message> decode(const util::Buffer& payload);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  /// (storage uid, window offset, window size) — full buffer identity.
+  using Key = std::tuple<std::uint64_t, std::size_t, std::size_t>;
+
+  std::size_t capacity_;
+  std::map<Key, std::shared_ptr<const Message>> by_key_;
+  std::deque<Key> order_;  // FIFO: push_back, evict front
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 }  // namespace vsg::vstoto

@@ -66,19 +66,66 @@ TEST(Messages, ProbeRoundTripWithAndWithoutView) {
   EXPECT_FALSE(std::get<Probe>(*back).gid.has_value());
 }
 
+TEST(Messages, MeasuredSizeIsExactForEveryPacketType) {
+  Token t;
+  t.gid = core::ViewId{5, 0};
+  t.entries = {{0, util::Bytes{1, 2, 3}}, {1, util::Bytes{}}};
+  t.delivered = {{0, 2}, {1, 1}};
+  const std::vector<Packet> packets{
+      Packet{Call{core::ViewId{7, 2}}},
+      Packet{CallReply{core::ViewId{9, 0}}},
+      Packet{ViewAnnounce{core::View{core::ViewId{3, 1}, {0, 1, 3}}}},
+      Packet{t},
+      Packet{Probe{core::ViewId{4, 3}}},
+      Packet{Probe{std::nullopt}},
+  };
+  // encode_packet reserves exactly this much, so the encode is a single
+  // allocation (Serde.MeasuredReserveCostsExactlyOneAllocation pins the
+  // Encoder side of that claim).
+  for (const auto& p : packets)
+    EXPECT_EQ(encode_packet(p).size(), encoded_packet_size(p)) << "tag index " << p.index();
+}
+
+TEST(Messages, WarmEntriesCacheReencodesIdentically) {
+  Token t;
+  t.gid = core::ViewId{5, 1};
+  t.lap = 3;
+  t.entries = {{0, util::Bytes{1, 2, 3}}, {2, util::Bytes{4}}};
+  t.delivered = {{0, 1}, {2, 2}};
+  const Packet pkt{t};
+  const auto cold = encode_packet(pkt);  // warms pkt's entries_wire
+  ASSERT_FALSE(std::get<Token>(pkt).entries_wire.empty());
+  const auto warm = encode_packet(pkt);  // splices the cached section
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(encoded_packet_size(pkt), warm.size());
+}
+
+TEST(Messages, DecodedTokenEntriesAreSlicesOfThePacket) {
+  Token t;
+  t.gid = core::ViewId{2, 0};
+  t.entries = {{0, util::Bytes{1, 2, 3}}, {1, util::Bytes{4, 5}}};
+  const auto packet = encode_packet(Packet{t});
+  const auto back = decode_packet(packet);
+  ASSERT_TRUE(back.has_value());
+  const auto& got = std::get<Token>(*back);
+  for (const auto& [src, payload] : got.entries)
+    EXPECT_EQ(payload.id(), packet.id()) << "entry from " << src << " must share storage";
+  EXPECT_EQ(got.entries_wire.id(), packet.id());
+}
+
 TEST(Messages, UnknownTagRejected) {
   EXPECT_FALSE(decode_packet(util::Bytes{0x42}).has_value());
   EXPECT_FALSE(decode_packet(util::Bytes{}).has_value());
 }
 
 TEST(Messages, TruncatedPacketRejected) {
-  auto bytes = encode_packet(Packet{Call{core::ViewId{7, 2}}});
+  auto bytes = encode_packet(Packet{Call{core::ViewId{7, 2}}}).to_bytes();
   bytes.pop_back();
   EXPECT_FALSE(decode_packet(bytes).has_value());
 }
 
 TEST(Messages, TrailingGarbageRejected) {
-  auto bytes = encode_packet(Packet{Probe{std::nullopt}});
+  auto bytes = encode_packet(Packet{Probe{std::nullopt}}).to_bytes();
   bytes.push_back(0x01);
   EXPECT_FALSE(decode_packet(bytes).has_value());
 }
@@ -88,7 +135,7 @@ TEST(Messages, SingleByteCorruptionAlwaysDetected) {
   t.gid = core::ViewId{5, 0};
   t.entries = {{0, util::Bytes{1, 2, 3}}, {1, util::Bytes{4}}};
   t.delivered = {{0, 2}, {1, 1}};
-  const auto bytes = encode_packet(Packet{t});
+  const auto bytes = encode_packet(Packet{t}).to_bytes();
   // Flip every byte position in turn: the checksum must reject each
   // mutation (payload corruption must never produce a different valid
   // packet).

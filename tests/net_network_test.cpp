@@ -16,12 +16,12 @@ struct Fixture {
   sim::FailureTable failures;
   LinkModel model;
   Network net;
-  std::vector<std::vector<std::pair<ProcId, util::Bytes>>> got;
+  std::vector<std::vector<std::pair<ProcId, util::Buffer>>> got;
 
   explicit Fixture(int n, std::uint64_t seed = 1, LinkModel m = LinkModel{})
       : failures(n), model(m), net(sim, failures, m, util::Rng(seed)), got(n) {
     for (ProcId p = 0; p < n; ++p)
-      net.attach(p, [this, p](ProcId src, const util::Bytes& pkt) {
+      net.attach(p, [this, p](ProcId src, const util::Buffer& pkt) {
         got[static_cast<std::size_t>(p)].emplace_back(src, pkt);
       });
   }

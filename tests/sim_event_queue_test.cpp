@@ -68,6 +68,45 @@ TEST(EventQueue, CancelUnknownOrSpentIdIsNoop) {
   EXPECT_TRUE(q.empty());
 }
 
+// Regression: cancel() of an id not in the heap used to park the id in the
+// cancelled set forever, so pending() (heap size minus cancelled size)
+// underflowed to ~2^64 and empty()/next_time() disagreed with it.
+TEST(EventQueue, PendingSurvivesStrayCancels) {
+  EventQueue q;
+  q.cancel(kNoEvent);
+  q.cancel(12345);  // never scheduled
+  EXPECT_EQ(q.pending(), 0u);
+
+  const EventId spent = q.schedule(1, [] {});
+  q.pop_and_run();
+  q.cancel(spent);  // already ran
+  EXPECT_EQ(q.pending(), 0u);
+
+  q.schedule(10, [] {});
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(id);
+  q.cancel(id);  // idempotent: the set dedups, pending stays consistent
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.pop_and_run(), 20);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelAfterLazyDropIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());  // forces the lazy drop of the cancelled head
+  q.cancel(id);            // id has left the heap; must not re-mark
+  q.schedule(5, [] {});
+  EXPECT_EQ(q.pending(), 1u);
+}
+
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
   const EventId id = q.schedule(10, [] {});

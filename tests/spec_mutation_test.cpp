@@ -102,7 +102,9 @@ TEST(Mutation, ForgedGprcvWithoutSendCaught) {
   auto tr = good_trace();
   const auto i = nth_index<trace::GprcvEvent>(tr, 0);
   auto forged = *trace::as<trace::GprcvEvent>(tr[i]);
-  forged.m.push_back(0xEE);  // payload that was never gpsnd
+  auto mutated = forged.m.to_bytes();
+  mutated.push_back(0xEE);  // payload that was never gpsnd
+  forged.m = util::Buffer(std::move(mutated));
   tr.push_back({tr.back().at + 1, forged});
   EXPECT_FALSE(vs_ok(tr));
 }

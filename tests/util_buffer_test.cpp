@@ -1,0 +1,149 @@
+// Buffer/BufferView: the zero-copy data plane's ownership primitives.
+// Refcounting, immutability, slice lifetime past parent release (the case
+// ASan would catch if slices borrowed instead of shared), and storage ids.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "util/buffer.hpp"
+
+namespace vsg::util {
+namespace {
+
+Bytes bytes(std::initializer_list<std::uint8_t> b) { return Bytes(b); }
+
+TEST(Buffer, EmptyBufferHasNoStorage) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.id(), 0u);
+  EXPECT_EQ(b.use_count(), 0);
+  EXPECT_EQ(b.storage_offset(), 0u);
+}
+
+TEST(Buffer, WrapTakesOwnershipWithoutCopy) {
+  Bytes src = bytes({1, 2, 3});
+  const std::uint8_t* p = src.data();
+  Buffer b(std::move(src));
+  EXPECT_EQ(b.data(), p) << "wrap must reuse the vector's storage";
+  EXPECT_EQ(b, bytes({1, 2, 3}));
+}
+
+TEST(Buffer, CopyConstructionFromBytesCopies) {
+  const Bytes src = bytes({4, 5});
+  Buffer b(src);
+  EXPECT_NE(b.data(), src.data());
+  EXPECT_EQ(b, src);
+}
+
+TEST(Buffer, CopyIsRefcountBumpNotByteCopy) {
+  Buffer a(bytes({1, 2, 3, 4}));
+  Buffer b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.use_count(), 2);
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(Buffer, StorageIdsAreUniqueAndNeverReused) {
+  const std::uint64_t first = Buffer(bytes({1})).id();
+  const std::uint64_t second = Buffer(bytes({1})).id();
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, first) << "same content, distinct storages";
+  // The first storage is long gone; a fresh one must not recycle its id
+  // (heap addresses would — that is why ids exist).
+  const std::uint64_t third = Buffer(bytes({1})).id();
+  EXPECT_NE(third, first);
+  EXPECT_NE(third, second);
+}
+
+TEST(Buffer, SliceSharesStorage) {
+  Buffer whole(bytes({10, 11, 12, 13, 14}));
+  Buffer mid = whole.slice(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid, bytes({11, 12, 13}));
+  EXPECT_EQ(mid.id(), whole.id());
+  EXPECT_EQ(mid.storage_offset(), 1u);
+  EXPECT_EQ(mid.data(), whole.data() + 1);
+  EXPECT_EQ(whole.use_count(), 2);
+}
+
+TEST(Buffer, SliceClampsToValidRange) {
+  Buffer b(bytes({1, 2, 3}));
+  EXPECT_EQ(b.slice(1, 100).size(), 2u);
+  EXPECT_TRUE(b.slice(100, 5).empty());
+  EXPECT_TRUE(b.slice(3, 0).empty());
+}
+
+TEST(Buffer, SliceOutlivesParent) {
+  // The load-bearing lifetime property: token entries are slices of the
+  // packet that carried them, held long after the packet Buffer is gone.
+  // Under ASan this is a heap-use-after-free if slices merely borrow.
+  Buffer slice;
+  {
+    Buffer packet(bytes({0xAA, 0xBB, 0xCC, 0xDD}));
+    slice = packet.slice(2, 2);
+  }  // packet released
+  EXPECT_EQ(slice.use_count(), 1);
+  EXPECT_EQ(slice, bytes({0xCC, 0xDD}));
+}
+
+TEST(Buffer, SliceOfSliceRebasesIntoSameStorage) {
+  Buffer whole(bytes({1, 2, 3, 4, 5, 6}));
+  Buffer inner = whole.slice(1, 4).slice(1, 2);
+  EXPECT_EQ(inner, bytes({3, 4}));
+  EXPECT_EQ(inner.id(), whole.id());
+  EXPECT_EQ(inner.storage_offset(), 2u);
+}
+
+TEST(Buffer, ContentEqualityIsNotIdentity) {
+  Buffer a(bytes({1, 2}));
+  Buffer b(bytes({1, 2}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(a, bytes({1, 2}));
+  EXPECT_EQ(bytes({1, 2}), a);
+  EXPECT_FALSE(a == Buffer(bytes({1, 3})));
+  EXPECT_FALSE(a == Buffer(bytes({1, 2, 3})));
+}
+
+TEST(Buffer, ToBytesCopiesOut) {
+  Buffer b(bytes({7, 8, 9}));
+  Bytes out = b.to_bytes();
+  EXPECT_EQ(out, bytes({7, 8, 9}));
+  out[0] = 0;  // mutating the copy must not touch the immutable buffer
+  EXPECT_EQ(b[0], 7);
+}
+
+TEST(Buffer, CopyFromViewSnapshotsBytes) {
+  Bytes src = bytes({1, 2, 3});
+  Buffer b = Buffer::copy(BufferView(src));
+  src[0] = 99;
+  EXPECT_EQ(b, bytes({1, 2, 3}));
+}
+
+TEST(BufferView, SubviewClampsLikeSlice) {
+  const Bytes src = bytes({1, 2, 3, 4});
+  BufferView v(src);
+  EXPECT_EQ(v.subview(1, 2), BufferView(src.data() + 1, 2));
+  EXPECT_EQ(v.subview(2, 100).size(), 2u);
+  EXPECT_TRUE(v.subview(100, 1).empty());
+}
+
+TEST(BufferView, EqualityComparesContent) {
+  const Bytes a = bytes({1, 2});
+  const Bytes b = bytes({1, 2});
+  EXPECT_EQ(BufferView(a), BufferView(b));
+  EXPECT_FALSE(BufferView(a) == BufferView(a).subview(0, 1));
+}
+
+TEST(BufferView, BufferConvertsImplicitly) {
+  Buffer b(bytes({5, 6}));
+  BufferView v = b;
+  EXPECT_EQ(v.data(), b.data());
+  EXPECT_EQ(v.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vsg::util

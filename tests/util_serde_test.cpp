@@ -115,6 +115,95 @@ TEST(Serde, VectorHelperStopsOnMalformedInput) {
   EXPECT_LE(out.size(), 1u);
 }
 
+// --- Zero-copy encoder/decoder surface ------------------------------------
+
+TEST(Serde, MeasuredReserveCostsExactlyOneAllocation) {
+  Encoder e;
+  e.reserve(4 + 4 + (4 + 3));  // u32 + u32 + length-prefixed 3-byte blob
+  e.u32(1);
+  e.u32(2);
+  e.raw(Bytes{7, 8, 9});
+  EXPECT_EQ(e.allocs(), 1u);
+
+  // An unreserved encode of the same content costs more.
+  Encoder cold;
+  cold.u32(1);
+  cold.u32(2);
+  cold.raw(Bytes{7, 8, 9});
+  EXPECT_GE(cold.allocs(), 1u);
+}
+
+TEST(Serde, FinishHandsOffWithoutCopy) {
+  Encoder e;
+  e.reserve(8);
+  e.u64(0x1122334455667788ull);
+  const std::uint8_t* p = e.bytes().data();
+  const Buffer b = e.finish();
+  EXPECT_EQ(b.data(), p) << "finish() must move the backing store, not copy";
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(Serde, PatchU32RewritesInPlace) {
+  Encoder e;
+  e.u32(0);  // placeholder
+  e.u32(42);
+  e.patch_u32(0, 0xDEADBEEF);
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u32(), 42u);
+}
+
+TEST(Serde, RawBufferSlicesWhenDecodingFromBuffer) {
+  Encoder e;
+  e.raw(Bytes{1, 2, 3, 4});
+  const Buffer packet = e.finish();
+  Decoder d(packet);
+  const Buffer blob = d.raw_buffer();
+  EXPECT_EQ(blob, Bytes({1, 2, 3, 4}));
+  EXPECT_EQ(blob.id(), packet.id()) << "must be a slice of the input storage";
+  EXPECT_EQ(blob.data(), packet.data() + 4);
+}
+
+TEST(Serde, RawBufferCopiesWhenDecodingBorrowedBytes) {
+  Encoder e;
+  e.raw(Bytes{9, 9});
+  const Bytes wire = e.take();
+  Decoder d(wire);
+  const Buffer blob = d.raw_buffer();
+  EXPECT_EQ(blob, Bytes({9, 9}));
+  EXPECT_NE(static_cast<const void*>(blob.data()), static_cast<const void*>(wire.data() + 4));
+}
+
+TEST(Serde, DecoderFromTemporaryBufferKeepsStorageAlive) {
+  // The decoder refcounts its origin, so decoding a temporary is safe and
+  // raw_buffer slices outlive the expression (ASan guards this).
+  Encoder e;
+  e.raw(Bytes{5, 6, 7});
+  Buffer blob;
+  {
+    Decoder d{[&] {
+      return e.finish();
+    }()};
+    blob = d.raw_buffer();
+  }
+  EXPECT_EQ(blob, Bytes({5, 6, 7}));
+}
+
+TEST(Serde, InputSliceReturnsWindowedBuffer) {
+  Encoder e;
+  e.u32(0xAABBCCDD);
+  e.u32(0x11223344);
+  const Buffer packet = e.finish();
+  Decoder d(packet);
+  (void)d.u32();
+  const std::size_t from = d.pos();
+  (void)d.u32();
+  const Buffer section = d.input_slice(from, d.pos());
+  EXPECT_EQ(section.size(), 4u);
+  EXPECT_EQ(section.id(), packet.id());
+  EXPECT_EQ(section.storage_offset(), 4u);
+}
+
 class SerdeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SerdeFuzz, RandomGarbageNeverCrashesDecoder) {

@@ -47,6 +47,24 @@ TEST(Wire, EmptySummaryRoundTrip) {
   EXPECT_EQ(std::get<core::Summary>(*back), x);
 }
 
+TEST(Wire, MeasuredSizeIsExact) {
+  // encode_message reserves encoded_message_size() up front; exactness here
+  // plus Serde.MeasuredReserveCostsExactlyOneAllocation means every message
+  // encode costs a single allocation.
+  const LabeledValue lv{lab(3, 7, 1), "payload"};
+  EXPECT_EQ(encode_message(Message{lv}).size(), encoded_message_size(Message{lv}));
+
+  core::Summary x;
+  x.con = {{lab(1, 1, 0), "a"}, {lab(1, 2, 1), "bb"}};
+  x.ord = {lab(1, 1, 0), lab(1, 2, 1)};
+  x.next = 2;
+  x.high = core::ViewId{1, 0};
+  EXPECT_EQ(encode_message(Message{x}).size(), encoded_message_size(Message{x}));
+
+  const core::Summary empty;
+  EXPECT_EQ(encode_message(Message{empty}).size(), encoded_message_size(Message{empty}));
+}
+
 TEST(Wire, UnknownTagRejected) {
   util::Bytes garbage{0x7F, 1, 2, 3};
   EXPECT_FALSE(decode_message(garbage).has_value());
@@ -58,14 +76,14 @@ TEST(Wire, EmptyBufferRejected) {
 
 TEST(Wire, TruncatedMessageRejected) {
   const LabeledValue lv{lab(3, 7, 1), "payload"};
-  auto bytes = encode_message(Message{lv});
+  auto bytes = encode_message(Message{lv}).to_bytes();
   bytes.resize(bytes.size() - 3);
   EXPECT_FALSE(decode_message(bytes).has_value());
 }
 
 TEST(Wire, TrailingGarbageRejected) {
   const LabeledValue lv{lab(3, 7, 1), "p"};
-  auto bytes = encode_message(Message{lv});
+  auto bytes = encode_message(Message{lv}).to_bytes();
   bytes.push_back(0xAA);
   EXPECT_FALSE(decode_message(bytes).has_value());
 }

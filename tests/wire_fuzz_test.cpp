@@ -70,7 +70,7 @@ TEST(WireFuzz, EveryPacketTypeRejectsEveryTruncation) {
 // slip through (a flip in the length prefix truncates the frame instead).
 TEST(WireFuzz, EveryPacketTypeRejectsEverySingleByteFlip) {
   for (const auto& p : all_packets()) {
-    const auto bytes = membership::encode_packet(p);
+    const auto bytes = membership::encode_packet(p).to_bytes();
     for (std::size_t i = 0; i < bytes.size(); ++i) {
       for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0xFF}}) {
         util::Bytes corrupt = bytes;
@@ -103,15 +103,85 @@ TEST(WireFuzz, RandomlyMangledEncodingsNeverCrash) {
         bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
       return bytes;
     };
-    (void)vstoto::decode_message(mangle(encode_message(messages[rng.below(messages.size())])));
-    (void)membership::decode_packet(mangle(encode_packet(packets[rng.below(packets.size())])));
+    (void)vstoto::decode_message(
+        mangle(encode_message(messages[rng.below(messages.size())]).to_bytes()));
+    (void)membership::decode_packet(
+        mangle(encode_packet(packets[rng.below(packets.size())]).to_bytes()));
   }
+}
+
+// --- BufferView / shared-buffer decoding ----------------------------------
+//
+// The zero-copy plane decodes out of views into shared storage at arbitrary
+// offsets. These pin down that (a) a decode through a misaligned window of a
+// bigger buffer equals the owning decode, (b) every strict-prefix view is
+// rejected, and (c) token entries sliced from a shared arena stay valid after
+// the arena Buffer is released (ASan enforces the lifetime half).
+
+TEST(WireFuzz, MisalignedViewDecodingMatchesOwningDecode) {
+  for (const auto& m : all_messages()) {
+    const auto wire = vstoto::encode_message(m).to_bytes();
+    for (std::size_t pad : {1u, 3u, 5u}) {  // odd pads: deliberately unaligned
+      util::Bytes arena(pad, 0xEE);
+      arena.insert(arena.end(), wire.begin(), wire.end());
+      const auto via_view =
+          vstoto::decode_message(util::BufferView(arena.data() + pad, wire.size()));
+      ASSERT_TRUE(via_view.has_value()) << "pad " << pad;
+      EXPECT_EQ(via_view->index(), m.index());
+    }
+  }
+}
+
+TEST(WireFuzz, TruncatedViewsAlwaysRejected) {
+  for (const auto& m : all_messages()) {
+    const auto wire = vstoto::encode_message(m);
+    const util::BufferView full = wire.view();
+    for (std::size_t len = 0; len < full.size(); ++len)
+      EXPECT_FALSE(vstoto::decode_message(full.subview(0, len)).has_value())
+          << len << "/" << full.size();
+  }
+}
+
+TEST(WireFuzz, PacketsDecodeFromSlicesOfASharedArena) {
+  // Pack every packet back-to-back into one storage (as a receive ring
+  // would) and decode each through a slice; token entries must come out as
+  // slices of the arena and survive its release.
+  const auto packets = all_packets();
+  util::Bytes raw;
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (const auto& p : packets) {
+    const auto wire = membership::encode_packet(p).to_bytes();
+    spans.emplace_back(raw.size(), wire.size());
+    raw.insert(raw.end(), wire.begin(), wire.end());
+  }
+  std::vector<membership::Packet> decoded;
+  {
+    const util::Buffer arena{std::move(raw)};
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      auto back = membership::decode_packet(arena.slice(spans[i].first, spans[i].second));
+      ASSERT_TRUE(back.has_value()) << "packet " << i;
+      EXPECT_EQ(back->index(), packets[i].index());
+      if (const auto* t = std::get_if<membership::Token>(&*back)) {
+        for (const auto& [src, payload] : t->entries) {
+          if (!payload.empty()) {  // an empty slice carries no storage (id 0)
+            EXPECT_EQ(payload.id(), arena.id()) << "entry of " << src;
+          }
+        }
+      }
+      decoded.push_back(std::move(*back));
+    }
+  }  // arena Buffer released; entry slices must keep the storage alive
+  const auto& token = std::get<membership::Token>(decoded[3]);
+  const auto& orig = std::get<membership::Token>(packets[3]);
+  ASSERT_EQ(token.entries.size(), orig.entries.size());
+  for (std::size_t i = 0; i < token.entries.size(); ++i)
+    EXPECT_EQ(token.entries[i].second, orig.entries[i].second);
 }
 
 // --- The injectable historical bug ---------------------------------------
 
 TEST(WireFuzz, UncheckedDecodeAcceptsTruncatedMessage) {
-  auto bytes = vstoto::encode_message(all_messages()[0]);
+  auto bytes = vstoto::encode_message(all_messages()[0]).to_bytes();
   bytes.resize(bytes.size() - 3);
   ASSERT_FALSE(vstoto::decode_message(bytes).has_value());
 
@@ -121,7 +191,7 @@ TEST(WireFuzz, UncheckedDecodeAcceptsTruncatedMessage) {
 }
 
 TEST(WireFuzz, UncheckedDecodeAcceptsCorruptPacket) {
-  auto bytes = membership::encode_packet(all_packets()[0]);
+  auto bytes = membership::encode_packet(all_packets()[0]).to_bytes();
   bytes.back() ^= 0x40;  // body payload byte: checksum is the only defense
   ASSERT_FALSE(membership::decode_packet(bytes).has_value());
 
@@ -135,7 +205,7 @@ TEST(WireFuzz, GuardRestoresStrictDecoding) {
     EXPECT_TRUE(util::unchecked_decode());
   }
   EXPECT_FALSE(util::unchecked_decode());
-  auto bytes = vstoto::encode_message(all_messages()[0]);
+  auto bytes = vstoto::encode_message(all_messages()[0]).to_bytes();
   bytes.resize(bytes.size() - 1);
   EXPECT_FALSE(vstoto::decode_message(bytes).has_value());
 }
