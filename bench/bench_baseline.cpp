@@ -11,10 +11,13 @@
 // everything on heal.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 #include "to/sequencer_to.hpp"
 
 using namespace vsg;
@@ -41,11 +44,15 @@ StableResult run_stable_sequencer(int n, std::uint64_t seed) {
   return {harness::to_delivery_latency(recorder.events(), q, 0)};
 }
 
-StableResult run_stable_vstoto(int n, std::uint64_t seed) {
+StableResult run_stable_vstoto(int n, std::uint64_t seed,
+                               const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
   harness::WorldConfig cfg;
   cfg.n = n;
   cfg.backend = harness::Backend::kTokenRing;
   cfg.seed = seed;
+  cfg.metrics = metrics;  // all sweep runs accumulate into one registry
   harness::World world(cfg);
   for (int k = 0; k < 30; ++k)
     world.bcast_at(sim::msec(20 * k + 5), static_cast<ProcId>(k % n), "v");
@@ -57,7 +64,10 @@ StableResult run_stable_vstoto(int n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("Baseline: fixed-sequencer TO (non-partitionable) vs VStoTO\n");
 
   std::printf("\n-- stable network, delivery latency to all (n sweep) --\n");
@@ -67,7 +77,9 @@ int main() {
                           .c_str());
   for (int n : {3, 5, 7}) {
     const auto seq = run_stable_sequencer(n, 500 + n);
-    const auto vsg_result = run_stable_vstoto(n, 500 + n);
+    const auto vsg_result = run_stable_vstoto(n, 500 + n, metrics);
+    metrics->gauge("bench.seq_p50_us.n" + std::to_string(n)).set(seq.latency.p50);
+    metrics->gauge("bench.vsg_p50_us.n" + std::to_string(n)).set(vsg_result.latency.p50);
     std::printf("%s\n", harness::fmt_row({std::to_string(n),
                                           harness::fmt_time(seq.latency.p50),
                                           harness::fmt_time(seq.latency.max),
@@ -105,6 +117,7 @@ int main() {
     cfg.n = 5;
     cfg.backend = harness::Backend::kTokenRing;
     cfg.seed = 1;
+    cfg.metrics = metrics;
     harness::World world(cfg);
     world.partition_at(sim::msec(100), {{0, 1}, {2, 3, 4}});
     for (int k = 0; k < 10; ++k) {
@@ -119,11 +132,21 @@ int main() {
     world.run_until(sim::sec(12));
     std::printf("  vstoto after heal: everyone delivered %zu/20 (reconciled)\n",
                 world.stack().process(0).delivered().size());
+    metrics->gauge("bench.vsg_reconciled_of_20")
+        .set(static_cast<std::int64_t>(world.stack().process(0).delivered().size()));
   }
 
   std::printf(
       "\nreading: the centralized baseline wins on stable-network latency but the\n"
       "majority component is dead without the sequencer; the quorum-based stack\n"
       "keeps the majority live and loses nothing — the paper's raison d'etre.\n");
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_baseline")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n", export_path->c_str());
+  }
   return 0;
 }

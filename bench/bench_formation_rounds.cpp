@@ -5,10 +5,13 @@
 // measured stabilization l' of the merged group and the view churn.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace vsg;
 
@@ -21,12 +24,16 @@ struct Result {
   bool safe = false;
 };
 
-Result run_one(membership::FormationMode mode, int n, std::uint64_t seed) {
+Result run_one(membership::FormationMode mode, int n, std::uint64_t seed,
+               const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
   harness::WorldConfig cfg;
   cfg.n = n;
   cfg.backend = harness::Backend::kTokenRing;
   cfg.ring.formation = mode;
   cfg.seed = seed;
+  cfg.metrics = metrics;  // all sweep runs accumulate into one registry
   harness::World world(cfg);
 
   std::set<ProcId> left, right, all;
@@ -52,7 +59,10 @@ Result run_one(membership::FormationMode mode, int n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("Ablation (footnote 7): 3-round vs 1-round membership formation\n");
   std::printf("partition at 1s, heal at 4s; merge stabilization l' of the full group\n\n");
   const std::vector<int> widths{4, 10, 8, 14, 8, 11, 6};
@@ -67,9 +77,14 @@ int main() {
     for (std::uint64_t seed : {11u, 22u, 33u}) {
       for (const auto mode :
            {membership::FormationMode::kThreeRound, membership::FormationMode::kOneRound}) {
-        const auto r = run_one(mode, n, seed);
+        const auto r = run_one(mode, n, seed, metrics);
         all_safe = all_safe && r.safe;
         const bool three = mode == membership::FormationMode::kThreeRound;
+        if (r.merge_lprime >= 0)
+          metrics
+              ->gauge("bench.merge_lprime_us." + std::string(three ? "r3" : "r1") + ".n" +
+                      std::to_string(n) + ".s" + std::to_string(seed))
+              .set(r.merge_lprime);
         if (r.merge_lprime >= 0) {
           (three ? sum3 : sum1) += static_cast<double>(r.merge_lprime);
           if (three) ++count;
@@ -91,6 +106,14 @@ int main() {
                 sum1 / count / 1000.0);
     std::printf("footnote 7 claim (1-round stabilizes less quickly): %s\n",
                 (sum1 > sum3 && all_safe) ? "REPRODUCED" : "NOT clearly reproduced");
+  }
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_formation_rounds")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n", export_path->c_str());
   }
   return all_safe ? 0 : 1;
 }

@@ -4,9 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
+
 #include "core/summary.hpp"
 #include "harness/scenario.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
 #include "membership/messages.hpp"
 #include "sim/event_queue.hpp"
 #include "spec/to_trace_checker.hpp"
@@ -120,6 +125,12 @@ BENCHMARK(BM_LabeledValueWire);
 
 // --- Verification machinery at working scale -------------------------------
 
+// Registry the --export flag snapshots; bench_world's layers report into it.
+std::shared_ptr<obs::MetricsRegistry>& bench_registry() {
+  static auto registry = std::make_shared<obs::MetricsRegistry>();
+  return registry;
+}
+
 // A settled 4-processor run with traffic and one partition/heal episode.
 harness::World& bench_world() {
   static harness::World* world = [] {
@@ -127,6 +138,7 @@ harness::World& bench_world() {
     cfg.n = 4;
     cfg.backend = harness::Backend::kSpec;
     cfg.seed = 77;
+    cfg.metrics = bench_registry();
     auto* w = new harness::World(cfg);
     w->partition_at(sim::msec(100), {{0, 1, 2}, {3}});
     harness::steady_traffic({0, 1}, 10, sim::msec(150), sim::msec(20)).apply(*w);
@@ -172,4 +184,33 @@ BENCHMARK(BM_TOTraceChecker);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Explicit main (not BENCHMARK_MAIN): --export must be consumed before
+// benchmark::Initialize, which rejects flags it does not recognize.
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--export") {
+      ++i;  // skip the PATH operand too
+      continue;
+    }
+    if (arg.rfind("--export=", 0) == 0) continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*bench_registry(), *export_path, "bench_micro")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", export_path->c_str());
+  }
+  return 0;
+}

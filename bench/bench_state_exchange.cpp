@@ -6,10 +6,13 @@
 // attributable to the recovery window.
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace vsg;
 
@@ -21,11 +24,15 @@ struct Result {
   bool ok = false;
 };
 
-Result run_one(int n, int backlog, std::uint64_t seed) {
+Result run_one(int n, int backlog, std::uint64_t seed,
+               const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
   harness::WorldConfig cfg;
   cfg.n = n;
   cfg.backend = harness::Backend::kTokenRing;
   cfg.seed = seed;
+  cfg.metrics = metrics;  // all sweep runs accumulate into one registry
   harness::World world(cfg);
 
   // Split into majority/minority; submit backlog on BOTH sides.
@@ -64,7 +71,10 @@ Result run_one(int n, int backlog, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("E4: state-exchange recovery cost vs backlog (Section 5 recovery)\n");
   const std::vector<int> widths{4, 8, 14, 14, 8};
   bool all_ok = true;
@@ -74,8 +84,13 @@ int main() {
                                          widths)
                             .c_str());
     for (int backlog : {1, 10, 50, 100, 200}) {
-      const auto r = run_one(n, backlog, 1700 + n * 10 + backlog);
+      const auto r = run_one(n, backlog, 1700 + n * 10 + backlog, metrics);
       all_ok = all_ok && r.ok;
+      const std::string key = ".n" + std::to_string(n) + ".b" + std::to_string(backlog);
+      if (r.merge_time >= 0)
+        metrics->gauge("bench.merge_time_us" + key).set(r.merge_time);
+      metrics->gauge("bench.recovery_bytes" + key)
+          .set(static_cast<std::int64_t>(r.bytes));
       char kb[32];
       std::snprintf(kb, sizeof kb, "%.1f", static_cast<double>(r.bytes) / 1024.0);
       std::printf("%s\n",
@@ -90,5 +105,13 @@ int main() {
   std::printf("\npaper claim: recovery = one summary per member; cost grows with the\n"
               "backlog, and all divergent history merges into one order -> %s\n",
               all_ok ? "REPRODUCED" : "NOT reproduced");
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_state_exchange")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n", export_path->c_str());
+  }
   return all_ok ? 0 : 1;
 }

@@ -4,10 +4,13 @@
 // is bounded by the in-flight window. Same workload, trim on vs off.
 
 #include <cstdio>
+#include <memory>
 
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
+#include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace vsg;
 
@@ -19,12 +22,16 @@ struct Result {
   std::uint64_t total_mb;
 };
 
-Result run_one(bool trim, int messages, std::uint64_t seed) {
+Result run_one(bool trim, int messages, std::uint64_t seed,
+               const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
   harness::WorldConfig cfg;
   cfg.n = 4;
   cfg.backend = harness::Backend::kTokenRing;
   cfg.ring.trim_token = trim;
   cfg.seed = seed;
+  cfg.metrics = metrics;  // all sweep runs accumulate into one registry
   harness::World world(cfg);
 
   harness::steady_traffic({0, 1, 2, 3}, messages, sim::msec(100), sim::msec(10))
@@ -45,7 +52,10 @@ Result run_one(bool trim, int messages, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto export_path = obs::export_path_from_args(argc, argv);
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   std::printf("Ablation: token trimming (safe-prefix garbage collection)\n\n");
   const std::vector<int> widths{10, 8, 14, 16, 12};
   std::printf("%s\n", harness::fmt_row({"trim", "msgs", "max entries", "mean token KB",
@@ -54,7 +64,13 @@ int main() {
                           .c_str());
   for (int messages : {50, 200, 800}) {
     for (bool trim : {true, false}) {
-      const auto r = run_one(trim, messages, 4242);
+      const auto r = run_one(trim, messages, 4242, metrics);
+      const std::string key =
+          std::string(trim ? ".trim" : ".notrim") + ".m" + std::to_string(messages);
+      metrics->gauge("bench.max_token_entries" + key)
+          .set(static_cast<std::int64_t>(r.max_entries));
+      metrics->gauge("bench.token_total_mb" + key)
+          .set(static_cast<std::int64_t>(r.total_mb));
       char mean[24];
       std::snprintf(mean, sizeof mean, "%.2f", r.mean_token_kb);
       std::printf("%s\n",
@@ -68,5 +84,13 @@ int main() {
   std::printf("\nreading: with trimming the token stays bounded by the in-flight window\n"
               "regardless of history length; without it, bytes-per-lap grow linearly\n"
               "with everything the view ever ordered.\n");
+
+  if (export_path) {
+    if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_token_trim")) {
+      std::fprintf(stderr, "failed to write %s\n", export_path->c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n", export_path->c_str());
+  }
   return 0;
 }

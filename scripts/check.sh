@@ -29,6 +29,19 @@ for scn in tests/scenarios/*.scn; do
   ./build/tools/chaos_runner --replay "$scn"
 done
 
+# Tracing smoke (docs/OBSERVABILITY.md, "Tracing"): replay a fixed-seed
+# scenario with the span tracer on and export a Chrome trace. The schema
+# itself (matched b/e pairs, monotone per-track timestamps) is validated by
+# obs::validate_chrome_trace in tests/obs_span_test.cpp; here we check the
+# file materializes with both span families and the Perfetto metadata.
+./build/tools/chaos_runner --replay tests/scenarios/chaos_seed248_stuck_proposal.scn \
+    --trace-out build/replay.trace.json
+test -s build/replay.trace.json
+grep -q '"traceEvents"' build/replay.trace.json
+grep -q '"process_name"' build/replay.trace.json
+grep -q '"tobrcv"' build/replay.trace.json
+grep -q '"view.state_exchange"' build/replay.trace.json
+
 # The injected-fault demo: with the historical decode bug re-enabled, the
 # same oracles must catch it (exit 1) on its minimized repro.
 if ./build/tools/chaos_runner --replay tests/scenarios/chaos_seed75_unchecked_decode.scn \

@@ -4,6 +4,8 @@
 
 #include "chaos/oracles.hpp"
 #include "harness/scenario_parser.hpp"
+#include "obs/json_util.hpp"
+#include "obs/trace_export.hpp"
 
 namespace vsg::chaos {
 namespace {
@@ -55,13 +57,18 @@ void count_ops(const harness::Scenario& s, obs::MetricsRegistry& m) {
 }  // namespace
 
 RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, int n,
-                  std::uint64_t seed, sim::Time run_until, int expected_bcasts) {
+                  std::uint64_t seed, sim::Time run_until, int expected_bcasts,
+                  bool capture_trace) {
   harness::WorldConfig wc;
   wc.n = n;
   wc.backend = cfg.backend;
   wc.seed = seed;
   wc.link = cfg.link;
   wc.ring = cfg.ring;
+  if (capture_trace) {
+    wc.trace = cfg.trace;
+    wc.trace.enabled = true;
+  }
   harness::World world(wc);
   OracleSet oracles(world);
 
@@ -92,6 +99,8 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
         break;
       }
   }
+  if (capture_trace && world.tracer() != nullptr)
+    result.flight_recorder = obs::chrome_trace_json(*world.tracer());
   return result;
 }
 
@@ -151,6 +160,14 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     } else {
       failure.minimal = ShrinkOutcome{schedule.scenario, cfg.schedule.n, 0, 0};
     }
+    // Flight recorder: re-run the minimized scenario with tracing on. The
+    // tracer does not perturb the protocol, so this traces the exact failing
+    // execution; -1 skips the completeness count (shrinking may have dropped
+    // bcasts) while keeping the order-agreement check.
+    failure.flight_recorder =
+        run_one(cfg, failure.minimal.scenario, failure.minimal.n, seed,
+                schedule.run_until, -1, /*capture_trace=*/true)
+            .flight_recorder;
     result.failures.push_back(std::move(failure));
   }
   return result;
@@ -166,6 +183,34 @@ std::string repro_text(const Failure& f) {
                      std::to_string(f.schedule.scenario.ops.size()) + ")\n";
   for (const auto& v : f.violations) text += "# " + v + "\n";
   return text + write_scenario(f.minimal.scenario, meta);
+}
+
+std::string repro_manifest_json(const std::vector<ManifestEntry>& entries,
+                                const std::string& metrics_export_path) {
+  // append_escaped emits the surrounding quotes.
+  std::string out = "{\n  \"schema\": \"vsg-repro-manifest-v1\",\n  \"metrics_export\": ";
+  obs::json::append_escaped(out, metrics_export_path);
+  out += ",\n  \"failures\": [";
+  bool first_entry = true;
+  for (const auto& e : entries) {
+    out += first_entry ? "\n" : ",\n";
+    first_entry = false;
+    out += "    {\n      \"seed\": " + std::to_string(e.seed) + ",\n      \"violations\": [";
+    bool first_v = true;
+    for (const auto& v : e.violations) {
+      if (!first_v) out += ", ";
+      first_v = false;
+      obs::json::append_escaped(out, v);
+    }
+    out += "],\n      \"scenario\": ";
+    obs::json::append_escaped(out, e.scenario_path);
+    out += ",\n      \"flight_recorder\": ";
+    obs::json::append_escaped(out, e.flight_recorder_path);
+    out += "\n    }";
+  }
+  out += entries.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"failure_count\": " + std::to_string(entries.size()) + "\n}\n";
+  return out;
 }
 
 }  // namespace vsg::chaos

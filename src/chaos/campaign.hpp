@@ -40,12 +40,19 @@ struct CampaignConfig {
   ShrinkOptions shrink_options;
   /// Optional shared registry; a fresh one is used when null.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Flight-recorder settings for trace-capturing runs (the `enabled` flag
+  /// is ignored: campaign runs never trace — that keeps them bit-identical
+  /// to untraced fixed-seed runs — and capture replays always trace).
+  obs::TraceConfig trace;
 
   CampaignConfig() { link.ugly_corrupt = 0.25; }
 };
 
 struct RunResult {
   std::vector<std::string> violations;
+  /// Chrome trace-event JSON of the run's flight recorder; empty unless the
+  /// run was executed with capture_trace.
+  std::string flight_recorder;
   bool ok() const { return violations.empty(); }
 };
 
@@ -53,15 +60,23 @@ struct RunResult {
 /// (cfg, scenario, n, seed, run_until, expected_bcasts). expected_bcasts < 0
 /// disables the recovery oracle's completeness check (used when replaying
 /// hand-written scenarios whose traffic is not known a priori — order
-/// agreement across processors is still enforced).
+/// agreement across processors is still enforced). With capture_trace the
+/// World runs with span tracing on and the result carries the flight
+/// recorder's Chrome trace JSON; tracing does not perturb the protocol, so
+/// a captured re-run reproduces the uncaptured run exactly.
 RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, int n,
-                  std::uint64_t seed, sim::Time run_until, int expected_bcasts);
+                  std::uint64_t seed, sim::Time run_until, int expected_bcasts,
+                  bool capture_trace = false);
 
 struct Failure {
   std::uint64_t seed = 0;
   std::vector<std::string> violations;  // of the original schedule
   GeneratedSchedule schedule;           // as generated
   ShrinkOutcome minimal;                // shrunk repro (== original if !shrink)
+  /// Chrome trace JSON captured by re-running the minimized scenario with
+  /// the flight recorder on (the last cfg.trace.capacity spans before the
+  /// violation). Dumped next to the repro scenario by chaos_runner.
+  std::string flight_recorder;
 };
 
 struct CampaignResult {
@@ -75,5 +90,20 @@ CampaignResult run_campaign(const CampaignConfig& cfg);
 
 /// Self-contained scenario file for a failure's minimized schedule.
 std::string repro_text(const Failure& f);
+
+/// One failure's artifact paths, as recorded in repro_manifest.json.
+struct ManifestEntry {
+  std::uint64_t seed = 0;
+  std::vector<std::string> violations;
+  std::string scenario_path;          // minimized .scn repro
+  std::string flight_recorder_path;   // Chrome trace dump ("" if none)
+};
+
+/// The vsg-repro-manifest-v1 document chaos_runner writes into --repro-dir:
+/// which artifacts exist for each failure and where, so an operator (or a
+/// later tool) never has to guess filenames. `metrics_export_path` is ""
+/// when the campaign ran without --export.
+std::string repro_manifest_json(const std::vector<ManifestEntry>& entries,
+                                const std::string& metrics_export_path);
 
 }  // namespace vsg::chaos

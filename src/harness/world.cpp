@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace_export.hpp"
 #include "spec/to_trace_checker.hpp"
 #include "spec/vs_trace_checker.hpp"
 
@@ -75,7 +76,32 @@ World::World(WorldConfig config)
 
   stack_ = std::make_unique<to::Stack>(*vs_, recorder_, config_.quorums, config_.n0);
   stack_->bind_metrics(*metrics_);
+
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<obs::SpanTracer>(config_.trace);
+    tracer_->bind_metrics(*metrics_);
+    if (net_ != nullptr) net_->set_tracer(tracer_.get());
+    if (ring_ != nullptr) ring_->set_tracer(tracer_.get());
+    stack_->set_tracer(tracer_.get());
+    // Events the explicit hooks do not cover arrive through the recorder
+    // tap: bcast submissions (the tosnd milestone), newview deliveries
+    // (state-exchange start) and failure-status markers.
+    recorder_.subscribe([this](const trace::TimedEvent& te) {
+      if (const auto* b = trace::as<trace::BcastEvent>(te))
+        tracer_->msg_submitted(b->p, te.at);
+      else if (const auto* nv = trace::as<trace::NewViewEvent>(te))
+        tracer_->view_newview(nv->p, nv->v.id, te.at);
+      else if (const auto* st = trace::as<sim::StatusEvent>(te))
+        tracer_->fault_marker(*st);
+    });
+  }
+
   if (ring_ != nullptr) ring_->start();
+}
+
+bool World::write_chrome_trace(const std::string& path) const {
+  if (tracer_ == nullptr) return false;
+  return obs::write_chrome_trace_file(*tracer_, path);
 }
 
 namespace {

@@ -13,6 +13,7 @@
 #include "membership/token_ring_vs.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "props/to_property.hpp"
 #include "props/vs_property.hpp"
 #include "sim/failure_table.hpp"
@@ -43,6 +44,11 @@ struct WorldConfig {
   /// per World. Pass a shared registry to accumulate across several runs
   /// (this is how benches build one BENCH_*.json from a parameter sweep).
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Causal span tracing (off by default). When trace.enabled the World
+  /// owns an obs::SpanTracer wired into every layer; export the result
+  /// with write_chrome_trace(). Tracing never perturbs the protocol: fixed
+  /// seeds produce bit-identical traces and counters either way.
+  obs::TraceConfig trace;
 
   /// Rejects misconfiguration with std::invalid_argument: n <= 0, an
   /// explicit n0 outside [1, n], a quorum system no subset of {0..n-1} can
@@ -74,6 +80,13 @@ class World {
   const vs::SpecVS* spec_vs() const noexcept { return spec_vs_; }
   /// Non-null iff backend == kTokenRing.
   const membership::TokenRingVS* token_ring() const noexcept { return ring_; }
+  /// Non-null iff config().trace.enabled: the span tracer / flight recorder.
+  obs::SpanTracer* tracer() noexcept { return tracer_.get(); }
+  const obs::SpanTracer* tracer() const noexcept { return tracer_.get(); }
+
+  /// Export the flight recorder as Chrome trace-event JSON (Perfetto-
+  /// loadable); false when tracing is disabled or on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
 
   // --- Scheduling helpers -----------------------------------------------------
   // All helpers validate their arguments eagerly (at schedule time, not when
@@ -120,6 +133,7 @@ class World {
   vs::SpecVS* spec_vs_ = nullptr;
   membership::TokenRingVS* ring_ = nullptr;
   std::unique_ptr<to::Stack> stack_;
+  std::unique_ptr<obs::SpanTracer> tracer_;
 };
 
 }  // namespace vsg::harness

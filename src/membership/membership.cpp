@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "membership/token_ring_vs.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace vsg::membership {
@@ -111,6 +112,8 @@ void Node::initiate_proposal() {
   last_propose_ = parent_->simulator().now();
   ++stats_.proposals;
   obs::bump(parent_->obs().proposals);
+  if (auto* tracer = parent_->tracer())
+    tracer->view_proposed(me_, prop_gid_, last_propose_);
   VSG_DEBUG << "node " << me_ << " proposes view " << core::to_string(prop_gid_);
   parent_->network().broadcast(me_, encode_packet(Packet{Call{prop_gid_}}));
   parent_->simulator().after(cfg.formation_wait(),
@@ -138,6 +141,7 @@ void Node::initiate_one_round() {
   last_propose_ = now;
   ++stats_.proposals;
   obs::bump(parent_->obs().proposals);
+  if (auto* tracer = parent_->tracer()) tracer->view_proposed(me_, v.id, now);
   VSG_DEBUG << "node " << me_ << " one-round announces " << core::to_string(v);
   std::vector<ProcId> others(v.members.begin(), v.members.end());
   others.erase(std::remove(others.begin(), others.end(), me_), others.end());
@@ -193,6 +197,8 @@ void Node::install_view(const core::View& v, bool initial) {
   ++view_gen_;
   ++stats_.views_installed;
   obs::bump(parent_->obs().views_installed);
+  if (auto* tracer = parent_->tracer())
+    tracer->view_installed(me_, v.id, parent_->simulator().now());
   log_.clear();
   delivered_ = 0;
   safe_emitted_ = 0;

@@ -8,6 +8,7 @@
 
 #include "membership/membership.hpp"
 #include "membership/token_ring_vs.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace vsg::membership {
@@ -85,6 +86,11 @@ void Node::process_token(Token& t) {
     util::Buffer payload = std::move(outbox_.front());
     outbox_.pop_front();
     log_.emplace_back(me_, payload);  // shares storage with the submission
+    // Boarding is an origin-side milestone: the payload still carries the
+    // storage uid the client's gpsnd buffer had, which is how the tracer
+    // maps it back to its label without decoding.
+    if (auto* tracer = parent_->tracer())
+      tracer->msg_boarded(me_, payload.id(), parent_->simulator().now());
     t.entries.emplace_back(me_, std::move(payload));
     ++delivered_;
     ++stats_.entries_delivered;

@@ -19,6 +19,10 @@
 #include "trace/recorder.hpp"
 #include "vs/service.hpp"
 
+namespace vsg::obs {
+class SpanTracer;
+}
+
 namespace vsg::membership {
 
 /// Shared counters the ring reports into when metrics are bound (names:
@@ -61,6 +65,11 @@ class TokenRingVS final : public vs::Service {
   void bind_metrics(obs::MetricsRegistry& registry);
   RingObs& obs() noexcept { return obs_; }
 
+  /// Attach a causal span tracer (null detaches); nodes consult tracer()
+  /// for view-formation and token-boarding spans.
+  void set_tracer(obs::SpanTracer* tracer) noexcept { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const noexcept { return tracer_; }
+
   // --- services for Node ------------------------------------------------------
   sim::Simulator& simulator() noexcept { return *sim_; }
   net::Network& network() noexcept { return *net_; }
@@ -82,6 +91,7 @@ class TokenRingVS final : public vs::Service {
   std::vector<vs::Client*> clients_;
   bool started_ = false;
   RingObs obs_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace vsg::membership

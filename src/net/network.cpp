@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/span.hpp"
+
 namespace vsg::net {
 
 Network::Network(sim::Simulator& simulator, sim::FailureTable& failures, LinkModel model,
@@ -46,6 +48,7 @@ void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
   }
 
   if (p == q) {
+    if (tracer_ != nullptr) tracer_->packet_sent(p, q, packet.id(), sim_->now());
     sim_->after(model_.min_delay,
                 [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
     return;
@@ -77,6 +80,8 @@ void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
       obs_.buffer_allocs->inc();
     }
   }
+  // Span hook after copy-on-corrupt so the uid matches what deliver() sees.
+  if (tracer_ != nullptr) tracer_->packet_sent(p, q, packet.id(), sim_->now());
   sim_->after(*fate,
               [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
 }
@@ -94,6 +99,7 @@ void Network::deliver(ProcId src, ProcId dst, util::Buffer packet) {
     obs_.packets_delivered->inc();
     obs_.bytes_delivered->inc(packet.size());
   }
+  if (tracer_ != nullptr) tracer_->packet_delivered(src, dst, packet.id(), sim_->now());
   auto& handler = handlers_[static_cast<std::size_t>(dst)];
   if (handler) handler(src, packet);
 }

@@ -30,6 +30,10 @@
 #include "util/rng.hpp"
 #include "util/serde.hpp"
 
+namespace vsg::obs {
+class SpanTracer;
+}
+
 namespace vsg::net {
 
 struct NetStats {
@@ -77,6 +81,11 @@ class Network {
   /// references are cached, so binding costs nothing on the send path.
   void bind_metrics(obs::MetricsRegistry& registry);
 
+  /// Attach a causal span tracer (null detaches): every delivered packet
+  /// becomes a net.packet transit span. The tracer never touches the RNG or
+  /// the schedule, so traced and untraced runs stay bit-identical.
+  void set_tracer(obs::SpanTracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   void send_one(ProcId p, ProcId q, util::Buffer packet);
   void deliver(ProcId src, ProcId dst, util::Buffer packet);
@@ -100,6 +109,7 @@ class Network {
   std::vector<Handler> handlers_;
   NetStats stats_;
   Obs obs_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace vsg::net

@@ -1,5 +1,7 @@
 #include "obs/json_exporter.hpp"
 
+#include "obs/json_util.hpp"
+
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -10,204 +12,13 @@ namespace vsg::obs {
 
 namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
+using json::append_escaped;
+using json::Reader;
 
 template <typename Int>
 void append_int(std::string& out, Int v) {
   out += std::to_string(v);
 }
-
-// ---------------------------------------------------------------------------
-// A minimal JSON reader covering what vsg-metrics-v1 uses: objects, arrays,
-// strings, and integer numbers. No floats, no unicode escapes beyond what
-// the exporter emits; good enough for round-tripping our own snapshots.
-
-class Reader {
- public:
-  explicit Reader(const std::string& text) : s_(text.c_str()), end_(s_ + text.size()) {}
-
-  bool ok() const noexcept { return ok_; }
-  void fail() noexcept { ok_ = false; }
-
-  void skip_ws() {
-    while (s_ < end_ && std::isspace(static_cast<unsigned char>(*s_))) ++s_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (!ok_ || s_ >= end_ || *s_ != c) return false;
-    ++s_;
-    return true;
-  }
-
-  bool peek(char c) {
-    skip_ws();
-    return ok_ && s_ < end_ && *s_ == c;
-  }
-
-  bool at_end() {
-    skip_ws();
-    return s_ >= end_;
-  }
-
-  std::string string() {
-    skip_ws();
-    std::string out;
-    if (!consume('"')) {
-      fail();
-      return out;
-    }
-    // consume('"') already advanced past the opening quote.
-    while (s_ < end_ && *s_ != '"') {
-      if (*s_ == '\\' && s_ + 1 < end_) {
-        ++s_;
-        switch (*s_) {
-          case 'n':
-            out += '\n';
-            break;
-          case 't':
-            out += '\t';
-            break;
-          case 'u': {
-            if (end_ - s_ < 5) {
-              fail();
-              return out;
-            }
-            out += static_cast<char>(std::strtol(std::string(s_ + 1, s_ + 5).c_str(),
-                                                 nullptr, 16));
-            s_ += 4;
-            break;
-          }
-          default:
-            out += *s_;
-        }
-        ++s_;
-      } else {
-        out += *s_++;
-      }
-    }
-    if (s_ >= end_) {
-      fail();
-      return out;
-    }
-    ++s_;  // closing quote
-    return out;
-  }
-
-  std::int64_t integer() {
-    skip_ws();
-    char* after = nullptr;
-    const long long v = std::strtoll(s_, &after, 10);
-    if (after == s_) {
-      fail();
-      return 0;
-    }
-    s_ = after;
-    return v;
-  }
-
-  /// Skip any JSON value (for fields we do not model).
-  void skip_value() {
-    skip_ws();
-    if (!ok_ || s_ >= end_) {
-      fail();
-      return;
-    }
-    if (*s_ == '"') {
-      string();
-    } else if (*s_ == '{') {
-      ++s_;
-      if (peek('}')) {
-        consume('}');
-        return;
-      }
-      do {
-        string();
-        if (!consume(':')) fail();
-        skip_value();
-      } while (ok_ && consume(','));
-      if (!consume('}')) fail();
-    } else if (*s_ == '[') {
-      ++s_;
-      if (peek(']')) {
-        consume(']');
-        return;
-      }
-      do skip_value();
-      while (ok_ && consume(','));
-      if (!consume(']')) fail();
-    } else {
-      // number / true / false / null
-      while (s_ < end_ && (std::isalnum(static_cast<unsigned char>(*s_)) || *s_ == '-' ||
-                           *s_ == '+' || *s_ == '.'))
-        ++s_;
-    }
-  }
-
-  /// Iterate an object: calls fn(key) positioned at the value; fn must
-  /// consume the value.
-  template <typename Fn>
-  void object(Fn fn) {
-    if (!consume('{')) {
-      fail();
-      return;
-    }
-    if (consume('}')) return;
-    do {
-      std::string key = string();
-      if (!consume(':')) {
-        fail();
-        return;
-      }
-      fn(key);
-    } while (ok_ && consume(','));
-    if (!consume('}')) fail();
-  }
-
-  template <typename Fn>
-  void array(Fn fn) {
-    if (!consume('[')) {
-      fail();
-      return;
-    }
-    if (consume(']')) return;
-    do fn();
-    while (ok_ && consume(','));
-    if (!consume(']')) fail();
-  }
-
- private:
-  const char* s_;
-  const char* end_;
-  bool ok_ = true;
-};
 
 std::optional<Unit> unit_from_string(const std::string& s) {
   if (s == "us_sim") return Unit::kSimMicros;

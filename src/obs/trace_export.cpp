@@ -1,0 +1,213 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "obs/json_util.hpp"
+
+namespace vsg::obs {
+
+namespace {
+
+/// Stable per-layer thread ids inside each trace process. Unknown
+/// categories (none today) fall back to a high tid rather than colliding.
+int track_tid(const std::string& cat) {
+  if (cat == "to") return 1;
+  if (cat == "view") return 2;
+  if (cat == "net") return 3;
+  if (cat == "fault") return 4;
+  return 9;
+}
+
+void append_field(std::string& out, const char* key, const std::string& value) {
+  json::append_escaped(out, key);
+  out += ":";
+  json::append_escaped(out, value);
+}
+
+struct Line {
+  sim::Time ts = 0;
+  // Async events with one (cat, id) nest per lane, and chain phases tile
+  // (phase k ends where phase k+1 begins), so at equal timestamps ends must
+  // precede begins (rank 0 < 2). A zero-length span would then close before
+  // it opens; its b/e pair is emitted glued as one line at rank 1.
+  int rank = 0;
+  std::string json;
+};
+
+std::string event_json(const Span& s, const char* ph, sim::Time ts) {
+  std::string out = "{";
+  append_field(out, "name", s.name);
+  out += ",";
+  append_field(out, "cat", s.cat);
+  out += ",\"ph\":\"";
+  out += ph;
+  out += "\"";
+  if (!s.instant) {
+    out += ",";
+    append_field(out, "id", s.id);
+  } else {
+    out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  out += ",\"pid\":" + std::to_string(s.proc);
+  out += ",\"tid\":" + std::to_string(track_tid(s.cat));
+  out += ",\"ts\":" + std::to_string(ts);
+  if (!s.arg.empty() && ph[0] != 'e') {
+    out += ",\"args\":{";
+    append_field(out, "detail", s.arg);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const SpanTracer& tracer) {
+  std::vector<Line> lines;
+  lines.reserve(tracer.spans().size() * 2);
+  std::set<ProcId> pids;
+  std::set<std::pair<ProcId, std::string>> tracks;
+  for (const Span& s : tracer.spans()) {
+    pids.insert(s.proc);
+    tracks.insert({s.proc, s.cat});
+    if (s.instant) {
+      lines.push_back({s.end, 1, event_json(s, "i", s.end)});
+    } else if (s.begin == s.end) {
+      lines.push_back(
+          {s.end, 1, event_json(s, "b", s.begin) + ",\n" + event_json(s, "e", s.end)});
+    } else {
+      lines.push_back({s.begin, 2, event_json(s, "b", s.begin)});
+      lines.push_back({s.end, 0, event_json(s, "e", s.end)});
+    }
+  }
+  std::stable_sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    return a.ts != b.ts ? a.ts < b.ts : a.rank < b.rank;
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += ev;
+  };
+  for (ProcId p : pids) {
+    std::string ev = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                     std::to_string(p) + ",\"tid\":0,\"ts\":0,\"args\":{";
+    append_field(ev, "name", "processor " + std::to_string(p));
+    ev += "}}";
+    emit(ev);
+  }
+  for (const auto& [p, cat] : tracks) {
+    std::string ev = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                     std::to_string(p) + ",\"tid\":" + std::to_string(track_tid(cat)) +
+                     ",\"ts\":0,\"args\":{";
+    append_field(ev, "name", cat);
+    ev += "}}";
+    emit(ev);
+  }
+  for (const Line& line : lines) emit(line.json);
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace_file(const SpanTracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << chrome_trace_json(tracer);
+  return static_cast<bool>(f);
+}
+
+std::vector<std::string> validate_chrome_trace(const std::string& text) {
+  std::vector<std::string> problems;
+  json::Reader r(text);
+  bool saw_events = false;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> last_ts;  // per track
+  std::map<std::string, std::int64_t> open;  // async begins awaiting their end
+  std::size_t index = 0;
+
+  r.object([&](const std::string& key) {
+    if (key != "traceEvents") {
+      r.skip_value();
+      return;
+    }
+    saw_events = true;
+    r.array([&] {
+      std::string ph, name, cat, id;
+      bool have_ph = false, have_name = false, have_pid = false, have_tid = false,
+           have_ts = false, have_id = false;
+      std::int64_t pid = 0, tid = 0, ts = 0;
+      r.object([&](const std::string& field) {
+        if (field == "ph") {
+          ph = r.string();
+          have_ph = true;
+        } else if (field == "name") {
+          name = r.string();
+          have_name = true;
+        } else if (field == "cat") {
+          cat = r.string();
+        } else if (field == "id") {
+          id = r.string();
+          have_id = true;
+        } else if (field == "pid") {
+          pid = r.integer();
+          have_pid = true;
+        } else if (field == "tid") {
+          tid = r.integer();
+          have_tid = true;
+        } else if (field == "ts") {
+          ts = r.integer();
+          have_ts = true;
+        } else {
+          r.skip_value();
+        }
+      });
+      if (!r.ok()) return;
+      const std::string at = "event " + std::to_string(index);
+      ++index;
+      if (!have_ph || !have_name || !have_pid || !have_tid || !have_ts) {
+        problems.push_back(at + ": missing required field (ph/name/pid/tid/ts)");
+        return;
+      }
+      if (ph != "M" && ph != "b" && ph != "e" && ph != "i") {
+        problems.push_back(at + ": unexpected ph \"" + ph + "\"");
+        return;
+      }
+      auto& last = last_ts[{pid, tid}];
+      if (ts < last)
+        problems.push_back(at + " (" + name + "): ts " + std::to_string(ts) +
+                           " goes backwards on track pid=" + std::to_string(pid) +
+                           " tid=" + std::to_string(tid));
+      last = std::max(last, ts);
+      if (ph == "b" || ph == "e") {
+        if (!have_id) {
+          problems.push_back(at + " (" + name + "): async event without id");
+          return;
+        }
+        const std::string key2 =
+            cat + "|" + id + "|" + name + "|" + std::to_string(pid);
+        if (ph == "b") {
+          ++open[key2];
+        } else if (--open[key2] < 0) {
+          problems.push_back(at + ": end without begin for " + key2);
+          open[key2] = 0;
+        }
+      }
+    });
+  });
+  if (!r.ok() || !r.at_end()) {
+    problems.push_back("malformed JSON");
+    return problems;
+  }
+  if (!saw_events) problems.push_back("no traceEvents array");
+  for (const auto& [key, count] : open)
+    if (count > 0)
+      problems.push_back("begin without end for " + key + " (x" +
+                         std::to_string(count) + ")");
+  return problems;
+}
+
+}  // namespace vsg::obs

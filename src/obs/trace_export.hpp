@@ -1,0 +1,36 @@
+#pragma once
+
+// Chrome trace-event JSON export for SpanTracer: loadable by Perfetto
+// (ui.perfetto.dev) and chrome://tracing. One trace "process" per simulated
+// processor, one named thread (track) per layer (to / ring / net / view /
+// fault). Message and view lifecycles use async begin/end events
+// (ph "b"/"e") because phases of different payloads overlap without
+// nesting on one processor — async events are the trace-event primitive
+// for exactly that shape; instants (fault markers, primary-established)
+// use ph "i". Timestamps are simulated microseconds, which is the unit
+// the format expects.
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace vsg::obs {
+
+/// The full trace document: {"traceEvents": [...]} with process/thread
+/// metadata, globally sorted by timestamp (so per-track timestamps are
+/// monotone, which validate_chrome_trace and some viewers require).
+std::string chrome_trace_json(const SpanTracer& tracer);
+
+/// chrome_trace_json to a file; false on I/O failure.
+bool write_chrome_trace_file(const SpanTracer& tracer, const std::string& path);
+
+/// Schema check used by tests and scripts/check.sh: parses the document and
+/// verifies (1) it is well-formed JSON with a traceEvents array, (2) every
+/// event's ph is one of M/b/e/i with name, pid, tid, ts (and id for b/e),
+/// (3) timestamps are monotone non-decreasing per (pid, tid) track, and
+/// (4) every async begin has a matching end (same cat, id, name, pid) and
+/// vice versa. Returns human-readable problems; empty means valid.
+std::vector<std::string> validate_chrome_trace(const std::string& json);
+
+}  // namespace vsg::obs

@@ -62,6 +62,10 @@ void Stack::bind_metrics(obs::MetricsRegistry& registry) {
                         std::vector<std::size_t>(static_cast<std::size_t>(size()), 0));
 }
 
+void Stack::set_tracer(obs::SpanTracer* tracer) {
+  for (auto& proc : procs_) proc->set_tracer(tracer);
+}
+
 void Stack::on_deliver(ProcId dest, ProcId origin, const core::Value& a) {
   if (latency_all_ != nullptr) {
     // TO's per-sender FIFO: the k-th delivery at dest from origin is

@@ -38,6 +38,10 @@ class Stack final : public Service {
   /// rather than poking vstoto::Process::bcast directly.
   void bind_metrics(obs::MetricsRegistry& registry);
 
+  /// Attach a causal span tracer to every VStoTO process of the stack
+  /// (null detaches). See obs::SpanTracer.
+  void set_tracer(obs::SpanTracer* tracer);
+
   /// Direct access to a VStoTO process (verification layer, tests).
   vstoto::Process& process(ProcId p) { return *procs_[static_cast<std::size_t>(p)]; }
   const vstoto::Process& process(ProcId p) const {

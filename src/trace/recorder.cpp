@@ -1,10 +1,33 @@
 #include "trace/recorder.hpp"
 
+#include <stdexcept>
+
 namespace vsg::trace {
 
+namespace {
+struct DispatchGuard {
+  explicit DispatchGuard(bool& flag) : flag_(flag) { flag_ = true; }
+  ~DispatchGuard() { flag_ = false; }
+  bool& flag_;
+};
+}  // namespace
+
 void Recorder::record(Event event) {
+  if (dispatching_)
+    throw std::logic_error(
+        "trace::Recorder: record() called from a tap of the same recorder "
+        "(taps must observe, not emit)");
   events_.push_back(TimedEvent{sim_->now(), std::move(event)});
+  DispatchGuard guard(dispatching_);
   for (const auto& tap : taps_) tap(events_.back());
+}
+
+void Recorder::clear() {
+  if (dispatching_)
+    throw std::logic_error(
+        "trace::Recorder: clear() called from a tap of the same recorder "
+        "(the dispatched event would be destroyed mid-tap)");
+  events_.clear();
 }
 
 }  // namespace vsg::trace

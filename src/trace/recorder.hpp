@@ -16,6 +16,12 @@ class Recorder {
  public:
   explicit Recorder(sim::Simulator& simulator) : sim_(&simulator) {}
 
+  /// Append the event and invoke every subscribed tap on it. Taps must not
+  /// call record() or clear() on the recorder they are subscribed to: a
+  /// re-entrant record() would recurse through the tap list (and make the
+  /// trace order depend on tap registration order), and a clear() would
+  /// invalidate the TimedEvent reference the taps are holding. Both throw
+  /// std::logic_error when attempted mid-dispatch.
   void record(Event event);
 
   /// The simulator clock events are stamped with (for layers that hold a
@@ -24,7 +30,7 @@ class Recorder {
 
   const std::vector<TimedEvent>& events() const noexcept { return events_; }
   std::size_t size() const noexcept { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear();
 
   /// Copy out only the events of type T (in trace order), with times.
   template <typename T>
@@ -43,6 +49,7 @@ class Recorder {
   sim::Simulator* sim_;
   std::vector<TimedEvent> events_;
   std::vector<Tap> taps_;
+  bool dispatching_ = false;  // true while taps run; guards re-entrancy
 };
 
 }  // namespace vsg::trace

@@ -62,6 +62,9 @@ void Process::assign_order(std::vector<core::Label> order) {
   if (obs_.order_depth != nullptr)
     obs_.order_depth->add(static_cast<std::int64_t>(order.size()) -
                           static_cast<std::int64_t>(st_.order.size()));
+  if (tracer_ != nullptr)
+    for (const core::Label& l : order)
+      if (order_members_.count(l) == 0) tracer_->msg_tentative(p_, l, recorder_->now());
   st_.order = std::move(order);
   order_members_ = std::set<core::Label>(st_.order.begin(), st_.order.end());
   if (st_.current.has_value()) st_.buildorder[st_.current->id] = st_.order;
@@ -69,6 +72,7 @@ void Process::assign_order(std::vector<core::Label> order) {
 
 void Process::append_order(const core::Label& l) {
   if (obs_.order_depth != nullptr) obs_.order_depth->add(1);
+  if (tracer_ != nullptr) tracer_->msg_tentative(p_, l, recorder_->now());
   st_.order.push_back(l);
   order_members_.insert(l);
   if (st_.current.has_value()) st_.buildorder[st_.current->id] = st_.order;
@@ -92,6 +96,7 @@ bool Process::try_label() {
   st_.content.emplace(l, std::move(st_.delay.front()));
   obs::bump(obs_.payload_moves);
   obs::bump(obs_.labels_assigned);
+  if (tracer_ != nullptr) tracer_->msg_labeled(p_, l, recorder_->now());
   st_.buffer.push_back(l);
   ++st_.nextseqno;
   st_.delay.pop_front();
@@ -105,7 +110,11 @@ bool Process::try_gpsnd_value() {
   const core::Label l = st_.buffer.front();
   const auto it = st_.content.find(l);
   assert(it != st_.content.end());  // Lemma 6.6
-  service_->gpsnd(p_, encode_message(Message{LabeledValue{l, it->second}}));
+  util::Buffer m = encode_message(Message{LabeledValue{l, it->second}});
+  // The storage uid of this buffer is the tracer's origin-side correlation
+  // key: the outbox, the token entry and the self-delivery all share it.
+  if (tracer_ != nullptr) tracer_->msg_sent(p_, l, m.id(), recorder_->now());
+  service_->gpsnd(p_, std::move(m));
   obs::bump(obs_.values_sent);
   st_.buffer.pop_front();
   return true;
@@ -118,6 +127,7 @@ bool Process::try_confirm() {
   if (st_.nextconfirm > st_.order.size()) return false;
   const core::Label& l = st_.order[st_.nextconfirm - 1];
   if (st_.safe_labels.count(l) == 0) return false;
+  if (tracer_ != nullptr) tracer_->msg_confirmed(p_, l, recorder_->now());
   ++st_.nextconfirm;
   if (obs_.confirmed_depth != nullptr) obs_.confirmed_depth->add(1);
   return true;
@@ -132,6 +142,7 @@ bool Process::try_brcv() {
   const auto it = st_.content.find(l);
   assert(it != st_.content.end());
   const ProcId origin = l.origin;
+  if (tracer_ != nullptr) tracer_->msg_delivered(p_, l, recorder_->now());
   // Two deliberate copies: the trace event and the delivered() accessor.
   recorder_->record(trace::BrcvEvent{origin, p_, it->second});
   delivered_.emplace_back(origin, it->second);
@@ -208,6 +219,7 @@ void Process::on_gprcv(ProcId src, const vs::Payload& payload) {
 
 void Process::handle_labeled(ProcId src, const LabeledValue& lv) {
   (void)src;
+  if (tracer_ != nullptr) tracer_->msg_received(p_, lv.label, recorder_->now());
   // The self-delivered copy (the VS layer gprcvs to the sender too) finds
   // its label already in content; only a genuine insertion copies the value
   // out of the shared decoded message.
@@ -241,6 +253,8 @@ void Process::handle_summary(ProcId src, const core::Summary& x) {
   }
   st_.status = PStatus::kNormal;
   st_.established.insert(st_.current->id);  // history variable
+  if (tracer_ != nullptr)
+    tracer_->view_established(p_, st_.current->id, primary(), recorder_->now());
   VSG_DEBUG << "process " << p_ << " established view " << core::to_string(*st_.current)
             << (primary() ? " (primary)" : " (non-primary)");
 }

@@ -34,6 +34,7 @@
 #include "core/quorum.hpp"
 #include "core/summary.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "trace/recorder.hpp"
 #include "vs/service.hpp"
 #include "vstoto/wire.hpp"
@@ -106,6 +107,11 @@ class Process final : public vs::Client {
   /// Point this process at shared to.* metrics (see ProcessObs).
   void bind_metrics(const ProcessObs& obs) { obs_ = obs; }
 
+  /// Attach a causal span tracer (null detaches). Hooks fire on label
+  /// assignment, gpsnd, gprcv, order placement, confirmation, delivery and
+  /// view establishment; a null tracer costs one pointer test per hook.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
   /// Share a decode-once cache (owned by the Stack, shared by its
   /// processes). VS delivers the same Buffer to every member and again for
   /// the safe indication, so with a shared cache each distinct payload is
@@ -170,6 +176,7 @@ class Process final : public vs::Client {
   DeliveryFn deliver_;
   DecodeCache* cache_ = nullptr;
   ProcessObs obs_;
+  obs::SpanTracer* tracer_ = nullptr;
   ProcessState st_;
   std::set<core::Label> order_members_;  // duplicate guard index over st_.order
   std::vector<std::pair<ProcId, core::Value>> delivered_;

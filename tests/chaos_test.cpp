@@ -10,6 +10,8 @@
 #include "chaos/shrink.hpp"
 #include "harness/scenario_parser.hpp"
 #include "harness/world.hpp"
+#include "obs/json_util.hpp"
+#include "obs/trace_export.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::chaos {
@@ -243,6 +245,70 @@ TEST(Campaign, Regression_Seed248_StuckProposalAfterCrash) {
   EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations[0]);
 }
 
+// --- Repro manifest --------------------------------------------------------
+
+TEST(Manifest, ReproManifestJsonListsArtifacts) {
+  ManifestEntry e;
+  e.seed = 75;
+  e.violations = {"to: bad \"order\"", "recovery: diverged"};
+  e.scenario_path = "chaos_seed75.scn";
+  e.flight_recorder_path = "chaos_seed75_trace.json";
+  const std::string json = repro_manifest_json({e}, "CHAOS.json");
+  EXPECT_NE(json.find("to: bad \\\"order\\\""), std::string::npos)
+      << "violation text must be JSON-escaped";
+
+  // Parse the document back — substring checks alone would not notice
+  // structural breakage like mis-quoted strings.
+  obs::json::Reader r(json);
+  std::string schema, metrics_export;
+  std::int64_t failure_count = -1;
+  std::vector<std::string> seen_violations;
+  std::string scenario, recorder;
+  std::int64_t seed = -1;
+  r.object([&](const std::string& key) {
+    if (key == "schema") {
+      schema = r.string();
+    } else if (key == "metrics_export") {
+      metrics_export = r.string();
+    } else if (key == "failure_count") {
+      failure_count = r.integer();
+    } else if (key == "failures") {
+      r.array([&] {
+        r.object([&](const std::string& fk) {
+          if (fk == "seed") {
+            seed = r.integer();
+          } else if (fk == "violations") {
+            r.array([&] { seen_violations.push_back(r.string()); });
+          } else if (fk == "scenario") {
+            scenario = r.string();
+          } else if (fk == "flight_recorder") {
+            recorder = r.string();
+          } else {
+            r.skip_value();
+          }
+        });
+      });
+    } else {
+      r.skip_value();
+    }
+  });
+  ASSERT_TRUE(r.ok() && r.at_end()) << json;
+  EXPECT_EQ(schema, "vsg-repro-manifest-v1");
+  EXPECT_EQ(metrics_export, "CHAOS.json");
+  EXPECT_EQ(seed, 75);
+  EXPECT_EQ(seen_violations, e.violations);
+  EXPECT_EQ(scenario, "chaos_seed75.scn");
+  EXPECT_EQ(recorder, "chaos_seed75_trace.json");
+  EXPECT_EQ(failure_count, 1);
+}
+
+TEST(Manifest, EmptyFailureListStillWellFormed) {
+  const std::string json = repro_manifest_json({}, "");
+  EXPECT_NE(json.find("\"vsg-repro-manifest-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"failures\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"failure_count\": 0"), std::string::npos);
+}
+
 // --- Acceptance demo: injected fault caught, shrunk, replayable -----------
 
 TEST(Campaign, InjectedDecodeBugIsCaughtShrunkAndReplayable) {
@@ -286,6 +352,13 @@ TEST(Campaign, InjectedDecodeBugIsCaughtShrunkAndReplayable) {
   const auto replay = run_one(cfg, *parsed.scenario, *parsed.meta.n, *parsed.meta.seed,
                               *parsed.meta.until, bcasts);
   EXPECT_FALSE(replay.ok()) << "minimal repro did not reproduce";
+
+  // The failure carries a flight recorder of the minimized failing run — a
+  // valid Chrome trace (what --repro-dir dumps next to the scenario and
+  // indexes from repro_manifest.json).
+  ASSERT_FALSE(f.flight_recorder.empty());
+  const auto trace_problems = obs::validate_chrome_trace(f.flight_recorder);
+  EXPECT_TRUE(trace_problems.empty()) << trace_problems.front();
 
   // ...and the violation disappears once decoding is strict again. (A
   // safety-class minimal may legitimately end un-healed and not recover;

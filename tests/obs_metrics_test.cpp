@@ -129,6 +129,36 @@ TEST(Exporter, RoundTripsAFullRegistry) {
   EXPECT_EQ(*parsed, reg.snapshot());
 }
 
+TEST(Exporter, EscapesMetricNamesInJson) {
+  MetricsRegistry reg;
+  // A hostile name exercising every escape class the writer knows.
+  const std::string name = "evil\"name\\with\nnewline\ttab\x01" "ctl";
+  reg.counter(name).inc(9);
+  reg.gauge(name + ".g").set(-1);
+
+  const std::string json = JsonExporter::to_json(reg, "esc \"label\"");
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnewline\\ttab\\u0001ctl"),
+            std::string::npos)
+      << "name must be emitted with every character escaped";
+
+  // And the reader undoes exactly what the writer did.
+  const auto parsed = JsonExporter::parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, reg.snapshot());
+  EXPECT_EQ(JsonExporter::parse_label(json), "esc \"label\"");
+}
+
+TEST(Exporter, EmptyRegistryExportsValidDocument) {
+  MetricsRegistry reg;
+  const std::string json = JsonExporter::to_json(reg, "");
+  const auto parsed = JsonExporter::parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  EXPECT_EQ(*parsed, reg.snapshot());
+  EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->gauges.empty());
+  EXPECT_TRUE(parsed->histograms.empty());
+}
+
 TEST(Exporter, RejectsWrongSchemaAndMalformedInput) {
   EXPECT_FALSE(JsonExporter::parse("not json").has_value());
   EXPECT_FALSE(JsonExporter::parse("{\"schema\": \"something-else\"}").has_value());

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/simulator.hpp"
 #include "trace/events.hpp"
 #include "trace/recorder.hpp"
@@ -62,6 +64,41 @@ TEST(Recorder, TapsFireSynchronouslyInOrder) {
   ASSERT_EQ(seen.size(), 2u);
   EXPECT_EQ(seen[0], "@0 bcast(x)_0");
   EXPECT_EQ(seen[1], "second-tap");
+}
+
+// Regression: a tap that feeds record() back into the same recorder would
+// invalidate the TimedEvent reference every other tap holds (vector growth)
+// and recurse unboundedly. The recorder detects reentrancy and throws.
+TEST(Recorder, RecordFromATapThrows) {
+  sim::Simulator simulator;
+  Recorder recorder(simulator);
+  bool threw = false;
+  recorder.subscribe([&](const TimedEvent&) {
+    try {
+      recorder.record(BcastEvent{1, "reentrant"});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  recorder.record(BcastEvent{0, "outer"});
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(recorder.size(), 1u) << "the reentrant event must not be stored";
+}
+
+TEST(Recorder, ClearFromATapThrows) {
+  sim::Simulator simulator;
+  Recorder recorder(simulator);
+  bool threw = false;
+  recorder.subscribe([&](const TimedEvent&) {
+    try {
+      recorder.clear();
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  recorder.record(BcastEvent{0, "outer"});
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(recorder.size(), 1u) << "clear() inside a tap must not destroy the event";
 }
 
 TEST(Recorder, ClearEmptiesEvents) {

@@ -6,7 +6,12 @@
 //   $ ./chaos_runner --seeds 200 --smoke            # CI smoke campaign
 //   $ ./chaos_runner --seeds 50 --n 5 --export CHAOS.json
 //   $ ./chaos_runner --replay tests/scenarios/some_repro.scn
+//   $ ./chaos_runner --replay repro.scn --trace-out repro.trace.json
 //   $ ./chaos_runner --seeds 20 --inject-unchecked-decode --repro-dir /tmp
+//
+// With --repro-dir, each failure produces chaos_seed<S>.scn (minimized
+// scenario) and chaos_seed<S>_trace.json (flight recorder of the failing
+// run, Perfetto-loadable), indexed by a single repro_manifest.json.
 //
 // Exit status: 0 when every run (or the replay) is clean, 1 on violations,
 // 2 on usage/IO errors.
@@ -37,6 +42,7 @@ struct Options {
   std::string replay_file;
   std::string repro_dir;
   std::string export_path;
+  std::string trace_out;  // replay mode: Chrome trace of the replayed run
   sim::Time replay_until = 0;  // 0: meta / last op + tail
 };
 
@@ -96,6 +102,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.export_path = v;
     } else if (arg.rfind("--export=", 0) == 0) {
       opt.export_path = arg.substr(9);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trace_out = v;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out = arg.substr(12);
     } else {
       return false;
     }
@@ -149,12 +161,24 @@ int replay(const Options& opt) {
   chaos::CampaignConfig cfg = campaign_config(opt);
   // Hand-written scenarios may not deliver every bcast everywhere (e.g. a
   // final partition); only order agreement is enforced on replay.
-  const auto result = chaos::run_one(cfg, *parsed.scenario, n, seed, until, -1);
+  const bool trace = !opt.trace_out.empty();
+  const auto result = chaos::run_one(cfg, *parsed.scenario, n, seed, until, -1, trace);
   std::printf("replay %s: n=%d seed=%llu until=%s — %s\n", opt.replay_file.c_str(), n,
               static_cast<unsigned long long>(seed),
               harness::format_duration(until).c_str(),
               result.ok() ? "clean" : "VIOLATIONS");
   for (const auto& v : result.violations) std::printf("  %s\n", v.c_str());
+  if (trace) {
+    std::ofstream out(opt.trace_out);
+    out << result.flight_recorder;
+    if (out)
+      std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+                  opt.trace_out.c_str());
+    else {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+  }
   return result.ok() ? 0 : 1;
 }
 
@@ -169,6 +193,7 @@ int campaign(const Options& opt) {
 
   const auto result = chaos::run_campaign(cfg);
 
+  std::vector<chaos::ManifestEntry> manifest;
   for (const auto& f : result.failures) {
     std::printf("seed %llu FAILED (%zu violation%s), shrunk %zu -> %zu ops (n=%d, %d "
                 "candidates)\n",
@@ -177,16 +202,43 @@ int campaign(const Options& opt) {
                 f.minimal.scenario.ops.size(), f.minimal.n, f.minimal.candidates);
     for (const auto& v : f.violations) std::printf("  %s\n", v.c_str());
     if (!opt.repro_dir.empty()) {
-      const std::string path =
-          opt.repro_dir + "/chaos_seed" + std::to_string(f.seed) + ".scn";
+      chaos::ManifestEntry entry;
+      entry.seed = f.seed;
+      entry.violations = f.violations;
+      const std::string base = "chaos_seed" + std::to_string(f.seed);
+      const std::string path = opt.repro_dir + "/" + base + ".scn";
       std::ofstream out(path);
       out << chaos::repro_text(f);
-      if (out)
+      if (out) {
+        entry.scenario_path = base + ".scn";
         std::printf("  repro written to %s\n", path.c_str());
-      else
+      } else {
         std::fprintf(stderr, "  cannot write %s (does the directory exist?)\n",
                      path.c_str());
+      }
+      if (!f.flight_recorder.empty()) {
+        const std::string trace_path = opt.repro_dir + "/" + base + "_trace.json";
+        std::ofstream tout(trace_path);
+        tout << f.flight_recorder;
+        if (tout) {
+          entry.flight_recorder_path = base + "_trace.json";
+          std::printf("  flight recorder written to %s\n", trace_path.c_str());
+        } else {
+          std::fprintf(stderr, "  cannot write %s\n", trace_path.c_str());
+        }
+      }
+      manifest.push_back(std::move(entry));
     }
+  }
+
+  if (!opt.repro_dir.empty() && !manifest.empty()) {
+    const std::string manifest_path = opt.repro_dir + "/repro_manifest.json";
+    std::ofstream out(manifest_path);
+    out << chaos::repro_manifest_json(manifest, opt.export_path);
+    if (out)
+      std::printf("manifest written to %s\n", manifest_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", manifest_path.c_str());
   }
 
   if (!opt.export_path.empty() &&
@@ -208,7 +260,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--seeds N] [--first-seed S] [--n N] [--backend ring|spec]\n"
                  "          [--corrupt P] [--smoke] [--no-shrink] [--repro-dir DIR]\n"
                  "          [--export PATH] [--inject-unchecked-decode]\n"
-                 "          [--replay FILE [--until T]]\n",
+                 "          [--replay FILE [--until T] [--trace-out PATH]]\n",
                  argv[0]);
     return 2;
   }
