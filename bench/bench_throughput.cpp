@@ -7,9 +7,14 @@
 //
 // With `--export PATH` the full sweep's metrics registry (shared across
 // every World in the sweep) is written as a vsg-metrics-v1 JSON snapshot;
-// see docs/OBSERVABILITY.md.
+// see docs/OBSERVABILITY.md. `--wire 1|2` pins the frame layout
+// (docs/WIRE.md; default v2) — protocol counters are bit-identical across
+// versions, only the encode-cache counters (ring.entries_rebuilds vs
+// ring.entries_spliced) and byte counts move.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <set>
 
@@ -22,7 +27,7 @@ using namespace vsg;
 
 namespace {
 
-double run_one(int n, sim::Time pi, std::uint64_t seed,
+double run_one(int n, sim::Time pi, std::uint64_t seed, membership::WireFormat wire,
                const std::shared_ptr<obs::MetricsRegistry>& metrics) {
   obs::ScopedWallTimer timer(
       metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
@@ -31,6 +36,7 @@ double run_one(int n, sim::Time pi, std::uint64_t seed,
   cfg.n = n;
   cfg.backend = harness::Backend::kTokenRing;
   cfg.ring.pi = pi;
+  cfg.ring.wire = wire;
   cfg.seed = seed;
   cfg.metrics = metrics;  // all sweep runs accumulate into one registry
   harness::World world(cfg);
@@ -55,15 +61,26 @@ double run_one(int n, sim::Time pi, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const auto export_path = obs::export_path_from_args(argc, argv);
+  auto wire = membership::kDefaultWireFormat;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--wire") != 0) continue;
+    const int v = std::atoi(argv[i + 1]);
+    if (v < 1 || v > 2) {
+      std::fprintf(stderr, "--wire takes 1 or 2 (docs/WIRE.md)\n");
+      return 2;
+    }
+    wire = static_cast<membership::WireFormat>(v);
+  }
   auto metrics = std::make_shared<obs::MetricsRegistry>();
 
-  std::printf("E6: confirmed-delivery throughput vs ring size and token spacing\n\n");
+  std::printf("E6: confirmed-delivery throughput vs ring size and token spacing (wire %s)\n\n",
+              membership::to_string(wire));
   const std::vector<int> widths{4, 10, 14, 16};
   std::printf("%s\n",
               harness::fmt_row({"n", "pi", "deliv/sec", "offered/sec"}, widths).c_str());
   for (int n : {2, 3, 4, 6, 8}) {
     for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)}) {
-      const double rate = run_one(n, pi, 2200 + n, metrics);
+      const double rate = run_one(n, pi, 2200 + n, wire, metrics);
       const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
       metrics
           ->gauge("bench.deliv_per_sec.n" + std::to_string(n) + ".pi_ms" +

@@ -128,6 +128,14 @@ int main(int argc, char** argv) {
   cfg.n = opt.n;
   cfg.backend = opt.backend;
   cfg.seed = opt.seed;
+  if (parsed.meta.wire.has_value()) {
+    if (*parsed.meta.wire < 1 || *parsed.meta.wire > 2) {
+      std::fprintf(stderr, "scenario pins wire v%d, but this build speaks v1 and v2\n",
+                   *parsed.meta.wire);
+      return 2;
+    }
+    cfg.ring.wire = static_cast<membership::WireFormat>(*parsed.meta.wire);
+  }
   std::optional<harness::World> world;
   try {
     world.emplace(cfg);

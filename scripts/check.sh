@@ -6,6 +6,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Docs stage (docs/WIRE.md and friends): every intra-repo markdown link
+# must resolve. Runs first — it needs no build.
+scripts/check_links.sh
+
 # Tier-1 verify line (ROADMAP.md).
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
 
@@ -24,8 +28,14 @@ grep -q '"schema": "vsg-metrics-v1"' build/CHAOS_smoke.json
 grep -q '"chaos.runs": 200' build/CHAOS_smoke.json
 grep -q '"chaos.failures": 0' build/CHAOS_smoke.json
 
-# Minimized regression scenarios from past campaign finds must replay clean.
+# Minimized regression scenarios from past campaign finds must replay clean,
+# and each must pin the wire version it was minimized under (docs/WIRE.md,
+# "Scenario pinning") — bit-flip repros are meaningless under another layout.
 for scn in tests/scenarios/*.scn; do
+  grep -q '^config wire ' "$scn" || {
+    echo "check.sh: $scn is missing its 'config wire' pin" >&2
+    exit 1
+  }
   ./build/tools/chaos_runner --replay "$scn"
 done
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Intra-repo markdown link checker (grep-based, no dependencies).
+#
+# Scans every tracked *.md file for inline links [text](target) and verifies
+# that each relative target exists, resolved against the linking file's
+# directory. External links (scheme://, mailto:) and pure #fragments are
+# skipped; a fragment on a relative target is stripped before the existence
+# check. Exits 1 listing every broken link.
+#
+#   $ scripts/check_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+broken=0
+checked=0
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Pull out every inline-link target. Markdown images share the syntax.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      *://*|mailto:*) continue ;;  # external
+      '#'*) continue ;;            # same-file fragment
+    esac
+    path="${target%%#*}"           # strip fragment from relative links
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target" >&2
+      broken=$((broken + 1))
+    fi
+  done < <(grep -o '\[[^][]*\]([^()[:space:]]*)' "$md" | sed 's/.*(\(.*\))/\1/')
+done < <(git ls-files '*.md')
+
+if [ "$broken" -ne 0 ]; then
+  echo "check_links.sh: $broken broken link(s) out of $checked checked" >&2
+  exit 1
+fi
+echo "check_links.sh: $checked intra-repo links OK"

@@ -130,6 +130,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
 
     Failure failure;
     failure.seed = seed;
+    failure.wire = static_cast<int>(cfg.ring.wire);
     failure.violations = run.violations;
     failure.schedule = schedule;
     if (cfg.shrink) {
@@ -178,6 +179,7 @@ std::string repro_text(const Failure& f) {
   meta.n = f.minimal.n;
   meta.seed = f.seed;
   meta.until = f.schedule.run_until;
+  meta.wire = f.wire;
   std::string text = "# chaos repro: seed " + std::to_string(f.seed) + ", " +
                      std::to_string(f.minimal.scenario.ops.size()) + " ops (from " +
                      std::to_string(f.schedule.scenario.ops.size()) + ")\n";

@@ -70,6 +70,10 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
 
 struct Failure {
   std::uint64_t seed = 0;
+  /// Frame version the campaign ran under; repro_text pins it (`config
+  /// wire N`) so the repro replays byte-for-byte even after the default
+  /// wire version changes (docs/WIRE.md).
+  int wire = static_cast<int>(membership::kDefaultWireFormat);
   std::vector<std::string> violations;  // of the original schedule
   GeneratedSchedule schedule;           // as generated
   ShrinkOutcome minimal;                // shrunk repro (== original if !shrink)

@@ -80,7 +80,7 @@ ParseResult parse_scenario(const std::string& text) {
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     if (tokens[0] == "config") {
-      if (tokens.size() != 3) return fail("config needs: config <n|seed|until> <value>");
+      if (tokens.size() != 3) return fail("config needs: config <n|seed|until|wire> <value>");
       if (tokens[1] == "n") {
         const auto n = parse_proc(tokens[2]);
         if (!n.has_value() || *n <= 0) return fail("bad config n '" + tokens[2] + "'");
@@ -94,6 +94,10 @@ ParseResult parse_scenario(const std::string& text) {
         const auto until = parse_duration(tokens[2]);
         if (!until.has_value()) return fail("bad config until '" + tokens[2] + "'");
         result.meta.until = *until;
+      } else if (tokens[1] == "wire") {
+        const auto w = parse_proc(tokens[2]);  // small non-negative int
+        if (!w.has_value() || *w < 1) return fail("bad config wire '" + tokens[2] + "'");
+        result.meta.wire = static_cast<int>(*w);
       } else {
         return fail("unknown config key '" + tokens[1] + "'");
       }
@@ -208,6 +212,7 @@ std::string write_scenario(const Scenario& scenario, const ScenarioMeta& meta) {
   if (meta.n.has_value()) os << "config n " << *meta.n << '\n';
   if (meta.seed.has_value()) os << "config seed " << *meta.seed << '\n';
   if (meta.until.has_value()) os << "config until " << format_duration(*meta.until) << '\n';
+  if (meta.wire.has_value()) os << "config wire " << *meta.wire << '\n';
   for (const auto& timed : scenario.ops) {
     os << "at " << format_duration(timed.at) << ' ';
     std::visit(OpWriter{os}, timed.op);

@@ -8,6 +8,7 @@
 //   config n 5                   # optional world metadata (see ScenarioMeta)
 //   config seed 42
 //   config until 20s
+//   config wire 1                # pin the frame version (docs/WIRE.md)
 //   at 100ms partition 0,1,2 | 3,4
 //   at 2s    bcast 0 hello-world
 //   at 2.5s  proc 2 bad          # good | bad | ugly
@@ -35,6 +36,11 @@ struct ScenarioMeta {
   std::optional<int> n;              // config n <int>
   std::optional<std::uint64_t> seed;  // config seed <u64>
   std::optional<sim::Time> until;    // config until <duration>
+  /// Frame version the scenario was recorded/minimized under (config wire
+  /// <1|2>, docs/WIRE.md). Replays apply it to TokenRingConfig::wire so the
+  /// run is byte-for-byte what the shrinker saw, even after the default
+  /// version moves on.
+  std::optional<int> wire;
   bool operator==(const ScenarioMeta&) const = default;
 };
 

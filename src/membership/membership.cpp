@@ -65,11 +65,13 @@ void Node::on_packet(ProcId src, const util::Buffer& packet) {
 void Node::dispatch(ProcId src, const util::Buffer& packet) {
   if (src >= 0 && src < parent_->size())
     last_heard_[static_cast<std::size_t>(src)] = parent_->simulator().now();
-  auto pkt = decode_packet(packet);
-  if (!pkt.has_value()) {
-    VSG_WARN << "node " << me_ << ": undecodable packet from " << src;
+  auto decoded = decode_packet_ex(packet);
+  if (!decoded.ok()) {
+    VSG_WARN << "node " << me_ << ": rejected packet from " << src << ": "
+             << decoded.error;
     return;
   }
+  auto& pkt = decoded.packet;
   if (const auto* c = std::get_if<Call>(&*pkt))
     handle_call(src, *c);
   else if (const auto* r = std::get_if<CallReply>(&*pkt))
@@ -115,7 +117,7 @@ void Node::initiate_proposal() {
   if (auto* tracer = parent_->tracer())
     tracer->view_proposed(me_, prop_gid_, last_propose_);
   VSG_DEBUG << "node " << me_ << " proposes view " << core::to_string(prop_gid_);
-  parent_->network().broadcast(me_, encode_packet(Packet{Call{prop_gid_}}));
+  parent_->network().broadcast(me_, encode_packet(Packet{Call{prop_gid_}}, cfg.wire));
   parent_->simulator().after(cfg.formation_wait(),
                              [this, gid = prop_gid_] { on_proposal_deadline(gid); });
 }
@@ -146,7 +148,8 @@ void Node::initiate_one_round() {
   std::vector<ProcId> others(v.members.begin(), v.members.end());
   others.erase(std::remove(others.begin(), others.end(), me_), others.end());
   if (!others.empty())
-    parent_->network().multicast(me_, others, encode_packet(Packet{ViewAnnounce{v}}));
+    parent_->network().multicast(me_, others,
+                                 encode_packet(Packet{ViewAnnounce{v}}, cfg.wire));
   install_view(v, /*initial=*/false);
 }
 
@@ -157,7 +160,8 @@ void Node::handle_call(ProcId src, const Call& c) {
   // higher viewid.
   if (!promised_.has_value() || c.gid > *promised_) {
     promised_ = c.gid;
-    parent_->network().send(me_, src, encode_packet(Packet{CallReply{c.gid}}));
+    parent_->network().send(me_, src,
+                            encode_packet(Packet{CallReply{c.gid}}, parent_->config().wire));
     // A concurrent lower proposal of ours can no longer win: abandon it.
     if (proposing_ && c.gid > prop_gid_) proposing_ = false;
   }
@@ -178,7 +182,8 @@ void Node::on_proposal_deadline(core::ViewId gid) {
   std::vector<ProcId> others(v.members.begin(), v.members.end());
   others.erase(std::remove(others.begin(), others.end(), me_), others.end());
   if (!others.empty())
-    parent_->network().multicast(me_, others, encode_packet(Packet{ViewAnnounce{v}}));
+    parent_->network().multicast(
+        me_, others, encode_packet(Packet{ViewAnnounce{v}}, parent_->config().wire));
   install_view(v, /*initial=*/false);
 }
 
@@ -247,7 +252,7 @@ void Node::probe_tick() {
       for (ProcId q = 0; q < parent_->size(); ++q)
         if (q != me_ && !view_->contains(q)) dests.push_back(q);
       if (!dests.empty()) {
-        parent_->network().multicast(me_, dests, encode_packet(Packet{Probe{view_->id}}));
+        parent_->network().multicast(me_, dests, encode_packet(Packet{Probe{view_->id}}, cfg.wire));
         stats_.probes_sent += dests.size();
         obs::bump(parent_->obs().probes_sent, dests.size());
       }

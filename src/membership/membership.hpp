@@ -63,6 +63,12 @@ struct TokenRingConfig {
   /// under bursty load; the remainder waits for the next pass.
   std::size_t max_entries_per_pass = 0;
 
+  /// Wire version every packet this node encodes is framed as (docs/
+  /// WIRE.md). Decoders accept all known versions regardless; recorded
+  /// chaos scenarios pin this (`config wire N`) to the version they were
+  /// minimized under so replays stay byte-for-byte reproducible.
+  WireFormat wire = kDefaultWireFormat;
+
   /// Membership formation protocol.
   FormationMode formation = FormationMode::kThreeRound;
   /// 1-round only: a processor counts as connected if heard from within
@@ -79,6 +85,10 @@ struct NodeStats {
   std::uint64_t probes_sent = 0;
   std::uint64_t token_bytes_sent = 0;   // encoded size of forwarded tokens
   std::uint64_t max_token_entries = 0;  // peak entry count seen on a token
+  // Entries-cache effectiveness when encoding tokens (see WireEncodeStats):
+  // serialized-from-structs vs carried by verbatim splice of a warm cache.
+  std::uint64_t entries_rebuilt = 0;
+  std::uint64_t entries_spliced = 0;
 };
 
 class TokenRingVS;

@@ -10,24 +10,77 @@ constexpr std::uint8_t kTagViewAnnounce = 3;
 constexpr std::uint8_t kTagToken = 4;
 constexpr std::uint8_t kTagProbe = 5;
 
-// Frame layout: u32 checksum | u32 body length | body. The checksum covers
-// the body only, so it matches what the pre-zero-copy framing produced.
-constexpr std::size_t kFrameHeader = 8;
+// Frame layout (docs/WIRE.md): u8 version | u32 checksum | u32 body length |
+// body. The checksum covers the version byte and the body, so corrupting
+// the version byte into another *known* version can never reinterpret the
+// body under the wrong layout.
+constexpr std::size_t kFrameHeader = 9;
 
-std::size_t entries_section_size(const Token& p) {
+bool known_version(std::uint8_t v) noexcept {
+  return v == static_cast<std::uint8_t>(WireFormat::kV1) ||
+         v == static_cast<std::uint8_t>(WireFormat::kV2);
+}
+
+std::uint32_t frame_checksum(std::uint8_t version, util::BufferView body) noexcept {
+  return static_cast<std::uint32_t>(
+      util::fnv1a(body, util::fnv1a(util::BufferView(&version, 1))));
+}
+
+using Entries = std::vector<std::pair<ProcId, util::Buffer>>;
+
+/// True iff the v2 segment cache is usable: segments cover the entries
+/// exactly (an empty cache only matches an entry-less token).
+bool segs_cover(const Token& t) {
+  std::size_t sum = 0;
+  for (const auto& s : t.entries_segs) sum += s.count;
+  return sum == t.entries.size() && (!t.entries_segs.empty() || t.entries.empty());
+}
+
+/// Exact v2 wire size of entries [off, off+count): one `u32 src | u32 count`
+/// header per maximal same-source run plus each payload length-prefixed.
+std::size_t v2_range_size(const Entries& entries, std::size_t off, std::size_t count) {
+  std::size_t n = 0;
+  std::size_t i = off;
+  const std::size_t end = off + count;
+  while (i < end) {
+    std::size_t j = i + 1;
+    while (j < end && entries[j].first == entries[i].first) ++j;
+    n += 8;  // run header
+    for (; i < j; ++i) n += 4 + entries[i].second.size();
+  }
+  return n;
+}
+
+std::size_t entries_section_size_v1(const Token& p) {
   if (!p.entries_wire.empty()) return p.entries_wire.size();
   std::size_t n = 4;  // count
   for (const auto& [src, payload] : p.entries) n += 4 + 4 + payload.size();
   return n;
 }
 
+std::size_t entries_section_size_v2(const Token& p) {
+  std::size_t n = 4;  // total entry count
+  if (segs_cover(p)) {
+    std::size_t off = 0;
+    for (const auto& s : p.entries_segs) {
+      n += s.wire.empty() ? v2_range_size(p.entries, off, s.count) : s.wire.size();
+      off += s.count;
+    }
+  } else {
+    n += v2_range_size(p.entries, 0, p.entries.size());
+  }
+  return n;
+}
+
 struct BodySize {
+  WireFormat w;
   std::size_t operator()(const Call&) const { return 1 + core::encoded_size(core::ViewId{}); }
   std::size_t operator()(const CallReply&) const { return 1 + core::encoded_size(core::ViewId{}); }
   std::size_t operator()(const ViewAnnounce& p) const { return 1 + core::encoded_size(p.view); }
   std::size_t operator()(const Token& p) const {
-    return 1 + core::encoded_size(p.gid) + 4 + 4 + entries_section_size(p) + 4 +
-           8 * p.delivered.size();
+    const std::size_t entries = w == WireFormat::kV1 ? entries_section_size_v1(p)
+                                                     : entries_section_size_v2(p);
+    return 1 + core::encoded_size(p.gid) + 4 + 4 + entries + 4 + 8 * p.delivered.size();
   }
   std::size_t operator()(const Probe& p) const {
     return 1 + 1 + (p.gid ? core::encoded_size(*p.gid) : 0);
@@ -36,10 +89,36 @@ struct BodySize {
 
 struct BodyEncoder {
   util::Encoder& e;
-  // Entries-section bounds within the packet (Token only), for warming the
-  // wire cache off the finished buffer.
+  WireFormat w;
+  WireEncodeStats* stats;
+
+  // Bounds of cold (rebuilt-from-structs) entry regions within the packet,
+  // recorded so encode_packet can warm the caches off the finished buffer.
   std::size_t entries_begin = 0;
   std::size_t entries_end = 0;
+  bool rebuilt_whole = false;  // v2: segment cache was unusable; one region
+  std::vector<std::pair<std::size_t, std::pair<std::size_t, std::size_t>>>
+      cold_spans;  // v2: (segment index, [begin, end) in packet)
+
+  void note(std::uint64_t rebuilt, std::uint64_t spliced) const {
+    if (stats != nullptr) {
+      stats->entries_rebuilt += rebuilt;
+      stats->entries_spliced += spliced;
+    }
+  }
+
+  /// Serialize entries [off, off+count) as maximal same-source runs.
+  void encode_runs(const Entries& entries, std::size_t off, std::size_t count) {
+    std::size_t i = off;
+    const std::size_t end = off + count;
+    while (i < end) {
+      std::size_t j = i + 1;
+      while (j < end && entries[j].first == entries[i].first) ++j;
+      e.u32(static_cast<std::uint32_t>(entries[i].first));
+      e.u32(static_cast<std::uint32_t>(j - i));
+      for (; i < j; ++i) e.raw(entries[i].second.view());
+    }
+  }
 
   void operator()(const Call& p) {
     e.u8(kTagCall);
@@ -58,18 +137,46 @@ struct BodyEncoder {
     core::encode(e, p.gid);
     e.u32(p.lap);
     e.u32(p.base);
-    entries_begin = e.size();
-    if (!p.entries_wire.empty()) {
-      // Warm cache: splice the encoded entries section verbatim.
-      e.append(p.entries_wire.view());
+    if (w == WireFormat::kV1) {
+      entries_begin = e.size();
+      if (!p.entries_wire.empty()) {
+        // Warm cache: splice the encoded entries section verbatim.
+        e.append(p.entries_wire.view());
+        note(0, p.entries.size());
+      } else {
+        e.u32(static_cast<std::uint32_t>(p.entries.size()));
+        for (const auto& [src, payload] : p.entries) {
+          e.u32(static_cast<std::uint32_t>(src));
+          e.raw(payload.view());
+        }
+        note(p.entries.size(), 0);
+      }
+      entries_end = e.size();
     } else {
       e.u32(static_cast<std::uint32_t>(p.entries.size()));
-      for (const auto& [src, payload] : p.entries) {
-        e.u32(static_cast<std::uint32_t>(src));
-        e.raw(payload.view());
+      if (segs_cover(p)) {
+        std::size_t off = 0;
+        for (std::size_t k = 0; k < p.entries_segs.size(); ++k) {
+          const TokenSeg& seg = p.entries_segs[k];
+          if (!seg.wire.empty()) {
+            e.append(seg.wire.view());
+            note(0, seg.count);
+          } else {
+            const std::size_t begin = e.size();
+            encode_runs(p.entries, off, seg.count);
+            cold_spans.push_back({k, {begin, e.size()}});
+            note(seg.count, 0);
+          }
+          off += seg.count;
+        }
+      } else {
+        rebuilt_whole = true;
+        entries_begin = e.size();
+        encode_runs(p.entries, 0, p.entries.size());
+        entries_end = e.size();
+        note(p.entries.size(), 0);
       }
     }
-    entries_end = e.size();
     e.u32(static_cast<std::uint32_t>(p.delivered.size()));
     for (const auto& [r, count] : p.delivered) {
       e.u32(static_cast<std::uint32_t>(r));
@@ -85,86 +192,229 @@ struct BodyEncoder {
 
 }  // namespace
 
-std::size_t encoded_packet_size(const Packet& pkt) {
-  return kFrameHeader + std::visit(BodySize{}, pkt);
+const char* to_string(WireFormat w) noexcept {
+  return w == WireFormat::kV1 ? "v1" : "v2";
 }
 
-util::Buffer encode_packet(const Packet& pkt) {
-  const std::size_t body_size = std::visit(BodySize{}, pkt);
+void Token::note_boarded(std::size_t n) {
+  if (n == 0) return;
+  entries_wire = util::Buffer{};
+  std::size_t covered = 0;
+  for (const auto& s : entries_segs) covered += s.count;
+  // The cache was valid before the append iff it covered everything but the
+  // new batch; then the batch becomes one cold segment and the warm
+  // segments stay warm. Otherwise drop the cache (full rebuild on encode).
+  if (covered + n == entries.size())
+    entries_segs.push_back(TokenSeg{static_cast<std::uint32_t>(n), util::Buffer{}});
+  else
+    entries_segs.clear();
+}
+
+void Token::note_trimmed(std::size_t n) {
+  if (n == 0) return;
+  entries_wire = util::Buffer{};
+  std::size_t drop = n;
+  while (drop > 0 && !entries_segs.empty()) {
+    TokenSeg& front = entries_segs.front();
+    if (front.count <= drop) {
+      drop -= front.count;
+      entries_segs.erase(entries_segs.begin());
+    } else {
+      // Trim splits this segment: its surviving tail goes cold (rebuilt,
+      // and re-cached, by the next encode); later segments stay warm.
+      front.count -= static_cast<std::uint32_t>(drop);
+      front.wire = util::Buffer{};
+      drop = 0;
+    }
+  }
+  if (drop > 0) entries_segs.clear();  // cache did not cover the trim: invalid
+}
+
+void Token::invalidate_wire_caches() const {
+  entries_wire = util::Buffer{};
+  entries_segs.clear();
+}
+
+std::size_t encoded_packet_size(const Packet& pkt, WireFormat w) {
+  return kFrameHeader + std::visit(BodySize{w}, pkt);
+}
+
+util::Buffer encode_packet(const Packet& pkt, WireFormat w, WireEncodeStats* stats) {
+  const std::size_t body_size = std::visit(BodySize{w}, pkt);
   util::Encoder e;
   e.reserve(kFrameHeader + body_size);
+  e.u8(static_cast<std::uint8_t>(w));
   e.u32(0);  // checksum placeholder, back-patched below
   e.u32(static_cast<std::uint32_t>(body_size));
-  BodyEncoder enc{e};
+  BodyEncoder enc{e, w, stats, 0, 0, false, {}};
   std::visit(enc, pkt);
-  e.patch_u32(0, static_cast<std::uint32_t>(util::fnv1a(
-                     util::BufferView(e.bytes().data() + kFrameHeader, e.size() - kFrameHeader))));
+  e.patch_u32(1, frame_checksum(static_cast<std::uint8_t>(w),
+                                util::BufferView(e.bytes().data() + kFrameHeader,
+                                                 e.size() - kFrameHeader)));
   util::Buffer packet = e.finish();
-  if (const Token* t = std::get_if<Token>(&pkt); t != nullptr && t->entries_wire.empty()) {
-    t->entries_wire = packet.slice(enc.entries_begin, enc.entries_end - enc.entries_begin);
+  if (const Token* t = std::get_if<Token>(&pkt); t != nullptr) {
+    // Warm whatever was rebuilt, as zero-copy slices of the packet.
+    if (w == WireFormat::kV1) {
+      if (t->entries_wire.empty())
+        t->entries_wire = packet.slice(enc.entries_begin, enc.entries_end - enc.entries_begin);
+    } else if (enc.rebuilt_whole) {
+      t->entries_segs.clear();
+      if (!t->entries.empty())
+        t->entries_segs.push_back(
+            TokenSeg{static_cast<std::uint32_t>(t->entries.size()),
+                     packet.slice(enc.entries_begin, enc.entries_end - enc.entries_begin)});
+    } else {
+      for (const auto& [seg_index, span] : enc.cold_spans)
+        t->entries_segs[seg_index].wire =
+            packet.slice(span.first, span.second - span.first);
+    }
   }
   return packet;
 }
 
-std::optional<Packet> decode_packet(const util::Buffer& packet) {
+namespace {
+
+/// Decode the token body after the common gid/lap/base prefix. `d` reads the
+/// frame body; caches are warmed with slices of it (zero-copy).
+bool decode_token_entries(util::Decoder& d, WireFormat w, bool strict, Token& p) {
+  if (w == WireFormat::kV1) {
+    const std::size_t entries_begin = d.pos();
+    const std::uint32_t ne = d.u32();
+    for (std::uint32_t i = 0; i < ne && d.ok(); ++i) {
+      const auto src = static_cast<ProcId>(d.u32());
+      p.entries.emplace_back(src, d.raw_buffer());  // slice, not copy
+    }
+    const std::size_t entries_end = d.pos();
+    if (d.ok()) p.entries_wire = d.input_slice(entries_begin, entries_end);
+    return true;
+  }
+  const std::uint32_t total = d.u32();
+  std::size_t acc = 0;
+  bool malformed = false;
+  std::vector<std::pair<std::size_t, std::size_t>> seg_spans;
+  std::vector<std::uint32_t> seg_counts;
+  while (acc < total && d.ok()) {
+    const std::size_t seg_begin = d.pos();
+    const auto src = static_cast<ProcId>(d.u32());
+    const std::uint32_t count = d.u32();
+    if (!d.ok()) break;
+    if (count == 0 || acc + count > total) {
+      malformed = true;  // zero-length or overrunning segment
+      break;
+    }
+    for (std::uint32_t i = 0; i < count && d.ok(); ++i)
+      p.entries.emplace_back(src, d.raw_buffer());
+    acc += count;
+    seg_spans.emplace_back(seg_begin, d.pos());
+    seg_counts.push_back(count);
+  }
+  const bool complete = !malformed && acc == total && d.ok();
+  if (strict && !complete) return false;
+  if (complete)
+    for (std::size_t k = 0; k < seg_counts.size(); ++k)
+      p.entries_segs.push_back(
+          TokenSeg{seg_counts[k], d.input_slice(seg_spans[k].first, seg_spans[k].second)});
+  return true;
+}
+
+}  // namespace
+
+DecodeOutcome decode_packet_ex(const util::Buffer& packet) {
   // util::unchecked_decode() re-enables the historical accept-anything bug
   // (no checksum, truncated fields read as zero) for chaos-oracle demos.
+  // The wire version byte is validated unconditionally: an unknown version
+  // must never be interpreted under some other version's layout.
   const bool strict = !util::unchecked_decode();
+  DecodeOutcome out;
+  if (packet.empty()) {
+    out.error = "empty packet";
+    return out;
+  }
+  const std::uint8_t version = packet[0];
+  if (!known_version(version)) {
+    out.error = "unknown wire version " + std::to_string(version) +
+                " (this build speaks v1 and v2; see docs/WIRE.md)";
+    return out;
+  }
+  const WireFormat w = static_cast<WireFormat>(version);
+
   util::Decoder frame(packet);
+  (void)frame.u8();  // version, validated above
   const std::uint32_t checksum = frame.u32();
   const util::Buffer body = frame.raw_buffer();  // zero-copy slice of packet
-  if (strict && !frame.complete()) return std::nullopt;
-  if (strict && checksum != static_cast<std::uint32_t>(util::fnv1a(body.view())))
-    return std::nullopt;
+  if (strict && !frame.complete()) {
+    out.error = "truncated or oversized frame";
+    return out;
+  }
+  if (strict && checksum != frame_checksum(version, body.view())) {
+    out.error = "frame checksum mismatch";
+    return out;
+  }
 
   util::Decoder d(body);
   const std::uint8_t tag = d.u8();
+  auto reject_incomplete = [&out, &d, strict](const char* what) {
+    if (strict && !d.complete()) {
+      out.error = std::string("malformed ") + what + " body";
+      return true;
+    }
+    return false;
+  };
   switch (tag) {
     case kTagCall: {
       Call p{core::decode_viewid(d)};
-      if (strict && !d.complete()) return std::nullopt;
-      return Packet{p};
+      if (reject_incomplete("call")) return out;
+      out.packet = Packet{p};
+      return out;
     }
     case kTagCallReply: {
       CallReply p{core::decode_viewid(d)};
-      if (strict && !d.complete()) return std::nullopt;
-      return Packet{p};
+      if (reject_incomplete("call-reply")) return out;
+      out.packet = Packet{p};
+      return out;
     }
     case kTagViewAnnounce: {
       ViewAnnounce p{core::decode_view(d)};
-      if (strict && !d.complete()) return std::nullopt;
-      return Packet{p};
+      if (reject_incomplete("view-announce")) return out;
+      out.packet = Packet{p};
+      return out;
     }
     case kTagToken: {
       Token p;
       p.gid = core::decode_viewid(d);
       p.lap = d.u32();
       p.base = d.u32();
-      const std::size_t entries_begin = d.pos();
-      const std::uint32_t ne = d.u32();
-      for (std::uint32_t i = 0; i < ne && d.ok(); ++i) {
-        const auto src = static_cast<ProcId>(d.u32());
-        p.entries.emplace_back(src, d.raw_buffer());  // slice, not copy
+      if (!decode_token_entries(d, w, strict, p)) {
+        out.error = std::string("malformed ") + to_string(w) + " token entries section";
+        return out;
       }
-      const std::size_t entries_end = d.pos();
       const std::uint32_t nd = d.u32();
       for (std::uint32_t i = 0; i < nd && d.ok(); ++i) {
         const auto r = static_cast<ProcId>(d.u32());
         p.delivered[r] = d.u32();
       }
-      if (strict && !d.complete()) return std::nullopt;
-      if (d.ok()) p.entries_wire = d.input_slice(entries_begin, entries_end);
-      return Packet{std::move(p)};
+      if (strict && !d.complete()) {
+        out.error = "malformed token body";
+        return out;
+      }
+      out.packet = Packet{std::move(p)};
+      return out;
     }
     case kTagProbe: {
       Probe p;
       if (d.boolean()) p.gid = core::decode_viewid(d);
-      if (strict && !d.complete()) return std::nullopt;
-      return Packet{p};
+      if (reject_incomplete("probe")) return out;
+      out.packet = Packet{p};
+      return out;
     }
     default:
-      return std::nullopt;
+      out.error = "unknown packet tag " + std::to_string(tag);
+      return out;
   }
+}
+
+std::optional<Packet> decode_packet(const util::Buffer& packet) {
+  return decode_packet_ex(packet).packet;
 }
 
 std::optional<Packet> decode_packet(const util::Bytes& bytes) {

@@ -4,9 +4,17 @@
 // membership rounds (call-for-participation / accept / join) plus the
 // circulating token that carries the per-view message order and per-member
 // delivery counters, and the merge probe.
+//
+// Every packet travels in a versioned checksummed frame; the byte-level
+// layouts (frame header, v1 flat entries, v2 batched entry segments) are
+// specified in docs/WIRE.md. The wire version is an encoding choice
+// (TokenRingConfig::wire); decoders accept every known version and reject
+// unknown version bytes loudly regardless of the chaos unchecked-decode
+// injection.
 
 #include <map>
 #include <optional>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -15,6 +23,16 @@
 #include "util/serde.hpp"
 
 namespace vsg::membership {
+
+/// Frame-header wire version (docs/WIRE.md). kV1 is the flat entries layout
+/// the pre-versioning code produced; kV2 batches token entries into
+/// same-source segments so a boarding pass appends one segment instead of
+/// invalidating the whole cached entries section.
+enum class WireFormat : std::uint8_t { kV1 = 1, kV2 = 2 };
+
+constexpr WireFormat kDefaultWireFormat = WireFormat::kV2;
+
+const char* to_string(WireFormat w) noexcept;
 
 /// Round 1: broadcast call-for-participation in a new view.
 struct Call {
@@ -33,6 +51,16 @@ struct ViewAnnounce {
   core::View view;
 };
 
+/// One cached batch of the v2 entries section: `count` consecutive entries
+/// from one source, plus (when warm) their exact wire image — the segment's
+/// `u32 src | u32 count | payloads` bytes, a slice of the packet that
+/// carried them or a one-time encode at boarding. An empty `wire` marks a
+/// cold segment rebuilt (and re-cached) by the next encode.
+struct TokenSeg {
+  std::uint32_t count = 0;
+  util::Buffer wire;
+};
+
 /// The circulating token. `base` is the order index of entries[0]; entries
 /// below `base` are safe everywhere and have been trimmed. `delivered[r]` is
 /// the number of order entries member r had passed to its client when the
@@ -46,13 +74,32 @@ struct Token {
   std::vector<std::pair<ProcId, util::Buffer>> entries;
   std::map<ProcId, std::uint32_t> delivered;
 
-  /// Cached wire image of the entries section (count + entries). Set by
-  /// decode_packet / encode_packet; MUST be cleared by any code that mutates
-  /// `entries` (boarding, trimming), or forward_token re-sends stale bytes.
-  /// Empty <=> invalid (a real entries section is at least its 4-byte count).
+  /// v1 wire cache: the encoded entries section (count + flat entries) as
+  /// one buffer. Empty <=> invalid. Any mutation of `entries` must go
+  /// through note_boarded()/note_trimmed(), which keep both caches honest.
   /// With the cache warm, forwarding a token re-encodes only the mutated
   /// header/counter fields and splices the payload section verbatim.
   mutable util::Buffer entries_wire;
+
+  /// v2 wire cache: per-batch segments covering `entries` front to back
+  /// (sum of counts == entries.size() whenever non-empty). Boarding appends
+  /// one segment per pass, so the older segments stay warm; trimming drops
+  /// leading segments whole and only the split boundary segment goes cold.
+  /// Empty with non-empty `entries` <=> no cache (full rebuild on encode).
+  mutable std::vector<TokenSeg> entries_segs;
+
+  /// Cache maintenance after appending `n` same-source entries in one
+  /// boarding pass: invalidates the v1 section cache and appends one cold
+  /// v2 segment (or drops the v2 cache if it was already invalid).
+  void note_boarded(std::size_t n);
+
+  /// Cache maintenance after erasing the first `n` entries (trim):
+  /// invalidates the v1 section cache; drops covered v2 segments whole and
+  /// marks a split boundary segment cold.
+  void note_trimmed(std::size_t n);
+
+  /// Drop both wire caches (decoded-state consistency checks in tests).
+  void invalidate_wire_caches() const;
 };
 
 /// Periodic contact attempt towards processors outside the current view;
@@ -63,18 +110,47 @@ struct Probe {
 
 using Packet = std::variant<Call, CallReply, ViewAnnounce, Token, Probe>;
 
-/// Exact wire size of `pkt` (frame header + body). encode_packet reserves
-/// precisely this, so the whole encode costs one allocation.
-std::size_t encoded_packet_size(const Packet& pkt);
+/// Wire-cache accounting for one encode (forward_token aggregates these
+/// into ring.entries_rebuilds / ring.entries_spliced):
+///  - entries_rebuilt: token entries serialized from structs because no
+///    warm wire image covered them (v1: the whole section on any mutation;
+///    v2: only the entries of cold segments — each payload once, when its
+///    boarding segment is first encoded);
+///  - entries_spliced: token entries carried by splicing a warm cached wire
+///    image verbatim.
+struct WireEncodeStats {
+  std::uint64_t entries_rebuilt = 0;
+  std::uint64_t entries_spliced = 0;
+};
+
+/// Exact wire size of `pkt` (frame header + body) under wire version `w`.
+/// encode_packet reserves precisely this, so the whole encode costs one
+/// allocation.
+std::size_t encoded_packet_size(const Packet& pkt, WireFormat w = kDefaultWireFormat);
 
 /// Encode with exact measured reserve: one allocation per packet (tests
-/// assert Encoder::allocs() == 1). Checksum-framed; for a Token the cached
-/// entries_wire section is spliced if warm, and warmed (zero-copy, a slice
-/// of the returned packet) if cold.
-util::Buffer encode_packet(const Packet& pkt);
+/// assert Encoder::allocs() == 1). Version-byte + checksum framed; for a
+/// Token the warm parts of the version-appropriate entries cache are
+/// spliced, and cold parts are rebuilt and re-cached (zero-copy, slices of
+/// the returned packet). `stats`, when non-null, receives the splice/rebuild
+/// accounting of this encode.
+util::Buffer encode_packet(const Packet& pkt, WireFormat w = kDefaultWireFormat,
+                           WireEncodeStats* stats = nullptr);
 
-/// Decode from a shared packet buffer. Token entry payloads and entries_wire
-/// come out as slices of `packet` (no payload copies).
+/// decode_packet with a diagnosis: `error` is non-empty iff `packet` is
+/// disengaged, and names the reject reason (unknown wire version, checksum
+/// mismatch, truncation, ...). Unknown version bytes are rejected even when
+/// the chaos unchecked-decode injection is active.
+struct DecodeOutcome {
+  std::optional<Packet> packet;
+  std::string error;
+  bool ok() const noexcept { return packet.has_value(); }
+};
+
+DecodeOutcome decode_packet_ex(const util::Buffer& packet);
+
+/// Decode from a shared packet buffer. Token entry payloads and the wire
+/// caches come out as slices of `packet` (no payload copies).
 std::optional<Packet> decode_packet(const util::Buffer& packet);
 
 /// Deprecated shim for callers still holding plain bytes (copies once).

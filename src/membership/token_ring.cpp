@@ -75,10 +75,10 @@ void Node::process_token(Token& t) {
     parent_->emit_gprcv(me_, src, payload);
   }
 
-  // 3. Append our buffered client messages to the token (and deliver them
-  // to ourselves — we are a view member like any other). The client's
-  // on_gprcv may submit more messages; the loop drains those too, up to
-  // the per-pass flow-control cap.
+  // 3. Board the whole buffered backlog onto the token as one batch (and
+  // deliver the entries to ourselves — we are a view member like any
+  // other). The client's on_gprcv may submit more messages; the loop
+  // drains those too, up to the per-pass flow-control cap.
   const std::size_t cap = parent_->config().max_entries_per_pass;
   std::size_t boarded = 0;
   while (!outbox_.empty() && (cap == 0 || boarded < cap)) {
@@ -97,8 +97,12 @@ void Node::process_token(Token& t) {
     obs::bump(parent_->obs().entries_delivered);
     parent_->emit_gprcv(me_, me_, log_.back().second);
   }
-  // Boarding changed the entries section: the cached wire image is stale.
-  if (boarded > 0) t.entries_wire = util::Buffer{};
+  // The batch is one same-source run: under wire v2 it becomes a single
+  // cold segment (one splice build per pass; the rest of the cached
+  // entries section stays warm), under v1 it invalidates the whole
+  // section cache — exactly the pre-batching behavior.
+  t.note_boarded(boarded);
+  if (auto* h = parent_->obs().payloads_per_pass) h->observe(static_cast<std::int64_t>(boarded));
 
   // 4. Record how many entries we have passed to the client.
   t.delivered[me_] = static_cast<std::uint32_t>(delivered_);
@@ -126,23 +130,31 @@ void Node::process_token(Token& t) {
   // 6. Trim: entries below the threshold are delivered everywhere and never
   // needed again; drop them so the token stays small.
   if (parent_->config().trim_token && threshold > t.base) {
-    const std::size_t drop = threshold - t.base;
-    t.entries.erase(t.entries.begin(),
-                    t.entries.begin() + static_cast<std::ptrdiff_t>(
-                                            std::min(drop, t.entries.size())));
+    const std::size_t drop =
+        std::min<std::size_t>(threshold - t.base, t.entries.size());
+    t.entries.erase(t.entries.begin(), t.entries.begin() + static_cast<std::ptrdiff_t>(drop));
     t.base = threshold;
-    t.entries_wire = util::Buffer{};  // trimming invalidates the wire cache
+    // v1: invalidates the whole section cache; v2: drops covered segments
+    // whole, only a split boundary segment goes cold.
+    t.note_trimmed(drop);
   }
 }
 
 void Node::forward_token(const Token& t, ProcId to) {
   // The variant copy shares entry storage with t (refcounts, not bytes).
-  // Encoding warms the copy's entries-section wire cache; propagate it back
-  // to t so the next forward of an unmutated token splices instead of
-  // re-encoding (entries_wire is mutable — this is cache state, not data).
+  // Encoding warms the copy's entries-section wire caches; propagate them
+  // back to t so the next forward of an unmutated token splices instead of
+  // re-encoding (the caches are mutable — cache state, not data).
   Packet pkt{t};
-  util::Buffer packet = encode_packet(pkt);
-  t.entries_wire = std::get<Token>(pkt).entries_wire;
+  WireEncodeStats wire_stats;
+  util::Buffer packet = encode_packet(pkt, parent_->config().wire, &wire_stats);
+  const Token& encoded = std::get<Token>(pkt);
+  t.entries_wire = encoded.entries_wire;
+  t.entries_segs = encoded.entries_segs;
+  stats_.entries_rebuilt += wire_stats.entries_rebuilt;
+  stats_.entries_spliced += wire_stats.entries_spliced;
+  obs::bump(parent_->obs().entries_rebuilds, wire_stats.entries_rebuilt);
+  obs::bump(parent_->obs().entries_spliced, wire_stats.entries_spliced);
   stats_.token_bytes_sent += packet.size();
   obs::bump(parent_->obs().token_bytes_sent, packet.size());
   parent_->network().send(me_, to, std::move(packet));

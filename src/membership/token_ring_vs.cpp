@@ -53,6 +53,10 @@ void TokenRingVS::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.safes_emitted = &registry.counter("ring.safes_emitted");
   obs_.probes_sent = &registry.counter("ring.probes_sent");
   obs_.token_bytes_sent = &registry.counter("ring.state_exchange_bytes");
+  obs_.entries_rebuilds = &registry.counter("ring.entries_rebuilds");
+  obs_.entries_spliced = &registry.counter("ring.entries_spliced");
+  obs_.payloads_per_pass = &registry.histogram(
+      "ring.payloads_per_pass", obs::Unit::kCount, {0, 1, 2, 4, 8, 16, 32, 64, 128});
   obs_.max_token_entries = &registry.gauge("ring.max_token_entries");
   obs_.gpsnd = &registry.counter("vs.gpsnd");
   obs_.gprcv = &registry.counter("vs.gprcv");
@@ -71,6 +75,8 @@ NodeStats TokenRingVS::total_stats() const {
     total.safes_emitted += s.safes_emitted;
     total.probes_sent += s.probes_sent;
     total.token_bytes_sent += s.token_bytes_sent;
+    total.entries_rebuilt += s.entries_rebuilt;
+    total.entries_spliced += s.entries_spliced;
     total.max_token_entries = std::max(total.max_token_entries, s.max_token_entries);
   }
   return total;

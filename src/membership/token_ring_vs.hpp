@@ -36,6 +36,9 @@ struct RingObs {
   obs::Counter* safes_emitted = nullptr;
   obs::Counter* probes_sent = nullptr;
   obs::Counter* token_bytes_sent = nullptr;  // state-exchange bytes on the wire
+  obs::Counter* entries_rebuilds = nullptr;  // token entries serialized from structs
+  obs::Counter* entries_spliced = nullptr;   // token entries spliced from a warm cache
+  obs::Histogram* payloads_per_pass = nullptr;  // client payloads boarded per token pass
   obs::Gauge* max_token_entries = nullptr;   // watermark across all tokens
   obs::Counter* gpsnd = nullptr;             // VS interface events
   obs::Counter* gprcv = nullptr;

@@ -27,6 +27,9 @@ void Network::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.packets_corrupted = &registry.counter("net.packets_corrupted");
   obs_.bytes_sent = &registry.counter("net.bytes_sent");
   obs_.bytes_delivered = &registry.counter("net.bytes_delivered");
+  obs_.frames_v1 = &registry.counter("net.frames.v1");
+  obs_.frames_v2 = &registry.counter("net.frames.v2");
+  obs_.frames_unknown = &registry.counter("net.frames.unknown");
   obs_.bytes_copied = &registry.counter("net.bytes_copied");
   obs_.buffer_allocs = &registry.counter("net.buffer_allocs");
   obs_.buffer_shares = &registry.counter("net.buffer_shares");
@@ -45,6 +48,14 @@ void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
   if (obs_.packets_sent != nullptr) {
     obs_.packets_sent->inc();
     obs_.bytes_sent->inc(packet.size());
+  }
+  // Census the frame's leading version byte (the network is payload-agnostic
+  // otherwise; this peek exists so mixed-version runs are observable).
+  const std::uint8_t version = packet.empty() ? 0 : packet.view()[0];
+  switch (version) {
+    case 1: ++stats_.frames_v1; obs::bump(obs_.frames_v1); break;
+    case 2: ++stats_.frames_v2; obs::bump(obs_.frames_v2); break;
+    default: ++stats_.frames_unknown; obs::bump(obs_.frames_unknown); break;
   }
 
   if (p == q) {

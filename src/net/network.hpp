@@ -43,6 +43,11 @@ struct NetStats {
   std::uint64_t packets_corrupted = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  // Frame-version census (docs/WIRE.md): the leading version byte of every
+  // sent packet. `unknown` should stay 0 unless a test forges frames.
+  std::uint64_t frames_v1 = 0;
+  std::uint64_t frames_v2 = 0;
+  std::uint64_t frames_unknown = 0;
   // Zero-copy accounting.
   std::uint64_t bytes_copied = 0;    // payload bytes physically copied
   std::uint64_t buffer_allocs = 0;   // logical packet buffers entering the plane
@@ -97,6 +102,9 @@ class Network {
     obs::Counter* packets_corrupted = nullptr;
     obs::Counter* bytes_sent = nullptr;
     obs::Counter* bytes_delivered = nullptr;
+    obs::Counter* frames_v1 = nullptr;
+    obs::Counter* frames_v2 = nullptr;
+    obs::Counter* frames_unknown = nullptr;
     obs::Counter* bytes_copied = nullptr;
     obs::Counter* buffer_allocs = nullptr;
     obs::Counter* buffer_shares = nullptr;

@@ -14,8 +14,12 @@ namespace vsg::util {
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
-inline std::uint64_t fnv1a(BufferView data) noexcept {
-  std::uint64_t h = kFnvOffset;
+/// Chainable: pass a previous fnv1a result as `seed` to hash a logically
+/// concatenated byte sequence without materializing it (the versioned frame
+/// checksum covers version byte + body, which are not contiguous relative
+/// to the checksum field itself).
+inline std::uint64_t fnv1a(BufferView data, std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
   for (std::uint8_t b : data) {
     h ^= b;
     h *= kFnvPrime;

@@ -124,7 +124,11 @@ bool Process::try_gpsnd_value() {
 
 bool Process::try_confirm() {
   if (!primary()) return false;
-  if (st_.nextconfirm > st_.order.size()) return false;
+  // nextconfirm == 0 is unreachable from any real execution (it starts at 1
+  // and only grows), but a garbage summary under the injected
+  // unchecked-decode fault (docs/CHAOS.md) can plant it via maxnextconfirm;
+  // stand down rather than index order[-1].
+  if (st_.nextconfirm == 0 || st_.nextconfirm > st_.order.size()) return false;
   const core::Label& l = st_.order[st_.nextconfirm - 1];
   if (st_.safe_labels.count(l) == 0) return false;
   if (tracer_ != nullptr) tracer_->msg_confirmed(p_, l, recorder_->now());
@@ -137,10 +141,15 @@ bool Process::try_confirm() {
 
 bool Process::try_brcv() {
   if (st_.nextreport >= st_.nextconfirm) return false;
-  assert(st_.nextreport <= st_.order.size());
+  // In any real state nextreport < nextconfirm <= order.size() + 1 and every
+  // order label has content (Lemma 6.6). A corrupted summary under the
+  // injected unchecked-decode fault (docs/CHAOS.md) can break both; stand
+  // down instead of reading past the vector, so the damage stays visible to
+  // the oracles rather than becoming undefined behavior.
+  if (st_.nextreport > st_.order.size()) return false;
   const core::Label& l = st_.order[st_.nextreport - 1];
   const auto it = st_.content.find(l);
-  assert(it != st_.content.end());
+  if (it == st_.content.end()) return false;
   const ProcId origin = l.origin;
   if (tracer_ != nullptr) tracer_->msg_delivered(p_, l, recorder_->now());
   // Two deliberate copies: the trace event and the delivered() accessor.

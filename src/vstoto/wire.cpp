@@ -1,10 +1,6 @@
 #include "vstoto/wire.hpp"
 
 namespace vsg::vstoto {
-namespace {
-constexpr std::uint8_t kTagLabeledValue = 1;
-constexpr std::uint8_t kTagSummary = 2;
-}  // namespace
 
 std::size_t encoded_message_size(const Message& m) {
   if (const auto* lv = std::get_if<LabeledValue>(&m))

@@ -26,6 +26,13 @@
 
 namespace vsg::vstoto {
 
+/// VSTOTO message tags (docs/WIRE.md, "VSTOTO payload layer"). These bytes
+/// ride *inside* VS payloads — they are below the versioned frame header,
+/// so changing them does not need a frame version bump, but it does need a
+/// WIRE.md update and a scenario re-pin.
+inline constexpr std::uint8_t kTagLabeledValue = 1;
+inline constexpr std::uint8_t kTagSummary = 2;
+
 /// An ordinary message: a labeled client value.
 struct LabeledValue {
   core::Label label;

@@ -68,6 +68,7 @@ TEST(ScenarioRoundTrip, MetaRoundTrips) {
   meta.n = 5;
   meta.seed = 123456789012345ULL;
   meta.until = sim::sec(17);
+  meta.wire = 1;
   Scenario s;
   s.add(sim::msec(100), OpHeal{});
   const auto parsed = parse_scenario(write_scenario(s, meta));
@@ -122,7 +123,10 @@ TEST(ScenarioRoundTrip, ConfigParseErrors) {
   EXPECT_FALSE(parse_scenario("config seed -3\n").ok());
   EXPECT_FALSE(parse_scenario("config until soon\n").ok());
   EXPECT_FALSE(parse_scenario("config horizon 3s\n").ok());
-  EXPECT_TRUE(parse_scenario("config n 4\nconfig seed 9\nconfig until 15s\n").ok());
+  EXPECT_FALSE(parse_scenario("config wire v2\n").ok());
+  EXPECT_FALSE(parse_scenario("config wire 0\n").ok());
+  EXPECT_TRUE(
+      parse_scenario("config n 4\nconfig seed 9\nconfig until 15s\nconfig wire 2\n").ok());
 }
 
 TEST(ScenarioRoundTrip, ConfigLinesMayFollowOps) {

@@ -1,0 +1,156 @@
+// Frame versioning (docs/WIRE.md): v1 frames decode bit-identically under
+// the v2-capable decoder, unknown version bytes are rejected with a clear
+// error — even under the chaos unchecked-decode injection — and
+// encoded_packet_size stays exact for both versions.
+
+#include <gtest/gtest.h>
+
+#include "membership/messages.hpp"
+#include "util/hash.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::membership {
+namespace {
+
+Token sample_token() {
+  Token t;
+  t.gid = core::ViewId{6, 1};
+  t.lap = 11;
+  t.base = 3;
+  t.entries = {{0, util::Bytes{1, 2, 3}},
+               {0, util::Bytes{4}},
+               {2, util::Bytes{}},
+               {1, util::Bytes{5, 6}}};
+  t.delivered = {{0, 5}, {1, 4}, {2, 6}};
+  return t;
+}
+
+std::vector<Packet> sample_packets() {
+  return {
+      Packet{Call{core::ViewId{7, 2}}},
+      Packet{CallReply{core::ViewId{9, 0}}},
+      Packet{ViewAnnounce{core::View{core::ViewId{3, 1}, {0, 1, 3}}}},
+      Packet{sample_token()},
+      Packet{Probe{core::ViewId{4, 3}}},
+      Packet{Probe{std::nullopt}},
+  };
+}
+
+bool packets_equal(const Packet& a, const Packet& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ta = std::get_if<Token>(&a)) {
+    const auto& tb = std::get<Token>(b);
+    return ta->gid == tb.gid && ta->lap == tb.lap && ta->base == tb.base &&
+           ta->entries == tb.entries && ta->delivered == tb.delivered;
+  }
+  if (const auto* ca = std::get_if<Call>(&a)) return ca->gid == std::get<Call>(b).gid;
+  if (const auto* ra = std::get_if<CallReply>(&a)) return ra->gid == std::get<CallReply>(b).gid;
+  if (const auto* va = std::get_if<ViewAnnounce>(&a))
+    return va->view == std::get<ViewAnnounce>(b).view;
+  return std::get<Probe>(a).gid == std::get<Probe>(b).gid;
+}
+
+TEST(WireVersion, V1FramesDecodeIdenticallyUnderTheV2CapableDecoder) {
+  // The decoder has no version switch to flip: the same decode_packet_ex
+  // that speaks v2 must reproduce every v1 packet exactly.
+  for (const auto& pkt : sample_packets()) {
+    const auto v1 = encode_packet(pkt, WireFormat::kV1);
+    ASSERT_EQ(v1.view()[0], 1u);
+    const auto back = decode_packet_ex(v1);
+    ASSERT_TRUE(back.ok()) << back.error;
+    EXPECT_TRUE(packets_equal(pkt, *back.packet)) << "tag index " << pkt.index();
+  }
+}
+
+TEST(WireVersion, V1AndV2AgreeOnDecodedContent) {
+  const Packet pkt{sample_token()};
+  const auto v1 = decode_packet_ex(encode_packet(pkt, WireFormat::kV1));
+  const auto v2 = decode_packet_ex(encode_packet(pkt, WireFormat::kV2));
+  ASSERT_TRUE(v1.ok()) << v1.error;
+  ASSERT_TRUE(v2.ok()) << v2.error;
+  EXPECT_TRUE(packets_equal(*v1.packet, *v2.packet));
+}
+
+TEST(WireVersion, MeasuredSizeIsExactForBothVersions) {
+  for (const WireFormat w : {WireFormat::kV1, WireFormat::kV2})
+    for (const auto& pkt : sample_packets())
+      EXPECT_EQ(encode_packet(pkt, w).size(), encoded_packet_size(pkt, w))
+          << to_string(w) << " tag index " << pkt.index();
+}
+
+TEST(WireVersion, V2BatchesSameSourceRunsIntoOneSegmentHeader) {
+  // v1 spends 8 header bytes per entry (src + len); v2 spends 8 per
+  // same-source run plus 4 per entry (len). A run of k entries saves
+  // 4k - 8 bytes, so batching wins for any run longer than two.
+  Token t;
+  t.gid = core::ViewId{1, 0};
+  t.entries = {{0, util::Bytes{1}}, {0, util::Bytes{2}}, {0, util::Bytes{3}}};
+  const std::size_t v1 = encoded_packet_size(Packet{t}, WireFormat::kV1);
+  const std::size_t v2 = encoded_packet_size(Packet{t}, WireFormat::kV2);
+  EXPECT_EQ(v1 - v2, 4 * 3 - 8);
+}
+
+TEST(WireVersion, UnknownVersionByteRejectedWithClearError) {
+  auto bytes = encode_packet(Packet{Probe{std::nullopt}}).to_bytes();
+  bytes[0] = 3;  // one past the newest known version
+  const auto out = decode_packet_ex(util::Buffer{bytes});
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.error.find("unknown wire version 3"), std::string::npos) << out.error;
+  EXPECT_NE(out.error.find("docs/WIRE.md"), std::string::npos) << out.error;
+}
+
+TEST(WireVersion, UnknownVersionRejectedEvenWithUncheckedDecodeInjected) {
+  // The chaos injection disables checksums and truncation checks — but the
+  // version byte guards *which layout the bytes are read under*, so it must
+  // stay load-bearing even in unchecked mode (never UB, never a
+  // misinterpreted packet).
+  auto bytes = encode_packet(Packet{sample_token()}, WireFormat::kV2).to_bytes();
+  bytes[0] = 0x7F;
+  const util::UncheckedDecodeGuard unchecked;
+  const auto out = decode_packet_ex(util::Buffer{bytes});
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.error.find("unknown wire version"), std::string::npos) << out.error;
+}
+
+TEST(WireVersion, VersionByteFlipBetweenKnownVersionsFailsTheChecksum) {
+  // The checksum chains over the version byte, so rewriting v2 -> v1 cannot
+  // reinterpret a v2 body under the v1 layout.
+  auto bytes = encode_packet(Packet{sample_token()}, WireFormat::kV2).to_bytes();
+  bytes[0] = 1;
+  const auto out = decode_packet_ex(util::Buffer{bytes});
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.error.find("checksum"), std::string::npos) << out.error;
+}
+
+TEST(WireVersion, EmptyPacketNamesItself) {
+  const auto out = decode_packet_ex(util::Buffer{});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error, "empty packet");
+}
+
+TEST(WireVersion, MalformedV2SegmentsAreNamed) {
+  // Forge a v2 token whose entries section claims one entry but carries a
+  // zero-count segment: the decoder must call out the entries section, not
+  // crash or accept garbage.
+  Token t;
+  t.gid = core::ViewId{1, 0};
+  t.entries = {{0, util::Bytes{9}}};
+  auto bytes = encode_packet(Packet{t}, WireFormat::kV2).to_bytes();
+  // Layout: frame(9) tag(1) viewid(12) lap(4) base(4) total(4) src(4) count(4)...
+  const std::size_t count_off = 9 + 1 + 12 + 4 + 4 + 4 + 4;
+  ASSERT_LT(count_off + 4, bytes.size());
+  bytes[count_off] = 0;  // count LE: 1 -> 0
+  // Re-seal the frame (checksum = fnv1a chained over version byte + body)
+  // so only the semantic error remains.
+  const std::uint32_t checksum = static_cast<std::uint32_t>(util::fnv1a(
+      util::BufferView(bytes.data() + 9, bytes.size() - 9),
+      util::fnv1a(util::BufferView(bytes.data(), 1))));
+  for (int i = 0; i < 4; ++i)
+    bytes[1 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(checksum >> (8 * i));
+  const auto out = decode_packet_ex(util::Buffer{bytes});
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.error.find("v2 token entries"), std::string::npos) << out.error;
+}
+
+}  // namespace
+}  // namespace vsg::membership

@@ -159,6 +159,14 @@ int replay(const Options& opt) {
   if (until == 0) until = parsed.meta.until.value_or(parsed.scenario->last_time() + sim::sec(12));
 
   chaos::CampaignConfig cfg = campaign_config(opt);
+  if (parsed.meta.wire.has_value()) {
+    if (*parsed.meta.wire < 1 || *parsed.meta.wire > 2) {
+      std::fprintf(stderr, "%s pins wire v%d, but this build speaks v1 and v2 (docs/WIRE.md)\n",
+                   opt.replay_file.c_str(), *parsed.meta.wire);
+      return 2;
+    }
+    cfg.ring.wire = static_cast<membership::WireFormat>(*parsed.meta.wire);
+  }
   // Hand-written scenarios may not deliver every bcast everywhere (e.g. a
   // final partition); only order agreement is enforced on replay.
   const bool trace = !opt.trace_out.empty();
