@@ -7,10 +7,19 @@
 //
 // With `--export PATH` the full sweep's metrics registry (shared across
 // every World in the sweep) is written as a vsg-metrics-v1 JSON snapshot;
-// see docs/OBSERVABILITY.md. `--wire 1|2` pins the frame layout
+// see docs/OBSERVABILITY.md. `--wire 1|2|3` pins the frame layout
 // (docs/WIRE.md; default v2) — protocol counters are bit-identical across
-// versions, only the encode-cache counters (ring.entries_rebuilds vs
-// ring.entries_spliced) and byte counts move.
+// v1/v2, only the encode-cache counters (ring.entries_rebuilds vs
+// ring.entries_spliced) and byte counts move. v3 additionally switches the
+// state exchange to digest/delta mode (two exchange messages per member
+// per view change instead of one), so vs.gpsnd/gprcv move by design while
+// the TO-level client counters stay identical at quiescence.
+//
+// `--churn` switches to the crash/rejoin workload behind the PR 6
+// evidence: members drop out and return on a fixed schedule, forcing a
+// state exchange per membership change. Run it twice — `--wire 2` and
+// `--wire 3` — with the same seeds and compare ring.state_exchange_bytes
+// and the to.* counters in the exported snapshots.
 
 #include <cstdio>
 #include <cstdlib>
@@ -57,47 +66,129 @@ double run_one(int n, sim::Time pi, std::uint64_t seed, membership::WireFormat w
   return static_cast<double>(delivered) / secs;
 }
 
+// Crash/rejoin workload: every 1.5 simulated seconds one member (round-
+// robin over 1..n-1; processor 0 stays up as the delivery observer) goes
+// bad for a second and returns. Each departure and each return forms a new
+// view, and every view change triggers a full state exchange — the traffic
+// the v3 digest/delta protocol compresses. Crashed processors keep their
+// in-memory state across the outage (kBad silences, it does not reset), so
+// on rejoin a digest exchange discovers that peers lack almost nothing.
+std::uint64_t run_churn(int n, sim::Time pi, std::uint64_t seed,
+                        membership::WireFormat wire,
+                        const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
+
+  harness::WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = harness::Backend::kTokenRing;
+  cfg.ring.pi = pi;
+  cfg.ring.wire = wire;
+  cfg.seed = seed;
+  cfg.metrics = metrics;
+  harness::World world(cfg);
+
+  const sim::Time start = sim::msec(500);
+  const sim::Time end = start + sim::sec(12);
+  // Moderate load: one value per member per token lap keeps the ring busy
+  // (and the summaries growing) without swamping the exchange traffic.
+  for (sim::Time t = start; t < end; t += pi)
+    for (ProcId p = 0; p < n; ++p)
+      world.bcast_at(t, p, "v");
+
+  int cycle = 0;
+  for (sim::Time t = start + sim::sec(1); t + sim::sec(1) < end; t += sim::msec(1500)) {
+    const ProcId victim = 1 + static_cast<ProcId>(cycle++ % (n - 1));
+    world.proc_status_at(t, victim, sim::Status::kBad);
+    world.proc_status_at(t + sim::sec(1), victim, sim::Status::kGood);
+  }
+  // Run well past the last submission so every world reaches quiescence:
+  // at that point the TO-level client counters are workload-determined and
+  // must match across wire versions.
+  world.run_until(end + sim::sec(6));
+  return harness::deliveries_at(world.recorder().events(), 0, start, end + sim::sec(6));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto export_path = obs::export_path_from_args(argc, argv);
   auto wire = membership::kDefaultWireFormat;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--wire") != 0) continue;
+  bool churn = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--churn") == 0) churn = true;
+    if (std::strcmp(argv[i], "--wire") != 0 || i + 1 >= argc) continue;
     const int v = std::atoi(argv[i + 1]);
-    if (v < 1 || v > 2) {
-      std::fprintf(stderr, "--wire takes 1 or 2 (docs/WIRE.md)\n");
+    if (!wire::known_version(static_cast<std::uint8_t>(v))) {
+      std::fprintf(stderr, "--wire takes 1, 2 or 3 (docs/WIRE.md)\n");
       return 2;
     }
     wire = static_cast<membership::WireFormat>(v);
   }
   auto metrics = std::make_shared<obs::MetricsRegistry>();
 
-  std::printf("E6: confirmed-delivery throughput vs ring size and token spacing (wire %s)\n\n",
-              membership::to_string(wire));
-  const std::vector<int> widths{4, 10, 14, 16};
-  std::printf("%s\n",
-              harness::fmt_row({"n", "pi", "deliv/sec", "offered/sec"}, widths).c_str());
-  for (int n : {2, 3, 4, 6, 8}) {
-    for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)}) {
-      const double rate = run_one(n, pi, 2200 + n, wire, metrics);
-      const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
-      metrics
-          ->gauge("bench.deliv_per_sec.n" + std::to_string(n) + ".pi_ms" +
-                  std::to_string(pi / 1000))
-          .set(static_cast<std::int64_t>(rate));
-      char r[24], o[24];
-      std::snprintf(r, sizeof r, "%.0f", rate);
-      std::snprintf(o, sizeof o, "%.0f", offered);
-      std::printf("%s\n", harness::fmt_row({std::to_string(n), harness::fmt_time(pi), r, o},
-                                           widths)
-                              .c_str());
+  if (churn) {
+    std::printf("E6-churn: crash/rejoin state-exchange traffic (wire %s)\n\n",
+                membership::to_string(wire));
+    const std::vector<int> widths{6, 4, 14};
+    std::printf("%s\n", harness::fmt_row({"seed", "n", "deliveries"}, widths).c_str());
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const std::uint64_t seed = 3100 + i;
+      const std::uint64_t delivered = run_churn(5, sim::msec(40), seed, wire, metrics);
+      metrics->gauge("bench.churn_deliveries.seed" + std::to_string(seed))
+          .set(static_cast<std::int64_t>(delivered));
+      std::printf("%s\n",
+                  harness::fmt_row({std::to_string(seed), "5", std::to_string(delivered)},
+                                   widths)
+                      .c_str());
     }
+    std::printf("\nexchange bytes (all runs):\n");
+    std::printf("  ring.state_exchange_bytes          %llu\n",
+                static_cast<unsigned long long>(
+                    metrics->counter("ring.state_exchange_bytes").value()));
+    std::printf("  ring.state_exchange_bytes.summary  %llu\n",
+                static_cast<unsigned long long>(
+                    metrics->counter("ring.state_exchange_bytes.summary").value()));
+    std::printf("  ring.state_exchange_bytes.digest   %llu\n",
+                static_cast<unsigned long long>(
+                    metrics->counter("ring.state_exchange_bytes.digest").value()));
+    std::printf("  ring.state_exchange_bytes.delta    %llu\n",
+                static_cast<unsigned long long>(
+                    metrics->counter("ring.state_exchange_bytes.delta").value()));
+    std::printf("  to.values_sent                     %llu\n",
+                static_cast<unsigned long long>(
+                    metrics->counter("to.values_sent").value()));
+    std::printf("  to.labels_assigned                 %llu\n",
+                static_cast<unsigned long long>(
+                    metrics->counter("to.labels_assigned").value()));
+  } else {
+    std::printf(
+        "E6: confirmed-delivery throughput vs ring size and token spacing (wire %s)\n\n",
+        membership::to_string(wire));
+    const std::vector<int> widths{4, 10, 14, 16};
+    std::printf("%s\n",
+                harness::fmt_row({"n", "pi", "deliv/sec", "offered/sec"}, widths).c_str());
+    for (int n : {2, 3, 4, 6, 8}) {
+      for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)}) {
+        const double rate = run_one(n, pi, 2200 + n, wire, metrics);
+        const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
+        metrics
+            ->gauge("bench.deliv_per_sec.n" + std::to_string(n) + ".pi_ms" +
+                    std::to_string(pi / 1000))
+            .set(static_cast<std::int64_t>(rate));
+        char r[24], o[24];
+        std::snprintf(r, sizeof r, "%.0f", rate);
+        std::snprintf(o, sizeof o, "%.0f", offered);
+        std::printf("%s\n", harness::fmt_row({std::to_string(n), harness::fmt_time(pi), r, o},
+                                             widths)
+                                .c_str());
+      }
+    }
+    std::printf(
+        "\nreading: the token batches, so throughput tracks the offered load (all\n"
+        "submitted values are confirmed) while latency is governed by pi (see E2);\n"
+        "the serialization point does not collapse as n grows.\n");
   }
-  std::printf(
-      "\nreading: the token batches, so throughput tracks the offered load (all\n"
-      "submitted values are confirmed) while latency is governed by pi (see E2);\n"
-      "the serialization point does not collapse as n grows.\n");
 
   if (export_path) {
     if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_throughput")) {

@@ -129,8 +129,10 @@ int main(int argc, char** argv) {
   cfg.backend = opt.backend;
   cfg.seed = opt.seed;
   if (parsed.meta.wire.has_value()) {
-    if (*parsed.meta.wire < 1 || *parsed.meta.wire > 2) {
-      std::fprintf(stderr, "scenario pins wire v%d, but this build speaks v1 and v2\n",
+    if (!wire::known_version(static_cast<std::uint8_t>(*parsed.meta.wire))) {
+      std::fprintf(stderr,
+                   "scenario pins wire v%d, but this build speaks v1, v2 and v3 "
+                   "(docs/WIRE.md)\n",
                    *parsed.meta.wire);
       return 2;
     }

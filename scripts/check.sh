@@ -21,12 +21,30 @@ grep -q '"net.packets_sent"' build/BENCH_throughput.json
 grep -q '"ring.formation_rounds"' build/BENCH_throughput.json
 grep -q '"to.brcv_latency.all"' build/BENCH_throughput.json
 
+# Wire-compat gate (docs/WIRE.md, "Wire-compat gate"): the golden frame
+# fixtures committed under tests/wire/ were encoded when each version
+# shipped; every build must keep decoding them, and must refuse the
+# unknown-version fixture. A layout change that breaks old bytes fails
+# here instead of in a mixed-version deployment.
+for f in tests/wire/golden_v*.frame; do
+  ./build/tools/chaos_runner --decode-frame "$f"
+done
+if ./build/tools/chaos_runner --decode-frame tests/wire/unknown_version.frame; then
+  echo "check.sh: unknown-version frame was accepted" >&2
+  exit 1
+fi
+
 # Chaos smoke campaign (docs/CHAOS.md): 200 fixed seeds under the full
 # oracle set must run clean, and the campaign metrics must export.
 ./build/tools/chaos_runner --seeds 200 --smoke --export build/CHAOS_smoke.json
 grep -q '"schema": "vsg-metrics-v1"' build/CHAOS_smoke.json
 grep -q '"chaos.runs": 200' build/CHAOS_smoke.json
 grep -q '"chaos.failures": 0' build/CHAOS_smoke.json
+
+# Wire cross-check (docs/WIRE.md, "v3 state exchange"): the same chaos
+# schedules under wire v2 (full summaries) and v3 (digest/delta) must agree
+# on every oracle verdict and deliver the same value multisets.
+./build/tools/chaos_runner --cross-check --seeds 25 --smoke
 
 # Minimized regression scenarios from past campaign finds must replay clean,
 # and each must pin the wire version it was minimized under (docs/WIRE.md,
@@ -67,6 +85,11 @@ fi
 cmake -B build-asan -S . -DVSG_SANITIZE=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)
+# The varint fuzz suite (random byte soup, truncations, overlong forms) is
+# where an out-of-bounds read in the LEB128 decoder would surface; run it
+# by name so a filter rename cannot silently drop it from the ASan pass
+# (gtest exits 0 on an empty filter, hence the passed-count grep).
+./build-asan/tests/util_test --gtest_filter='VarintFuzz.*' | grep -q '^\[  PASSED  \] [1-9]'
 ./build-asan/tools/chaos_runner --seeds 200 --smoke
 
 echo "check.sh: all green"

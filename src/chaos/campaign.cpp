@@ -4,6 +4,7 @@
 
 #include "chaos/oracles.hpp"
 #include "harness/scenario_parser.hpp"
+#include "util/hash.hpp"
 #include "obs/json_util.hpp"
 #include "obs/trace_export.hpp"
 
@@ -99,6 +100,25 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
         break;
       }
   }
+  // Delivery fingerprint: per-delivery fnv1a over (processor, origin,
+  // value), combined commutatively. Order-insensitive on purpose — the TO
+  // specification admits many total orders, and two protocol variants (the
+  // wire cross-check runs full-summary and digest/delta exchanges side by
+  // side) may pick different ones while delivering exactly the same values
+  // to exactly the same processors. Order agreement *within* a run is the
+  // TO oracle's job, not the fingerprint's.
+  std::uint64_t fp = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    for (const auto& [origin, value] : world.stack().process(p).delivered()) {
+      const std::uint8_t head[2] = {static_cast<std::uint8_t>(p),
+                                    static_cast<std::uint8_t>(origin)};
+      fp += util::fnv1a(
+          util::BufferView(reinterpret_cast<const std::uint8_t*>(value.data()), value.size()),
+          util::fnv1a(util::BufferView(head, sizeof head)));
+      ++result.delivered_total;
+    }
+  }
+  result.delivery_fingerprint = fp;
   if (capture_trace && world.tracer() != nullptr)
     result.flight_recorder = obs::chrome_trace_json(*world.tracer());
   return result;

@@ -53,6 +53,17 @@ struct RunResult {
   /// Chrome trace-event JSON of the run's flight recorder; empty unless the
   /// run was executed with capture_trace.
   std::string flight_recorder;
+  /// Commutative combination of per-delivery fnv1a hashes over (processor,
+  /// origin, value): two runs agree iff every processor delivered the same
+  /// multiset of values — the equality the wire cross-check asserts between
+  /// full-summary and digest/delta state exchange (chaos_runner
+  /// --cross-check). Deliberately order-insensitive: the TO spec admits
+  /// many total orders and the two exchange protocols may pick different
+  /// ones; within-run order agreement is enforced by the TO oracle.
+  std::uint64_t delivery_fingerprint = 0;
+  /// Total values delivered across all processors (context for fingerprint
+  /// mismatches).
+  std::uint64_t delivered_total = 0;
   bool ok() const { return violations.empty(); }
 };
 

@@ -1,0 +1,363 @@
+#include "core/codec.hpp"
+
+namespace vsg::wire {
+
+const char* to_string(Version w) noexcept {
+  switch (w) {
+    case Version::kV1:
+      return "v1";
+    case Version::kV2:
+      return "v2";
+    case Version::kV3:
+      return "v3";
+  }
+  return "?";
+}
+
+// --- LabelChain (v3 delta-coded label lists) --------------------------------
+
+std::size_t LabelChain::size(const core::Label& l) noexcept {
+  const std::size_t n =
+      util::svarint_size(static_cast<std::int64_t>(l.id.epoch - prev.id.epoch)) +
+      util::svarint_size(static_cast<std::int64_t>(l.id.origin) - prev.id.origin) +
+      util::svarint_size(static_cast<std::int64_t>(l.seqno) -
+                         static_cast<std::int64_t>(prev.seqno)) +
+      util::svarint_size(static_cast<std::int64_t>(l.origin) - prev.origin);
+  prev = l;
+  return n;
+}
+
+void LabelChain::encode(util::Encoder& e, const core::Label& l) {
+  e.svarint(static_cast<std::int64_t>(l.id.epoch - prev.id.epoch));
+  e.svarint(static_cast<std::int64_t>(l.id.origin) - prev.id.origin);
+  e.svarint(static_cast<std::int64_t>(l.seqno) - static_cast<std::int64_t>(prev.seqno));
+  e.svarint(static_cast<std::int64_t>(l.origin) - prev.origin);
+  prev = l;
+}
+
+core::Label LabelChain::decode(util::Decoder& d) {
+  core::Label l;
+  l.id.epoch = prev.id.epoch + static_cast<std::uint64_t>(d.svarint());
+  l.id.origin = static_cast<ProcId>(prev.id.origin + d.svarint());
+  l.seqno = static_cast<std::uint32_t>(static_cast<std::int64_t>(prev.seqno) + d.svarint());
+  l.origin = static_cast<ProcId>(prev.origin + d.svarint());
+  prev = l;
+  return l;
+}
+
+// --- ViewId -----------------------------------------------------------------
+
+std::size_t Codec<core::ViewId>::size(const core::ViewId& g, Version w) {
+  if (w != Version::kV3) return 8 + 4;
+  return util::uvarint_size(g.epoch) +
+         util::uvarint_size(static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.origin)));
+}
+
+void Codec<core::ViewId>::encode(util::Encoder& e, const core::ViewId& g, Version w) {
+  if (w != Version::kV3) {
+    e.u64(g.epoch);
+    e.u32(static_cast<std::uint32_t>(g.origin));
+    return;
+  }
+  e.uvarint(g.epoch);
+  e.uvarint(static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.origin)));
+}
+
+core::ViewId Codec<core::ViewId>::decode(util::Decoder& d, Version w) {
+  core::ViewId g;
+  if (w != Version::kV3) {
+    g.epoch = d.u64();
+    g.origin = static_cast<ProcId>(d.u32());
+    return g;
+  }
+  g.epoch = d.uvarint();
+  g.origin = static_cast<ProcId>(static_cast<std::uint32_t>(d.uvarint()));
+  return g;
+}
+
+// --- View -------------------------------------------------------------------
+
+std::size_t Codec<core::View>::size(const core::View& v, Version w) {
+  if (w != Version::kV3) return 12 + 4 + 4 * v.members.size();
+  std::size_t n = Codec<core::ViewId>::size(v.id, w) + util::uvarint_size(v.members.size());
+  ProcId prev = 0;
+  for (ProcId p : v.members) {
+    n += util::svarint_size(static_cast<std::int64_t>(p) - prev);
+    prev = p;
+  }
+  return n;
+}
+
+void Codec<core::View>::encode(util::Encoder& e, const core::View& v, Version w) {
+  Codec<core::ViewId>::encode(e, v.id, w);
+  if (w != Version::kV3) {
+    e.u32(static_cast<std::uint32_t>(v.members.size()));
+    for (ProcId p : v.members) e.u32(static_cast<std::uint32_t>(p));
+    return;
+  }
+  e.uvarint(v.members.size());
+  ProcId prev = 0;
+  for (ProcId p : v.members) {  // set iteration is ascending: deltas stay small
+    e.svarint(static_cast<std::int64_t>(p) - prev);
+    prev = p;
+  }
+}
+
+core::View Codec<core::View>::decode(util::Decoder& d, Version w) {
+  core::View v;
+  v.id = Codec<core::ViewId>::decode(d, w);
+  if (w != Version::kV3) {
+    const std::uint32_t n = d.u32();
+    for (std::uint32_t i = 0; i < n && d.ok(); ++i)
+      v.members.insert(static_cast<ProcId>(d.u32()));
+    return v;
+  }
+  const std::uint64_t n = d.uvarint();
+  ProcId prev = 0;
+  for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+    prev = static_cast<ProcId>(prev + d.svarint());
+    v.members.insert(prev);
+  }
+  return v;
+}
+
+// --- Label ------------------------------------------------------------------
+
+std::size_t Codec<core::Label>::size(const core::Label& l, Version w) {
+  if (w != Version::kV3) return 12 + 4 + 4;
+  LabelChain chain;
+  return chain.size(l);
+}
+
+void Codec<core::Label>::encode(util::Encoder& e, const core::Label& l, Version w) {
+  if (w != Version::kV3) {
+    e.u64(l.id.epoch);
+    e.u32(static_cast<std::uint32_t>(l.id.origin));
+    e.u32(l.seqno);
+    e.u32(static_cast<std::uint32_t>(l.origin));
+    return;
+  }
+  LabelChain chain;
+  chain.encode(e, l);
+}
+
+core::Label Codec<core::Label>::decode(util::Decoder& d, Version w) {
+  if (w != Version::kV3) {
+    core::Label l;
+    l.id.epoch = d.u64();
+    l.id.origin = static_cast<ProcId>(d.u32());
+    l.seqno = d.u32();
+    l.origin = static_cast<ProcId>(d.u32());
+    return l;
+  }
+  LabelChain chain;
+  return chain.decode(d);
+}
+
+// --- Summary ----------------------------------------------------------------
+
+std::size_t Codec<core::Summary>::size(const core::Summary& x, Version w) {
+  if (w != Version::kV3) {
+    std::size_t n = 4;  // con count
+    for (const auto& [l, a] : x.con) n += 20 + 4 + a.size();
+    n += 4 + 20 * x.ord.size();
+    n += 4;  // next
+    n += 1 + (x.high ? Codec<core::ViewId>::size(*x.high, w) : 0);
+    return n;
+  }
+  std::size_t n = util::uvarint_size(x.con.size());
+  LabelChain con_chain;
+  for (const auto& [l, a] : x.con)
+    n += con_chain.size(l) + util::uvarint_size(a.size()) + a.size();
+  n += util::uvarint_size(x.ord.size());
+  LabelChain ord_chain;
+  for (const auto& l : x.ord) n += ord_chain.size(l);
+  n += util::uvarint_size(x.next);
+  n += 1 + (x.high ? Codec<core::ViewId>::size(*x.high, w) : 0);
+  return n;
+}
+
+void Codec<core::Summary>::encode(util::Encoder& e, const core::Summary& x, Version w) {
+  if (w != Version::kV3) {
+    e.u32(static_cast<std::uint32_t>(x.con.size()));
+    for (const auto& [l, a] : x.con) {
+      Codec<core::Label>::encode(e, l, w);
+      e.str(a);
+    }
+    e.u32(static_cast<std::uint32_t>(x.ord.size()));
+    for (const auto& l : x.ord) Codec<core::Label>::encode(e, l, w);
+    e.u32(x.next);
+    e.boolean(x.high.has_value());
+    if (x.high) Codec<core::ViewId>::encode(e, *x.high, w);
+    return;
+  }
+  e.uvarint(x.con.size());
+  LabelChain con_chain;
+  for (const auto& [l, a] : x.con) {
+    con_chain.encode(e, l);
+    e.vstr(a);
+  }
+  e.uvarint(x.ord.size());
+  LabelChain ord_chain;
+  for (const auto& l : x.ord) ord_chain.encode(e, l);
+  e.uvarint(x.next);
+  e.boolean(x.high.has_value());
+  if (x.high) Codec<core::ViewId>::encode(e, *x.high, w);
+}
+
+core::Summary Codec<core::Summary>::decode(util::Decoder& d, Version w) {
+  core::Summary x;
+  if (w != Version::kV3) {
+    const std::uint32_t ncon = d.u32();
+    for (std::uint32_t i = 0; i < ncon && d.ok(); ++i) {
+      core::Label l = Codec<core::Label>::decode(d, w);
+      x.con[l] = d.str();
+    }
+    const std::uint32_t nord = d.u32();
+    for (std::uint32_t i = 0; i < nord && d.ok(); ++i)
+      x.ord.push_back(Codec<core::Label>::decode(d, w));
+    x.next = d.u32();
+    if (d.boolean()) x.high = Codec<core::ViewId>::decode(d, w);
+    return x;
+  }
+  const std::uint64_t ncon = d.uvarint();
+  LabelChain con_chain;
+  for (std::uint64_t i = 0; i < ncon && d.ok(); ++i) {
+    core::Label l = con_chain.decode(d);
+    x.con[l] = d.vstr();
+  }
+  const std::uint64_t nord = d.uvarint();
+  LabelChain ord_chain;
+  for (std::uint64_t i = 0; i < nord && d.ok(); ++i) x.ord.push_back(ord_chain.decode(d));
+  x.next = static_cast<std::uint32_t>(d.uvarint());
+  if (d.boolean()) x.high = Codec<core::ViewId>::decode(d, w);
+  return x;
+}
+
+// --- SummaryDigest ----------------------------------------------------------
+//
+// Digest/delta layouts are varint-coded regardless of `w` (they are v3-era
+// messages with no legacy layout); the version still flows through for the
+// nested viewids so a future v4 can re-code them without a new type.
+
+namespace {
+
+/// Stream keys are (viewid, origin) triples delta-coded like labels.
+struct StreamChain {
+  core::LabelStream prev{core::ViewId{}, 0};
+
+  std::size_t size(const core::LabelStream& s) noexcept {
+    const std::size_t n =
+        util::svarint_size(static_cast<std::int64_t>(s.first.epoch - prev.first.epoch)) +
+        util::svarint_size(static_cast<std::int64_t>(s.first.origin) - prev.first.origin) +
+        util::svarint_size(static_cast<std::int64_t>(s.second) - prev.second);
+    prev = s;
+    return n;
+  }
+  void encode(util::Encoder& e, const core::LabelStream& s) {
+    e.svarint(static_cast<std::int64_t>(s.first.epoch - prev.first.epoch));
+    e.svarint(static_cast<std::int64_t>(s.first.origin) - prev.first.origin);
+    e.svarint(static_cast<std::int64_t>(s.second) - prev.second);
+    prev = s;
+  }
+  core::LabelStream decode(util::Decoder& d) {
+    core::LabelStream s;
+    s.first.epoch = prev.first.epoch + static_cast<std::uint64_t>(d.svarint());
+    s.first.origin = static_cast<ProcId>(prev.first.origin + d.svarint());
+    s.second = static_cast<ProcId>(prev.second + d.svarint());
+    prev = s;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::size_t Codec<core::SummaryDigest>::size(const core::SummaryDigest& g, Version w) {
+  std::size_t n = util::uvarint_size(g.next) + util::uvarint_size(g.ord_len);
+  n += 1 + (g.high ? Codec<core::ViewId>::size(*g.high, w) : 0);
+  n += util::uvarint_size(g.marks.size());
+  StreamChain chain;
+  for (const auto& [s, wm] : g.marks) n += chain.size(s) + util::uvarint_size(wm);
+  return n;
+}
+
+void Codec<core::SummaryDigest>::encode(util::Encoder& e, const core::SummaryDigest& g,
+                                        Version w) {
+  e.uvarint(g.next);
+  e.uvarint(g.ord_len);
+  e.boolean(g.high.has_value());
+  if (g.high) Codec<core::ViewId>::encode(e, *g.high, w);
+  e.uvarint(g.marks.size());
+  StreamChain chain;
+  for (const auto& [s, wm] : g.marks) {
+    chain.encode(e, s);
+    e.uvarint(wm);
+  }
+}
+
+core::SummaryDigest Codec<core::SummaryDigest>::decode(util::Decoder& d, Version w) {
+  core::SummaryDigest g;
+  g.next = static_cast<std::uint32_t>(d.uvarint());
+  g.ord_len = static_cast<std::uint32_t>(d.uvarint());
+  if (d.boolean()) g.high = Codec<core::ViewId>::decode(d, w);
+  const std::uint64_t n = d.uvarint();
+  StreamChain chain;
+  for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+    const core::LabelStream s = chain.decode(d);
+    g.marks[s] = static_cast<std::uint32_t>(d.uvarint());
+  }
+  return g;
+}
+
+// --- SummaryDelta -----------------------------------------------------------
+
+std::size_t Codec<core::SummaryDelta>::size(const core::SummaryDelta& dl, Version w) {
+  std::size_t n = util::uvarint_size(dl.next);
+  n += 1 + (dl.high ? Codec<core::ViewId>::size(*dl.high, w) : 0);
+  n += util::uvarint_size(dl.ord_prefix);
+  n += util::uvarint_size(dl.ord_suffix.size());
+  LabelChain ord_chain;
+  for (const auto& l : dl.ord_suffix) n += ord_chain.size(l);
+  n += util::uvarint_size(dl.con.size());
+  LabelChain con_chain;
+  for (const auto& [l, a] : dl.con)
+    n += con_chain.size(l) + util::uvarint_size(a.size()) + a.size();
+  return n;
+}
+
+void Codec<core::SummaryDelta>::encode(util::Encoder& e, const core::SummaryDelta& dl,
+                                       Version w) {
+  e.uvarint(dl.next);
+  e.boolean(dl.high.has_value());
+  if (dl.high) Codec<core::ViewId>::encode(e, *dl.high, w);
+  e.uvarint(dl.ord_prefix);
+  e.uvarint(dl.ord_suffix.size());
+  LabelChain ord_chain;
+  for (const auto& l : dl.ord_suffix) ord_chain.encode(e, l);
+  e.uvarint(dl.con.size());
+  LabelChain con_chain;
+  for (const auto& [l, a] : dl.con) {
+    con_chain.encode(e, l);
+    e.vstr(a);
+  }
+}
+
+core::SummaryDelta Codec<core::SummaryDelta>::decode(util::Decoder& d, Version w) {
+  core::SummaryDelta dl;
+  dl.next = static_cast<std::uint32_t>(d.uvarint());
+  if (d.boolean()) dl.high = Codec<core::ViewId>::decode(d, w);
+  dl.ord_prefix = static_cast<std::uint32_t>(d.uvarint());
+  const std::uint64_t nord = d.uvarint();
+  LabelChain ord_chain;
+  for (std::uint64_t i = 0; i < nord && d.ok(); ++i)
+    dl.ord_suffix.push_back(ord_chain.decode(d));
+  const std::uint64_t ncon = d.uvarint();
+  LabelChain con_chain;
+  for (std::uint64_t i = 0; i < ncon && d.ok(); ++i) {
+    core::Label l = con_chain.decode(d);
+    dl.con[l] = d.vstr();
+  }
+  return dl;
+}
+
+}  // namespace vsg::wire

@@ -1,0 +1,133 @@
+#pragma once
+
+// The versioned wire codec API (docs/WIRE.md).
+//
+// One frame version byte selects the byte layout of everything inside the
+// frame, and Codec<T> is the single switch point: each specialization
+// provides the (size, encode, decode) triple for its type under every known
+// version, so a new wire revision extends the specializations instead of
+// forking call sites. Layout summary:
+//
+//   v1/v2 — fixed-width little-endian fields (the PR 5 layouts, byte-for-
+//           byte; v1 vs v2 differ only in the token entries section, which
+//           lives in membership's Codec<Token>).
+//   v3    — varint frame bodies: LEB128 counters and lengths, zigzag
+//           svarint deltas for label/viewid components (labels in a list
+//           are delta-coded against their predecessor). The 9-byte frame
+//           header itself stays fixed-width so the checksum can be
+//           back-patched in place.
+//
+// Codec sizes are exact: Codec<T>::size(x, w) equals the bytes encode
+// produces, so a measured Encoder::reserve still costs one allocation.
+//
+// The namespace is vsg::wire (not core or membership): versions cross every
+// layer, and membership reopens it to specialize Codec for its packet types.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/label.hpp"
+#include "core/summary.hpp"
+#include "core/types.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::wire {
+
+/// Frame-header wire version (docs/WIRE.md). kV1 is the flat token-entries
+/// layout, kV2 batches entries into same-source segments, kV3 varint-codes
+/// frame bodies and carries the digest/delta state exchange.
+enum class Version : std::uint8_t { kV1 = 1, kV2 = 2, kV3 = 3 };
+
+constexpr bool known_version(std::uint8_t v) noexcept {
+  return v >= static_cast<std::uint8_t>(Version::kV1) &&
+         v <= static_cast<std::uint8_t>(Version::kV3);
+}
+
+const char* to_string(Version w) noexcept;
+
+/// VSTOTO payload tags (the byte below the frame layer; docs/WIRE.md,
+/// "VSTOTO payload layer"). Hoisted here because the membership layer peeks
+/// at them — without decoding — to classify state-exchange bytes for the
+/// ring.state_exchange_bytes.{summary,digest,delta} counters.
+inline constexpr std::uint8_t kPayloadValue = 1;
+inline constexpr std::uint8_t kPayloadSummary = 2;
+inline constexpr std::uint8_t kPayloadDigest = 3;
+inline constexpr std::uint8_t kPayloadDelta = 4;
+
+/// The versioned codec for one wire type. Specializations provide:
+///   static std::size_t size(const T& x, Version w);    // exact
+///   static void encode(util::Encoder& e, const T& x, Version w);
+///   static T decode(util::Decoder& d, Version w);      // defensive: d.ok()
+/// decode never throws; callers check the decoder's ok()/complete() once
+/// per message (the outcome-API wrappers in each layer do this).
+template <typename T>
+struct Codec;
+
+/// Outcome of a non-throwing decode: engaged value or a reject reason.
+/// The packet-layer instance (membership::DecodeOutcome) predates this
+/// template and keeps its `packet` member name; new decode entry points
+/// (vstoto::decode_message_ex) use this shape.
+template <typename T>
+struct DecodeOutcome {
+  std::optional<T> value;
+  std::string error;
+  bool ok() const noexcept { return value.has_value(); }
+};
+
+template <>
+struct Codec<core::ViewId> {
+  static std::size_t size(const core::ViewId& g, Version w);
+  static void encode(util::Encoder& e, const core::ViewId& g, Version w);
+  static core::ViewId decode(util::Decoder& d, Version w);
+};
+
+template <>
+struct Codec<core::View> {
+  static std::size_t size(const core::View& v, Version w);
+  static void encode(util::Encoder& e, const core::View& v, Version w);
+  static core::View decode(util::Decoder& d, Version w);
+};
+
+template <>
+struct Codec<core::Label> {
+  static std::size_t size(const core::Label& l, Version w);
+  static void encode(util::Encoder& e, const core::Label& l, Version w);
+  static core::Label decode(util::Decoder& d, Version w);
+};
+
+template <>
+struct Codec<core::Summary> {
+  static std::size_t size(const core::Summary& x, Version w);
+  static void encode(util::Encoder& e, const core::Summary& x, Version w);
+  static core::Summary decode(util::Decoder& d, Version w);
+};
+
+/// Digest and delta frames exist only in the v3 exchange; their layout is
+/// varint-coded under every version (there is no legacy layout to keep).
+template <>
+struct Codec<core::SummaryDigest> {
+  static std::size_t size(const core::SummaryDigest& g, Version w);
+  static void encode(util::Encoder& e, const core::SummaryDigest& g, Version w);
+  static core::SummaryDigest decode(util::Decoder& d, Version w);
+};
+
+template <>
+struct Codec<core::SummaryDelta> {
+  static std::size_t size(const core::SummaryDelta& dl, Version w);
+  static void encode(util::Encoder& e, const core::SummaryDelta& dl, Version w);
+  static core::SummaryDelta decode(util::Decoder& d, Version w);
+};
+
+/// Delta-coded label lists (v3): each label is four zigzag svarints relative
+/// to its predecessor (epoch, viewid origin, seqno, origin), starting from
+/// the all-zero label. Exposed for the token/summary codecs and the mirror
+/// property tests.
+struct LabelChain {
+  core::Label prev;
+  std::size_t size(const core::Label& l) noexcept;
+  void encode(util::Encoder& e, const core::Label& l);
+  core::Label decode(util::Decoder& d);
+};
+
+}  // namespace vsg::wire

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/codec.hpp"
+
 namespace vsg::core {
 
 std::string to_string(const Label& l) {
@@ -10,18 +12,15 @@ std::string to_string(const Label& l) {
   return os.str();
 }
 
+// Deprecated shims over wire::Codec<Label> (legacy fixed-width layout; see
+// core/codec.hpp). New call sites pass an explicit version to the Codec.
+
 void encode(util::Encoder& e, const Label& l) {
-  encode(e, l.id);
-  e.u32(l.seqno);
-  e.u32(static_cast<std::uint32_t>(l.origin));
+  wire::Codec<Label>::encode(e, l, wire::Version::kV2);
 }
 
 Label decode_label(util::Decoder& d) {
-  Label l;
-  l.id = decode_viewid(d);
-  l.seqno = d.u32();
-  l.origin = static_cast<ProcId>(d.u32());
-  return l;
+  return wire::Codec<Label>::decode(d, wire::Version::kV2);
 }
 
 }  // namespace vsg::core

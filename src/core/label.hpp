@@ -22,10 +22,11 @@ struct Label {
 
 std::string to_string(const Label& l);
 
+/// Deprecated: shims over wire::Codec<Label> (legacy fixed-width layout).
 void encode(util::Encoder& e, const Label& l);
 Label decode_label(util::Decoder& d);
 
-/// Exact wire size of encode(e, l): viewid + seqno + origin.
+/// Exact wire size of the legacy encode(e, l): viewid + seqno + origin.
 constexpr std::size_t encoded_size(const Label&) noexcept { return 12 + 4 + 4; }
 
 }  // namespace vsg::core

@@ -4,6 +4,7 @@
 #include <set>
 #include <cassert>
 
+#include "core/codec.hpp"
 #include "util/sequence.hpp"
 
 namespace vsg::core {
@@ -63,31 +64,86 @@ std::uint32_t maxnextconfirm(const SummaryMap& y) {
   return best;
 }
 
-void encode(util::Encoder& e, const Summary& x) {
-  e.u32(static_cast<std::uint32_t>(x.con.size()));
+SummaryDigest digest(const Summary& x) {
+  SummaryDigest g;
+  g.next = x.next;
+  g.ord_len = static_cast<std::uint32_t>(x.ord.size());
+  g.high = x.high;
+  // One pass over con (sorted by label = (view, seqno, origin), so each
+  // stream's labels appear in increasing seqno order even though streams
+  // interleave): extend a stream's watermark only while the prefix is dense.
   for (const auto& [l, a] : x.con) {
-    encode(e, l);
-    e.str(a);
+    const LabelStream s{l.id, l.origin};
+    auto [it, inserted] = g.marks.try_emplace(s, 0);
+    if (l.seqno == it->second + 1) it->second = l.seqno;
   }
-  e.u32(static_cast<std::uint32_t>(x.ord.size()));
-  for (const auto& l : x.ord) encode(e, l);
-  e.u32(x.next);
-  e.boolean(x.high.has_value());
-  if (x.high) encode(e, *x.high);
+  // Streams with no dense prefix (first held seqno > 1) carry watermark 0 —
+  // the same as absent. Drop them so equal knowledge yields equal digests.
+  for (auto it = g.marks.begin(); it != g.marks.end();)
+    it = it->second == 0 ? g.marks.erase(it) : std::next(it);
+  return g;
+}
+
+SummaryDigest meet(const SummaryDigest& a, const SummaryDigest& b) {
+  SummaryDigest m;
+  m.next = std::min(a.next, b.next);
+  m.ord_len = std::min(a.ord_len, b.ord_len);
+  if (a.high && b.high) m.high = std::min(*a.high, *b.high);
+  for (const auto& [s, w] : a.marks) {
+    const auto it = b.marks.find(s);
+    if (it != b.marks.end()) m.marks[s] = std::min(w, it->second);
+  }
+  return m;
+}
+
+SummaryDelta delta(const Summary& a, const SummaryDigest& d) {
+  SummaryDelta dl;
+  dl.next = a.next;
+  dl.high = a.high;
+  const std::size_t shared = std::min(
+      {static_cast<std::size_t>(a.next == 0 ? 0 : a.next - 1),
+       static_cast<std::size_t>(d.next == 0 ? 0 : d.next - 1),
+       static_cast<std::size_t>(d.ord_len), a.ord.size()});
+  dl.ord_prefix = static_cast<std::uint32_t>(shared);
+  dl.ord_suffix.assign(a.ord.begin() + static_cast<std::ptrdiff_t>(shared), a.ord.end());
+  for (const auto& [l, v] : a.con) {
+    const auto it = d.marks.find(LabelStream{l.id, l.origin});
+    const std::uint32_t wm = it == d.marks.end() ? 0 : it->second;
+    if (l.seqno > wm) dl.con.emplace(l, v);
+  }
+  return dl;
+}
+
+std::optional<Summary> apply_delta(const SummaryDelta& dl, const Summary& base) {
+  if (dl.ord_prefix > base.ord.size()) return std::nullopt;
+  Summary x;
+  x.next = dl.next;
+  x.high = dl.high;
+  x.ord.assign(base.ord.begin(), base.ord.begin() + dl.ord_prefix);
+  x.ord.insert(x.ord.end(), dl.ord_suffix.begin(), dl.ord_suffix.end());
+  x.con = dl.con;
+  // Fill from the receiver's own watermark-covered entries. The sender
+  // omitted only entries under the *meet* watermark, which is <= ours, and
+  // label -> value is a function (Lemma 6.5), so every omitted entry is
+  // restored bit-identically; extras beyond the sender's con are entries we
+  // hold anyway (union-equivalent for every consumer of gotstate).
+  const SummaryDigest own = digest(base);
+  for (const auto& [l, v] : base.con) {
+    const auto it = own.marks.find(LabelStream{l.id, l.origin});
+    if (it != own.marks.end() && l.seqno <= it->second) x.con.emplace(l, v);
+  }
+  return x;
+}
+
+// Deprecated shims over wire::Codec<Summary> (legacy fixed-width layout; see
+// core/codec.hpp). New call sites pass an explicit version to the Codec.
+
+void encode(util::Encoder& e, const Summary& x) {
+  wire::Codec<Summary>::encode(e, x, wire::Version::kV2);
 }
 
 Summary decode_summary(util::Decoder& d) {
-  Summary x;
-  const std::uint32_t ncon = d.u32();
-  for (std::uint32_t i = 0; i < ncon && d.ok(); ++i) {
-    Label l = decode_label(d);
-    x.con[l] = d.str();
-  }
-  const std::uint32_t nord = d.u32();
-  for (std::uint32_t i = 0; i < nord && d.ok(); ++i) x.ord.push_back(decode_label(d));
-  x.next = d.u32();
-  if (d.boolean()) x.high = decode_viewid(d);
-  return x;
+  return wire::Codec<Summary>::decode(d, wire::Version::kV2);
 }
 
 }  // namespace vsg::core

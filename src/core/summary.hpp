@@ -67,10 +67,76 @@ std::vector<Label> fullorder(const SummaryMap& y);
 /// maxnextconfirm(Y): the highest reported nextconfirm.
 std::uint32_t maxnextconfirm(const SummaryMap& y);
 
+// --- Anti-entropy digests and deltas (docs/WIRE.md, "v3 state exchange") ----
+//
+// The digest/delta algebra below implements the two-phase exchange: instead
+// of shipping a whole Summary, a process first advertises what it already
+// holds (SummaryDigest) and then ships only what the weakest peer provably
+// lacks (SummaryDelta). knowncontent/fullorder above are untouched — a
+// reconstructed summary is fed into the same SummaryMap algebra, and
+// apply_delta guarantees semantic equivalence (exact ord/next/high; con
+// equal up to entries the receiver already holds, which union-style
+// consumers cannot distinguish).
+
+/// A label stream: all labels minted by one processor in one view. Within a
+/// stream, seqnos are dense from 1, so "I hold the full prefix up to w" is
+/// one integer per stream.
+using LabelStream = std::pair<ViewId, ProcId>;
+
+/// Compact advertisement of a Summary: cursors plus one prefix watermark
+/// per label stream. marks[s] = w means the sender holds con entries for
+/// every seqno 1..w of stream s (w >= 1; absent streams mean 0).
+struct SummaryDigest {
+  std::uint32_t next = 1;
+  std::uint32_t ord_len = 0;
+  std::optional<ViewId> high;
+  std::map<LabelStream, std::uint32_t> marks;
+
+  bool operator==(const SummaryDigest&) const = default;
+};
+
+/// What a digest's sender lacks of some Summary `a`: full cursors (they are
+/// a few bytes), the ord tail past the provably shared confirmed prefix,
+/// and the con entries past the digest's stream watermarks.
+struct SummaryDelta {
+  std::uint32_t next = 1;
+  std::optional<ViewId> high;
+  /// The receiver keeps base.ord[0 .. ord_prefix) and appends ord_suffix.
+  std::uint32_t ord_prefix = 0;
+  std::vector<Label> ord_suffix;
+  std::map<Label, Value> con;
+
+  bool operator==(const SummaryDelta&) const = default;
+};
+
+/// The digest of x: cursors plus per-stream prefix watermarks over x.con.
+SummaryDigest digest(const Summary& x);
+
+/// Pointwise weakest of two digests (min cursors, min/intersected marks):
+/// the digest of "what every peer certainly holds". A delta computed
+/// against meet(all peer digests) is sound for every one of those peers.
+SummaryDigest meet(const SummaryDigest& a, const SummaryDigest& b);
+
+/// The delta that upgrades any holder of (at least) digest d to a. The ord
+/// split point is the provably shared confirmed prefix:
+/// min(a.next - 1, d.next - 1, d.ord_len, |a.ord|) — total-order safety
+/// makes confirmed prefixes agree across processes, so the receiver's own
+/// base.ord supplies those labels verbatim.
+SummaryDelta delta(const Summary& a, const SummaryDigest& d);
+
+/// Reconstruct the sender's summary from `dl` and the receiver's own frozen
+/// exchange base. nullopt when dl.ord_prefix exceeds base.ord (possible
+/// only for corrupted input; a correct sender never overshoots a digest it
+/// was given). The result's con is dl.con plus base's watermark-covered
+/// entries — a superset of the sender's con whose extras the receiver
+/// already holds (union-equivalent; see the header comment).
+std::optional<Summary> apply_delta(const SummaryDelta& dl, const Summary& base);
+
+/// Deprecated: shims over wire::Codec<Summary> (legacy fixed-width layout).
 void encode(util::Encoder& e, const Summary& x);
 Summary decode_summary(util::Decoder& d);
 
-/// Exact wire size of encode(e, x) (Encoder::reserve hint).
+/// Exact wire size of the legacy encode(e, x) (Encoder::reserve hint).
 inline std::size_t encoded_size(const Summary& x) noexcept {
   std::size_t n = 4;  // con count
   for (const auto& [l, a] : x.con) n += encoded_size(l) + 4 + a.size();

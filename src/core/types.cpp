@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/codec.hpp"
+
 namespace vsg::core {
 
 std::string to_string(const ViewId& g) {
@@ -27,31 +29,25 @@ std::string to_string(const View& v) {
   return to_string(v.id) + to_string(v.members);
 }
 
+// The unversioned free functions below are deprecated shims over
+// wire::Codec<T> (core/codec.hpp): they pin the legacy fixed-width layout
+// (identical under v1 and v2). New call sites should use the Codec with an
+// explicit version.
+
 void encode(util::Encoder& e, const ViewId& g) {
-  e.u64(g.epoch);
-  e.u32(static_cast<std::uint32_t>(g.origin));
+  wire::Codec<ViewId>::encode(e, g, wire::Version::kV2);
 }
 
 ViewId decode_viewid(util::Decoder& d) {
-  ViewId g;
-  g.epoch = d.u64();
-  g.origin = static_cast<ProcId>(d.u32());
-  return g;
+  return wire::Codec<ViewId>::decode(d, wire::Version::kV2);
 }
 
 void encode(util::Encoder& e, const View& v) {
-  encode(e, v.id);
-  e.u32(static_cast<std::uint32_t>(v.members.size()));
-  for (ProcId p : v.members) e.u32(static_cast<std::uint32_t>(p));
+  wire::Codec<View>::encode(e, v, wire::Version::kV2);
 }
 
 View decode_view(util::Decoder& d) {
-  View v;
-  v.id = decode_viewid(d);
-  const std::uint32_t n = d.u32();
-  for (std::uint32_t i = 0; i < n && d.ok(); ++i)
-    v.members.insert(static_cast<ProcId>(d.u32()));
-  return v;
+  return wire::Codec<View>::decode(d, wire::Version::kV2);
 }
 
 View initial_view(int n0) {

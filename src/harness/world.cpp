@@ -74,7 +74,15 @@ World::World(WorldConfig config)
     vs_ = std::move(ring);
   }
 
-  stack_ = std::make_unique<to::Stack>(*vs_, recorder_, config_.quorums, config_.n0);
+  // Wire v3 carries the compact state exchange: digest first, then a delta
+  // covering only what the weakest peer lacks. Earlier wire versions (and
+  // the spec backend, whose verifier decodes whole summaries from VS
+  // payloads) keep the Figure 8 full-summary exchange.
+  const auto exchange = (config_.backend == Backend::kTokenRing &&
+                         config_.ring.wire == membership::WireFormat::kV3)
+                            ? vstoto::ExchangeMode::kDigestDelta
+                            : vstoto::ExchangeMode::kFullSummary;
+  stack_ = std::make_unique<to::Stack>(*vs_, recorder_, config_.quorums, config_.n0, exchange);
   stack_->bind_metrics(*metrics_);
 
   if (config_.trace.enabled) {

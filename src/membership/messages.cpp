@@ -10,17 +10,6 @@ constexpr std::uint8_t kTagViewAnnounce = 3;
 constexpr std::uint8_t kTagToken = 4;
 constexpr std::uint8_t kTagProbe = 5;
 
-// Frame layout (docs/WIRE.md): u8 version | u32 checksum | u32 body length |
-// body. The checksum covers the version byte and the body, so corrupting
-// the version byte into another *known* version can never reinterpret the
-// body under the wrong layout.
-constexpr std::size_t kFrameHeader = 9;
-
-bool known_version(std::uint8_t v) noexcept {
-  return v == static_cast<std::uint8_t>(WireFormat::kV1) ||
-         v == static_cast<std::uint8_t>(WireFormat::kV2);
-}
-
 std::uint32_t frame_checksum(std::uint8_t version, util::BufferView body) noexcept {
   return static_cast<std::uint32_t>(
       util::fnv1a(body, util::fnv1a(util::BufferView(&version, 1))));
@@ -28,25 +17,47 @@ std::uint32_t frame_checksum(std::uint8_t version, util::BufferView body) noexce
 
 using Entries = std::vector<std::pair<ProcId, util::Buffer>>;
 
-/// True iff the v2 segment cache is usable: segments cover the entries
-/// exactly (an empty cache only matches an entry-less token).
+/// True iff the segment cache covers the entries exactly (an empty cache
+/// only matches an entry-less token).
 bool segs_cover(const Token& t) {
   std::size_t sum = 0;
   for (const auto& s : t.entries_segs) sum += s.count;
   return sum == t.entries.size() && (!t.entries_segs.empty() || t.entries.empty());
 }
 
-/// Exact v2 wire size of entries [off, off+count): one `u32 src | u32 count`
-/// header per maximal same-source run plus each payload length-prefixed.
-std::size_t v2_range_size(const Entries& entries, std::size_t off, std::size_t count) {
+/// True iff the segment cache can drive an encode at version `w`: it must
+/// cover the entries, and any *warm* images must carry w's run layout
+/// (v2 and v3 runs differ). A cache whose segments are all cold has no
+/// layout commitment — it is usable at any version and restamped when its
+/// segments are first warmed.
+bool segs_usable(const Token& t, WireFormat w) {
+  if (!segs_cover(t)) return false;
+  if (t.segs_version == static_cast<std::uint8_t>(w)) return true;
+  for (const auto& s : t.entries_segs)
+    if (!s.wire.empty()) return false;
+  return true;
+}
+
+/// Exact wire size of entries [off, off+count) as maximal same-source runs.
+/// v2: `u32 src | u32 count` run header, u32-length-prefixed payloads.
+/// v3: uvarint src/count, uvarint-length-prefixed payloads.
+std::size_t range_size(const Entries& entries, std::size_t off, std::size_t count,
+                       WireFormat w) {
   std::size_t n = 0;
   std::size_t i = off;
   const std::size_t end = off + count;
   while (i < end) {
     std::size_t j = i + 1;
     while (j < end && entries[j].first == entries[i].first) ++j;
-    n += 8;  // run header
-    for (; i < j; ++i) n += 4 + entries[i].second.size();
+    if (w == WireFormat::kV3) {
+      n += util::uvarint_size(static_cast<std::uint64_t>(entries[i].first));
+      n += util::uvarint_size(j - i);
+      for (; i < j; ++i)
+        n += util::uvarint_size(entries[i].second.size()) + entries[i].second.size();
+    } else {
+      n += 8;  // run header
+      for (; i < j; ++i) n += 4 + entries[i].second.size();
+    }
   }
   return n;
 }
@@ -58,34 +69,108 @@ std::size_t entries_section_size_v1(const Token& p) {
   return n;
 }
 
-std::size_t entries_section_size_v2(const Token& p) {
-  std::size_t n = 4;  // total entry count
-  if (segs_cover(p)) {
+/// Segmented entries section size (v2/v3): total-count prefix plus per-
+/// segment warm image or rebuilt-run size. Must agree with BodyEncoder's
+/// splice-vs-rebuild choice, so both go through segs_usable.
+std::size_t entries_section_size_segmented(const Token& p, WireFormat w) {
+  std::size_t n = w == WireFormat::kV3 ? util::uvarint_size(p.entries.size()) : 4;
+  if (segs_usable(p, w)) {
     std::size_t off = 0;
     for (const auto& s : p.entries_segs) {
-      n += s.wire.empty() ? v2_range_size(p.entries, off, s.count) : s.wire.size();
+      n += s.wire.empty() ? range_size(p.entries, off, s.count, w) : s.wire.size();
       off += s.count;
     }
   } else {
-    n += v2_range_size(p.entries, 0, p.entries.size());
+    n += range_size(p.entries, 0, p.entries.size(), w);
   }
   return n;
 }
 
+std::size_t delivered_size(const Token& p, WireFormat w) {
+  if (w != WireFormat::kV3) return 4 + 8 * p.delivered.size();
+  std::size_t n = util::uvarint_size(p.delivered.size());
+  for (const auto& [r, count] : p.delivered)
+    n += util::uvarint_size(static_cast<std::uint64_t>(r)) + util::uvarint_size(count);
+  return n;
+}
+
+/// Token body size minus the entries section (gid, lap, base, delivered).
+std::size_t token_scalar_size(const Token& p, WireFormat w) {
+  std::size_t n = wire::Codec<core::ViewId>::size(p.gid, w);
+  n += w == WireFormat::kV3 ? util::uvarint_size(p.lap) + util::uvarint_size(p.base)
+                            : 4 + 4;
+  return n + delivered_size(p, w);
+}
+
 struct BodySize {
   WireFormat w;
-  std::size_t operator()(const Call&) const { return 1 + core::encoded_size(core::ViewId{}); }
-  std::size_t operator()(const CallReply&) const { return 1 + core::encoded_size(core::ViewId{}); }
-  std::size_t operator()(const ViewAnnounce& p) const { return 1 + core::encoded_size(p.view); }
+  std::size_t operator()(const Call& p) const {
+    return 1 + wire::Codec<core::ViewId>::size(p.gid, w);
+  }
+  std::size_t operator()(const CallReply& p) const {
+    return 1 + wire::Codec<core::ViewId>::size(p.gid, w);
+  }
+  std::size_t operator()(const ViewAnnounce& p) const {
+    return 1 + wire::Codec<core::View>::size(p.view, w);
+  }
   std::size_t operator()(const Token& p) const {
-    const std::size_t entries = w == WireFormat::kV1 ? entries_section_size_v1(p)
-                                                     : entries_section_size_v2(p);
-    return 1 + core::encoded_size(p.gid) + 4 + 4 + entries + 4 + 8 * p.delivered.size();
+    const std::size_t entries = w == WireFormat::kV1
+                                    ? entries_section_size_v1(p)
+                                    : entries_section_size_segmented(p, w);
+    return 1 + token_scalar_size(p, w) + entries;
   }
   std::size_t operator()(const Probe& p) const {
-    return 1 + 1 + (p.gid ? core::encoded_size(*p.gid) : 0);
+    return 1 + 1 + (p.gid ? wire::Codec<core::ViewId>::size(*p.gid, w) : 0);
   }
 };
+
+/// Serialize entries [off, off+count) as maximal same-source runs under
+/// version `w` (shared by the cache-aware BodyEncoder and Codec<Token>).
+void encode_runs(util::Encoder& e, const Entries& entries, std::size_t off,
+                 std::size_t count, WireFormat w) {
+  std::size_t i = off;
+  const std::size_t end = off + count;
+  while (i < end) {
+    std::size_t j = i + 1;
+    while (j < end && entries[j].first == entries[i].first) ++j;
+    if (w == WireFormat::kV3) {
+      e.uvarint(static_cast<std::uint64_t>(entries[i].first));
+      e.uvarint(j - i);
+      for (; i < j; ++i) e.vraw(entries[i].second.view());
+    } else {
+      e.u32(static_cast<std::uint32_t>(entries[i].first));
+      e.u32(static_cast<std::uint32_t>(j - i));
+      for (; i < j; ++i) e.raw(entries[i].second.view());
+    }
+  }
+}
+
+void encode_token_prefix(util::Encoder& e, const Token& p, WireFormat w) {
+  wire::Codec<core::ViewId>::encode(e, p.gid, w);
+  if (w == WireFormat::kV3) {
+    e.uvarint(p.lap);
+    e.uvarint(p.base);
+  } else {
+    e.u32(p.lap);
+    e.u32(p.base);
+  }
+}
+
+void encode_token_delivered(util::Encoder& e, const Token& p, WireFormat w) {
+  if (w == WireFormat::kV3) {
+    e.uvarint(p.delivered.size());
+    for (const auto& [r, count] : p.delivered) {
+      e.uvarint(static_cast<std::uint64_t>(r));
+      e.uvarint(count);
+    }
+  } else {
+    e.u32(static_cast<std::uint32_t>(p.delivered.size()));
+    for (const auto& [r, count] : p.delivered) {
+      e.u32(static_cast<std::uint32_t>(r));
+      e.u32(count);
+    }
+  }
+}
 
 struct BodyEncoder {
   util::Encoder& e;
@@ -96,9 +181,9 @@ struct BodyEncoder {
   // recorded so encode_packet can warm the caches off the finished buffer.
   std::size_t entries_begin = 0;
   std::size_t entries_end = 0;
-  bool rebuilt_whole = false;  // v2: segment cache was unusable; one region
+  bool rebuilt_whole = false;  // v2/v3: segment cache was unusable; one region
   std::vector<std::pair<std::size_t, std::pair<std::size_t, std::size_t>>>
-      cold_spans;  // v2: (segment index, [begin, end) in packet)
+      cold_spans;  // v2/v3: (segment index, [begin, end) in packet)
 
   void note(std::uint64_t rebuilt, std::uint64_t spliced) const {
     if (stats != nullptr) {
@@ -107,36 +192,21 @@ struct BodyEncoder {
     }
   }
 
-  /// Serialize entries [off, off+count) as maximal same-source runs.
-  void encode_runs(const Entries& entries, std::size_t off, std::size_t count) {
-    std::size_t i = off;
-    const std::size_t end = off + count;
-    while (i < end) {
-      std::size_t j = i + 1;
-      while (j < end && entries[j].first == entries[i].first) ++j;
-      e.u32(static_cast<std::uint32_t>(entries[i].first));
-      e.u32(static_cast<std::uint32_t>(j - i));
-      for (; i < j; ++i) e.raw(entries[i].second.view());
-    }
-  }
-
   void operator()(const Call& p) {
     e.u8(kTagCall);
-    core::encode(e, p.gid);
+    wire::Codec<core::ViewId>::encode(e, p.gid, w);
   }
   void operator()(const CallReply& p) {
     e.u8(kTagCallReply);
-    core::encode(e, p.gid);
+    wire::Codec<core::ViewId>::encode(e, p.gid, w);
   }
   void operator()(const ViewAnnounce& p) {
     e.u8(kTagViewAnnounce);
-    core::encode(e, p.view);
+    wire::Codec<core::View>::encode(e, p.view, w);
   }
   void operator()(const Token& p) {
     e.u8(kTagToken);
-    core::encode(e, p.gid);
-    e.u32(p.lap);
-    e.u32(p.base);
+    encode_token_prefix(e, p, w);
     if (w == WireFormat::kV1) {
       entries_begin = e.size();
       if (!p.entries_wire.empty()) {
@@ -153,8 +223,11 @@ struct BodyEncoder {
       }
       entries_end = e.size();
     } else {
-      e.u32(static_cast<std::uint32_t>(p.entries.size()));
-      if (segs_cover(p)) {
+      if (w == WireFormat::kV3)
+        e.uvarint(p.entries.size());
+      else
+        e.u32(static_cast<std::uint32_t>(p.entries.size()));
+      if (segs_usable(p, w)) {
         std::size_t off = 0;
         for (std::size_t k = 0; k < p.entries_segs.size(); ++k) {
           const TokenSeg& seg = p.entries_segs[k];
@@ -163,7 +236,7 @@ struct BodyEncoder {
             note(0, seg.count);
           } else {
             const std::size_t begin = e.size();
-            encode_runs(p.entries, off, seg.count);
+            encode_runs(e, p.entries, off, seg.count, w);
             cold_spans.push_back({k, {begin, e.size()}});
             note(seg.count, 0);
           }
@@ -172,29 +245,21 @@ struct BodyEncoder {
       } else {
         rebuilt_whole = true;
         entries_begin = e.size();
-        encode_runs(p.entries, 0, p.entries.size());
+        encode_runs(e, p.entries, 0, p.entries.size(), w);
         entries_end = e.size();
         note(p.entries.size(), 0);
       }
     }
-    e.u32(static_cast<std::uint32_t>(p.delivered.size()));
-    for (const auto& [r, count] : p.delivered) {
-      e.u32(static_cast<std::uint32_t>(r));
-      e.u32(count);
-    }
+    encode_token_delivered(e, p, w);
   }
   void operator()(const Probe& p) {
     e.u8(kTagProbe);
     e.boolean(p.gid.has_value());
-    if (p.gid) core::encode(e, *p.gid);
+    if (p.gid) wire::Codec<core::ViewId>::encode(e, *p.gid, w);
   }
 };
 
 }  // namespace
-
-const char* to_string(WireFormat w) noexcept {
-  return w == WireFormat::kV1 ? "v1" : "v2";
-}
 
 void Token::note_boarded(std::size_t n) {
   if (n == 0) return;
@@ -233,24 +298,26 @@ void Token::note_trimmed(std::size_t n) {
 void Token::invalidate_wire_caches() const {
   entries_wire = util::Buffer{};
   entries_segs.clear();
+  segs_version = 0;
 }
 
 std::size_t encoded_packet_size(const Packet& pkt, WireFormat w) {
-  return kFrameHeader + std::visit(BodySize{w}, pkt);
+  return kFrameHeaderSize + std::visit(BodySize{w}, pkt);
 }
 
 util::Buffer encode_packet(const Packet& pkt, WireFormat w, WireEncodeStats* stats) {
   const std::size_t body_size = std::visit(BodySize{w}, pkt);
   util::Encoder e;
-  e.reserve(kFrameHeader + body_size);
-  e.u8(static_cast<std::uint8_t>(w));
-  e.u32(0);  // checksum placeholder, back-patched below
-  e.u32(static_cast<std::uint32_t>(body_size));
+  e.reserve(kFrameHeaderSize + body_size);
+  wire::Codec<FrameHeader>::encode(
+      e, FrameHeader{static_cast<std::uint8_t>(w), 0,
+                     static_cast<std::uint32_t>(body_size)},
+      w);  // checksum 0: back-patched below
   BodyEncoder enc{e, w, stats, 0, 0, false, {}};
   std::visit(enc, pkt);
   e.patch_u32(1, frame_checksum(static_cast<std::uint8_t>(w),
-                                util::BufferView(e.bytes().data() + kFrameHeader,
-                                                 e.size() - kFrameHeader)));
+                                util::BufferView(e.bytes().data() + kFrameHeaderSize,
+                                                 e.size() - kFrameHeaderSize)));
   util::Buffer packet = e.finish();
   if (const Token* t = std::get_if<Token>(&pkt); t != nullptr) {
     // Warm whatever was rebuilt, as zero-copy slices of the packet.
@@ -263,10 +330,12 @@ util::Buffer encode_packet(const Packet& pkt, WireFormat w, WireEncodeStats* sta
         t->entries_segs.push_back(
             TokenSeg{static_cast<std::uint32_t>(t->entries.size()),
                      packet.slice(enc.entries_begin, enc.entries_end - enc.entries_begin)});
+      t->segs_version = static_cast<std::uint8_t>(w);
     } else {
       for (const auto& [seg_index, span] : enc.cold_spans)
         t->entries_segs[seg_index].wire =
             packet.slice(span.first, span.second - span.first);
+      t->segs_version = static_cast<std::uint8_t>(w);
     }
   }
   return packet;
@@ -275,7 +344,8 @@ util::Buffer encode_packet(const Packet& pkt, WireFormat w, WireEncodeStats* sta
 namespace {
 
 /// Decode the token body after the common gid/lap/base prefix. `d` reads the
-/// frame body; caches are warmed with slices of it (zero-copy).
+/// frame body; caches are warmed with slices of it (zero-copy). Returns
+/// false iff the entries section is malformed under strict decoding.
 bool decode_token_entries(util::Decoder& d, WireFormat w, bool strict, Token& p) {
   if (w == WireFormat::kV1) {
     const std::size_t entries_begin = d.pos();
@@ -288,32 +358,57 @@ bool decode_token_entries(util::Decoder& d, WireFormat w, bool strict, Token& p)
     if (d.ok()) p.entries_wire = d.input_slice(entries_begin, entries_end);
     return true;
   }
-  const std::uint32_t total = d.u32();
+  const bool v3 = w == WireFormat::kV3;
+  const std::uint64_t total = v3 ? d.uvarint() : d.u32();
   std::size_t acc = 0;
   bool malformed = false;
   std::vector<std::pair<std::size_t, std::size_t>> seg_spans;
   std::vector<std::uint32_t> seg_counts;
   while (acc < total && d.ok()) {
     const std::size_t seg_begin = d.pos();
-    const auto src = static_cast<ProcId>(d.u32());
-    const std::uint32_t count = d.u32();
+    const auto src = static_cast<ProcId>(v3 ? d.uvarint() : d.u32());
+    const std::uint64_t count = v3 ? d.uvarint() : d.u32();
     if (!d.ok()) break;
     if (count == 0 || acc + count > total) {
       malformed = true;  // zero-length or overrunning segment
       break;
     }
-    for (std::uint32_t i = 0; i < count && d.ok(); ++i)
-      p.entries.emplace_back(src, d.raw_buffer());
+    for (std::uint64_t i = 0; i < count && d.ok(); ++i)
+      p.entries.emplace_back(src, v3 ? d.vraw_buffer() : d.raw_buffer());
     acc += count;
     seg_spans.emplace_back(seg_begin, d.pos());
-    seg_counts.push_back(count);
+    seg_counts.push_back(static_cast<std::uint32_t>(count));
   }
   const bool complete = !malformed && acc == total && d.ok();
   if (strict && !complete) return false;
-  if (complete)
+  if (complete) {
     for (std::size_t k = 0; k < seg_counts.size(); ++k)
       p.entries_segs.push_back(
           TokenSeg{seg_counts[k], d.input_slice(seg_spans[k].first, seg_spans[k].second)});
+    p.segs_version = static_cast<std::uint8_t>(w);
+  }
+  return true;
+}
+
+/// Shared token-body decode (everything after the tag byte). Returns false
+/// iff the entries section was rejected; other field damage is left in the
+/// decoder's ok() as usual.
+bool decode_token_body(util::Decoder& d, WireFormat w, bool strict, Token& p) {
+  p.gid = wire::Codec<core::ViewId>::decode(d, w);
+  if (w == WireFormat::kV3) {
+    p.lap = static_cast<std::uint32_t>(d.uvarint());
+    p.base = static_cast<std::uint32_t>(d.uvarint());
+  } else {
+    p.lap = d.u32();
+    p.base = d.u32();
+  }
+  if (!decode_token_entries(d, w, strict, p)) return false;
+  const std::uint64_t nd = w == WireFormat::kV3 ? d.uvarint() : d.u32();
+  for (std::uint64_t i = 0; i < nd && d.ok(); ++i) {
+    const auto r = static_cast<ProcId>(w == WireFormat::kV3 ? d.uvarint() : d.u32());
+    p.delivered[r] =
+        static_cast<std::uint32_t>(w == WireFormat::kV3 ? d.uvarint() : d.u32());
+  }
   return true;
 }
 
@@ -331,22 +426,23 @@ DecodeOutcome decode_packet_ex(const util::Buffer& packet) {
     return out;
   }
   const std::uint8_t version = packet[0];
-  if (!known_version(version)) {
+  if (!wire::known_version(version)) {
     out.error = "unknown wire version " + std::to_string(version) +
-                " (this build speaks v1 and v2; see docs/WIRE.md)";
+                " (this build speaks v1, v2, and v3; see docs/WIRE.md)";
     return out;
   }
   const WireFormat w = static_cast<WireFormat>(version);
 
   util::Decoder frame(packet);
-  (void)frame.u8();  // version, validated above
-  const std::uint32_t checksum = frame.u32();
-  const util::Buffer body = frame.raw_buffer();  // zero-copy slice of packet
-  if (strict && !frame.complete()) {
+  const FrameHeader header = wire::Codec<FrameHeader>::decode(frame, w);
+  const util::Buffer body =
+      frame.input_slice(kFrameHeaderSize, kFrameHeaderSize + header.body_len);
+  if (strict &&
+      (!frame.ok() || kFrameHeaderSize + header.body_len != packet.size())) {
     out.error = "truncated or oversized frame";
     return out;
   }
-  if (strict && checksum != frame_checksum(version, body.view())) {
+  if (strict && header.checksum != frame_checksum(version, body.view())) {
     out.error = "frame checksum mismatch";
     return out;
   }
@@ -362,36 +458,28 @@ DecodeOutcome decode_packet_ex(const util::Buffer& packet) {
   };
   switch (tag) {
     case kTagCall: {
-      Call p{core::decode_viewid(d)};
+      Call p{wire::Codec<core::ViewId>::decode(d, w)};
       if (reject_incomplete("call")) return out;
       out.packet = Packet{p};
       return out;
     }
     case kTagCallReply: {
-      CallReply p{core::decode_viewid(d)};
+      CallReply p{wire::Codec<core::ViewId>::decode(d, w)};
       if (reject_incomplete("call-reply")) return out;
       out.packet = Packet{p};
       return out;
     }
     case kTagViewAnnounce: {
-      ViewAnnounce p{core::decode_view(d)};
+      ViewAnnounce p{wire::Codec<core::View>::decode(d, w)};
       if (reject_incomplete("view-announce")) return out;
       out.packet = Packet{p};
       return out;
     }
     case kTagToken: {
       Token p;
-      p.gid = core::decode_viewid(d);
-      p.lap = d.u32();
-      p.base = d.u32();
-      if (!decode_token_entries(d, w, strict, p)) {
+      if (!decode_token_body(d, w, strict, p)) {
         out.error = std::string("malformed ") + to_string(w) + " token entries section";
         return out;
-      }
-      const std::uint32_t nd = d.u32();
-      for (std::uint32_t i = 0; i < nd && d.ok(); ++i) {
-        const auto r = static_cast<ProcId>(d.u32());
-        p.delivered[r] = d.u32();
       }
       if (strict && !d.complete()) {
         out.error = "malformed token body";
@@ -402,7 +490,7 @@ DecodeOutcome decode_packet_ex(const util::Buffer& packet) {
     }
     case kTagProbe: {
       Probe p;
-      if (d.boolean()) p.gid = core::decode_viewid(d);
+      if (d.boolean()) p.gid = wire::Codec<core::ViewId>::decode(d, w);
       if (reject_incomplete("probe")) return out;
       out.packet = Packet{p};
       return out;
@@ -422,3 +510,70 @@ std::optional<Packet> decode_packet(const util::Bytes& bytes) {
 }
 
 }  // namespace vsg::membership
+
+namespace vsg::wire {
+
+std::size_t Codec<membership::FrameHeader>::size(const membership::FrameHeader&,
+                                                 Version) {
+  return membership::kFrameHeaderSize;
+}
+
+void Codec<membership::FrameHeader>::encode(util::Encoder& e,
+                                            const membership::FrameHeader& h,
+                                            Version) {
+  e.u8(h.version);
+  e.u32(h.checksum);
+  e.u32(h.body_len);
+}
+
+membership::FrameHeader Codec<membership::FrameHeader>::decode(util::Decoder& d,
+                                                               Version) {
+  membership::FrameHeader h;
+  h.version = d.u8();
+  h.checksum = d.u32();
+  h.body_len = d.u32();
+  return h;
+}
+
+std::size_t Codec<membership::Token>::size(const membership::Token& t, Version w) {
+  // Plain (cache-blind) size, matching this codec's always-rebuild encode:
+  // whole-range runs can be shorter than per-segment warm images when
+  // adjacent segments share a source.
+  std::size_t entries;
+  if (w == Version::kV1) {
+    entries = 4;
+    for (const auto& [src, payload] : t.entries) entries += 4 + 4 + payload.size();
+  } else {
+    entries = (w == Version::kV3 ? util::uvarint_size(t.entries.size()) : 4) +
+              membership::range_size(t.entries, 0, t.entries.size(), w);
+  }
+  return membership::token_scalar_size(t, w) + entries;
+}
+
+void Codec<membership::Token>::encode(util::Encoder& e, const membership::Token& t,
+                                      Version w) {
+  membership::encode_token_prefix(e, t, w);
+  if (w == Version::kV1) {
+    e.u32(static_cast<std::uint32_t>(t.entries.size()));
+    for (const auto& [src, payload] : t.entries) {
+      e.u32(static_cast<std::uint32_t>(src));
+      e.raw(payload.view());
+    }
+  } else {
+    if (w == Version::kV3)
+      e.uvarint(t.entries.size());
+    else
+      e.u32(static_cast<std::uint32_t>(t.entries.size()));
+    membership::encode_runs(e, t.entries, 0, t.entries.size(), w);
+  }
+  membership::encode_token_delivered(e, t, w);
+}
+
+membership::Token Codec<membership::Token>::decode(util::Decoder& d, Version w) {
+  membership::Token t;
+  const bool strict = !util::unchecked_decode();
+  if (!membership::decode_token_body(d, w, strict, t)) d.fail();
+  return t;
+}
+
+}  // namespace vsg::wire

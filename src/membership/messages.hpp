@@ -6,11 +6,13 @@
 // delivery counters, and the merge probe.
 //
 // Every packet travels in a versioned checksummed frame; the byte-level
-// layouts (frame header, v1 flat entries, v2 batched entry segments) are
-// specified in docs/WIRE.md. The wire version is an encoding choice
-// (TokenRingConfig::wire); decoders accept every known version and reject
-// unknown version bytes loudly regardless of the chaos unchecked-decode
-// injection.
+// layouts (frame header, v1 flat entries, v2 batched entry segments, v3
+// varint bodies) are specified in docs/WIRE.md. The wire version is an
+// encoding choice (TokenRingConfig::wire); decoders accept every known
+// version and reject unknown version bytes loudly regardless of the chaos
+// unchecked-decode injection. Byte layouts live in wire::Codec
+// specializations (core/codec.hpp plus the Token/FrameHeader codecs below);
+// this header's free functions are the packet-level entry points over them.
 
 #include <map>
 #include <optional>
@@ -18,21 +20,35 @@
 #include <variant>
 #include <vector>
 
+#include "core/codec.hpp"
 #include "core/types.hpp"
 #include "util/buffer.hpp"
 #include "util/serde.hpp"
 
 namespace vsg::membership {
 
-/// Frame-header wire version (docs/WIRE.md). kV1 is the flat entries layout
-/// the pre-versioning code produced; kV2 batches token entries into
-/// same-source segments so a boarding pass appends one segment instead of
-/// invalidating the whole cached entries section.
-enum class WireFormat : std::uint8_t { kV1 = 1, kV2 = 2 };
+/// The frame-header version set and names now live in wire::Version
+/// (core/codec.hpp); membership keeps its historical aliases.
+using WireFormat = wire::Version;
+using wire::to_string;
 
 constexpr WireFormat kDefaultWireFormat = WireFormat::kV2;
 
-const char* to_string(WireFormat w) noexcept;
+/// The fixed-width frame prelude every packet starts with:
+/// u8 version | u32 checksum | u32 body length (9 bytes under every
+/// version, so the checksum can be back-patched in place). The checksum
+/// covers the version byte and the body, so corrupting the version byte
+/// into another *known* version can never reinterpret the body under the
+/// wrong layout.
+struct FrameHeader {
+  std::uint8_t version = 0;
+  std::uint32_t checksum = 0;
+  std::uint32_t body_len = 0;
+
+  bool operator==(const FrameHeader&) const = default;
+};
+
+inline constexpr std::size_t kFrameHeaderSize = 9;
 
 /// Round 1: broadcast call-for-participation in a new view.
 struct Call {
@@ -51,11 +67,12 @@ struct ViewAnnounce {
   core::View view;
 };
 
-/// One cached batch of the v2 entries section: `count` consecutive entries
-/// from one source, plus (when warm) their exact wire image — the segment's
-/// `u32 src | u32 count | payloads` bytes, a slice of the packet that
-/// carried them or a one-time encode at boarding. An empty `wire` marks a
-/// cold segment rebuilt (and re-cached) by the next encode.
+/// One cached batch of the segmented entries section: `count` consecutive
+/// entries from one source, plus (when warm) their exact wire image — the
+/// segment's run bytes under the version stamped on the owning token, a
+/// slice of the packet that carried them or a one-time encode at boarding.
+/// An empty `wire` marks a cold segment rebuilt (and re-cached) by the next
+/// encode.
 struct TokenSeg {
   std::uint32_t count = 0;
   util::Buffer wire;
@@ -81,20 +98,27 @@ struct Token {
   /// header/counter fields and splices the payload section verbatim.
   mutable util::Buffer entries_wire;
 
-  /// v2 wire cache: per-batch segments covering `entries` front to back
-  /// (sum of counts == entries.size() whenever non-empty). Boarding appends
-  /// one segment per pass, so the older segments stay warm; trimming drops
-  /// leading segments whole and only the split boundary segment goes cold.
-  /// Empty with non-empty `entries` <=> no cache (full rebuild on encode).
+  /// Segmented wire cache (v2 and v3): per-batch segments covering
+  /// `entries` front to back (sum of counts == entries.size() whenever
+  /// non-empty). Boarding appends one segment per pass, so the older
+  /// segments stay warm; trimming drops leading segments whole and only the
+  /// split boundary segment goes cold. Empty with non-empty `entries` <=>
+  /// no cache (full rebuild on encode).
   mutable std::vector<TokenSeg> entries_segs;
+
+  /// The wire version the warm segment images were encoded under (0 =
+  /// unset: no segment has been warmed yet). v2 and v3 run layouts differ,
+  /// so an encode at a different version than the stamp must not splice the
+  /// warm images — it rebuilds the whole section and restamps.
+  mutable std::uint8_t segs_version = 0;
 
   /// Cache maintenance after appending `n` same-source entries in one
   /// boarding pass: invalidates the v1 section cache and appends one cold
-  /// v2 segment (or drops the v2 cache if it was already invalid).
+  /// segment (or drops the segment cache if it was already invalid).
   void note_boarded(std::size_t n);
 
   /// Cache maintenance after erasing the first `n` entries (trim):
-  /// invalidates the v1 section cache; drops covered v2 segments whole and
+  /// invalidates the v1 section cache; drops covered segments whole and
   /// marks a split boundary segment cold.
   void note_trimmed(std::size_t n);
 
@@ -114,8 +138,8 @@ using Packet = std::variant<Call, CallReply, ViewAnnounce, Token, Probe>;
 /// into ring.entries_rebuilds / ring.entries_spliced):
 ///  - entries_rebuilt: token entries serialized from structs because no
 ///    warm wire image covered them (v1: the whole section on any mutation;
-///    v2: only the entries of cold segments — each payload once, when its
-///    boarding segment is first encoded);
+///    v2/v3: only the entries of cold segments — each payload once, when
+///    its boarding segment is first encoded);
 ///  - entries_spliced: token entries carried by splicing a warm cached wire
 ///    image verbatim.
 struct WireEncodeStats {
@@ -141,6 +165,11 @@ util::Buffer encode_packet(const Packet& pkt, WireFormat w = kDefaultWireFormat,
 /// disengaged, and names the reject reason (unknown wire version, checksum
 /// mismatch, truncation, ...). Unknown version bytes are rejected even when
 /// the chaos unchecked-decode injection is active.
+///
+/// This is THE packet decode entry point (docs/WIRE.md, "Decode outcome
+/// contract"): every non-test call site goes through it; the optional
+/// decode_packet shims below exist only for legacy callers and tests.
+/// It predates wire::DecodeOutcome<T> and keeps its `packet` member name.
 struct DecodeOutcome {
   std::optional<Packet> packet;
   std::string error;
@@ -149,11 +178,37 @@ struct DecodeOutcome {
 
 DecodeOutcome decode_packet_ex(const util::Buffer& packet);
 
-/// Decode from a shared packet buffer. Token entry payloads and the wire
-/// caches come out as slices of `packet` (no payload copies).
+/// Deprecated shim over decode_packet_ex (drops the diagnosis). Token entry
+/// payloads and the wire caches come out as slices of `packet` (no payload
+/// copies).
 std::optional<Packet> decode_packet(const util::Buffer& packet);
 
 /// Deprecated shim for callers still holding plain bytes (copies once).
 std::optional<Packet> decode_packet(const util::Bytes& bytes);
 
 }  // namespace vsg::membership
+
+namespace vsg::wire {
+
+/// Fixed 9-byte frame prelude (same layout under every version; the
+/// version argument is the header's own `version` field by convention).
+template <>
+struct Codec<membership::FrameHeader> {
+  static std::size_t size(const membership::FrameHeader& h, Version w);
+  static void encode(util::Encoder& e, const membership::FrameHeader& h, Version w);
+  static membership::FrameHeader decode(util::Decoder& d, Version w);
+};
+
+/// Token body (everything after the packet tag byte): gid, lap, base,
+/// entries section, delivered map. Shares the byte layout with
+/// encode_packet/decode_packet_ex but takes the plain always-rebuild path —
+/// the cache-aware splice/warm machinery stays in encode_packet, which owns
+/// the finished packet buffer the caches slice from.
+template <>
+struct Codec<membership::Token> {
+  static std::size_t size(const membership::Token& t, Version w);
+  static void encode(util::Encoder& e, const membership::Token& t, Version w);
+  static membership::Token decode(util::Decoder& d, Version w);
+};
+
+}  // namespace vsg::wire

@@ -151,6 +151,7 @@ void Node::forward_token(const Token& t, ProcId to) {
   const Token& encoded = std::get<Token>(pkt);
   t.entries_wire = encoded.entries_wire;
   t.entries_segs = encoded.entries_segs;
+  t.segs_version = encoded.segs_version;
   stats_.entries_rebuilt += wire_stats.entries_rebuilt;
   stats_.entries_spliced += wire_stats.entries_spliced;
   obs::bump(parent_->obs().entries_rebuilds, wire_stats.entries_rebuilt);

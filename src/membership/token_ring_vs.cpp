@@ -42,6 +42,23 @@ void TokenRingVS::gpsnd(ProcId p, vs::Payload m) {
   assert(p >= 0 && p < size());
   recorder_->record(trace::GpsndEvent{p, m});
   if (obs_.gpsnd != nullptr) obs_.gpsnd->inc();
+  // Classify state-exchange payloads by their VSTOTO tag byte — a peek, not
+  // a decode, so the membership layer stays ignorant of the payload format.
+  if (!m.empty()) {
+    switch (m[0]) {
+      case wire::kPayloadSummary:
+        if (obs_.exch_summary_bytes != nullptr) obs_.exch_summary_bytes->inc(m.size());
+        break;
+      case wire::kPayloadDigest:
+        if (obs_.exch_digest_bytes != nullptr) obs_.exch_digest_bytes->inc(m.size());
+        break;
+      case wire::kPayloadDelta:
+        if (obs_.exch_delta_bytes != nullptr) obs_.exch_delta_bytes->inc(m.size());
+        break;
+      default:
+        break;  // client values are not exchange traffic
+    }
+  }
   nodes_[static_cast<std::size_t>(p)]->submit(std::move(m));
 }
 
@@ -53,6 +70,9 @@ void TokenRingVS::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.safes_emitted = &registry.counter("ring.safes_emitted");
   obs_.probes_sent = &registry.counter("ring.probes_sent");
   obs_.token_bytes_sent = &registry.counter("ring.state_exchange_bytes");
+  obs_.exch_summary_bytes = &registry.counter("ring.state_exchange_bytes.summary");
+  obs_.exch_digest_bytes = &registry.counter("ring.state_exchange_bytes.digest");
+  obs_.exch_delta_bytes = &registry.counter("ring.state_exchange_bytes.delta");
   obs_.entries_rebuilds = &registry.counter("ring.entries_rebuilds");
   obs_.entries_spliced = &registry.counter("ring.entries_spliced");
   obs_.payloads_per_pass = &registry.histogram(

@@ -38,6 +38,13 @@ struct RingObs {
   obs::Counter* token_bytes_sent = nullptr;  // state-exchange bytes on the wire
   obs::Counter* entries_rebuilds = nullptr;  // token entries serialized from structs
   obs::Counter* entries_spliced = nullptr;   // token entries spliced from a warm cache
+  // Exchange payload census at gpsnd, classified by the VSTOTO tag byte
+  // without decoding (wire::kPayload*): whole-summary vs digest vs delta
+  // bytes submitted to the VS layer. The PR 6 acceptance compares the sum
+  // of these across full-summary and delta worlds.
+  obs::Counter* exch_summary_bytes = nullptr;
+  obs::Counter* exch_digest_bytes = nullptr;
+  obs::Counter* exch_delta_bytes = nullptr;
   obs::Histogram* payloads_per_pass = nullptr;  // client payloads boarded per token pass
   obs::Gauge* max_token_entries = nullptr;   // watermark across all tokens
   obs::Counter* gpsnd = nullptr;             // VS interface events

@@ -29,6 +29,7 @@ void Network::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.bytes_delivered = &registry.counter("net.bytes_delivered");
   obs_.frames_v1 = &registry.counter("net.frames.v1");
   obs_.frames_v2 = &registry.counter("net.frames.v2");
+  obs_.frames_v3 = &registry.counter("net.frames.v3");
   obs_.frames_unknown = &registry.counter("net.frames.unknown");
   obs_.bytes_copied = &registry.counter("net.bytes_copied");
   obs_.buffer_allocs = &registry.counter("net.buffer_allocs");
@@ -55,6 +56,7 @@ void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
   switch (version) {
     case 1: ++stats_.frames_v1; obs::bump(obs_.frames_v1); break;
     case 2: ++stats_.frames_v2; obs::bump(obs_.frames_v2); break;
+    case 3: ++stats_.frames_v3; obs::bump(obs_.frames_v3); break;
     default: ++stats_.frames_unknown; obs::bump(obs_.frames_unknown); break;
   }
 

@@ -47,6 +47,7 @@ struct NetStats {
   // sent packet. `unknown` should stay 0 unless a test forges frames.
   std::uint64_t frames_v1 = 0;
   std::uint64_t frames_v2 = 0;
+  std::uint64_t frames_v3 = 0;
   std::uint64_t frames_unknown = 0;
   // Zero-copy accounting.
   std::uint64_t bytes_copied = 0;    // payload bytes physically copied
@@ -104,6 +105,7 @@ class Network {
     obs::Counter* bytes_delivered = nullptr;
     obs::Counter* frames_v1 = nullptr;
     obs::Counter* frames_v2 = nullptr;
+    obs::Counter* frames_v3 = nullptr;
     obs::Counter* frames_unknown = nullptr;
     obs::Counter* bytes_copied = nullptr;
     obs::Counter* buffer_allocs = nullptr;

@@ -168,6 +168,12 @@ void SpanTracer::view_installed(ProcId p, const core::ViewId& g, sim::Time now) 
 
 void SpanTracer::view_newview(ProcId p, const core::ViewId& g, sim::Time now) {
   exchanges_[p] = {g, now};
+  digest_marks_.erase(p);  // a new exchange supersedes any stale digest mark
+}
+
+void SpanTracer::view_digests_collected(ProcId p, const core::ViewId& g,
+                                        sim::Time now) {
+  digest_marks_[p] = {g, now};
 }
 
 void SpanTracer::view_established(ProcId p, const core::ViewId& g, bool primary,
@@ -180,6 +186,17 @@ void SpanTracer::view_established(ProcId p, const core::ViewId& g, bool primary,
   }
   push(Span{"view.state_exchange", "view", view_id(g, p), p, begin, now, false,
             core::to_string(g)});
+  // Delta mode: split the exchange into its digest and delta phases when the
+  // digest-collection milestone was recorded for this view.
+  const auto mark = digest_marks_.find(p);
+  if (mark != digest_marks_.end() && mark->second.first == g) {
+    const sim::Time split = mark->second.second;
+    digest_marks_.erase(mark);
+    push(Span{"view.exchange.digest", "view", view_id(g, p), p, begin, split, false,
+              core::to_string(g)});
+    push(Span{"view.exchange.delta", "view", view_id(g, p), p, split, now, false,
+              core::to_string(g)});
+  }
   if (primary)
     push(Span{"view.primary_established", "view", view_id(g, p), p, now, now, true,
               core::to_string(g)});

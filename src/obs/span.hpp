@@ -113,6 +113,11 @@ class SpanTracer {
   void view_installed(ProcId p, const core::ViewId& g, sim::Time now);
   /// newview(v)_p delivered to the client: state exchange starts at p.
   void view_newview(ProcId p, const core::ViewId& g, sim::Time now);
+  /// Delta-mode exchange only: p collected every member's digest for g and
+  /// sent its delta. Splits the exchange interval — view_established then
+  /// emits view.exchange.digest (newview -> here) and view.exchange.delta
+  /// (here -> established) alongside the usual view.state_exchange span.
+  void view_digests_collected(ProcId p, const core::ViewId& g, sim::Time now);
   /// p collected all summaries and established g; `primary` per Figure 9.
   void view_established(ProcId p, const core::ViewId& g, bool primary, sim::Time now);
 
@@ -174,6 +179,7 @@ class SpanTracer {
   std::map<ProcId, std::deque<sim::Time>> submits_;    // unmatched bcast times
   std::map<ProcId, PendingProposal> proposals_;        // open proposal per proc
   std::map<ProcId, std::pair<core::ViewId, sim::Time>> exchanges_;  // newview->established
+  std::map<ProcId, std::pair<core::ViewId, sim::Time>> digest_marks_;  // digests collected
 
   Counter* spans_total_ = nullptr;
   Counter* spans_dropped_ = nullptr;

@@ -5,13 +5,15 @@
 namespace vsg::to {
 
 Stack::Stack(vs::Service& vs_service, trace::Recorder& recorder,
-             std::shared_ptr<const core::QuorumSystem> quorums, int n0)
+             std::shared_ptr<const core::QuorumSystem> quorums, int n0,
+             vstoto::ExchangeMode exchange)
     : recorder_(&recorder) {
   const int n = vs_service.size();
   procs_.reserve(static_cast<std::size_t>(n));
   clients_.resize(static_cast<std::size_t>(n), nullptr);
   for (ProcId p = 0; p < n; ++p) {
     auto proc = std::make_unique<vstoto::Process>(p, n0, quorums, vs_service, recorder);
+    proc->set_exchange_mode(exchange);
     proc->set_delivery([this, p](ProcId origin, const core::Value& a) {
       on_deliver(p, origin, a);
     });
@@ -44,6 +46,10 @@ void Stack::bind_metrics(obs::MetricsRegistry& registry) {
   obs.values_sent = &registry.counter("to.values_sent");
   obs.summaries_sent = &registry.counter("to.summaries_sent");
   obs.summaries_received = &registry.counter("to.summaries_received");
+  obs.digests_sent = &registry.counter("to.digests_sent");
+  obs.digests_received = &registry.counter("to.digests_received");
+  obs.deltas_sent = &registry.counter("to.deltas_sent");
+  obs.deltas_received = &registry.counter("to.deltas_received");
   obs.payload_copies = &registry.counter("to.payload_copies");
   obs.payload_moves = &registry.counter("to.payload_moves");
   obs.order_depth = &registry.gauge("to.order_depth");

@@ -20,9 +20,12 @@ namespace vsg::to {
 class Stack final : public Service {
  public:
   /// Builds and attaches one VStoTO process per processor of `vs_service`.
-  /// `n0` is the initial-view size (processors 0..n0-1).
+  /// `n0` is the initial-view size (processors 0..n0-1). `exchange` selects
+  /// the state-exchange protocol for every process (see
+  /// vstoto::ExchangeMode; the harness pairs kDigestDelta with wire v3).
   Stack(vs::Service& vs_service, trace::Recorder& recorder,
-        std::shared_ptr<const core::QuorumSystem> quorums, int n0);
+        std::shared_ptr<const core::QuorumSystem> quorums, int n0,
+        vstoto::ExchangeMode exchange = vstoto::ExchangeMode::kFullSummary);
 
   int size() const override { return static_cast<int>(procs_.size()); }
   void bcast(ProcId p, core::Value a) override;

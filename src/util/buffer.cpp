@@ -1,5 +1,6 @@
 #include "util/buffer.hpp"
 
+#include <atomic>
 #include <cstring>
 
 namespace vsg::util {
@@ -7,11 +8,14 @@ namespace vsg::util {
 namespace {
 // Monotone storage ids: unlike a heap address, an id is never reused, so a
 // (id, offset, size) triple stays a safe cache key after the storage dies.
-// The simulator is single-threaded by design; no atomics needed.
-std::uint64_t g_next_storage_uid = 1;
+// The simulator itself is single-threaded, but buffers are allocated from
+// test harnesses and tooling that do spin up threads, so the counter is
+// atomic; relaxed ordering suffices — uniqueness is all anyone relies on.
+std::atomic<std::uint64_t> g_next_storage_uid{1};
 }  // namespace
 
-Buffer::Storage::Storage(Bytes&& b) : bytes(std::move(b)), uid(g_next_storage_uid++) {}
+Buffer::Storage::Storage(Bytes&& b)
+    : bytes(std::move(b)), uid(g_next_storage_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 BufferView BufferView::subview(std::size_t off, std::size_t len) const noexcept {
   if (off > size_) return {};

@@ -53,6 +53,28 @@ void Encoder::raw(BufferView v) {
   append(v);
 }
 
+void Encoder::uvarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  note_capacity();
+}
+
+void Encoder::svarint(std::int64_t v) { uvarint(zigzag(v)); }
+
+void Encoder::vstr(const std::string& v) {
+  uvarint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  note_capacity();
+}
+
+void Encoder::vraw(BufferView v) {
+  uvarint(v.size());
+  append(v);
+}
+
 void Encoder::append(BufferView v) {
   buf_.insert(buf_.end(), v.begin(), v.end());
   note_capacity();
@@ -118,6 +140,49 @@ BufferView Decoder::raw_view() {
   const std::uint8_t* p = nullptr;
   if (!take(n, &p)) return {};
   return BufferView(p, n);
+}
+
+std::uint64_t Decoder::uvarint() {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::uint8_t* p = nullptr;
+    if (!take(1, &p)) return 0;
+    const std::uint64_t bits = *p & 0x7F;
+    // The 10th byte carries the final bit 63; anything above it means the
+    // encoding does not fit a u64 (hostile input).
+    if (i == 9 && (*p & 0xFE) != 0) {
+      ok_ = false;
+      return 0;
+    }
+    v |= bits << (7 * i);
+    if ((*p & 0x80) == 0) return v;
+  }
+  ok_ = false;  // unreachable: the loop returns by byte 10
+  return 0;
+}
+
+std::int64_t Decoder::svarint() { return unzigzag(uvarint()); }
+
+std::string Decoder::vstr() {
+  const std::uint64_t n = uvarint();
+  const std::uint8_t* p = nullptr;
+  if (!take(static_cast<std::size_t>(n), &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), static_cast<std::size_t>(n));
+}
+
+BufferView Decoder::vraw_view() {
+  const std::uint64_t n = uvarint();
+  const std::uint8_t* p = nullptr;
+  if (!take(static_cast<std::size_t>(n), &p)) return {};
+  return BufferView(p, static_cast<std::size_t>(n));
+}
+
+Buffer Decoder::vraw_buffer() {
+  const BufferView v = vraw_view();
+  if (!ok_ || v.empty()) return {};
+  const std::size_t start = pos_ - v.size();
+  if (!origin_.empty()) return origin_.slice(start, v.size());
+  return Buffer::copy(v);
 }
 
 Buffer Decoder::raw_buffer() {

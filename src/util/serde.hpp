@@ -42,6 +42,15 @@ class Encoder {
   void raw(BufferView v);         // length-prefixed blob
   void append(BufferView v);      // splice bytes verbatim (no length prefix)
 
+  // Variable-width integers (docs/WIRE.md, "Varint rules"): LEB128 with the
+  // low 7 bits first and the high bit as continuation; svarint zigzags so
+  // small-magnitude signed deltas stay short. These are the v3 frame-body
+  // primitives; uvarint_size/svarint_size below keep encoded_size exact.
+  void uvarint(std::uint64_t v);
+  void svarint(std::int64_t v);
+  void vstr(const std::string& v);  // uvarint-length-prefixed string
+  void vraw(BufferView v);          // uvarint-length-prefixed blob
+
   /// Overwrite 4 previously written bytes at `pos` (checksum back-patching,
   /// so a framed packet needs no second buffer).
   void patch_u32(std::size_t pos, std::uint32_t v);
@@ -86,6 +95,15 @@ class Decoder {
   bool boolean();
   std::string str();
   Bytes raw();
+
+  /// LEB128 uvarint/svarint (v3 frame bodies). Defensive like every other
+  /// read: a missing terminator or an encoding longer than 10 bytes sets
+  /// ok() to false and yields 0.
+  std::uint64_t uvarint();
+  std::int64_t svarint();
+  std::string vstr();      // uvarint-length-prefixed string
+  BufferView vraw_view();  // uvarint-length-prefixed blob (borrowed)
+  Buffer vraw_buffer();    // uvarint-length-prefixed blob (slice when possible)
   /// Length-prefixed blob as a view into the decoder's input (no copy; same
   /// lifetime as the input).
   BufferView raw_view();
@@ -95,6 +113,9 @@ class Decoder {
   Buffer raw_buffer();
 
   bool ok() const noexcept { return ok_; }
+  /// Mark the input malformed — for codec-level validation failures the
+  /// field readers cannot see (e.g. a zero-count token segment).
+  void fail() noexcept { ok_ = false; }
   bool at_end() const noexcept { return pos_ == view_.size(); }
   /// True iff decoding consumed the whole buffer without error.
   bool complete() const noexcept { return ok_ && at_end(); }
@@ -111,6 +132,31 @@ class Decoder {
   std::size_t pos_ = 0;
   bool ok_ = true;
 };
+
+/// Exact encoded length of Encoder::uvarint(v): 1..10 bytes.
+constexpr std::size_t uvarint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Zigzag mapping used by svarint: small magnitudes (either sign) get small
+/// codes. Exposed so size accounting and the mirror tests share one truth.
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Exact encoded length of Encoder::svarint(v).
+constexpr std::size_t svarint_size(std::int64_t v) noexcept {
+  return uvarint_size(zigzag(v));
+}
 
 // --- Chaos fault injection ------------------------------------------------
 //

@@ -8,16 +8,16 @@
 namespace vsg::verify {
 
 std::optional<core::Summary> payload_summary(util::BufferView payload) {
-  auto msg = vstoto::decode_message(payload);
-  if (!msg.has_value()) return std::nullopt;
-  if (const auto* x = std::get_if<core::Summary>(&*msg)) return *x;
+  auto msg = vstoto::decode_message_ex(payload);
+  if (!msg.ok()) return std::nullopt;
+  if (const auto* x = std::get_if<core::Summary>(&*msg.value)) return *x;
   return std::nullopt;
 }
 
 std::optional<vstoto::LabeledValue> payload_labeled(util::BufferView payload) {
-  auto msg = vstoto::decode_message(payload);
-  if (!msg.has_value()) return std::nullopt;
-  if (const auto* lv = std::get_if<vstoto::LabeledValue>(&*msg)) return *lv;
+  auto msg = vstoto::decode_message_ex(payload);
+  if (!msg.ok()) return std::nullopt;
+  if (const auto* lv = std::get_if<vstoto::LabeledValue>(&*msg.value)) return *lv;
   return std::nullopt;
 }
 

@@ -19,6 +19,10 @@ const char* to_string(PStatus s) noexcept {
   return "?";
 }
 
+const char* to_string(ExchangeMode m) noexcept {
+  return m == ExchangeMode::kFullSummary ? "full-summary" : "digest-delta";
+}
+
 Process::Process(ProcId p, int n0, std::shared_ptr<const core::QuorumSystem> quorums,
                  vs::Service& service, trace::Recorder& recorder)
     : p_(p), quorums_(std::move(quorums)), service_(&service), recorder_(&recorder) {
@@ -186,13 +190,24 @@ void Process::on_newview(const core::View& v) {
   st_.gotstate.clear();
   st_.safe_exch.clear();
   st_.safe_labels.clear();
+  st_.gotdigest.clear();
+  st_.delta_sent = false;
   st_.status = PStatus::kSend;
 
   // Output gpsnd(x)_p with x = <content, order, nextconfirm, highprimary>:
   // performed immediately (see the header comment: sending the summary
   // before any other local action closes the label/state-exchange race).
-  service_->gpsnd(p_, encode_message(Message{local_summary()}));
-  obs::bump(obs_.summaries_sent);
+  // Both modes freeze the exchange base here; delta mode advertises its
+  // digest instead of shipping the whole summary (phase 1 of the
+  // anti-entropy exchange — the delta follows in maybe_send_delta).
+  st_.exch_base = local_summary();
+  if (exchange_mode_ == ExchangeMode::kDigestDelta) {
+    service_->gpsnd(p_, encode_message(Message{core::digest(st_.exch_base)}));
+    obs::bump(obs_.digests_sent);
+  } else {
+    service_->gpsnd(p_, encode_message(Message{st_.exch_base}));
+    obs::bump(obs_.summaries_sent);
+  }
   st_.status = PStatus::kCollect;
 
   run_to_quiescence();
@@ -208,9 +223,12 @@ std::shared_ptr<const Message> Process::decode_shared(const vs::Payload& payload
     return msg;
   }
   obs::bump(obs_.decode_misses);
-  auto decoded = decode_message(payload.view());
-  if (!decoded.has_value()) return nullptr;
-  return std::make_shared<const Message>(std::move(*decoded));
+  auto decoded = decode_message_ex(payload.view());
+  if (!decoded.ok()) {
+    VSG_WARN << "process " << p_ << ": " << decoded.error;
+    return nullptr;
+  }
+  return std::make_shared<const Message>(std::move(*decoded.value));
 }
 
 void Process::on_gprcv(ProcId src, const vs::Payload& payload) {
@@ -221,8 +239,12 @@ void Process::on_gprcv(ProcId src, const vs::Payload& payload) {
   }
   if (const auto* lv = std::get_if<LabeledValue>(decoded.get()))
     handle_labeled(src, *lv);
+  else if (const auto* x = std::get_if<core::Summary>(decoded.get()))
+    handle_summary(src, *x);
+  else if (const auto* g = std::get_if<core::SummaryDigest>(decoded.get()))
+    handle_digest(src, *g);
   else
-    handle_summary(src, std::get<core::Summary>(*decoded));
+    handle_delta(src, std::get<core::SummaryDelta>(*decoded));
   run_to_quiescence();
 }
 
@@ -268,6 +290,48 @@ void Process::handle_summary(ProcId src, const core::Summary& x) {
             << (primary() ? " (primary)" : " (non-primary)");
 }
 
+void Process::handle_digest(ProcId src, const core::SummaryDigest& g) {
+  obs::bump(obs_.digests_received);
+  if (!st_.current.has_value() || !st_.current->contains(src)) return;
+  st_.gotdigest.insert_or_assign(src, g);
+  maybe_send_delta();
+}
+
+void Process::maybe_send_delta() {
+  if (st_.delta_sent || st_.status != PStatus::kCollect || !st_.current.has_value())
+    return;
+  // Phase 2 needs every member's digest (including our own, self-delivered
+  // by VS): the broadcast delta must be sound for the weakest peer.
+  core::SummaryDigest weakest;
+  bool first = true;
+  for (const ProcId q : st_.current->members) {
+    const auto it = st_.gotdigest.find(q);
+    if (it == st_.gotdigest.end()) return;
+    weakest = first ? it->second : core::meet(weakest, it->second);
+    first = false;
+  }
+  st_.delta_sent = true;
+  if (tracer_ != nullptr)
+    tracer_->view_digests_collected(p_, st_.current->id, recorder_->now());
+  service_->gpsnd(p_,
+                  encode_message(Message{core::delta(st_.exch_base, weakest)}));
+  obs::bump(obs_.deltas_sent);
+}
+
+void Process::handle_delta(ProcId src, const core::SummaryDelta& dl) {
+  obs::bump(obs_.deltas_received);
+  // Reconstruct the sender's frozen summary against our own frozen base and
+  // feed it into the untouched establishment path. apply_delta only fails on
+  // input no correct sender produces (an ord prefix beyond our digest).
+  auto x = core::apply_delta(dl, st_.exch_base);
+  if (!x.has_value()) {
+    VSG_WARN << "process " << p_ << ": delta from " << src
+             << " overruns the local exchange base; dropped";
+    return;
+  }
+  handle_summary(src, *x);
+}
+
 // --- Inputs safe(m)_{q,p} ----------------------------------------------------
 
 void Process::on_safe(ProcId src, const vs::Payload& payload) {
@@ -278,8 +342,11 @@ void Process::on_safe(ProcId src, const vs::Payload& payload) {
   }
   if (const auto* lv = std::get_if<LabeledValue>(decoded.get()))
     handle_safe_labeled(src, *lv);
-  else
-    handle_safe_summary(src, std::get<core::Summary>(*decoded));
+  else if (std::holds_alternative<core::SummaryDigest>(*decoded)) {
+    // Digests carry no labels; only the delta gates the second phase.
+  } else {
+    handle_safe_exchange(src);
+  }
   run_to_quiescence();
 }
 
@@ -288,13 +355,14 @@ void Process::handle_safe_labeled(ProcId src, const LabeledValue& lv) {
   if (primary()) st_.safe_labels.insert(lv.label);
 }
 
-void Process::handle_safe_summary(ProcId src, const core::Summary& x) {
-  (void)x;
+void Process::handle_safe_exchange(ProcId src) {
   st_.safe_exch.insert(src);
   if (!st_.current.has_value()) return;
   if (st_.safe_exch == st_.current->members && primary()) {
     // All state-exchange messages are safe: every label placed by the
-    // exchange is now safe (second phase of recovery, Section 5).
+    // exchange is now safe (second phase of recovery, Section 5). In delta
+    // mode the qualifying message per member is its delta — same cardinality
+    // as the full-summary exchange, so the condition is unchanged.
     for (const auto& l : core::fullorder(st_.gotstate)) st_.safe_labels.insert(l);
   }
 }

@@ -49,8 +49,12 @@ namespace vsg::vstoto {
 struct ProcessObs {
   obs::Counter* labels_assigned = nullptr;     // label_p actions (label churn)
   obs::Counter* values_sent = nullptr;         // gpsnd of <l, a> messages
-  obs::Counter* summaries_sent = nullptr;      // state-exchange sends
-  obs::Counter* summaries_received = nullptr;  // state-exchange receipts
+  obs::Counter* summaries_sent = nullptr;      // full-summary exchange sends
+  obs::Counter* summaries_received = nullptr;  // full-summary exchange receipts
+  obs::Counter* digests_sent = nullptr;        // delta mode: digest sends
+  obs::Counter* digests_received = nullptr;    // delta mode: digest receipts
+  obs::Counter* deltas_sent = nullptr;         // delta mode: delta sends
+  obs::Counter* deltas_received = nullptr;     // delta mode: delta receipts
   obs::Counter* payload_copies = nullptr;      // Value copies on the bcast->brcv path
   obs::Counter* payload_moves = nullptr;       // Value moves on the bcast->brcv path
   obs::Gauge* order_depth = nullptr;           // sum over procs of |order|
@@ -62,6 +66,18 @@ struct ProcessObs {
 enum class PStatus : std::uint8_t { kNormal, kSend, kCollect };
 
 const char* to_string(PStatus s) noexcept;
+
+/// How a process ships its state on newview. kFullSummary is the paper's
+/// literal gpsnd(x): the whole summary in one message. kDigestDelta is the
+/// two-phase anti-entropy exchange (docs/WIRE.md, "v3 state exchange"): a
+/// compact digest first, then — once every member's digest is in — one
+/// delta against the pointwise-weakest digest, reconstructed by receivers
+/// via core::apply_delta against their own frozen exchange base. The
+/// reconstructed summaries feed the same establishment algebra, so the two
+/// modes deliver identically; only exchange bytes and message counts move.
+enum class ExchangeMode : std::uint8_t { kFullSummary, kDigestDelta };
+
+const char* to_string(ExchangeMode m) noexcept;
 
 /// The full automaton state of Figure 9, plus the proof's history variables.
 struct ProcessState {
@@ -78,6 +94,13 @@ struct ProcessState {
   core::SummaryMap gotstate;
   std::set<ProcId> safe_exch;
   std::set<core::Label> safe_labels;
+
+  // Delta-mode exchange state (unused under kFullSummary). exch_base is the
+  // local summary frozen at newview: the digest we advertised, the state our
+  // delta describes, and the base every incoming delta is applied against.
+  core::Summary exch_base;
+  std::map<ProcId, core::SummaryDigest> gotdigest;
+  bool delta_sent = false;
 
   // History variables (not part of the algorithm; used by verify/).
   std::set<core::ViewId> established;
@@ -111,6 +134,11 @@ class Process final : public vs::Client {
   /// assignment, gpsnd, gprcv, order placement, confirmation, delivery and
   /// view establishment; a null tracer costs one pointer test per hook.
   void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
+  /// Select the state-exchange protocol (default kFullSummary). Must be set
+  /// before the first newview; the Stack threads the World's choice here.
+  void set_exchange_mode(ExchangeMode m) { exchange_mode_ = m; }
+  ExchangeMode exchange_mode() const noexcept { return exchange_mode_; }
 
   /// Share a decode-once cache (owned by the Stack, shared by its
   /// processes). VS delivers the same Buffer to every member and again for
@@ -163,8 +191,15 @@ class Process final : public vs::Client {
 
   void handle_labeled(ProcId src, const LabeledValue& lv);
   void handle_summary(ProcId src, const core::Summary& x);
+  void handle_digest(ProcId src, const core::SummaryDigest& g);
+  void handle_delta(ProcId src, const core::SummaryDelta& dl);
+  /// Delta mode: once every member's digest is in, broadcast the one delta
+  /// against their meet (VS has no point-to-point send).
+  void maybe_send_delta();
   void handle_safe_labeled(ProcId src, const LabeledValue& lv);
-  void handle_safe_summary(ProcId src, const core::Summary& x);
+  /// A state-exchange message (full summary, or delta-mode delta) became
+  /// safe at every member; digests carry no labels and do not count.
+  void handle_safe_exchange(ProcId src);
 
   void assign_order(std::vector<core::Label> order);
   void append_order(const core::Label& l);
@@ -175,6 +210,7 @@ class Process final : public vs::Client {
   trace::Recorder* recorder_;
   DeliveryFn deliver_;
   DecodeCache* cache_ = nullptr;
+  ExchangeMode exchange_mode_ = ExchangeMode::kFullSummary;
   ProcessObs obs_;
   obs::SpanTracer* tracer_ = nullptr;
   ProcessState st_;

@@ -2,10 +2,24 @@
 
 namespace vsg::vstoto {
 
+namespace {
+
+// Digest and delta payloads are new in the v3 exchange and have no legacy
+// fixed-width layout to preserve, so their bodies are always varint-coded
+// (wire::Version::kV3) regardless of the frame version that carries them.
+constexpr wire::Version kCompactBody = wire::Version::kV3;
+
+}  // namespace
+
 std::size_t encoded_message_size(const Message& m) {
   if (const auto* lv = std::get_if<LabeledValue>(&m))
     return 1 + core::encoded_size(lv->label) + 4 + lv->value.size();
-  return 1 + core::encoded_size(std::get<core::Summary>(m));
+  if (const auto* x = std::get_if<core::Summary>(&m))
+    return 1 + core::encoded_size(*x);
+  if (const auto* g = std::get_if<core::SummaryDigest>(&m))
+    return 1 + wire::Codec<core::SummaryDigest>::size(*g, kCompactBody);
+  return 1 + wire::Codec<core::SummaryDelta>::size(
+                 std::get<core::SummaryDelta>(m), kCompactBody);
 }
 
 util::Buffer encode_message(const Message& m) {
@@ -15,32 +29,81 @@ util::Buffer encode_message(const Message& m) {
     e.u8(kTagLabeledValue);
     core::encode(e, lv->label);
     e.str(lv->value);
-  } else {
+  } else if (const auto* x = std::get_if<core::Summary>(&m)) {
     e.u8(kTagSummary);
-    core::encode(e, std::get<core::Summary>(m));
+    core::encode(e, *x);
+  } else if (const auto* g = std::get_if<core::SummaryDigest>(&m)) {
+    e.u8(kTagDigest);
+    wire::Codec<core::SummaryDigest>::encode(e, *g, kCompactBody);
+  } else {
+    e.u8(kTagDelta);
+    wire::Codec<core::SummaryDelta>::encode(
+        e, std::get<core::SummaryDelta>(m), kCompactBody);
   }
   return e.finish();
 }
 
-std::optional<Message> decode_message(util::BufferView bytes) {
+wire::DecodeOutcome<Message> decode_message_ex(util::BufferView bytes) {
   // util::unchecked_decode() re-enables the historical accept-anything bug
   // (truncated input decodes as a zero-filled message) for chaos-oracle demos.
   const bool strict = !util::unchecked_decode();
+  wire::DecodeOutcome<Message> out;
+  if (bytes.empty()) {
+    out.error = "empty VSTOTO payload";
+    return out;
+  }
   util::Decoder d(bytes);
   const std::uint8_t tag = d.u8();
-  if (tag == kTagLabeledValue) {
-    LabeledValue lv;
-    lv.label = core::decode_label(d);
-    lv.value = d.str();
-    if (strict && !d.complete()) return std::nullopt;
-    return Message{std::move(lv)};
+  switch (tag) {
+    case kTagLabeledValue: {
+      LabeledValue lv;
+      lv.label = core::decode_label(d);
+      lv.value = d.str();
+      if (strict && !d.complete()) {
+        out.error = "truncated or oversized labeled-value payload";
+        return out;
+      }
+      out.value = Message{std::move(lv)};
+      return out;
+    }
+    case kTagSummary: {
+      core::Summary x = core::decode_summary(d);
+      if (strict && !d.complete()) {
+        out.error = "truncated or oversized summary payload";
+        return out;
+      }
+      out.value = Message{std::move(x)};
+      return out;
+    }
+    case kTagDigest: {
+      core::SummaryDigest g =
+          wire::Codec<core::SummaryDigest>::decode(d, kCompactBody);
+      if (strict && !d.complete()) {
+        out.error = "truncated or oversized digest payload";
+        return out;
+      }
+      out.value = Message{std::move(g)};
+      return out;
+    }
+    case kTagDelta: {
+      core::SummaryDelta dl =
+          wire::Codec<core::SummaryDelta>::decode(d, kCompactBody);
+      if (strict && !d.complete()) {
+        out.error = "truncated or oversized delta payload";
+        return out;
+      }
+      out.value = Message{std::move(dl)};
+      return out;
+    }
+    default:
+      out.error = "unknown VSTOTO payload tag " + std::to_string(tag) +
+                  " (known tags 1..4; see docs/WIRE.md)";
+      return out;
   }
-  if (tag == kTagSummary) {
-    core::Summary x = core::decode_summary(d);
-    if (strict && !d.complete()) return std::nullopt;
-    return Message{std::move(x)};
-  }
-  return std::nullopt;
+}
+
+std::optional<Message> decode_message(util::BufferView bytes) {
+  return std::move(decode_message_ex(bytes).value);
 }
 
 std::shared_ptr<const Message> DecodeCache::decode(const util::Buffer& payload) {
@@ -57,9 +120,9 @@ std::shared_ptr<const Message> DecodeCache::decode(const util::Buffer& payload) 
     }
   }
   ++misses_;
-  auto decoded = decode_message(payload.view());
-  if (!decoded.has_value()) return nullptr;  // malformed: not cached
-  auto msg = std::make_shared<const Message>(std::move(*decoded));
+  auto decoded = decode_message_ex(payload.view());
+  if (!decoded.ok()) return nullptr;  // malformed: not cached
+  auto msg = std::make_shared<const Message>(std::move(*decoded.value));
   if (cacheable) {
     if (order_.size() >= capacity_ && !order_.empty()) {
       by_key_.erase(order_.front());

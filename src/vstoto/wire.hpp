@@ -15,10 +15,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <variant>
 
+#include "core/codec.hpp"
 #include "core/label.hpp"
 #include "core/summary.hpp"
 #include "util/buffer.hpp"
@@ -29,9 +31,15 @@ namespace vsg::vstoto {
 /// VSTOTO message tags (docs/WIRE.md, "VSTOTO payload layer"). These bytes
 /// ride *inside* VS payloads — they are below the versioned frame header,
 /// so changing them does not need a frame version bump, but it does need a
-/// WIRE.md update and a scenario re-pin.
-inline constexpr std::uint8_t kTagLabeledValue = 1;
-inline constexpr std::uint8_t kTagSummary = 2;
+/// WIRE.md update and a scenario re-pin. Tags are self-describing: digest
+/// and delta bodies are varint-coded under every frame version, so decoders
+/// never need the carrying frame's version byte. The values are shared with
+/// the membership layer (wire::kPayload*), which peeks at them to classify
+/// state-exchange bytes.
+inline constexpr std::uint8_t kTagLabeledValue = wire::kPayloadValue;
+inline constexpr std::uint8_t kTagSummary = wire::kPayloadSummary;
+inline constexpr std::uint8_t kTagDigest = wire::kPayloadDigest;
+inline constexpr std::uint8_t kTagDelta = wire::kPayloadDelta;
 
 /// An ordinary message: a labeled client value.
 struct LabeledValue {
@@ -40,7 +48,8 @@ struct LabeledValue {
   bool operator==(const LabeledValue&) const = default;
 };
 
-using Message = std::variant<LabeledValue, core::Summary>;
+using Message =
+    std::variant<LabeledValue, core::Summary, core::SummaryDigest, core::SummaryDelta>;
 
 /// Exact wire size of encode_message(m) (Encoder::reserve hint).
 std::size_t encoded_message_size(const Message& m);
@@ -49,8 +58,13 @@ std::size_t encoded_message_size(const Message& m);
 /// vstoto_wire_test via Encoder::allocs()).
 util::Buffer encode_message(const Message& m);
 
-/// Decode from a borrowed view; nullopt on malformed input (defensive: the
-/// network layer hands us raw bytes).
+/// Outcome-based decode (the single public decode entry point, mirroring
+/// membership::decode_packet_ex): `error` names the reject reason iff
+/// `value` is disengaged. Defensive — the network layer hands us raw bytes.
+wire::DecodeOutcome<Message> decode_message_ex(util::BufferView bytes);
+
+/// Deprecated shim over decode_message_ex for callers that only need the
+/// optional (drops the diagnosis).
 std::optional<Message> decode_message(util::BufferView bytes);
 
 /// Deprecated shim for callers still holding plain bytes.

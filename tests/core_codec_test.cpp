@@ -1,0 +1,167 @@
+// The versioned Codec API (core/codec.hpp): one Codec<T> per wire type,
+// selected by the frame's version byte. Pins (a) round trips under every
+// version with exact size accounting, (b) byte-identity between the legacy
+// free-function shims and the v2 codec, (c) golden v3 bytes so the compact
+// layout cannot drift silently, and (d) the v3-smaller claim the whole PR
+// rests on.
+
+#include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+#include "core/summary.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::wire {
+namespace {
+
+Version all_versions[] = {Version::kV1, Version::kV2, Version::kV3};
+
+core::Label lab(std::uint64_t epoch, std::uint32_t seqno, ProcId origin) {
+  return core::Label{core::ViewId{epoch, 0}, seqno, origin};
+}
+
+core::Summary sample_summary() {
+  core::Summary x;
+  for (std::uint32_t s = 1; s <= 6; ++s) {
+    x.con.emplace(lab(3, s, 0), "value-" + std::to_string(s));
+    x.ord.push_back(lab(3, s, 0));
+  }
+  x.con.emplace(lab(3, 1, 2), "other");
+  x.next = 4;
+  x.high = core::ViewId{3, 1};
+  return x;
+}
+
+template <typename T>
+void roundtrip(const T& v) {
+  for (const Version w : all_versions) {
+    util::Encoder e;
+    Codec<T>::encode(e, v, w);
+    EXPECT_EQ(e.size(), Codec<T>::size(v, w)) << to_string(w);
+    util::Decoder d(e.bytes());
+    EXPECT_EQ(Codec<T>::decode(d, w), v) << to_string(w);
+    EXPECT_TRUE(d.complete()) << to_string(w);
+  }
+}
+
+TEST(Codec, ViewIdRoundTripsUnderEveryVersion) {
+  roundtrip(core::ViewId{0, 0});
+  roundtrip(core::ViewId{5, 2});
+  roundtrip(core::ViewId{std::uint64_t{1} << 40, 31});
+}
+
+TEST(Codec, ViewRoundTripsUnderEveryVersion) {
+  roundtrip(core::View{core::ViewId{7, 1}, {0, 1, 2, 5}});
+  roundtrip(core::View{core::ViewId{}, {}});
+}
+
+TEST(Codec, LabelRoundTripsUnderEveryVersion) {
+  roundtrip(lab(0, 1, 0));
+  roundtrip(lab(300, 2, 3));
+  roundtrip(core::Label{core::ViewId{std::uint64_t{1} << 33, 4}, 1 << 20, 30});
+}
+
+TEST(Codec, SummaryRoundTripsUnderEveryVersion) {
+  roundtrip(core::Summary{});
+  roundtrip(sample_summary());
+}
+
+TEST(Codec, DigestAndDeltaRoundTripUnderV3) {
+  const core::SummaryDigest g = core::digest(sample_summary());
+  util::Encoder e;
+  Codec<core::SummaryDigest>::encode(e, g, Version::kV3);
+  EXPECT_EQ(e.size(), Codec<core::SummaryDigest>::size(g, Version::kV3));
+  util::Decoder d(e.bytes());
+  EXPECT_EQ(Codec<core::SummaryDigest>::decode(d, Version::kV3), g);
+  EXPECT_TRUE(d.complete());
+
+  const core::SummaryDelta dl = core::delta(sample_summary(), core::SummaryDigest{});
+  util::Encoder e2;
+  Codec<core::SummaryDelta>::encode(e2, dl, Version::kV3);
+  EXPECT_EQ(e2.size(), Codec<core::SummaryDelta>::size(dl, Version::kV3));
+  util::Decoder d2(e2.bytes());
+  EXPECT_EQ(Codec<core::SummaryDelta>::decode(d2, Version::kV3), dl);
+  EXPECT_TRUE(d2.complete());
+}
+
+TEST(Codec, LegacyShimsMatchV2Bytes) {
+  // The deprecated free functions are pinned to the legacy layout: their
+  // bytes must equal the v2 codec's, so existing v1/v2 frames and scenario
+  // pins keep decoding bit-identically.
+  const core::Summary x = sample_summary();
+  util::Encoder legacy;
+  core::encode(legacy, x);
+  util::Encoder v2;
+  Codec<core::Summary>::encode(v2, x, Version::kV2);
+  EXPECT_EQ(legacy.bytes(), v2.bytes());
+  EXPECT_EQ(core::encoded_size(x), Codec<core::Summary>::size(x, Version::kV2));
+
+  util::Decoder d(legacy.bytes());
+  EXPECT_EQ(core::decode_summary(d), x);
+  EXPECT_TRUE(d.complete());
+}
+
+TEST(Codec, GoldenV3Bytes) {
+  // Hand-assembled expected bytes; a layout change must show up here as a
+  // deliberate golden update, never as silent drift (see docs/WIRE.md).
+  util::Encoder ev;
+  Codec<core::ViewId>::encode(ev, core::ViewId{5, 2}, Version::kV3);
+  EXPECT_EQ(ev.bytes(), (util::Bytes{0x05, 0x02}));
+
+  // Label (epoch 300, id.origin 1, seqno 2, origin 3) from a fresh chain.
+  // The chain's initial predecessor is a default Label (seqno 1), so the
+  // deltas are 300, 1, 1, 3 — zigzagged 600, 2, 2, 6; 600 = 0xD8 0x04 in
+  // LEB128.
+  util::Encoder el;
+  Codec<core::Label>::encode(el, core::Label{core::ViewId{300, 1}, 2, 3}, Version::kV3);
+  EXPECT_EQ(el.bytes(), (util::Bytes{0xD8, 0x04, 0x02, 0x02, 0x06}));
+}
+
+TEST(Codec, ChainedLabelsCostOneOrTwoBytesEach) {
+  // The delta-coding claim: consecutive labels of one stream differ only in
+  // seqno, so each label after the first costs 4 svarints of mostly zero.
+  std::vector<core::Label> run;
+  for (std::uint32_t s = 1; s <= 100; ++s) run.push_back(lab(9, s, 2));
+  LabelChain chain;
+  std::size_t total = 0;
+  for (const auto& l : run) total += chain.size(l);
+  // First label pays for the epoch; the other 99 are 4 one-byte svarints.
+  EXPECT_LE(total, 5 + 99 * 4u);
+  // Fixed-width v2 spends 20 bytes per label, unconditionally.
+  EXPECT_EQ(Codec<core::Label>::size(run[0], Version::kV2) * run.size(), 2000u);
+}
+
+TEST(Codec, V3SummariesAreSmallerThanV2) {
+  const core::Summary x = sample_summary();
+  EXPECT_LT(Codec<core::Summary>::size(x, Version::kV3),
+            Codec<core::Summary>::size(x, Version::kV2) / 2);
+  // And the digest is far smaller still than either.
+  const core::SummaryDigest g = core::digest(x);
+  EXPECT_LT(Codec<core::SummaryDigest>::size(g, Version::kV3),
+            Codec<core::Summary>::size(x, Version::kV3) / 2);
+}
+
+TEST(Codec, TruncatedV3InputSetsNotOk) {
+  const core::Summary x = sample_summary();
+  util::Encoder e;
+  Codec<core::Summary>::encode(e, x, Version::kV3);
+  for (std::size_t keep = 0; keep < e.size(); keep += 3) {
+    util::Bytes cut(e.bytes().begin(),
+                    e.bytes().begin() + static_cast<std::ptrdiff_t>(keep));
+    util::Decoder d(cut);
+    (void)Codec<core::Summary>::decode(d, Version::kV3);
+    EXPECT_FALSE(d.complete()) << keep;
+  }
+}
+
+TEST(Codec, KnownVersionPredicate) {
+  EXPECT_FALSE(known_version(0));
+  EXPECT_TRUE(known_version(1));
+  EXPECT_TRUE(known_version(2));
+  EXPECT_TRUE(known_version(3));
+  EXPECT_FALSE(known_version(4));
+  EXPECT_FALSE(known_version(0x7F));
+}
+
+}  // namespace
+}  // namespace vsg::wire

@@ -45,6 +45,7 @@ util::Buffer encode_warm(Token& t, WireFormat w = kDefaultWireFormat,
   const Token& encoded = std::get<Token>(pkt);
   t.entries_wire = encoded.entries_wire;
   t.entries_segs = encoded.entries_segs;
+  t.segs_version = encoded.segs_version;
   return wire;
 }
 

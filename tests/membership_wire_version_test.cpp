@@ -71,8 +71,8 @@ TEST(WireVersion, V1AndV2AgreeOnDecodedContent) {
   EXPECT_TRUE(packets_equal(*v1.packet, *v2.packet));
 }
 
-TEST(WireVersion, MeasuredSizeIsExactForBothVersions) {
-  for (const WireFormat w : {WireFormat::kV1, WireFormat::kV2})
+TEST(WireVersion, MeasuredSizeIsExactForEveryVersion) {
+  for (const WireFormat w : {WireFormat::kV1, WireFormat::kV2, WireFormat::kV3})
     for (const auto& pkt : sample_packets())
       EXPECT_EQ(encode_packet(pkt, w).size(), encoded_packet_size(pkt, w))
           << to_string(w) << " tag index " << pkt.index();
@@ -90,12 +90,53 @@ TEST(WireVersion, V2BatchesSameSourceRunsIntoOneSegmentHeader) {
   EXPECT_EQ(v1 - v2, 4 * 3 - 8);
 }
 
+TEST(WireVersion, V3FramesRoundTripForEveryPacketKind) {
+  for (const auto& pkt : sample_packets()) {
+    const auto v3 = encode_packet(pkt, WireFormat::kV3);
+    ASSERT_EQ(v3.view()[0], 3u);
+    const auto back = decode_packet_ex(v3);
+    ASSERT_TRUE(back.ok()) << back.error;
+    EXPECT_TRUE(packets_equal(pkt, *back.packet)) << "tag index " << pkt.index();
+  }
+}
+
+TEST(WireVersion, V3TokenFramesAreSmallerThanV2) {
+  // Varint scalars, delta-coded viewids and uvarint segment headers all
+  // shrink; the riding payload bytes themselves are incompressible.
+  const Packet pkt{sample_token()};
+  EXPECT_LT(encoded_packet_size(pkt, WireFormat::kV3),
+            encoded_packet_size(pkt, WireFormat::kV2));
+}
+
+TEST(WireVersion, WarmSegmentCacheIsNotSplicedAcrossVersions) {
+  // Per-segment caches hold bytes in one version's layout; re-encoding the
+  // same token under another version must rebuild, not splice stale bytes.
+  Token t = sample_token();
+  Packet warm{t};
+  (void)encode_packet(warm, WireFormat::kV2);  // warms the copy's caches
+  Token warmed = std::get<Token>(warm);
+  ASSERT_EQ(warmed.segs_version, 2u);
+
+  const auto v3_from_warm = encode_packet(Packet{warmed}, WireFormat::kV3);
+  Token cold = sample_token();
+  const auto v3_cold = encode_packet(Packet{cold}, WireFormat::kV3);
+  EXPECT_EQ(v3_from_warm, v3_cold);
+  const auto back = decode_packet_ex(v3_from_warm);
+  ASSERT_TRUE(back.ok()) << back.error;
+  EXPECT_TRUE(packets_equal(Packet{sample_token()}, *back.packet));
+
+  // Re-encoding under the warm version splices (byte-identical output).
+  const auto v2_again = encode_packet(Packet{warmed}, WireFormat::kV2);
+  Token cold2 = sample_token();
+  EXPECT_EQ(v2_again, encode_packet(Packet{cold2}, WireFormat::kV2));
+}
+
 TEST(WireVersion, UnknownVersionByteRejectedWithClearError) {
   auto bytes = encode_packet(Packet{Probe{std::nullopt}}).to_bytes();
-  bytes[0] = 3;  // one past the newest known version
+  bytes[0] = 4;  // one past the newest known version
   const auto out = decode_packet_ex(util::Buffer{bytes});
   EXPECT_FALSE(out.ok());
-  EXPECT_NE(out.error.find("unknown wire version 3"), std::string::npos) << out.error;
+  EXPECT_NE(out.error.find("unknown wire version 4"), std::string::npos) << out.error;
   EXPECT_NE(out.error.find("docs/WIRE.md"), std::string::npos) << out.error;
 }
 

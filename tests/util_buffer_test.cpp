@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/buffer.hpp"
 
@@ -56,6 +60,29 @@ TEST(Buffer, StorageIdsAreUniqueAndNeverReused) {
   const std::uint64_t third = Buffer(bytes({1})).id();
   EXPECT_NE(third, first);
   EXPECT_NE(third, second);
+}
+
+TEST(Buffer, StorageIdsStayUniqueAcrossThreads) {
+  // The uid counter is relaxed-atomic: the simulator is single-threaded,
+  // but harnesses and tools allocate buffers from worker threads, and a
+  // duplicated id would silently poison the decode caches keyed on it.
+  constexpr int kPerThread = 20000;
+  std::vector<std::uint64_t> ids[2];
+  std::thread workers[2];
+  for (int t = 0; t < 2; ++t) {
+    ids[t].reserve(kPerThread);
+    workers[t] = std::thread([&ids, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        ids[t].push_back(Buffer(Bytes{static_cast<std::uint8_t>(i)}).id());
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<std::uint64_t> all;
+  all.reserve(2 * kPerThread);
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate storage uid handed to two threads";
 }
 
 TEST(Buffer, SliceSharesStorage) {

@@ -1,0 +1,206 @@
+// Varint primitives (docs/WIRE.md, "Varint rules"): LEB128 uvarint and
+// zigzag svarint, property-tested against an independent naive mirror
+// encoder, plus boundary, truncation and random-byte fuzz coverage. The
+// VarintFuzz suite is the decoder-hardening half; check.sh runs it under
+// the sanitizer build.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::util {
+namespace {
+
+// Independent mirror of the production LEB128 encoder: written from the
+// format description, not from serde.cpp, so a shared bug would have to be
+// made twice.
+Bytes mirror_uvarint(std::uint64_t v) {
+  Bytes out;
+  do {
+    std::uint8_t byte = v & 0x7F;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (v != 0);
+  return out;
+}
+
+Bytes mirror_svarint(std::int64_t v) {
+  // Zigzag by definition: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+  const std::uint64_t z = v >= 0 ? 2 * static_cast<std::uint64_t>(v)
+                                 : 2 * (~static_cast<std::uint64_t>(v)) + 1;
+  return mirror_uvarint(z);
+}
+
+std::vector<std::uint64_t> boundary_values() {
+  std::vector<std::uint64_t> vs{0, 1, 2};
+  for (int shift = 7; shift < 64; shift += 7) {
+    const std::uint64_t edge = std::uint64_t{1} << shift;
+    vs.push_back(edge - 1);
+    vs.push_back(edge);
+    vs.push_back(edge + 1);
+  }
+  vs.push_back(std::numeric_limits<std::uint64_t>::max() - 1);
+  vs.push_back(std::numeric_limits<std::uint64_t>::max());
+  return vs;
+}
+
+TEST(VarintProperty, UvarintMatchesMirrorEncoderAtBoundaries) {
+  for (const std::uint64_t v : boundary_values()) {
+    Encoder e;
+    e.uvarint(v);
+    EXPECT_EQ(e.bytes(), mirror_uvarint(v)) << v;
+    EXPECT_EQ(e.size(), uvarint_size(v)) << v;
+    Decoder d(e.bytes());
+    EXPECT_EQ(d.uvarint(), v);
+    EXPECT_TRUE(d.complete()) << v;
+  }
+}
+
+TEST(VarintProperty, SvarintMatchesMirrorEncoderAtBoundaries) {
+  std::vector<std::int64_t> vs{0, -1, 1, -64, 63, -65, 64,
+                               std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max()};
+  for (const std::uint64_t u : boundary_values()) {
+    vs.push_back(static_cast<std::int64_t>(u));
+    vs.push_back(-static_cast<std::int64_t>(u >> 1));
+  }
+  for (const std::int64_t v : vs) {
+    Encoder e;
+    e.svarint(v);
+    EXPECT_EQ(e.bytes(), mirror_svarint(v)) << v;
+    EXPECT_EQ(e.size(), svarint_size(v)) << v;
+    Decoder d(e.bytes());
+    EXPECT_EQ(d.svarint(), v);
+    EXPECT_TRUE(d.complete()) << v;
+  }
+}
+
+TEST(VarintProperty, RandomValuesRoundTripAndMatchMirror) {
+  util::Rng rng(20260808);
+  for (int i = 0; i < 20000; ++i) {
+    // Bias toward small widths so every length 1..10 is exercised.
+    const int bits = static_cast<int>(rng.below(65));
+    const std::uint64_t u =
+        bits == 0 ? 0 : rng.next() >> (64 - bits);
+    Encoder e;
+    e.uvarint(u);
+    ASSERT_EQ(e.bytes(), mirror_uvarint(u)) << u;
+    Decoder d(e.bytes());
+    ASSERT_EQ(d.uvarint(), u);
+    ASSERT_TRUE(d.complete());
+
+    const std::int64_t s = static_cast<std::int64_t>(rng.next() >> (64 - 1 - rng.below(64)));
+    Encoder es;
+    es.svarint(s);
+    ASSERT_EQ(es.bytes(), mirror_svarint(s)) << s;
+    Decoder ds(es.bytes());
+    ASSERT_EQ(ds.svarint(), s);
+    ASSERT_TRUE(ds.complete());
+  }
+}
+
+TEST(VarintProperty, ZigzagIsItsOwnInverseAndOrdersByMagnitude) {
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                               std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max()})
+    EXPECT_EQ(unzigzag(zigzag(v)), v) << v;
+  // Small magnitudes of either sign get 1-byte codes.
+  EXPECT_EQ(svarint_size(-64), 1u);
+  EXPECT_EQ(svarint_size(63), 1u);
+  EXPECT_EQ(svarint_size(64), 2u);
+  EXPECT_EQ(svarint_size(-65), 2u);
+}
+
+TEST(VarintFuzz, TruncationAtEveryByteIsRejected) {
+  for (const std::uint64_t v : boundary_values()) {
+    Encoder e;
+    e.uvarint(v);
+    const Bytes& full = e.bytes();
+    for (std::size_t keep = 0; keep < full.size(); ++keep) {
+      // Truncation mid-varint only malforms when the kept prefix still has
+      // its continuation bit set; every proper prefix of a varint does.
+      const Bytes cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(keep));
+      Decoder d(cut);
+      (void)d.uvarint();
+      EXPECT_FALSE(d.ok()) << v << " truncated to " << keep;
+    }
+  }
+}
+
+TEST(VarintFuzz, OverlongAndUnterminatedEncodingsAreRejected) {
+  // 10 continuation bytes and nothing after: unterminated.
+  Bytes unterminated(10, 0xFF);
+  Decoder d1(unterminated);
+  (void)d1.uvarint();
+  EXPECT_FALSE(d1.ok());
+  // A 10th byte with payload bits above 2^64 would overflow; rejected.
+  Bytes overflow(9, 0x80);
+  overflow.push_back(0x02);  // bit 64
+  Decoder d2(overflow);
+  (void)d2.uvarint();
+  EXPECT_FALSE(d2.ok());
+  // The largest legal encoding (u64 max) still decodes.
+  Bytes max_enc = mirror_uvarint(std::numeric_limits<std::uint64_t>::max());
+  Decoder d3(max_enc);
+  EXPECT_EQ(d3.uvarint(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(d3.complete());
+}
+
+TEST(VarintFuzz, RandomBytesNeverCrashAndFailuresStick) {
+  // Hostility fuzz: arbitrary byte soup through uvarint/svarint/vstr/vraw.
+  // The decoder must never read out of bounds (ASan-checked in the
+  // sanitize stage) and once !ok() every further read stays zero.
+  util::Rng rng(424242);
+  for (int round = 0; round < 5000; ++round) {
+    Bytes soup;
+    const std::uint64_t len = rng.below(24);
+    for (std::uint64_t i = 0; i < len; ++i)
+      soup.push_back(static_cast<std::uint8_t>(rng.next()));
+    Decoder d(soup);
+    for (int reads = 0; reads < 6; ++reads) {
+      switch (rng.below(4)) {
+        case 0: (void)d.uvarint(); break;
+        case 1: (void)d.svarint(); break;
+        case 2: (void)d.vstr(); break;
+        default: (void)d.vraw_view(); break;
+      }
+      if (!d.ok()) {
+        (void)d.uvarint();
+        EXPECT_FALSE(d.ok());
+        EXPECT_EQ(d.uvarint(), 0u);
+        break;
+      }
+    }
+  }
+}
+
+TEST(VarintFuzz, DecodeOfValidStreamIsExactAndPositioned) {
+  // Interleave varints with fixed-width fields and length-prefixed blobs;
+  // decode must consume exactly what encode produced.
+  util::Rng rng(7);
+  for (int round = 0; round < 500; ++round) {
+    const std::uint64_t a = rng.next() >> rng.below(64);
+    const std::int64_t b = static_cast<std::int64_t>(rng.next());
+    Bytes blob;
+    for (std::uint64_t i = rng.below(9); i > 0; --i)
+      blob.push_back(static_cast<std::uint8_t>(rng.next()));
+    Encoder e;
+    e.uvarint(a);
+    e.u8(0x5A);
+    e.svarint(b);
+    e.vraw(BufferView(blob));
+    Decoder d(e.bytes());
+    EXPECT_EQ(d.uvarint(), a);
+    EXPECT_EQ(d.u8(), 0x5A);
+    EXPECT_EQ(d.svarint(), b);
+    EXPECT_EQ(d.vraw_view(), BufferView(blob));
+    EXPECT_TRUE(d.complete());
+  }
+}
+
+}  // namespace
+}  // namespace vsg::util

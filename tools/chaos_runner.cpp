@@ -23,6 +23,7 @@
 
 #include "chaos/campaign.hpp"
 #include "harness/scenario_parser.hpp"
+#include "membership/messages.hpp"
 #include "obs/json_exporter.hpp"
 #include "util/serde.hpp"
 
@@ -38,8 +39,12 @@ struct Options {
   bool smoke = false;
   bool shrink = true;
   bool inject_unchecked_decode = false;
+  bool cross_check = false;  // run each seed under wire v2 AND v3, compare
+  int wire = 0;              // 0: default; 1..3 pins the campaign frame layout
   double corrupt = 0.25;
   std::string replay_file;
+  std::string decode_frame_file;   // decode one canned frame file, report verdict
+  std::string emit_golden_dir;     // write the golden frame fixtures and exit
   std::string repro_dir;
   std::string export_path;
   std::string trace_out;  // replay mode: Chrome trace of the replayed run
@@ -76,6 +81,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.corrupt = std::atof(v);
+    } else if (arg == "--wire") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.wire = std::atoi(v);
+      if (!wire::known_version(static_cast<std::uint8_t>(opt.wire))) return false;
+    } else if (arg == "--cross-check") {
+      opt.cross_check = true;
     } else if (arg == "--smoke") {
       opt.smoke = true;
     } else if (arg == "--no-shrink") {
@@ -86,6 +98,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.replay_file = v;
+    } else if (arg == "--decode-frame") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.decode_frame_file = v;
+    } else if (arg == "--emit-golden-frames") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.emit_golden_dir = v;
     } else if (arg == "--until") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -123,6 +143,7 @@ chaos::CampaignConfig campaign_config(const Options& opt) {
   cfg.first_seed = opt.first_seed;
   cfg.seeds = opt.seeds;
   cfg.shrink = opt.shrink;
+  if (opt.wire != 0) cfg.ring.wire = static_cast<membership::WireFormat>(opt.wire);
   if (opt.smoke) {
     // CI preset: shorter chaos window and tail, fewer ops per seed, so 200
     // seeds finish in seconds while still covering every op kind.
@@ -160,8 +181,9 @@ int replay(const Options& opt) {
 
   chaos::CampaignConfig cfg = campaign_config(opt);
   if (parsed.meta.wire.has_value()) {
-    if (*parsed.meta.wire < 1 || *parsed.meta.wire > 2) {
-      std::fprintf(stderr, "%s pins wire v%d, but this build speaks v1 and v2 (docs/WIRE.md)\n",
+    if (!wire::known_version(static_cast<std::uint8_t>(*parsed.meta.wire))) {
+      std::fprintf(stderr,
+                   "%s pins wire v%d, but this build speaks v1, v2 and v3 (docs/WIRE.md)\n",
                    opt.replay_file.c_str(), *parsed.meta.wire);
       return 2;
     }
@@ -188,6 +210,133 @@ int replay(const Options& opt) {
     }
   }
   return result.ok() ? 0 : 1;
+}
+
+// The packet frozen into the golden frame fixtures (tests/wire/). check.sh
+// re-decodes the committed files on every run, so a layout change that can
+// no longer read old bytes fails the gate instead of shipping. Regenerate
+// (with --emit-golden-frames tests/wire) only when adding a version: the
+// existing files must keep decoding to this exact packet forever.
+membership::Packet golden_packet() {
+  membership::Token t;
+  t.gid = core::ViewId{6, 1};
+  t.lap = 11;
+  t.base = 3;
+  t.entries = {{0, util::Bytes{1, 2, 3}},
+               {0, util::Bytes{4}},
+               {2, util::Bytes{}},
+               {1, util::Bytes{5, 6}}};
+  t.delivered = {{0, 5}, {1, 4}, {2, 6}};
+  return membership::Packet{t};
+}
+
+bool write_binary(const std::string& path, const util::Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return true;
+}
+
+int emit_golden_frames(const Options& opt) {
+  const membership::Packet pkt = golden_packet();
+  for (int v = 1; v <= 3; ++v) {
+    const auto buf =
+        membership::encode_packet(pkt, static_cast<membership::WireFormat>(v));
+    if (!write_binary(opt.emit_golden_dir + "/golden_v" + std::to_string(v) + ".frame",
+                      buf.to_bytes()))
+      return 2;
+  }
+  // A structurally valid frame whose version byte is one past the newest
+  // known version: decoders must refuse it outright, never guess a layout.
+  auto unknown = membership::encode_packet(pkt, membership::WireFormat::kV3).to_bytes();
+  unknown[0] = 4;
+  if (!write_binary(opt.emit_golden_dir + "/unknown_version.frame", unknown)) return 2;
+  return 0;
+}
+
+int decode_frame(const Options& opt) {
+  std::ifstream in(opt.decode_frame_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opt.decode_frame_file.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string& s = buf.str();
+  util::Bytes bytes(s.begin(), s.end());
+  const std::uint8_t version = bytes.empty() ? 0 : bytes[0];
+  const auto out = membership::decode_packet_ex(util::Buffer{std::move(bytes)});
+  if (!out.ok()) {
+    std::printf("%s: refused — %s\n", opt.decode_frame_file.c_str(), out.error.c_str());
+    return 1;
+  }
+  std::printf("%s: v%u frame, packet tag %zu — decodes clean\n",
+              opt.decode_frame_file.c_str(), version, out.packet->index());
+  return 0;
+}
+
+// Wire cross-check: every seed's schedule runs twice — once under wire v2
+// (whole-summary state exchange) and once under wire v3 (digest/delta) —
+// and the two shadow runs must agree on every oracle verdict and on the
+// delivered (origin, value) sequence at every processor. This is the
+// equivalence claim behind the v3 exchange: the compact protocol changes
+// how knowledge moves, never what gets delivered.
+int cross_check(const Options& opt) {
+  chaos::CampaignConfig base = campaign_config(opt);
+  std::printf("wire cross-check: %d seeds from %llu, n=%d, v2 (full summary) vs v3 "
+              "(digest/delta)%s\n",
+              base.seeds, static_cast<unsigned long long>(base.first_seed),
+              base.schedule.n, opt.smoke ? " (smoke preset)" : "");
+
+  chaos::CampaignConfig full = base;
+  full.ring.wire = membership::WireFormat::kV2;
+  chaos::CampaignConfig delta = base;
+  delta.ring.wire = membership::WireFormat::kV3;
+
+  int mismatches = 0;
+  int dirty = 0;
+  for (int i = 0; i < base.seeds; ++i) {
+    const std::uint64_t seed = base.first_seed + static_cast<std::uint64_t>(i);
+    const chaos::GeneratedSchedule schedule = chaos::generate_schedule(base.schedule, seed);
+    const auto v2 = chaos::run_one(full, schedule.scenario, base.schedule.n, seed,
+                                   schedule.run_until, schedule.bcasts);
+    const auto v3 = chaos::run_one(delta, schedule.scenario, base.schedule.n, seed,
+                                   schedule.run_until, schedule.bcasts);
+    if (!v2.ok() || !v3.ok()) {
+      ++dirty;
+      std::printf("seed %llu: violations under %s\n",
+                  static_cast<unsigned long long>(seed),
+                  !v2.ok() && !v3.ok() ? "both wires" : (!v2.ok() ? "v2" : "v3"));
+      for (const auto& v : v2.violations) std::printf("  [v2] %s\n", v.c_str());
+      for (const auto& v : v3.violations) std::printf("  [v3] %s\n", v.c_str());
+    }
+    if (v2.violations != v3.violations) {
+      ++mismatches;
+      std::printf("seed %llu MISMATCH: oracle verdicts differ (%zu under v2, %zu under v3)\n",
+                  static_cast<unsigned long long>(seed), v2.violations.size(),
+                  v3.violations.size());
+    }
+    if (v2.delivery_fingerprint != v3.delivery_fingerprint ||
+        v2.delivered_total != v3.delivered_total) {
+      ++mismatches;
+      std::printf("seed %llu MISMATCH: deliveries diverge (v2 %llu values fp=%016llx, "
+                  "v3 %llu values fp=%016llx)\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(v2.delivered_total),
+                  static_cast<unsigned long long>(v2.delivery_fingerprint),
+                  static_cast<unsigned long long>(v3.delivered_total),
+                  static_cast<unsigned long long>(v3.delivery_fingerprint));
+    }
+  }
+  std::printf("%d/%d seeds agree across wires (%d with violations under some wire)\n",
+              base.seeds - mismatches, base.seeds, dirty);
+  if (mismatches > 0) return 1;
+  return dirty > 0 ? 1 : 0;
 }
 
 int campaign(const Options& opt) {
@@ -266,12 +415,17 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--first-seed S] [--n N] [--backend ring|spec]\n"
-                 "          [--corrupt P] [--smoke] [--no-shrink] [--repro-dir DIR]\n"
-                 "          [--export PATH] [--inject-unchecked-decode]\n"
-                 "          [--replay FILE [--until T] [--trace-out PATH]]\n",
+                 "          [--corrupt P] [--wire 1|2|3] [--cross-check] [--smoke]\n"
+                 "          [--no-shrink] [--repro-dir DIR] [--export PATH]\n"
+                 "          [--inject-unchecked-decode]\n"
+                 "          [--replay FILE [--until T] [--trace-out PATH]]\n"
+                 "          [--decode-frame FILE] [--emit-golden-frames DIR]\n",
                  argv[0]);
     return 2;
   }
   if (opt.inject_unchecked_decode) util::set_unchecked_decode_for_test(true);
-  return opt.replay_file.empty() ? campaign(opt) : replay(opt);
+  if (!opt.emit_golden_dir.empty()) return emit_golden_frames(opt);
+  if (!opt.decode_frame_file.empty()) return decode_frame(opt);
+  if (!opt.replay_file.empty()) return replay(opt);
+  return opt.cross_check ? cross_check(opt) : campaign(opt);
 }
