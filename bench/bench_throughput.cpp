@@ -5,10 +5,13 @@
 // and measure confirmed deliveries per second at one processor, sweeping n
 // and pi.
 //
-// With `--export PATH` the full sweep's metrics registry (shared across
-// every World in the sweep) is written as a vsg-metrics-v1 JSON snapshot;
-// see docs/OBSERVABILITY.md. `--wire 1|2|3` pins the frame layout
-// (docs/WIRE.md; default v2) — protocol counters are bit-identical across
+// With `--export PATH` the full sweep's metrics registry (per-cell
+// registries merged in cell order) is written as a vsg-metrics-v1 JSON
+// snapshot; see docs/OBSERVABILITY.md. `--jobs N` runs the sweep's
+// independent Worlds on N threads (0 = hardware concurrency) — counters in
+// the merged snapshot are identical to a sequential run, only the wall
+// clock moves. `--wire 1|2|3` pins the frame layout
+// (docs/WIRE.md; default v3) — protocol counters are bit-identical across
 // v1/v2, only the encode-cache counters (ring.entries_rebuilds vs
 // ring.entries_spliced) and byte counts move. v3 additionally switches the
 // state exchange to digest/delta mode (two exchange messages per member
@@ -26,7 +29,9 @@
 #include <cstring>
 #include <memory>
 #include <set>
+#include <vector>
 
+#include "exec/parallel.hpp"
 #include "harness/stats.hpp"
 #include "harness/world.hpp"
 #include "obs/json_exporter.hpp"
@@ -115,8 +120,16 @@ int main(int argc, char** argv) {
   const auto export_path = obs::export_path_from_args(argc, argv);
   auto wire = membership::kDefaultWireFormat;
   bool churn = false;
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--churn") == 0) churn = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[i + 1]);
+      if (jobs < 0) {
+        std::fprintf(stderr, "--jobs takes a non-negative count (0 = hardware)\n");
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--wire") != 0 || i + 1 >= argc) continue;
     const int v = std::atoi(argv[i + 1]);
     if (!wire::known_version(static_cast<std::uint8_t>(v))) {
@@ -126,15 +139,28 @@ int main(int argc, char** argv) {
     wire = static_cast<membership::WireFormat>(v);
   }
   auto metrics = std::make_shared<obs::MetricsRegistry>();
+  const std::int64_t sweep_start = obs::wall_now_us();
 
   if (churn) {
-    std::printf("E6-churn: crash/rejoin state-exchange traffic (wire %s)\n\n",
-                membership::to_string(wire));
+    std::printf("E6-churn: crash/rejoin state-exchange traffic (wire %s, jobs %d)\n\n",
+                membership::to_string(wire),
+                exec::effective_jobs(jobs, 3));
     const std::vector<int> widths{6, 4, 14};
     std::printf("%s\n", harness::fmt_row({"seed", "n", "deliveries"}, widths).c_str());
+    // Parallel axis: each seed runs its own World with its own registry;
+    // the per-cell registries merge into the shared one in seed order, so
+    // the exported counters are identical to a sequential shared-registry
+    // sweep (merge is associative/commutative over counter adds).
+    std::vector<std::shared_ptr<obs::MetricsRegistry>> cell_metrics(3);
+    std::vector<std::uint64_t> cell_delivered(3);
+    exec::run_parallel(jobs, cell_metrics.size(), [&](std::size_t i) {
+      cell_metrics[i] = std::make_shared<obs::MetricsRegistry>();
+      cell_delivered[i] = run_churn(5, sim::msec(40), 3100 + i, wire, cell_metrics[i]);
+    });
     for (std::uint64_t i = 0; i < 3; ++i) {
       const std::uint64_t seed = 3100 + i;
-      const std::uint64_t delivered = run_churn(5, sim::msec(40), seed, wire, metrics);
+      const std::uint64_t delivered = cell_delivered[i];
+      metrics->merge_from(*cell_metrics[i]);
       metrics->gauge("bench.churn_deliveries.seed" + std::to_string(seed))
           .set(static_cast<std::int64_t>(delivered));
       std::printf("%s\n",
@@ -163,32 +189,57 @@ int main(int argc, char** argv) {
                     metrics->counter("to.labels_assigned").value()));
   } else {
     std::printf(
-        "E6: confirmed-delivery throughput vs ring size and token spacing (wire %s)\n\n",
-        membership::to_string(wire));
+        "E6: confirmed-delivery throughput vs ring size and token spacing (wire %s, "
+        "jobs %d)\n\n",
+        membership::to_string(wire), exec::effective_jobs(jobs, 15));
     const std::vector<int> widths{4, 10, 14, 16};
     std::printf("%s\n",
                 harness::fmt_row({"n", "pi", "deliv/sec", "offered/sec"}, widths).c_str());
-    for (int n : {2, 3, 4, 6, 8}) {
-      for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)}) {
-        const double rate = run_one(n, pi, 2200 + n, wire, metrics);
-        const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
-        metrics
-            ->gauge("bench.deliv_per_sec.n" + std::to_string(n) + ".pi_ms" +
-                    std::to_string(pi / 1000))
-            .set(static_cast<std::int64_t>(rate));
-        char r[24], o[24];
-        std::snprintf(r, sizeof r, "%.0f", rate);
-        std::snprintf(o, sizeof o, "%.0f", offered);
-        std::printf("%s\n", harness::fmt_row({std::to_string(n), harness::fmt_time(pi), r, o},
-                                             widths)
-                                .c_str());
-      }
+    struct Cell {
+      int n;
+      sim::Time pi;
+    };
+    std::vector<Cell> cells;
+    for (int n : {2, 3, 4, 6, 8})
+      for (sim::Time pi : {sim::msec(20), sim::msec(40), sim::msec(80)})
+        cells.push_back({n, pi});
+    // Same pattern as the churn sweep: independent Worlds in parallel,
+    // per-cell registries, deterministic cell-order merge afterwards.
+    std::vector<std::shared_ptr<obs::MetricsRegistry>> cell_metrics(cells.size());
+    std::vector<double> cell_rate(cells.size());
+    exec::run_parallel(jobs, cells.size(), [&](std::size_t i) {
+      cell_metrics[i] = std::make_shared<obs::MetricsRegistry>();
+      cell_rate[i] =
+          run_one(cells[i].n, cells[i].pi, 2200 + cells[i].n, wire, cell_metrics[i]);
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const int n = cells[i].n;
+      const sim::Time pi = cells[i].pi;
+      const double rate = cell_rate[i];
+      metrics->merge_from(*cell_metrics[i]);
+      const double offered = static_cast<double>(n) / (static_cast<double>(pi / 4) / 1e6);
+      metrics
+          ->gauge("bench.deliv_per_sec.n" + std::to_string(n) + ".pi_ms" +
+                  std::to_string(pi / 1000))
+          .set(static_cast<std::int64_t>(rate));
+      char r[24], o[24];
+      std::snprintf(r, sizeof r, "%.0f", rate);
+      std::snprintf(o, sizeof o, "%.0f", offered);
+      std::printf("%s\n", harness::fmt_row({std::to_string(n), harness::fmt_time(pi), r, o},
+                                           widths)
+                              .c_str());
     }
     std::printf(
         "\nreading: the token batches, so throughput tracks the offered load (all\n"
         "submitted values are confirmed) while latency is governed by pi (see E2);\n"
         "the serialization point does not collapse as n grows.\n");
   }
+
+  // Wall-clock evidence for the parallel axis: total sweep time and the
+  // job count land in the exported snapshot next to the per-run
+  // bench.run_wall histogram.
+  metrics->gauge("bench.sweep_wall_us").set(obs::wall_now_us() - sweep_start);
+  metrics->gauge("bench.jobs").set(exec::effective_jobs(jobs, churn ? 3 : 15));
 
   if (export_path) {
     if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_throughput")) {

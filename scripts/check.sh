@@ -36,10 +36,26 @@ fi
 
 # Chaos smoke campaign (docs/CHAOS.md): 200 fixed seeds under the full
 # oracle set must run clean, and the campaign metrics must export.
-./build/tools/chaos_runner --seeds 200 --smoke --export build/CHAOS_smoke.json
+./build/tools/chaos_runner --seeds 200 --smoke --export build/CHAOS_smoke.json \
+    | tee build/chaos_smoke_jobs1.out
 grep -q '"schema": "vsg-metrics-v1"' build/CHAOS_smoke.json
 grep -q '"chaos.runs": 200' build/CHAOS_smoke.json
 grep -q '"chaos.failures": 0' build/CHAOS_smoke.json
+
+# Parallel determinism gate (docs/CHAOS.md, "Parallel execution"): the same
+# campaign fanned out across 4 worker threads must produce a bit-identical
+# campaign fingerprint (order-sensitive fold over every seed's verdict and
+# delivery fingerprint) — Worlds share no mutable state, so jobs must only
+# change wall-clock, never results.
+./build/tools/chaos_runner --seeds 200 --smoke --jobs 4 \
+    | tee build/chaos_smoke_jobs4.out
+fp1=$(grep -o 'campaign fingerprint [0-9a-f]*' build/chaos_smoke_jobs1.out)
+fp4=$(grep -o 'campaign fingerprint [0-9a-f]*' build/chaos_smoke_jobs4.out)
+test -n "$fp1"
+if [ "$fp1" != "$fp4" ]; then
+  echo "check.sh: campaign fingerprint differs across --jobs ($fp1 vs $fp4)" >&2
+  exit 1
+fi
 
 # Wire cross-check (docs/WIRE.md, "v3 state exchange"): the same chaos
 # schedules under wire v2 (full summaries) and v3 (digest/delta) must agree
@@ -71,12 +87,16 @@ grep -q '"tobrcv"' build/replay.trace.json
 grep -q '"view.state_exchange"' build/replay.trace.json
 
 # The injected-fault demo: with the historical decode bug re-enabled, the
-# same oracles must catch it (exit 1) on its minimized repro.
-if ./build/tools/chaos_runner --replay tests/scenarios/chaos_seed75_unchecked_decode.scn \
-    --inject-unchecked-decode >/dev/null; then
-  echo "check.sh: injected decode fault was NOT caught" >&2
-  exit 1
-fi
+# same oracles must catch it (exit 1) on its minimized repros — one per
+# wire layout (v1 bytes: seed 75; v3 bytes: seed 138), since corruption
+# offsets that slip past an unchecked decoder are layout-dependent.
+for scn in tests/scenarios/chaos_seed75_unchecked_decode.scn \
+           tests/scenarios/chaos_seed138_unchecked_decode.scn; do
+  if ./build/tools/chaos_runner --replay "$scn" --inject-unchecked-decode >/dev/null; then
+    echo "check.sh: injected decode fault was NOT caught ($scn)" >&2
+    exit 1
+  fi
+done
 
 # Sanitizer pass (docs/DATAPLANE.md): the zero-copy plane shares one
 # allocation across layers and holds slices past their parent Buffer, so the
@@ -91,5 +111,19 @@ cmake --build build-asan -j
 # (gtest exits 0 on an empty filter, hence the passed-count grep).
 ./build-asan/tests/util_test --gtest_filter='VarintFuzz.*' | grep -q '^\[  PASSED  \] [1-9]'
 ./build-asan/tools/chaos_runner --seeds 200 --smoke
+# Multi-job under ASan: the executor's thread pool plus per-World registries
+# must stay clean with sanitizers watching the shared globals.
+./build-asan/tools/chaos_runner --seeds 200 --smoke --jobs 4
+
+# Optional TSan pass (VSG_CHECK_TSAN=1): a third full build is expensive, so
+# it is opt-in. TSan is the authoritative check on the three cross-World
+# globals (thread_local decode flag, atomic log level, atomic storage uid) —
+# run the suite plus a multi-job smoke under it.
+if [ "${VSG_CHECK_TSAN:-0}" = "1" ]; then
+  cmake -B build-tsan -S . -DVSG_TSAN=ON
+  cmake --build build-tsan -j
+  (cd build-tsan && ctest --output-on-failure -j)
+  ./build-tsan/tools/chaos_runner --seeds 200 --smoke --jobs 4
+fi
 
 echo "check.sh: all green"

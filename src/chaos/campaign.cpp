@@ -3,8 +3,10 @@
 #include <stdexcept>
 
 #include "chaos/oracles.hpp"
+#include "exec/parallel.hpp"
 #include "harness/scenario_parser.hpp"
 #include "util/hash.hpp"
+#include "util/serde.hpp"
 #include "obs/json_util.hpp"
 #include "obs/trace_export.hpp"
 
@@ -53,6 +55,16 @@ void count_ops(const harness::Scenario& s, obs::MetricsRegistry& m) {
     else
       m.counter("chaos.ops.link_status").inc();
   }
+}
+
+// Order-sensitive fold of one seed's digest into the campaign fingerprint
+// (the first fold seeds the chain from the FNV offset basis).
+std::uint64_t fold_summary(std::uint64_t acc, const SeedSummary& s) {
+  const std::uint64_t words[4] = {s.seed, s.delivery_fingerprint, s.delivered_total,
+                                  s.violations};
+  return util::fnv1a(
+      util::BufferView(reinterpret_cast<const std::uint8_t*>(words), sizeof words),
+      acc == 0 ? util::kFnvOffset : acc);
 }
 
 }  // namespace
@@ -119,6 +131,7 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
     }
   }
   result.delivery_fingerprint = fp;
+  result.world_metrics = world.metrics().snapshot();
   if (capture_trace && world.tracer() != nullptr)
     result.flight_recorder = obs::chrome_trace_json(*world.tracer());
   return result;
@@ -133,16 +146,51 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   metrics->counter("chaos.failures");
   metrics->counter("chaos.violations");
   CampaignResult result;
+  if (cfg.seeds <= 0) return result;
+
+  // Phase 1 — run every seed, possibly in parallel. Each task touches only
+  // its own slot; schedule generation and the World are deterministic
+  // functions of (cfg, seed), so the slot contents are independent of jobs
+  // and of which thread ran them. The unchecked-decode injection flag is
+  // thread_local (util/serde.hpp), so each worker re-asserts the spawning
+  // thread's value before building its World.
+  struct SeedOutcome {
+    GeneratedSchedule schedule;
+    RunResult run;
+  };
+  std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(cfg.seeds));
+  const bool inject_unchecked = util::unchecked_decode();
+  exec::run_parallel(cfg.jobs, outcomes.size(), [&](std::size_t i) {
+    util::set_unchecked_decode_for_test(inject_unchecked);
+    const std::uint64_t seed = cfg.first_seed + static_cast<std::uint64_t>(i);
+    SeedOutcome& out = outcomes[i];
+    out.schedule = generate_schedule(cfg.schedule, seed);
+    out.run = run_one(cfg, out.schedule.scenario, cfg.schedule.n, seed,
+                      out.schedule.run_until, out.schedule.bcasts);
+  });
+
+  // Phase 2 — aggregate and shrink, serialized in seed order: metrics
+  // merges, op counting, fingerprint folding, and the ddmin re-runs all
+  // happen on this thread, so the campaign registry and failure list are
+  // bit-identical across jobs values.
   for (int i = 0; i < cfg.seeds; ++i) {
     const std::uint64_t seed = cfg.first_seed + static_cast<std::uint64_t>(i);
-    GeneratedSchedule schedule = generate_schedule(cfg.schedule, seed);
+    GeneratedSchedule& schedule = outcomes[static_cast<std::size_t>(i)].schedule;
+    RunResult& run = outcomes[static_cast<std::size_t>(i)].run;
     metrics->counter("chaos.runs").inc();
     count_ops(schedule.scenario, *metrics);
+    metrics->merge_from(run.world_metrics);
     result.ops += schedule.scenario.ops.size();
     ++result.runs;
 
-    RunResult run = run_one(cfg, schedule.scenario, cfg.schedule.n, seed,
-                            schedule.run_until, schedule.bcasts);
+    SeedSummary summary;
+    summary.seed = seed;
+    summary.delivery_fingerprint = run.delivery_fingerprint;
+    summary.delivered_total = run.delivered_total;
+    summary.violations = static_cast<std::uint32_t>(run.violations.size());
+    result.campaign_fingerprint = fold_summary(result.campaign_fingerprint, summary);
+    result.seed_results.push_back(summary);
+
     if (run.ok()) continue;
 
     metrics->counter("chaos.failures").inc();

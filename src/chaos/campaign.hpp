@@ -35,6 +35,12 @@ struct CampaignConfig {
   membership::TokenRingConfig ring;
   std::uint64_t first_seed = 1;
   int seeds = 50;
+  /// Worker threads for the per-seed run phase (exec::run_parallel): <= 1
+  /// runs seeds inline, 0 means hardware concurrency. Seeds are
+  /// independent Worlds, so any jobs value yields bit-identical verdicts,
+  /// delivery fingerprints, and merged metrics (docs/CHAOS.md, "Parallel
+  /// execution"); shrinking and reporting stay serialized in seed order.
+  int jobs = 1;
   bool check_recovery = true;
   bool shrink = true;
   ShrinkOptions shrink_options;
@@ -64,6 +70,11 @@ struct RunResult {
   /// Total values delivered across all processors (context for fingerprint
   /// mismatches).
   std::uint64_t delivered_total = 0;
+  /// Snapshot of the run's own World registry (net.*, ring.*, to.*, ...).
+  /// run_campaign folds these into the campaign registry in seed order via
+  /// obs::MetricsRegistry::merge_from, so the exported campaign snapshot
+  /// carries the protocol counters regardless of how many jobs ran.
+  obs::MetricsSnapshot world_metrics;
   bool ok() const { return violations.empty(); }
 };
 
@@ -94,10 +105,29 @@ struct Failure {
   std::string flight_recorder;
 };
 
+/// Per-seed outcome digest, recorded for every seed (clean or not) in seed
+/// order — the evidence the `--jobs 1` vs `--jobs N` equivalence claim is
+/// checked against.
+struct SeedSummary {
+  std::uint64_t seed = 0;
+  std::uint64_t delivery_fingerprint = 0;
+  std::uint64_t delivered_total = 0;
+  std::uint32_t violations = 0;
+
+  bool operator==(const SeedSummary&) const = default;
+};
+
 struct CampaignResult {
   int runs = 0;
   std::uint64_t ops = 0;  // total ops scheduled across all runs
   std::vector<Failure> failures;
+  /// One entry per seed, in seed order.
+  std::vector<SeedSummary> seed_results;
+  /// Order-sensitive fnv1a fold over seed_results: a single number that
+  /// differs iff any seed's verdict count, fingerprint, or delivery total
+  /// differs. chaos_runner prints it so two campaign invocations (e.g.
+  /// different --jobs) can be compared from their logs alone.
+  std::uint64_t campaign_fingerprint = 0;
   bool ok() const { return failures.empty(); }
 };
 

@@ -1,0 +1,60 @@
+#include "exec/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsg::exec {
+
+int effective_jobs(int n_jobs, std::size_t count) noexcept {
+  if (count == 0) return 1;
+  if (n_jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n_jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  const std::size_t cap = count < static_cast<std::size_t>(n_jobs)
+                              ? count
+                              : static_cast<std::size_t>(n_jobs);
+  return static_cast<int>(cap);
+}
+
+void run_parallel(int n_jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  const int jobs = effective_jobs(n_jobs, count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Work stealing in its simplest form: one shared cursor, each worker
+  // claims the next unclaimed index. No per-task allocation, natural load
+  // balancing when task costs vary (chaos seeds differ wildly in schedule
+  // length).
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs) - 1);
+  for (int t = 1; t < jobs; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vsg::exec

@@ -1,0 +1,45 @@
+#pragma once
+
+// Thread-pool execution of independent Worlds.
+//
+// The simulator stays single-threaded per World (determinism), but
+// independent Worlds — chaos campaign seeds, bench sweep cells — share no
+// state and are embarrassingly parallel. run_parallel fans an index range
+// out over a transient pool of worker threads; callers keep determinism by
+// writing task i's result into slot i of a pre-sized vector and doing all
+// cross-task aggregation afterwards, in index order, on the calling thread.
+//
+// Thread-safety contract (docs/CHAOS.md, "Parallel execution"): everything
+// a World touches is per-World except three process-wide pieces of state,
+// each made safe for concurrent Worlds —
+//   - util::Buffer storage uids: relaxed atomic counter,
+//   - util::Log level: relaxed atomic (sink swaps are mutex-guarded),
+//   - util::unchecked_decode(): thread_local, so the fault injection
+//     scopes to the thread running the World (tasks must re-assert it;
+//     see inherit note on run_parallel).
+
+#include <cstddef>
+#include <functional>
+
+namespace vsg::exec {
+
+/// Worker-thread count for `n_jobs` requested jobs over `count` tasks:
+/// clamps to [1, count] and resolves n_jobs <= 0 to the hardware
+/// concurrency (so `--jobs 0` means "use the machine").
+int effective_jobs(int n_jobs, std::size_t count) noexcept;
+
+/// Run fn(0) .. fn(count - 1), each exactly once, on up to n_jobs threads.
+///
+/// - n_jobs <= 1 (or count <= 1) degenerates to a plain in-order loop on
+///   the calling thread — the sequential baseline is the same code path.
+/// - Task order across threads is nondeterministic; tasks must be
+///   independent (no shared mutable state beyond their own result slot).
+/// - thread_local state (e.g. util::unchecked_decode()) is NOT inherited
+///   by workers; a task needing it must set it itself.
+/// - If any task throws, the first exception (in completion order) is
+///   rethrown on the calling thread after all workers drain; remaining
+///   tasks still run.
+void run_parallel(int n_jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace vsg::exec

@@ -32,7 +32,12 @@ namespace vsg::membership {
 using WireFormat = wire::Version;
 using wire::to_string;
 
-constexpr WireFormat kDefaultWireFormat = WireFormat::kV2;
+// v3 (varint/delta frame bodies + digest/delta state exchange) became the
+// default after its evaluation PR shipped a 22.9x state-exchange-bytes
+// drop at identical deliveries and a full v2-vs-v3 cross-checked campaign;
+// docs/WIRE.md records the flip recipe. v1/v2 remain fully decodable and
+// encodable (TokenRingConfig::wire / scenario `config wire` pins).
+constexpr WireFormat kDefaultWireFormat = WireFormat::kV3;
 
 /// The fixed-width frame prelude every packet starts with:
 /// u8 version | u32 checksum | u32 body length (9 bytes under every

@@ -52,6 +52,24 @@ std::int64_t Histogram::quantile_upper(double q) const noexcept {
   return max();
 }
 
+bool Histogram::merge(const HistogramSnapshot& other) noexcept {
+  if (other.unit != unit_ || other.bounds != bounds_ ||
+      other.buckets.size() != buckets_.size())
+    return false;
+  if (other.count == 0) return true;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets[i];
+  if (count_ == 0) {
+    min_ = other.min;
+    max_ = other.max;
+  } else {
+    min_ = std::min(min_, other.min);
+    max_ = std::max(max_, other.max);
+  }
+  count_ += other.count;
+  sum_ += other.sum;
+  return true;
+}
+
 std::vector<std::int64_t> default_latency_buckets() {
   // Microseconds; 1-2-5-ish ladder from 250us to 10s.
   return {250,     500,     1000,    2000,    5000,    10000,   20000,
@@ -84,6 +102,22 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool MetricsRegistry::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counter(name).inc(v);
+  for (const auto& [name, v] : other.gauges) gauge(name).add(v);
+  bool ok = true;
+  for (const auto& hs : other.histograms) {
+    // Create absent series with the source's exact shape (not via
+    // histogram(), whose empty-bounds default would mis-shape a
+    // deliberately boundless series).
+    auto it = histograms_.find(hs.name);
+    if (it == histograms_.end())
+      it = histograms_.emplace(hs.name, Histogram(hs.bounds, hs.unit)).first;
+    ok = it->second.merge(hs) && ok;
+  }
+  return ok;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -15,7 +15,10 @@
 //    Histogram* once at bind time and pay one pointer increment per event;
 //  - histograms carry a time unit (simulated vs wall microseconds) so an
 //    exported snapshot is self-describing;
-//  - no locking: the simulator is single-threaded by design.
+//  - no locking: a registry belongs to one World and each World runs on
+//    one thread. Parallel chaos/bench runs give every World its own
+//    registry and fold them afterwards with merge_from (deterministic in
+//    fold order) — registries are never shared across threads.
 
 #include <cstdint>
 #include <map>
@@ -61,6 +64,8 @@ enum class Unit : std::uint8_t { kSimMicros, kWallMicros, kCount };
 
 const char* to_string(Unit u) noexcept;
 
+struct HistogramSnapshot;
+
 /// Fixed-bucket histogram: `bounds` are strictly increasing inclusive
 /// upper bounds; one implicit +inf bucket is appended. Also tracks count,
 /// sum, min and max exactly.
@@ -89,6 +94,11 @@ class Histogram {
   /// q lands in the overflow bucket, 0 when empty. A bucketed estimate,
   /// not an exact order statistic.
   std::int64_t quantile_upper(double q) const noexcept;
+
+  /// Add another series of this exact shape (same unit, same bounds):
+  /// buckets and count/sum add, min/max combine. False (no change) on a
+  /// shape mismatch. Basis of MetricsRegistry::merge_from.
+  bool merge(const HistogramSnapshot& other) noexcept;
 
  private:
   std::vector<std::int64_t> bounds_;
@@ -149,6 +159,18 @@ class MetricsRegistry {
   }
 
   MetricsSnapshot snapshot() const;
+
+  /// Fold another registry's snapshot into this one: counters add, gauges
+  /// add, histograms add bucket-wise (created here with the source's
+  /// unit/bounds when absent). Merging is commutative and associative over
+  /// these operations, so folding per-World registries in a fixed (seed)
+  /// order yields the same totals as any other order — and the same totals
+  /// one shared registry would have accumulated single-threaded. A
+  /// histogram that already exists under the same name with a different
+  /// unit or bounds is a series mix-up; its samples are dropped and the
+  /// merge reports false (all other entries still merge).
+  bool merge_from(const MetricsSnapshot& other);
+  bool merge_from(const MetricsRegistry& other) { return merge_from(other.snapshot()); }
 
  private:
   std::map<std::string, Counter> counters_;

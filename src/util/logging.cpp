@@ -1,16 +1,28 @@
 #include "util/logging.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace vsg::util {
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
+// Read on every VSG_LOG macro expansion (the enabled() hot path) and
+// written by test/example/tool toggles, possibly while Worlds run on other
+// threads — hence atomic. Relaxed suffices: the level is an independent
+// flag, nothing is published through it.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 void default_sink(LogLevel level, const std::string& msg) {
   static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   const int idx = static_cast<int>(level);
   std::fprintf(stderr, "[%s] %s\n", idx >= 0 && idx < 4 ? names[idx] : "?", msg.c_str());
+}
+
+// The sink is cold (only reached once a line passed enabled()), so a plain
+// mutex keeps set_sink / write from racing without touching the hot path.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
 }
 
 Log::Sink& sink_ref() {
@@ -20,17 +32,36 @@ Log::Sink& sink_ref() {
 
 }  // namespace
 
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
-LogLevel Log::level() noexcept { return g_level; }
-void Log::set_sink(Sink sink) { sink_ref() = std::move(sink); }
-void Log::reset_sink() { sink_ref() = default_sink; }
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_ref() = std::move(sink);
+}
+
+void Log::reset_sink() {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_ref() = default_sink;
+}
 
 bool Log::enabled(LogLevel level) noexcept {
-  return static_cast<int>(level) >= static_cast<int>(g_level) && g_level != LogLevel::kOff;
+  const LogLevel cur = g_level.load(std::memory_order_relaxed);
+  return static_cast<int>(level) >= static_cast<int>(cur) && cur != LogLevel::kOff;
 }
 
 void Log::write(LogLevel level, const std::string& msg) {
-  if (enabled(level)) sink_ref()(level, msg);
+  if (!enabled(level)) return;
+  // Copy under the lock, call outside it: a sink that logs (or swaps the
+  // sink) must not deadlock.
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(sink_mutex());
+    sink = sink_ref();
+  }
+  if (sink) sink(level, msg);
 }
 
 }  // namespace vsg::util

@@ -6,6 +6,7 @@
 // it on to narrate protocol activity. All output goes through a single sink
 // so tests can capture it.
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -14,8 +15,13 @@ namespace vsg::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log configuration. Not thread-safe by design: the whole system is
-/// a single-threaded deterministic simulation (see DESIGN.md).
+/// Global log configuration, shared by every World in the process. Each
+/// World is single-threaded, but Worlds may run concurrently (chaos
+/// `--jobs`, bench sweeps), so the level is an atomic — enabled() does one
+/// relaxed load on the hot path — and the sink swap is mutex-guarded.
+/// The sink itself must be thread-safe if logging is enabled while
+/// parallel Worlds run (the default stderr sink is; campaign/bench runs
+/// are silent by default).
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

@@ -3,11 +3,17 @@
 namespace vsg::util {
 
 namespace {
-bool g_unchecked_decode = false;
+// thread_local, not a process global: the flag is read on every packet
+// decode, and independent Worlds may run on executor threads concurrently
+// (chaos --jobs, bench sweeps). A plain bool here was a data race the
+// moment two Worlds ran at once; per-thread scoping also means an
+// UncheckedDecodeGuard in one World can never leak the injection into a
+// World running on another thread.
+thread_local bool t_unchecked_decode = false;
 }  // namespace
 
-bool unchecked_decode() noexcept { return g_unchecked_decode; }
-void set_unchecked_decode_for_test(bool on) noexcept { g_unchecked_decode = on; }
+bool unchecked_decode() noexcept { return t_unchecked_decode; }
+void set_unchecked_decode_for_test(bool on) noexcept { t_unchecked_decode = on; }
 
 void Encoder::note_capacity() {
   if (buf_.capacity() != last_cap_) {

@@ -166,6 +166,12 @@ constexpr std::size_t svarint_size(std::int64_t v) noexcept {
 // ok()/complete()/checksum validation, so truncated or corrupted packets
 // decode as zero-filled messages instead of being rejected. Never enable
 // outside tests or `chaos_runner --inject-unchecked-decode`.
+//
+// The flag is thread_local: it scopes to the calling thread, i.e. to the
+// World the current thread is executing. Worlds running in parallel
+// (docs/CHAOS.md, "Parallel execution") each see their own flag, and a
+// guard taken on one thread neither injects into nor races with another.
+// Toggle it on the thread that runs the World, before the World decodes.
 
 bool unchecked_decode() noexcept;
 void set_unchecked_decode_for_test(bool on) noexcept;

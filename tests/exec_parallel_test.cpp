@@ -1,0 +1,92 @@
+// exec::run_parallel — the thread-pool World executor's contract: every
+// index exactly once, inline degeneration at jobs <= 1, job clamping,
+// exception propagation, and the per-thread scoping of the one
+// thread_local the Worlds depend on (util::unchecked_decode).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "util/serde.hpp"
+
+namespace vsg::exec {
+namespace {
+
+TEST(RunParallel, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  run_parallel(4, kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(RunParallel, SingleJobRunsInlineAndInOrder) {
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  run_parallel(1, 20, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: inline path, no concurrency
+  });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(RunParallel, ZeroTasksIsANoOp) {
+  run_parallel(8, 0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(RunParallel, EffectiveJobsClampsAndResolvesHardware) {
+  EXPECT_EQ(effective_jobs(1, 100), 1);
+  EXPECT_EQ(effective_jobs(4, 100), 4);
+  EXPECT_EQ(effective_jobs(8, 3), 3);   // never more workers than tasks
+  EXPECT_EQ(effective_jobs(4, 0), 1);   // empty range degenerates
+  EXPECT_GE(effective_jobs(0, 100), 1); // 0 = hardware concurrency, >= 1
+}
+
+TEST(RunParallel, FirstExceptionPropagatesAfterAllTasksRan) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(run_parallel(4, 50,
+                            [&](std::size_t i) {
+                              ran.fetch_add(1);
+                              if (i == 7) throw std::runtime_error("task 7");
+                            }),
+               std::runtime_error);
+  // Remaining tasks still ran; the pool drains before rethrowing.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// The cross-World thread-safety contract (docs/CHAOS.md): the decode
+// fault-injection flag is thread_local, so a fresh thread starts strict
+// even while the spawning thread has a guard up, and the fresh thread's
+// own toggle never leaks back.
+TEST(RunParallel, UncheckedDecodeIsPerThread) {
+  util::UncheckedDecodeGuard inject;  // this thread: injected
+  ASSERT_TRUE(util::unchecked_decode());
+
+  bool fresh_thread_saw = true;
+  std::thread t([&] {
+    fresh_thread_saw = util::unchecked_decode();
+    util::set_unchecked_decode_for_test(true);  // affects only this thread
+  });
+  t.join();
+  EXPECT_FALSE(fresh_thread_saw) << "guard leaked into a fresh thread";
+  EXPECT_TRUE(util::unchecked_decode());
+
+  // And on the executor: a pool worker never observes the caller's
+  // injection (tasks that need it must re-assert it themselves, as
+  // chaos/campaign.cpp does at task start).
+  std::atomic<int> leaked{0};
+  const auto caller = std::this_thread::get_id();
+  run_parallel(4, 64, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller && util::unchecked_decode())
+      leaked.fetch_add(1);
+  });
+  EXPECT_EQ(leaked.load(), 0);
+  EXPECT_TRUE(util::unchecked_decode());
+}
+
+}  // namespace
+}  // namespace vsg::exec

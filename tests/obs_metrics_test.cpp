@@ -113,6 +113,83 @@ TEST(Registry, HistogramKeepsFirstUnitAndBounds) {
   EXPECT_EQ(again.bounds(), (std::vector<std::int64_t>{1, 2, 3}));
 }
 
+// --- merge_from: the per-World -> campaign registry fold ------------------
+
+TEST(RegistryMerge, CountersGaugesAndHistogramsFold) {
+  MetricsRegistry a;
+  a.counter("net.packets_sent").inc(10);
+  a.gauge("to.order_depth").set(3);
+  Histogram& ha = a.histogram("lat", Unit::kSimMicros, {100, 1000});
+  ha.observe(50);
+  ha.observe(700);
+
+  MetricsRegistry b;
+  b.counter("net.packets_sent").inc(5);
+  b.counter("ring.token_rotations").inc(2);  // absent in a: created by merge
+  b.gauge("to.order_depth").set(4);
+  Histogram& hb = b.histogram("lat", Unit::kSimMicros, {100, 1000});
+  hb.observe(5000);
+
+  EXPECT_TRUE(a.merge_from(b));
+  EXPECT_EQ(a.counter("net.packets_sent").value(), 15u);
+  EXPECT_EQ(a.counter("ring.token_rotations").value(), 2u);
+  EXPECT_EQ(a.gauge("to.order_depth").value(), 7);  // gauges add
+  const Histogram& h = a.histogram("lat");
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 5750);
+  EXPECT_EQ(h.min(), 50);
+  EXPECT_EQ(h.max(), 5000);
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(RegistryMerge, EmptySourceHistogramLeavesExtremesAlone) {
+  MetricsRegistry a;
+  a.histogram("lat", Unit::kSimMicros, {10}).observe(5);
+  MetricsRegistry b;
+  b.histogram("lat", Unit::kSimMicros, {10});  // touched, never observed
+  EXPECT_TRUE(a.merge_from(b));
+  EXPECT_EQ(a.histogram("lat").count(), 1u);
+  EXPECT_EQ(a.histogram("lat").min(), 5);
+}
+
+TEST(RegistryMerge, MismatchedHistogramShapeIsRefused) {
+  MetricsRegistry a;
+  a.histogram("lat", Unit::kSimMicros, {100}).observe(1);
+  MetricsRegistry wrong_bounds;
+  wrong_bounds.histogram("lat", Unit::kSimMicros, {200}).observe(1);
+  MetricsRegistry wrong_unit;
+  wrong_unit.histogram("lat", Unit::kWallMicros, {100}).observe(1);
+
+  EXPECT_FALSE(a.merge_from(wrong_bounds));
+  EXPECT_FALSE(a.merge_from(wrong_unit));
+  // The target series is untouched by the refused merges.
+  EXPECT_EQ(a.histogram("lat").count(), 1u);
+}
+
+// Seed-order stability: the campaign folds per-World snapshots in seed
+// order, and because every merge operation is commutative and associative
+// (adds), any fold order gives identical totals — this is what makes
+// `--jobs N` metrics bit-identical to `--jobs 1`.
+TEST(RegistryMerge, FoldOrderDoesNotChangeTotals) {
+  auto make = [](std::uint64_t seed) {
+    MetricsRegistry r;
+    r.counter("net.packets_sent").inc(seed * 3 + 1);
+    r.gauge("watermark").add(static_cast<std::int64_t>(seed));
+    r.histogram("lat", Unit::kSimMicros, {100, 1000})
+        .observe(static_cast<std::int64_t>(seed * 90));
+    return r.snapshot();
+  };
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6};
+
+  MetricsRegistry forward;
+  for (auto s : seeds) EXPECT_TRUE(forward.merge_from(make(s)));
+  MetricsRegistry backward;
+  for (auto it = seeds.rbegin(); it != seeds.rend(); ++it)
+    EXPECT_TRUE(backward.merge_from(make(*it)));
+
+  EXPECT_EQ(forward.snapshot(), backward.snapshot());
+}
+
 TEST(Exporter, RoundTripsAFullRegistry) {
   MetricsRegistry reg;
   reg.counter("net.packets_sent").inc(123);

@@ -22,9 +22,11 @@
 #include <sstream>
 
 #include "chaos/campaign.hpp"
+#include "exec/parallel.hpp"
 #include "harness/scenario_parser.hpp"
 #include "membership/messages.hpp"
 #include "obs/json_exporter.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/serde.hpp"
 
 using namespace vsg;
@@ -34,6 +36,7 @@ namespace {
 struct Options {
   int seeds = 50;
   std::uint64_t first_seed = 1;
+  int jobs = 1;  // worker threads for per-seed runs; 0 = hardware concurrency
   int n = 4;
   harness::Backend backend = harness::Backend::kTokenRing;
   bool smoke = false;
@@ -63,6 +66,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.first_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.jobs = std::atoi(v);
+      if (opt.jobs < 0) return false;
     } else if (arg == "--n") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -142,6 +150,7 @@ chaos::CampaignConfig campaign_config(const Options& opt) {
   cfg.link.ugly_corrupt = opt.corrupt;
   cfg.first_seed = opt.first_seed;
   cfg.seeds = opt.seeds;
+  cfg.jobs = opt.jobs;
   cfg.shrink = opt.shrink;
   if (opt.wire != 0) cfg.ring.wire = static_cast<membership::WireFormat>(opt.wire);
   if (opt.smoke) {
@@ -298,15 +307,27 @@ int cross_check(const Options& opt) {
   chaos::CampaignConfig delta = base;
   delta.ring.wire = membership::WireFormat::kV3;
 
+  // Both shadow runs of every seed are independent Worlds; fan them out
+  // like the campaign does and report serially in seed order.
+  std::vector<chaos::RunResult> v2_runs(static_cast<std::size_t>(base.seeds));
+  std::vector<chaos::RunResult> v3_runs(static_cast<std::size_t>(base.seeds));
+  const bool inject = util::unchecked_decode();  // thread_local: re-assert per worker
+  exec::run_parallel(opt.jobs, v2_runs.size(), [&](std::size_t i) {
+    util::set_unchecked_decode_for_test(inject);
+    const std::uint64_t seed = base.first_seed + static_cast<std::uint64_t>(i);
+    const chaos::GeneratedSchedule schedule = chaos::generate_schedule(base.schedule, seed);
+    v2_runs[i] = chaos::run_one(full, schedule.scenario, base.schedule.n, seed,
+                                schedule.run_until, schedule.bcasts);
+    v3_runs[i] = chaos::run_one(delta, schedule.scenario, base.schedule.n, seed,
+                                schedule.run_until, schedule.bcasts);
+  });
+
   int mismatches = 0;
   int dirty = 0;
   for (int i = 0; i < base.seeds; ++i) {
     const std::uint64_t seed = base.first_seed + static_cast<std::uint64_t>(i);
-    const chaos::GeneratedSchedule schedule = chaos::generate_schedule(base.schedule, seed);
-    const auto v2 = chaos::run_one(full, schedule.scenario, base.schedule.n, seed,
-                                   schedule.run_until, schedule.bcasts);
-    const auto v3 = chaos::run_one(delta, schedule.scenario, base.schedule.n, seed,
-                                   schedule.run_until, schedule.bcasts);
+    const auto& v2 = v2_runs[static_cast<std::size_t>(i)];
+    const auto& v3 = v3_runs[static_cast<std::size_t>(i)];
     if (!v2.ok() || !v3.ok()) {
       ++dirty;
       std::printf("seed %llu: violations under %s\n",
@@ -342,13 +363,22 @@ int cross_check(const Options& opt) {
 int campaign(const Options& opt) {
   chaos::CampaignConfig cfg = campaign_config(opt);
   cfg.metrics = std::make_shared<obs::MetricsRegistry>();
-  std::printf("chaos campaign: %d seeds from %llu, n=%d, backend=%s%s%s\n", cfg.seeds,
-              static_cast<unsigned long long>(cfg.first_seed), cfg.schedule.n,
-              cfg.backend == harness::Backend::kSpec ? "spec" : "ring",
+  const int jobs =
+      exec::effective_jobs(cfg.jobs, static_cast<std::size_t>(cfg.seeds > 0 ? cfg.seeds : 0));
+  std::printf("chaos campaign: %d seeds from %llu, n=%d, backend=%s, jobs=%d%s%s\n",
+              cfg.seeds, static_cast<unsigned long long>(cfg.first_seed), cfg.schedule.n,
+              cfg.backend == harness::Backend::kSpec ? "spec" : "ring", jobs,
               opt.smoke ? " (smoke preset)" : "",
               opt.inject_unchecked_decode ? " [FAULT INJECTED: unchecked decode]" : "");
 
+  const std::int64_t wall_start = obs::wall_now_us();
   const auto result = chaos::run_campaign(cfg);
+  const std::int64_t wall_us = obs::wall_now_us() - wall_start;
+  // Runner-side evidence gauges: wall time and jobs are properties of this
+  // invocation, not of the (jobs-invariant) campaign itself, so they are
+  // recorded here rather than inside run_campaign.
+  cfg.metrics->gauge("chaos.campaign.wall_us").set(wall_us);
+  cfg.metrics->gauge("chaos.campaign.jobs").set(jobs);
 
   std::vector<chaos::ManifestEntry> manifest;
   for (const auto& f : result.failures) {
@@ -402,6 +432,13 @@ int campaign(const Options& opt) {
       !obs::JsonExporter::write_file(*cfg.metrics, opt.export_path, "chaos_campaign"))
     std::fprintf(stderr, "cannot write %s\n", opt.export_path.c_str());
 
+  // The fingerprint folds every seed's (verdicts, delivery fingerprint,
+  // delivery total) in seed order: two invocations over the same seed range
+  // must print the same value no matter how many jobs ran (docs/CHAOS.md,
+  // "Parallel execution" — check.sh compares a --jobs 1 and a --jobs 4 run).
+  std::printf("campaign fingerprint %016llx (%d jobs, %.2fs wall)\n",
+              static_cast<unsigned long long>(result.campaign_fingerprint), jobs,
+              static_cast<double>(wall_us) / 1e6);
   std::printf("%d/%d runs clean (%llu ops scheduled)\n",
               result.runs - static_cast<int>(result.failures.size()), result.runs,
               static_cast<unsigned long long>(result.ops));
@@ -414,7 +451,8 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
-                 "usage: %s [--seeds N] [--first-seed S] [--n N] [--backend ring|spec]\n"
+                 "usage: %s [--seeds N] [--first-seed S] [--n N] [--jobs N]\n"
+                 "          [--backend ring|spec]\n"
                  "          [--corrupt P] [--wire 1|2|3] [--cross-check] [--smoke]\n"
                  "          [--no-shrink] [--repro-dir DIR] [--export PATH]\n"
                  "          [--inject-unchecked-decode]\n"
