@@ -81,7 +81,7 @@ void BM_SummaryEncodeDecode(benchmark::State& state) {
   const auto x = make_summary(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     const auto bytes = vstoto::encode_message(vstoto::Message{x});
-    benchmark::DoNotOptimize(vstoto::decode_message(bytes));
+    benchmark::DoNotOptimize(vstoto::decode_message_ex(bytes));
   }
   state.SetBytesProcessed(
       static_cast<std::int64_t>(state.iterations()) *
@@ -98,7 +98,7 @@ void BM_TokenEncodeDecode(benchmark::State& state) {
   for (ProcId p = 0; p < 5; ++p) t.delivered[p] = 100;
   for (auto _ : state) {
     const auto bytes = membership::encode_packet(membership::Packet{t});
-    benchmark::DoNotOptimize(membership::decode_packet(bytes));
+    benchmark::DoNotOptimize(membership::decode_packet_ex(bytes));
   }
 }
 BENCHMARK(BM_TokenEncodeDecode)->Range(1, 256);
@@ -118,7 +118,7 @@ void BM_LabeledValueWire(benchmark::State& state) {
   const vstoto::LabeledValue lv{make_label(7), std::string(128, 'x')};
   for (auto _ : state) {
     const auto bytes = vstoto::encode_message(vstoto::Message{lv});
-    benchmark::DoNotOptimize(vstoto::decode_message(bytes));
+    benchmark::DoNotOptimize(vstoto::decode_message_ex(bytes));
   }
 }
 BENCHMARK(BM_LabeledValueWire);

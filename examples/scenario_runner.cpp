@@ -35,6 +35,7 @@ at 5s    bcast 4 delta
 struct Options {
   std::string file;
   int n = 5;
+  int shards = 1;
   std::uint64_t seed = 1;
   harness::Backend backend = harness::Backend::kTokenRing;
   sim::Time until = sim::sec(15);
@@ -42,6 +43,7 @@ struct Options {
   // Explicit flags beat `config` directives in the scenario file, which in
   // turn beat the defaults above.
   bool n_given = false;
+  bool shards_given = false;
   bool seed_given = false;
   bool until_given = false;
 };
@@ -55,6 +57,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (v == nullptr) return false;
       opt.n = std::atoi(v);
       opt.n_given = true;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.shards = std::atoi(v);
+      opt.shards_given = true;
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -93,8 +100,8 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
-                 "usage: %s [scenario-file] [--n N] [--seed S] [--backend ring|spec] "
-                 "[--until 20s] [--timeline]\n",
+                 "usage: %s [scenario-file] [--n N] [--shards K] [--seed S] "
+                 "[--backend ring|spec] [--until 20s] [--timeline]\n",
                  argv[0]);
     return 2;
   }
@@ -121,11 +128,21 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.n_given && parsed.meta.n.has_value()) opt.n = *parsed.meta.n;
+  if (!opt.shards_given && parsed.meta.shards.has_value()) opt.shards = *parsed.meta.shards;
   if (!opt.seed_given && parsed.meta.seed.has_value()) opt.seed = *parsed.meta.seed;
   if (!opt.until_given && parsed.meta.until.has_value()) opt.until = *parsed.meta.until;
 
+  if (opt.shards < 1 || opt.shards > harness::kMaxShards) {
+    std::fprintf(stderr,
+                 "scenario needs %d shards, but this build supports 1..%d "
+                 "(docs/SHARDING.md) — refusing to run under a different topology\n",
+                 opt.shards, harness::kMaxShards);
+    return 2;
+  }
+
   harness::WorldConfig cfg;
   cfg.n = opt.n;
+  cfg.shards = opt.shards;
   cfg.backend = opt.backend;
   cfg.seed = opt.seed;
   if (parsed.meta.wire.has_value()) {
@@ -147,22 +164,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  world->recorder().subscribe([&](const trace::TimedEvent& te) {
-    if (const auto* v = trace::as<trace::NewViewEvent>(te))
-      std::printf("t=%-10s newview %s at %d\n", harness::fmt_time(te.at).c_str(),
-                  core::to_string(v->v).c_str(), v->p);
-    if (const auto* b = trace::as<trace::BrcvEvent>(te))
-      std::printf("t=%-10s brcv \"%s\" at %d (from %d)\n",
-                  harness::fmt_time(te.at).c_str(), b->a.c_str(), b->dest, b->origin);
-  });
+  for (int k = 0; k < world->shards(); ++k) {
+    const std::string tag = world->shards() > 1 ? " [shard" + std::to_string(k) + "]" : "";
+    world->recorder(k).subscribe([&, tag](const trace::TimedEvent& te) {
+      if (const auto* v = trace::as<trace::NewViewEvent>(te))
+        std::printf("t=%-10s newview %s at %d%s\n", harness::fmt_time(te.at).c_str(),
+                    core::to_string(v->v).c_str(), v->p, tag.c_str());
+      if (const auto* b = trace::as<trace::BrcvEvent>(te))
+        std::printf("t=%-10s brcv \"%s\" at %d (from %d)%s\n",
+                    harness::fmt_time(te.at).c_str(), b->a.c_str(), b->dest, b->origin,
+                    tag.c_str());
+    });
+  }
 
   world->run_until(opt.until);
 
   std::printf("\n-- final state --\n");
   for (ProcId p = 0; p < opt.n; ++p) {
     std::printf("processor %d delivered:", p);
-    for (const auto& [origin, value] : world->stack().process(p).delivered())
-      std::printf(" %s", value.c_str());
+    for (int k = 0; k < world->shards(); ++k)
+      for (const auto& [origin, value] : world->stack(k).process(p).delivered())
+        std::printf(" %s", value.c_str());
     std::printf("\n");
   }
 
@@ -171,18 +193,23 @@ int main(int argc, char** argv) {
     std::printf("\n%s", harness::render_timeline(tl).c_str());
   }
 
-  const auto to_violations = world->check_to_safety();
-  const auto vs_violations = world->check_vs_safety();
-  std::printf("\nTO safety: %s\n",
-              to_violations.empty() ? "OK" : to_violations.front().c_str());
-  std::printf("VS safety: %s\n",
-              vs_violations.empty() ? "OK" : vs_violations.front().c_str());
-  if (world->token_ring() != nullptr) {
-    const auto stats = world->token_ring()->total_stats();
-    std::printf("protocol: %llu proposals, %llu views, %llu token passes\n",
-                static_cast<unsigned long long>(stats.proposals),
-                static_cast<unsigned long long>(stats.views_installed),
-                static_cast<unsigned long long>(stats.tokens_processed));
+  bool clean = true;
+  for (int k = 0; k < world->shards(); ++k) {
+    const auto to_violations = world->check_to_safety(k);
+    const auto vs_violations = world->check_vs_safety(k);
+    clean = clean && to_violations.empty() && vs_violations.empty();
+    const std::string tag = world->shards() > 1 ? "shard" + std::to_string(k) + " " : "";
+    std::printf("\n%sTO safety: %s\n", tag.c_str(),
+                to_violations.empty() ? "OK" : to_violations.front().c_str());
+    std::printf("%sVS safety: %s\n", tag.c_str(),
+                vs_violations.empty() ? "OK" : vs_violations.front().c_str());
+    if (world->token_ring(k) != nullptr) {
+      const auto stats = world->token_ring(k)->total_stats();
+      std::printf("%sprotocol: %llu proposals, %llu views, %llu token passes\n",
+                  tag.c_str(), static_cast<unsigned long long>(stats.proposals),
+                  static_cast<unsigned long long>(stats.views_installed),
+                  static_cast<unsigned long long>(stats.tokens_processed));
+    }
   }
-  return (to_violations.empty() && vs_violations.empty()) ? 0 : 1;
+  return clean ? 0 : 1;
 }

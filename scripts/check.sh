@@ -57,6 +57,41 @@ if [ "$fp1" != "$fp4" ]; then
   exit 1
 fi
 
+# Sharding equivalence gate (docs/SHARDING.md, "K=1 is the classic
+# harness"): shards=1 must stay bit-identical to the pre-shard harness.
+# The smoke fingerprint and the headline protocol counters are pinned to
+# the values the single-stack harness produced; any drift here means the
+# default topology is no longer the same system.
+if [ "$fp1" != "campaign fingerprint 8bc76ebef3d2f2e6" ]; then
+  echo "check.sh: K=1 smoke fingerprint drifted from the single-stack baseline ($fp1)" >&2
+  exit 1
+fi
+grep -q '"net.packets_sent": 247105' build/CHAOS_smoke.json
+grep -q '"ring.entries_delivered": 46179' build/CHAOS_smoke.json
+grep -q '"ring.token_rotations": 267240' build/CHAOS_smoke.json
+
+# Sharded smoke (docs/SHARDING.md): a four-shard campaign with correlated
+# failure-domain faults must run clean under the per-shard oracle set, and
+# the checked-in sharded scenario must replay through both replayers.
+./build/tools/chaos_runner --seeds 50 --smoke --shards 4 --domains 2
+./build/tools/chaos_runner --replay examples/scenarios/sharded_two_rings.scn
+./build/examples/scenario_runner examples/scenarios/sharded_two_rings.scn >/dev/null
+
+# Cross-shard consistency demo (docs/SHARDING.md, "The anomaly"): phase 1
+# must FIND the crafted cross-shard seq-cst violation, phase 2 (per-shard
+# barriers) must come back clean — the demo exits 0 only when both hold.
+./build/examples/sharded_kv_demo >/dev/null
+
+# Decode-shim gate: the optional-returning decode shims are test-only.
+# Production code (src/, bench/, examples/, tools/) must use the *_ex API;
+# only the defining headers may still spell the shim names.
+if grep -rnE --include='*.cpp' --include='*.hpp' \
+    '(^|[^_[:alnum:]])decode_(packet|message)\(' src bench examples tools \
+    | grep -v 'src/membership/messages' | grep -v 'src/vstoto/wire'; then
+  echo "check.sh: non-test caller of a test-only decode shim (use decode_*_ex)" >&2
+  exit 1
+fi
+
 # Wire cross-check (docs/WIRE.md, "v3 state exchange"): the same chaos
 # schedules under wire v2 (full summaries) and v3 (digest/delta) must agree
 # on every oracle verdict and deliver the same value multisets.

@@ -25,12 +25,48 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/hash.hpp"
 #include "vs/service.hpp"
 
 namespace vsg::app {
+
+/// Client-side routing for the sharded KV: a stable hash maps every key to
+/// one of `shards` partitions (same key, same shard, forever — the
+/// partition function IS the data placement, motr-pool style), and a
+/// round-robin cursor spreads read traffic across the n replicas of a
+/// shard. Pure arithmetic over util::fnv1a — every client computes the same
+/// placement with no coordination, which is what keeps shards off each
+/// other's data path.
+class ShardRouter {
+ public:
+  ShardRouter(int shards, int n) : shards_(shards), n_(n) {}
+
+  int shards() const noexcept { return shards_; }
+
+  /// Stable key placement in [0, shards).
+  int shard_of(std::string_view key) const noexcept {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(key.data());
+    const std::uint64_t h = util::fnv1a(util::BufferView(bytes, key.size()));
+    return static_cast<int>(h % static_cast<std::uint64_t>(shards_));
+  }
+
+  /// Round-robin replica selection for read load (any replica answers a
+  /// sequentially consistent read).
+  ProcId pick_replica() noexcept {
+    const ProcId p = cursor_;
+    cursor_ = (cursor_ + 1) % n_;
+    return p;
+  }
+
+ private:
+  int shards_;
+  int n_;
+  ProcId cursor_ = 0;
+};
 
 struct LoadBalancerConfig {
   std::uint32_t total_tasks = 100;

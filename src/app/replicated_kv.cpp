@@ -10,6 +10,7 @@ namespace {
 constexpr std::uint8_t kOpWrite = 1;
 constexpr std::uint8_t kOpReadMarker = 2;
 constexpr std::uint8_t kOpCas = 3;
+constexpr std::uint8_t kOpBarrier = 4;
 
 struct CasOp {
   std::string key;
@@ -84,7 +85,8 @@ ReplicatedKV::ReplicatedKV(to::Service& to_service)
       submitted_(static_cast<std::size_t>(to_service.size()), 0),
       applied_own_(static_cast<std::size_t>(to_service.size()), 0),
       pending_reads_(static_cast<std::size_t>(to_service.size())),
-      pending_cas_(static_cast<std::size_t>(to_service.size())) {
+      pending_cas_(static_cast<std::size_t>(to_service.size())),
+      pending_barriers_(static_cast<std::size_t>(to_service.size())) {
   for (ProcId p = 0; p < to_->size(); ++p) {
     clients_.push_back(std::make_unique<to::CallbackClient>(
         [this, p](ProcId origin, const core::Value& v) { on_delivery(p, origin, v); }));
@@ -137,6 +139,17 @@ void ReplicatedKV::on_delivery(ProcId dest, ProcId origin, const core::Value& en
     }
     return;
   }
+  if (encoded.size() == 1 && static_cast<std::uint8_t>(encoded[0]) == kOpBarrier) {
+    // A no-op in the common order; only the issuing replica answers, and
+    // per-sender FIFO matches markers to callbacks positionally.
+    if (origin != dest) return;
+    auto& pending = pending_barriers_[static_cast<std::size_t>(dest)];
+    if (pending.empty()) return;
+    auto done = std::move(pending.front());
+    pending.pop_front();
+    if (done) done(applied_[static_cast<std::size_t>(dest)].size());
+    return;
+  }
   if (auto key = decode_read_marker(encoded)) {
     // Only the issuing replica answers; TO's per-sender FIFO guarantees
     // markers come back in issue order, so the queue front matches.
@@ -160,6 +173,16 @@ void ReplicatedKV::atomic_read(ProcId p, const std::string& key, AtomicReadFn do
 
 std::size_t ReplicatedKV::atomic_reads_in_flight(ProcId p) const {
   return pending_reads_[static_cast<std::size_t>(p)].size();
+}
+
+void ReplicatedKV::barrier(ProcId p, BarrierFn done) {
+  assert(p >= 0 && p < to_->size());
+  pending_barriers_[static_cast<std::size_t>(p)].push_back(std::move(done));
+  to_->bcast(p, core::Value{static_cast<char>(kOpBarrier)});
+}
+
+std::size_t ReplicatedKV::barriers_in_flight(ProcId p) const {
+  return pending_barriers_[static_cast<std::size_t>(p)].size();
 }
 
 void ReplicatedKV::cas(ProcId p, const std::string& key,

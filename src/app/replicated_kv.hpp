@@ -60,6 +60,20 @@ class ReplicatedKV {
   /// Atomic reads issued at p whose markers have not come back yet.
   std::size_t atomic_reads_in_flight(ProcId p) const;
 
+  /// Write barrier: a TO-routed no-op marker. The callback fires when p
+  /// delivers its own marker; at that point p's replica has applied every
+  /// write ordered before the marker in this stack's common order — in
+  /// particular every write that had already been applied anywhere when the
+  /// barrier was issued. One barrier fences one stack only; the cross-shard
+  /// recipe (docs/SHARDING.md) inserts it per shard: a writer barriers
+  /// shard A between a write to A and a later write to B, a reader barriers
+  /// shard A after observing the B-write and before reading A.
+  using BarrierFn = std::function<void(std::size_t applied)>;
+  void barrier(ProcId p, BarrierFn done);
+
+  /// Barriers issued at p whose markers have not come back yet.
+  std::size_t barriers_in_flight(ProcId p) const;
+
   /// Compare-and-swap: set key to `desired` iff its value equals `expected`
   /// (nullopt = key absent) *at the operation's position in the common
   /// order*. Every replica evaluates the same deterministic outcome; the
@@ -93,6 +107,8 @@ class ReplicatedKV {
   std::vector<std::deque<std::pair<std::string, AtomicReadFn>>> pending_reads_;
   // Pending CAS callbacks per issuing processor, likewise positional.
   std::vector<std::deque<CasFn>> pending_cas_;
+  // Pending barrier callbacks per issuing processor, likewise positional.
+  std::vector<std::deque<BarrierFn>> pending_barriers_;
 };
 
 /// Wire format of operations carried as TO data values: a write (key,

@@ -61,4 +61,149 @@ void SeqCstChecker::on_read(ProcId replica, const std::string& key,
                           (expect ? "'" + *expect + "'" : "missing"));
 }
 
+// --- CrossShardChecker --------------------------------------------------------
+
+CrossShardChecker::CrossShardChecker(int shards)
+    : shards_(shards), shard_orders_(static_cast<std::size_t>(shards)) {
+  assert(shards > 0);
+}
+
+void CrossShardChecker::on_write(ProcId p, int shard, const std::string& key,
+                                 const std::string& value) {
+  assert(shard >= 0 && shard < shards_);
+  const std::size_t id = ops_.size();
+  ops_.push_back(Op{true, p, shard, key, value, std::nullopt, 0, 0, false});
+  if (static_cast<std::size_t>(p) >= by_proc_.size())
+    by_proc_.resize(static_cast<std::size_t>(p) + 1);
+  by_proc_[static_cast<std::size_t>(p)].push_back(id);
+  unmatched_[{p, shard}].push_back(id);
+}
+
+void CrossShardChecker::on_read(ProcId p, int shard, const std::string& key,
+                                const std::optional<std::string>& result,
+                                std::size_t applied_count) {
+  assert(shard >= 0 && shard < shards_);
+  const std::size_t id = ops_.size();
+  ops_.push_back(Op{false, p, shard, key, std::string(), result, applied_count, 0, false});
+  if (static_cast<std::size_t>(p) >= by_proc_.size())
+    by_proc_.resize(static_cast<std::size_t>(p) + 1);
+  by_proc_[static_cast<std::size_t>(p)].push_back(id);
+}
+
+void CrossShardChecker::on_order(int shard, const AppliedWrite& w) {
+  assert(shard >= 0 && shard < shards_);
+  auto& queue = unmatched_[{w.origin, shard}];
+  // Writes of one process on one shard are FIFO (TO per-sender FIFO), so
+  // the next unmatched submission must be this applied write.
+  if (queue.empty() || ops_[queue.front()].key != w.key ||
+      ops_[queue.front()].value != w.value) {
+    violations_.push_back("shard " + std::to_string(shard) + " ordered a write from p" +
+                          std::to_string(w.origin) + " ('" + w.key + "'='" + w.value +
+                          "') that does not match the submission history");
+    return;
+  }
+  Op& op = ops_[queue.front()];
+  op.ordered = true;
+  op.order_pos = shard_orders_[static_cast<std::size_t>(shard)].size();
+  shard_orders_[static_cast<std::size_t>(shard)].push_back(queue.front());
+  queue.erase(queue.begin());
+}
+
+std::string CrossShardChecker::describe(const Op& op) const {
+  if (op.is_write)
+    return "p" + std::to_string(op.proc) + ":W(" + op.key + "='" + op.value + "')@shard" +
+           std::to_string(op.shard);
+  return "p" + std::to_string(op.proc) + ":R(" + op.key + ")=" +
+         (op.result ? "'" + *op.result + "'" : "missing") + "@shard" +
+         std::to_string(op.shard);
+}
+
+const std::vector<std::string>& CrossShardChecker::check() {
+  if (checked_) return violations_;
+  checked_ = true;
+
+  for (const auto& [key, queue] : unmatched_)
+    for (const std::size_t id : queue)
+      violations_.push_back(describe(ops_[id]) +
+                            " was submitted but never ordered by its shard");
+
+  // Constraint edges; edges[i] holds (successor, edge label).
+  std::vector<std::vector<std::pair<std::size_t, const char*>>> edges(ops_.size());
+  for (const auto& prog : by_proc_)
+    for (std::size_t i = 1; i < prog.size(); ++i)
+      edges[prog[i - 1]].emplace_back(prog[i], "po");
+  for (const auto& order : shard_orders_)
+    for (std::size_t i = 1; i < order.size(); ++i)
+      edges[order[i - 1]].emplace_back(order[i], "so");
+
+  for (std::size_t r = 0; r < ops_.size(); ++r) {
+    const Op& read = ops_[r];
+    if (read.is_write) continue;
+    const auto& order = shard_orders_[static_cast<std::size_t>(read.shard)];
+    const std::size_t prefix = std::min(read.applied_count, order.size());
+    // rf: the last write to the key in the observed prefix (or init).
+    std::size_t src = ops_.size();  // sentinel: reads-from-init
+    for (std::size_t i = prefix; i-- > 0;) {
+      if (ops_[order[i]].key == read.key) {
+        src = order[i];
+        break;
+      }
+    }
+    const std::optional<std::string> expect =
+        src == ops_.size() ? std::nullopt : std::optional<std::string>(ops_[src].value);
+    if (expect != read.result) {
+      violations_.push_back(describe(read) + " disagrees with its shard prefix (expected " +
+                            (expect ? "'" + *expect + "'" : "missing") + ")");
+      continue;
+    }
+    if (src != ops_.size()) edges[src].emplace_back(r, "rf");
+    // fr: the read precedes the key's next write in the shard order (the
+    // first write to the key at all when reading from init).
+    const std::size_t from = src == ops_.size() ? 0 : ops_[src].order_pos + 1;
+    for (std::size_t i = from; i < order.size(); ++i) {
+      if (ops_[order[i]].key == read.key) {
+        edges[r].emplace_back(order[i], "fr");
+        break;
+      }
+    }
+  }
+
+  // Iterative three-color DFS; the eventual back edge closes the cycle.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(ops_.size(), kWhite);
+  std::vector<std::size_t> parent(ops_.size(), ops_.size());
+  std::vector<const char*> parent_label(ops_.size(), "");
+  for (std::size_t root = 0; root < ops_.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < edges[v].size()) {
+        const auto [w, label] = edges[v][next++];
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          parent[w] = v;
+          parent_label[w] = label;
+          stack.emplace_back(w, 0);
+        } else if (color[w] == kGray) {
+          // Cycle w -> ... -> v -> w: walk parents from v back to w.
+          std::string cycle = describe(ops_[w]);
+          std::vector<std::string> steps;
+          for (std::size_t u = v; u != w; u = parent[u])
+            steps.push_back(" -" + std::string(parent_label[u]) + "-> " + describe(ops_[u]));
+          for (auto it = steps.rbegin(); it != steps.rend(); ++it) cycle += *it;
+          cycle += " -" + std::string(label) + "-> " + describe(ops_[w]);
+          violations_.push_back("not sequentially consistent; ordering cycle: " + cycle);
+          return violations_;
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return violations_;
+}
+
 }  // namespace vsg::app

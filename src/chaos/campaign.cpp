@@ -78,6 +78,7 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
   wc.seed = seed;
   wc.link = cfg.link;
   wc.ring = cfg.ring;
+  wc.shards = cfg.shards;
   if (capture_trace) {
     wc.trace = cfg.trace;
     wc.trace.enabled = true;
@@ -99,18 +100,28 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
   result.violations = oracles.violations();
 
   if (cfg.check_recovery) {
-    const auto& reference = world.stack().process(0).delivered();
+    // Across shards: the per-shard sequences together account for every
+    // scripted broadcast (each bcast routes to exactly one shard, so the
+    // sum must match). Per shard: all processors agree on one sequence.
+    std::size_t delivered_at_p0 = 0;
+    for (int k = 0; k < world.shards(); ++k)
+      delivered_at_p0 += world.stack(k).process(0).delivered().size();
     if (expected_bcasts >= 0 &&
-        reference.size() != static_cast<std::size_t>(expected_bcasts))
+        delivered_at_p0 != static_cast<std::size_t>(expected_bcasts))
       result.violations.push_back(
-          "recovery: processor 0 delivered " + std::to_string(reference.size()) + "/" +
+          "recovery: processor 0 delivered " + std::to_string(delivered_at_p0) + "/" +
           std::to_string(expected_bcasts) + " values after stabilization");
-    for (ProcId p = 1; p < n; ++p)
-      if (world.stack().process(p).delivered() != reference) {
-        result.violations.push_back("recovery: delivered sequence at processor " +
-                                    std::to_string(p) + " diverges from processor 0");
-        break;
-      }
+    for (int k = 0; k < world.shards(); ++k) {
+      const auto& reference = world.stack(k).process(0).delivered();
+      for (ProcId p = 1; p < n; ++p)
+        if (world.stack(k).process(p).delivered() != reference) {
+          result.violations.push_back(
+              "recovery: delivered sequence at processor " + std::to_string(p) +
+              (world.shards() > 1 ? " shard " + std::to_string(k) : "") +
+              " diverges from processor 0");
+          break;
+        }
+    }
   }
   // Delivery fingerprint: per-delivery fnv1a over (processor, origin,
   // value), combined commutatively. Order-insensitive on purpose — the TO
@@ -120,20 +131,31 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
   // to exactly the same processors. Order agreement *within* a run is the
   // TO oracle's job, not the fingerprint's.
   std::uint64_t fp = 0;
-  for (ProcId p = 0; p < n; ++p) {
-    for (const auto& [origin, value] : world.stack().process(p).delivered()) {
-      const std::uint8_t head[2] = {static_cast<std::uint8_t>(p),
-                                    static_cast<std::uint8_t>(origin)};
-      fp += util::fnv1a(
-          util::BufferView(reinterpret_cast<const std::uint8_t*>(value.data()), value.size()),
-          util::fnv1a(util::BufferView(head, sizeof head)));
-      ++result.delivered_total;
+  for (int k = 0; k < world.shards(); ++k) {
+    for (ProcId p = 0; p < n; ++p) {
+      for (const auto& [origin, value] : world.stack(k).process(p).delivered()) {
+        // Shard 0 keeps the historical 2-byte head so a K=1 campaign's
+        // fingerprint is bit-identical to the pre-sharding one; shards
+        // beyond 0 fold their index in so deliveries never alias across
+        // rings.
+        const std::uint8_t head[3] = {static_cast<std::uint8_t>(k),
+                                      static_cast<std::uint8_t>(p),
+                                      static_cast<std::uint8_t>(origin)};
+        const util::BufferView head_view(k == 0 ? head + 1 : head,
+                                         k == 0 ? sizeof head - 1 : sizeof head);
+        fp += util::fnv1a(
+            util::BufferView(reinterpret_cast<const std::uint8_t*>(value.data()),
+                             value.size()),
+            util::fnv1a(head_view));
+        ++result.delivered_total;
+      }
     }
   }
   result.delivery_fingerprint = fp;
+  world.collect_shard_metrics();
   result.world_metrics = world.metrics().snapshot();
   if (capture_trace && world.tracer() != nullptr)
-    result.flight_recorder = obs::chrome_trace_json(*world.tracer());
+    result.flight_recorder = obs::chrome_trace_json(world.tracers());
   return result;
 }
 
@@ -199,6 +221,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     Failure failure;
     failure.seed = seed;
     failure.wire = static_cast<int>(cfg.ring.wire);
+    failure.shards = cfg.shards;
     failure.violations = run.violations;
     failure.schedule = schedule;
     if (cfg.shrink) {
@@ -248,6 +271,7 @@ std::string repro_text(const Failure& f) {
   meta.seed = f.seed;
   meta.until = f.schedule.run_until;
   meta.wire = f.wire;
+  if (f.shards > 1) meta.shards = f.shards;
   std::string text = "# chaos repro: seed " + std::to_string(f.seed) + ", " +
                      std::to_string(f.minimal.scenario.ops.size()) + " ops (from " +
                      std::to_string(f.schedule.scenario.ops.size()) + ")\n";

@@ -33,6 +33,10 @@ struct CampaignConfig {
   harness::Backend backend = harness::Backend::kTokenRing;
   net::LinkModel link;  // campaign default enables ugly-link corruption
   membership::TokenRingConfig ring;
+  /// Independent VStoTO stacks per World (harness::WorldConfig::shards).
+  /// Scripted broadcasts route to shards by value hash; every shard gets
+  /// its own oracle pair, recovery check, and fingerprint contribution.
+  int shards = 1;
   std::uint64_t first_seed = 1;
   int seeds = 50;
   /// Worker threads for the per-seed run phase (exec::run_parallel): <= 1
@@ -96,6 +100,9 @@ struct Failure {
   /// wire N`) so the repro replays byte-for-byte even after the default
   /// wire version changes (docs/WIRE.md).
   int wire = static_cast<int>(membership::kDefaultWireFormat);
+  /// Shard count the campaign ran under; repro_text pins it (`config
+  /// shards K`) whenever K > 1 so replays rebuild the same topology.
+  int shards = 1;
   std::vector<std::string> violations;  // of the original schedule
   GeneratedSchedule schedule;           // as generated
   ShrinkOutcome minimal;                // shrunk repro (== original if !shrink)

@@ -2,10 +2,16 @@
 
 namespace vsg::chaos {
 
-OracleSet::OracleSet(harness::World& world)
-    : to_(world.n()), vs_(world.n(), world.n0()) {
-  to_.attach(world.recorder());
-  vs_.attach(world.recorder());
+OracleSet::OracleSet(harness::World& world) {
+  const int shards = world.shards();
+  to_.reserve(static_cast<std::size_t>(shards));
+  vs_.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    to_.push_back(std::make_unique<spec::TOTraceChecker>(world.n()));
+    vs_.push_back(std::make_unique<spec::VSTraceChecker>(world.n(), world.n0()));
+    to_.back()->attach(world.recorder(k));
+    vs_.back()->attach(world.recorder(k));
+  }
   if (world.spec_vs() != nullptr) {
     fsim_ = std::make_unique<verify::SimulationChecker>(world.global_state());
     fsim_->attach(world.recorder());
@@ -18,8 +24,12 @@ void OracleSet::finalize() {
 
 std::vector<std::string> OracleSet::violations() const {
   std::vector<std::string> out;
-  out.insert(out.end(), to_.violations().begin(), to_.violations().end());
-  out.insert(out.end(), vs_.violations().begin(), vs_.violations().end());
+  const bool prefix = to_.size() > 1;
+  for (std::size_t k = 0; k < to_.size(); ++k) {
+    const std::string tag = prefix ? "shard" + std::to_string(k) + ": " : "";
+    for (const auto& v : to_[k]->violations()) out.push_back(tag + v);
+    for (const auto& v : vs_[k]->violations()) out.push_back(tag + v);
+  }
   if (fsim_ != nullptr)
     out.insert(out.end(), fsim_->violations().begin(), fsim_->violations().end());
   return out;

@@ -3,13 +3,16 @@
 // Oracle attachment for chaos executions.
 //
 // An OracleSet subscribes the online spec checkers to a World's trace
-// recorder *before* the run: the TO trace checker (Figure 3 semantics), the
-// VS trace checker (Figure 6 semantics), and — on the spec backend, where
-// the VS-machine state is observable — the forward-simulation refinement
-// checker of Section 6.2. Violations are detected the moment the offending
-// event is recorded, against the live system state.
+// recorders *before* the run: per shard, the TO trace checker (Figure 3
+// semantics) and the VS trace checker (Figure 6 semantics), and — on the
+// spec backend, where the VS-machine state is observable — the forward-
+// simulation refinement checker of Section 6.2. Violations are detected
+// the moment the offending event is recorded, against the live system
+// state. With K shards each stack gets its own independent checker pair
+// (each ring is its own group-communication instance; the paper's
+// properties are per instance).
 //
-// The set must outlive the run (the recorder keeps callbacks into it);
+// The set must outlive the run (the recorders keep callbacks into it);
 // create it right after the World and keep both until checking is done.
 
 #include <memory>
@@ -32,17 +35,23 @@ class OracleSet {
   /// only; a no-op otherwise).
   void finalize();
 
-  /// All violations across the attached oracles, in oracle order.
+  /// All violations across the attached oracles, in oracle order; with
+  /// multiple shards each message is prefixed "shard<k>: ".
   std::vector<std::string> violations() const;
   bool ok() const { return violations().empty(); }
 
-  const spec::TOTraceChecker& to() const noexcept { return to_; }
-  const spec::VSTraceChecker& vs() const noexcept { return vs_; }
+  const spec::TOTraceChecker& to(int shard = 0) const {
+    return *to_[static_cast<std::size_t>(shard)];
+  }
+  const spec::VSTraceChecker& vs(int shard = 0) const {
+    return *vs_[static_cast<std::size_t>(shard)];
+  }
+  int shards() const noexcept { return static_cast<int>(to_.size()); }
 
  private:
-  spec::TOTraceChecker to_;
-  spec::VSTraceChecker vs_;
-  std::unique_ptr<verify::SimulationChecker> fsim_;  // spec backend only
+  std::vector<std::unique_ptr<spec::TOTraceChecker>> to_;  // one per shard
+  std::vector<std::unique_ptr<spec::VSTraceChecker>> vs_;  // one per shard
+  std::unique_ptr<verify::SimulationChecker> fsim_;        // spec backend only
 };
 
 }  // namespace vsg::chaos

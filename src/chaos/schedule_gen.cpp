@@ -88,6 +88,34 @@ GeneratedSchedule generate_schedule(const ScheduleConfig& cfg, std::uint64_t see
     }
   }
 
+  // Failure domains: correlated outages along fixed contiguous processor
+  // slices. Either the group partitions exactly at domain boundaries or a
+  // whole domain goes bad in one instant; both restore within the window.
+  for (int i = 0; i < cfg.failure_domains && n > 1; ++i) {
+    const int domains = std::max(2, std::min(cfg.failure_domain_count, n));
+    std::vector<std::set<ProcId>> components(static_cast<std::size_t>(domains));
+    for (ProcId p = 0; p < n; ++p)
+      components[static_cast<std::size_t>(p) * static_cast<std::size_t>(domains) /
+                 static_cast<std::size_t>(n)]
+          .insert(p);
+    components.erase(std::remove_if(components.begin(), components.end(),
+                                    [](const std::set<ProcId>& c) { return c.empty(); }),
+                     components.end());
+    const sim::Time at = random_in(lo, hi, rng);
+    const sim::Time until = std::min(at + cfg.failure_domain_window, hi);
+    if (rng.chance(0.5)) {
+      harness::World::validate_partition(n, components);
+      s.add(at, harness::OpPartition{std::move(components)});
+      s.add(until, harness::OpHeal{});
+    } else {
+      const auto& domain = components[rng.below(components.size())];
+      for (ProcId p : domain) {
+        s.add(at, harness::OpProcStatus{p, sim::Status::kBad});
+        s.add(until, harness::OpProcStatus{p, sim::Status::kGood});
+      }
+    }
+  }
+
   // Client traffic: spread singles plus same-instant bursts, then a little
   // post-heal traffic to exercise the recovered group.
   auto bcast = [&](sim::Time at) {

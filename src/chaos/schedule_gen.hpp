@@ -34,6 +34,19 @@ struct ScheduleConfig {
   int token_loss_windows = 1;
   sim::Time token_loss_window = sim::msec(150);
 
+  /// Correlated-outage events. Each event splits the processors into
+  /// `failure_domain_count` contiguous domains (racks, in data-center
+  /// terms) and then either partitions the group exactly along domain
+  /// boundaries or takes one whole domain bad at the same instant — the
+  /// correlated failure shape that independent per-link/per-proc flips
+  /// essentially never produce, and the one that hits every shard of a
+  /// sharded world at once (all rings share the substrate). Restored
+  /// within failure_domain_window. 0 (default) adds nothing, leaving
+  /// existing seeds' schedules bit-identical.
+  int failure_domains = 0;
+  int failure_domain_count = 2;
+  sim::Time failure_domain_window = sim::msec(300);
+
   int traffic = 14;           // broadcasts spread over the chaos window
   int bursts = 1;             // same-instant broadcast bursts
   int burst_size = 4;

@@ -1,13 +1,30 @@
 #include "harness/scenario.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "util/hash.hpp"
 
 namespace vsg::harness {
+
+namespace {
+
+// Stable value->shard placement for scripted broadcasts: the same hash
+// family the sharded KV router uses, mod the world's shard count. With
+// shards()==1 this is identically shard 0, so K=1 scenario replays are
+// bit-for-bit what the single-stack world ran.
+int shard_for_value(const core::Value& a, int shards) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(a.data());
+  const std::uint64_t h = util::fnv1a(util::BufferView(bytes, a.size()));
+  return static_cast<int>(h % static_cast<std::uint64_t>(shards));
+}
+
+}  // namespace
 
 void Scenario::apply(World& world) const {
   for (const auto& timed : ops) {
     if (const auto* b = std::get_if<OpBcast>(&timed.op))
-      world.bcast_at(timed.at, b->p, b->a);
+      world.bcast_shard_at(timed.at, shard_for_value(b->a, world.shards()), b->p, b->a);
     else if (const auto* part = std::get_if<OpPartition>(&timed.op))
       world.partition_at(timed.at, part->components);
     else if (std::get_if<OpHeal>(&timed.op))

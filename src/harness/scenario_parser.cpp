@@ -80,7 +80,8 @@ ParseResult parse_scenario(const std::string& text) {
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     if (tokens[0] == "config") {
-      if (tokens.size() != 3) return fail("config needs: config <n|seed|until|wire> <value>");
+      if (tokens.size() != 3)
+        return fail("config needs: config <n|seed|until|wire|shards> <value>");
       if (tokens[1] == "n") {
         const auto n = parse_proc(tokens[2]);
         if (!n.has_value() || *n <= 0) return fail("bad config n '" + tokens[2] + "'");
@@ -98,6 +99,10 @@ ParseResult parse_scenario(const std::string& text) {
         const auto w = parse_proc(tokens[2]);  // small non-negative int
         if (!w.has_value() || *w < 1) return fail("bad config wire '" + tokens[2] + "'");
         result.meta.wire = static_cast<int>(*w);
+      } else if (tokens[1] == "shards") {
+        const auto k = parse_proc(tokens[2]);  // small non-negative int
+        if (!k.has_value() || *k < 1) return fail("bad config shards '" + tokens[2] + "'");
+        result.meta.shards = static_cast<int>(*k);
       } else {
         return fail("unknown config key '" + tokens[1] + "'");
       }
@@ -213,6 +218,7 @@ std::string write_scenario(const Scenario& scenario, const ScenarioMeta& meta) {
   if (meta.seed.has_value()) os << "config seed " << *meta.seed << '\n';
   if (meta.until.has_value()) os << "config until " << format_duration(*meta.until) << '\n';
   if (meta.wire.has_value()) os << "config wire " << *meta.wire << '\n';
+  if (meta.shards.has_value()) os << "config shards " << *meta.shards << '\n';
   for (const auto& timed : scenario.ops) {
     os << "at " << format_duration(timed.at) << ' ';
     std::visit(OpWriter{os}, timed.op);

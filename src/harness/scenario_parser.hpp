@@ -9,6 +9,7 @@
 //   config seed 42
 //   config until 20s
 //   config wire 1                # pin the frame version (docs/WIRE.md)
+//   config shards 4              # shard count (docs/SHARDING.md)
 //   at 100ms partition 0,1,2 | 3,4
 //   at 2s    bcast 0 hello-world
 //   at 2.5s  proc 2 bad          # good | bad | ugly
@@ -41,6 +42,10 @@ struct ScenarioMeta {
   /// run is byte-for-byte what the shrinker saw, even after the default
   /// version moves on.
   std::optional<int> wire;
+  /// Shard count the scenario was recorded under (config shards <K>,
+  /// docs/SHARDING.md). Replayers must reject counts outside
+  /// [1, harness::kMaxShards] loudly rather than silently running K=1.
+  std::optional<int> shards;
   bool operator==(const ScenarioMeta&) const = default;
 };
 

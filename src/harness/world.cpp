@@ -33,6 +33,27 @@ void WorldConfig::validate() const {
         "WorldConfig: token-ring timing parameters must be positive (delta=" +
         std::to_string(ring.delta) + ", pi=" + std::to_string(ring.pi) +
         ", mu=" + std::to_string(ring.mu) + ")");
+  if (shards < 1 || shards > kMaxShards)
+    throw std::invalid_argument("WorldConfig: shards must be in [1, " +
+                                std::to_string(kMaxShards) + "], got shards=" +
+                                std::to_string(shards));
+  if (shards > 1 && backend == Backend::kSpec)
+    throw std::invalid_argument(
+        "WorldConfig: the spec backend is single-stack; shards=" + std::to_string(shards) +
+        " requires the token-ring backend");
+  if (!shard_rings.empty() && static_cast<int>(shard_rings.size()) != shards)
+    throw std::invalid_argument(
+        "WorldConfig: shard_rings overrides must cover every shard (got " +
+        std::to_string(shard_rings.size()) + " configs for shards=" + std::to_string(shards) +
+        ")");
+  for (std::size_t k = 0; k < shard_rings.size(); ++k) {
+    const auto& r = shard_rings[k];
+    if (backend == Backend::kTokenRing && (r.delta <= 0 || r.pi <= 0 || r.mu <= 0))
+      throw std::invalid_argument(
+          "WorldConfig: shard_rings[" + std::to_string(k) +
+          "] timing parameters must be positive (delta=" + std::to_string(r.delta) +
+          ", pi=" + std::to_string(r.pi) + ", mu=" + std::to_string(r.mu) + ")");
+  }
 }
 
 namespace {
@@ -45,71 +66,121 @@ int validated_n(const WorldConfig& config) {
 }  // namespace
 
 World::World(WorldConfig config)
-    : config_(std::move(config)),
-      sim_(),
-      failures_(validated_n(config_)),
-      recorder_(sim_) {
+    : config_(std::move(config)), sim_(), failures_(validated_n(config_)) {
   if (config_.n0 < 0) config_.n0 = config_.n;
   if (config_.quorums == nullptr) config_.quorums = core::majorities(config_.n);
   if (config_.metrics == nullptr) config_.metrics = std::make_shared<obs::MetricsRegistry>();
   metrics_ = config_.metrics;
   util::Rng rng(config_.seed);
 
+  const int K = config_.shards;
+  shards_.resize(static_cast<std::size_t>(K));
+  for (auto& shard : shards_) {
+    shard.recorder = std::make_unique<trace::Recorder>(sim_);
+    // Every shard's checkers see the same failure/partition history, so
+    // each recorder gets the full set of interface events it needs. With
+    // K == 1 the bound registry is the World's own — names and counts stay
+    // bit-identical to the pre-shard harness.
+    shard.metrics = K == 1 ? metrics_ : std::make_shared<obs::MetricsRegistry>();
+  }
+
   // Failure-status changes are input actions of the timed trace (Figure 4);
   // record them so the property checkers can find the stabilization point.
-  failures_.subscribe([this](const sim::StatusEvent& ev) { recorder_.record(ev); });
+  failures_.subscribe([this](const sim::StatusEvent& ev) {
+    for (auto& shard : shards_) shard.recorder->record(ev);
+  });
 
   if (config_.backend == Backend::kSpec) {
-    auto spec = std::make_unique<vs::SpecVS>(sim_, failures_, recorder_, config_.n,
+    auto& s0 = shards_.front();
+    auto spec = std::make_unique<vs::SpecVS>(sim_, failures_, *s0.recorder, config_.n,
                                              config_.n0, config_.spec_vs, rng.split());
-    spec_vs_ = spec.get();
-    vs_ = std::move(spec);
+    s0.spec_vs = spec.get();
+    s0.vs = std::move(spec);
   } else {
     net_ = std::make_unique<net::Network>(sim_, failures_, config_.link, rng.split());
     net_->bind_metrics(*metrics_);
-    auto ring = std::make_unique<membership::TokenRingVS>(
-        sim_, *net_, failures_, recorder_, config_.n, config_.n0, config_.ring, rng.split());
-    ring_ = ring.get();
-    ring_->bind_metrics(*metrics_);
-    vs_ = std::move(ring);
+    for (int k = 0; k < K; ++k) {
+      auto& shard = shards_[static_cast<std::size_t>(k)];
+      membership::TokenRingConfig rcfg =
+          config_.shard_rings.empty() ? config_.ring
+                                      : config_.shard_rings[static_cast<std::size_t>(k)];
+      rcfg.port = k;  // ring-scoped port space: frames never cross shards
+      auto ring = std::make_unique<membership::TokenRingVS>(sim_, *net_, failures_,
+                                                            *shard.recorder, config_.n,
+                                                            config_.n0, rcfg, rng.split());
+      shard.ring = ring.get();
+      shard.ring->bind_metrics(*shard.metrics);
+      shard.vs = std::move(ring);
+    }
   }
 
-  // Wire v3 carries the compact state exchange: digest first, then a delta
-  // covering only what the weakest peer lacks. Earlier wire versions (and
-  // the spec backend, whose verifier decodes whole summaries from VS
-  // payloads) keep the Figure 8 full-summary exchange.
-  const auto exchange = (config_.backend == Backend::kTokenRing &&
-                         config_.ring.wire == membership::WireFormat::kV3)
-                            ? vstoto::ExchangeMode::kDigestDelta
-                            : vstoto::ExchangeMode::kFullSummary;
-  stack_ = std::make_unique<to::Stack>(*vs_, recorder_, config_.quorums, config_.n0, exchange);
-  stack_->bind_metrics(*metrics_);
+  for (int k = 0; k < K; ++k) {
+    auto& shard = shards_[static_cast<std::size_t>(k)];
+    // Wire v3 carries the compact state exchange: digest first, then a
+    // delta covering only what the weakest peer lacks. Earlier wire
+    // versions (and the spec backend, whose verifier decodes whole
+    // summaries from VS payloads) keep the Figure 8 full-summary exchange.
+    const membership::WireFormat wire =
+        config_.shard_rings.empty() ? config_.ring.wire
+                                    : config_.shard_rings[static_cast<std::size_t>(k)].wire;
+    const auto exchange =
+        (config_.backend == Backend::kTokenRing && wire == membership::WireFormat::kV3)
+            ? vstoto::ExchangeMode::kDigestDelta
+            : vstoto::ExchangeMode::kFullSummary;
+    shard.stack = std::make_unique<to::Stack>(*shard.vs, *shard.recorder, config_.quorums,
+                                              config_.n0, exchange);
+    shard.stack->bind_metrics(*shard.metrics);
+  }
 
   if (config_.trace.enabled) {
-    tracer_ = std::make_unique<obs::SpanTracer>(config_.trace);
-    tracer_->bind_metrics(*metrics_);
-    if (net_ != nullptr) net_->set_tracer(tracer_.get());
-    if (ring_ != nullptr) ring_->set_tracer(tracer_.get());
-    stack_->set_tracer(tracer_.get());
-    // Events the explicit hooks do not cover arrive through the recorder
-    // tap: bcast submissions (the tosnd milestone), newview deliveries
-    // (state-exchange start) and failure-status markers.
-    recorder_.subscribe([this](const trace::TimedEvent& te) {
-      if (const auto* b = trace::as<trace::BcastEvent>(te))
-        tracer_->msg_submitted(b->p, te.at);
-      else if (const auto* nv = trace::as<trace::NewViewEvent>(te))
-        tracer_->view_newview(nv->p, nv->v.id, te.at);
-      else if (const auto* st = trace::as<sim::StatusEvent>(te))
-        tracer_->fault_marker(*st);
-    });
+    for (int k = 0; k < K; ++k) {
+      auto& shard = shards_[static_cast<std::size_t>(k)];
+      obs::TraceConfig tc = config_.trace;
+      if (K > 1) tc.name_prefix = "shard" + std::to_string(k) + ".";
+      shard.tracer = std::make_unique<obs::SpanTracer>(tc);
+      shard.tracer->bind_metrics(*shard.metrics);
+      if (net_ != nullptr) net_->set_tracer(k, shard.tracer.get());
+      if (shard.ring != nullptr) shard.ring->set_tracer(shard.tracer.get());
+      shard.stack->set_tracer(shard.tracer.get());
+      // Events the explicit hooks do not cover arrive through the recorder
+      // tap: bcast submissions (the tosnd milestone), newview deliveries
+      // (state-exchange start) and failure-status markers.
+      shard.recorder->subscribe([tracer = shard.tracer.get()](const trace::TimedEvent& te) {
+        if (const auto* b = trace::as<trace::BcastEvent>(te))
+          tracer->msg_submitted(b->p, te.at);
+        else if (const auto* nv = trace::as<trace::NewViewEvent>(te))
+          tracer->view_newview(nv->p, nv->v.id, te.at);
+        else if (const auto* st = trace::as<sim::StatusEvent>(te))
+          tracer->fault_marker(*st);
+      });
+    }
   }
 
-  if (ring_ != nullptr) ring_->start();
+  for (auto& shard : shards_)
+    if (shard.ring != nullptr) shard.ring->start();
+}
+
+void World::collect_shard_metrics() {
+  if (shards() == 1 || shard_metrics_collected_) return;
+  shard_metrics_collected_ = true;
+  for (int k = 0; k < shards(); ++k) {
+    const obs::MetricsSnapshot snap = at(k).metrics->snapshot();
+    metrics_->merge_from(snap);
+    metrics_->merge_from(snap, "shard" + std::to_string(k) + ".");
+  }
+}
+
+std::vector<const obs::SpanTracer*> World::tracers() const {
+  std::vector<const obs::SpanTracer*> out;
+  for (const auto& shard : shards_)
+    if (shard.tracer != nullptr) out.push_back(shard.tracer.get());
+  return out;
 }
 
 bool World::write_chrome_trace(const std::string& path) const {
-  if (tracer_ == nullptr) return false;
-  return obs::write_chrome_trace_file(*tracer_, path);
+  const auto all = tracers();
+  if (all.empty()) return false;
+  return obs::write_chrome_trace_file(all, path);
 }
 
 namespace {
@@ -143,10 +214,19 @@ void World::validate_partition(int n, const std::vector<std::set<ProcId>>& compo
 }
 
 void World::bcast_at(sim::Time t, ProcId p, core::Value a) {
-  require_proc_id(config_.n, p, "bcast_at");
+  bcast_shard_at(t, 0, p, std::move(a));
+}
+
+void World::bcast_shard_at(sim::Time t, int shard, ProcId p, core::Value a) {
+  require_proc_id(config_.n, p, "bcast_shard_at");
+  if (shard < 0 || shard >= shards())
+    throw std::invalid_argument("bcast_shard_at: shard " + std::to_string(shard) +
+                                " out of range [0, " + std::to_string(shards()) + ")");
   // mutable + move: the value travels World -> Stack -> Process without a
   // copy (to.payload_copies counts what remains).
-  sim_.at(t, [this, p, a = std::move(a)]() mutable { stack_->bcast(p, std::move(a)); });
+  sim_.at(t, [this, shard, p, a = std::move(a)]() mutable {
+    at(shard).stack->bcast(p, std::move(a));
+  });
 }
 
 void World::partition_at(sim::Time t, std::vector<std::set<ProcId>> components) {
@@ -172,35 +252,36 @@ void World::link_status_at(sim::Time t, ProcId p, ProcId q, sim::Status status) 
   sim_.at(t, [this, p, q, status] { failures_.set_link(p, q, status, sim_.now()); });
 }
 
-std::vector<std::string> World::check_to_safety() const {
+std::vector<std::string> World::check_to_safety(int shard) const {
   spec::TOTraceChecker checker(config_.n);
-  checker.check_all(recorder_.events());
+  checker.check_all(recorder(shard).events());
   return checker.violations();
 }
 
-std::vector<std::string> World::check_vs_safety() const {
+std::vector<std::string> World::check_vs_safety(int shard) const {
   spec::VSTraceChecker checker(config_.n, config_.n0);
-  checker.check_all(recorder_.events());
+  checker.check_all(recorder(shard).events());
   return checker.violations();
 }
 
 props::TOPropertyReport World::to_report(const std::set<ProcId>& q, sim::Time d,
                                          sim::Time ignore_after) const {
-  return props::evaluate_to_property(recorder_.events(), q, config_.n, d, ignore_after);
+  return props::evaluate_to_property(recorder().events(), q, config_.n, d, ignore_after);
 }
 
 props::VSPropertyReport World::vs_report(const std::set<ProcId>& q, sim::Time d,
                                          sim::Time ignore_after) const {
-  return props::evaluate_vs_property(recorder_.events(), q, config_.n, config_.n0, d,
+  return props::evaluate_vs_property(recorder().events(), q, config_.n, config_.n0, d,
                                      ignore_after);
 }
 
 verify::GlobalState World::global_state() const {
-  assert(spec_vs_ != nullptr && "verification requires the spec back end");
+  assert(spec_vs() != nullptr && "verification requires the spec back end");
   verify::GlobalState gs;
-  gs.machine = &spec_vs_->machine();
+  gs.machine = &spec_vs()->machine();
   gs.quorums = config_.quorums.get();
-  for (ProcId p = 0; p < config_.n; ++p) gs.procs.push_back(&stack_->process(p));
+  for (ProcId p = 0; p < config_.n; ++p)
+    gs.procs.push_back(&shards_.front().stack->process(p));
   return gs;
 }
 

@@ -5,6 +5,7 @@
 // recorder — plus convenience scheduling and checking entry points. Every
 // test, bench and example builds one of these.
 
+#include <cassert>
 #include <memory>
 #include <set>
 #include <vector>
@@ -30,12 +31,30 @@ enum class Backend {
   kTokenRing  // Section 8 protocol over the simulated network
 };
 
+/// Upper bound on WorldConfig::shards. A sanity rail, not a tuning limit:
+/// scenario replays and campaign configs reject shard counts beyond it
+/// loudly instead of silently building a degenerate World.
+inline constexpr int kMaxShards = 64;
+
 struct WorldConfig {
   int n = 3;
   int n0 = -1;  // initial-view size; -1 means n
   Backend backend = Backend::kTokenRing;
   vs::SpecVSConfig spec_vs;
   membership::TokenRingConfig ring;
+  /// Number of independent VStoTO stacks (shards) sharing this World's one
+  /// simulator, failure table and network. Each shard runs its own token
+  /// ring on its own network port (frames never cross shards) and its own
+  /// to::Stack; total order exists per shard, never across shards. 1 (the
+  /// default) is the classic single-stack World and is bit-identical to the
+  /// pre-shard harness on fixed seeds. K > 1 requires the token-ring
+  /// backend.
+  int shards = 1;
+  /// Per-shard ring config overrides; empty means every shard runs `ring`.
+  /// Size must equal `shards` when non-empty. The harness assigns each
+  /// shard's network port (= shard index) itself, overriding any `port`
+  /// set here.
+  std::vector<membership::TokenRingConfig> shard_rings;
   net::LinkModel link;
   std::uint64_t seed = 1;
   /// Quorum system; defaults to majorities of n.
@@ -64,28 +83,51 @@ class World {
 
   int n() const noexcept { return config_.n; }
   int n0() const noexcept { return config_.n0; }
+  /// Number of independent VStoTO stacks in this World (>= 1).
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
   const WorldConfig& config() const noexcept { return config_; }
 
   sim::Simulator& simulator() noexcept { return sim_; }
   sim::FailureTable& failures() noexcept { return failures_; }
-  trace::Recorder& recorder() noexcept { return recorder_; }
+  /// Shard `shard`'s trace recorder. Every shard records its own VS/TO
+  /// interface events (plus the shared failure-status inputs), so the
+  /// existing single-stack trace checkers apply per shard unchanged.
+  trace::Recorder& recorder(int shard = 0) noexcept { return *at(shard).recorder; }
+  const trace::Recorder& recorder(int shard = 0) const noexcept { return *at(shard).recorder; }
   /// The registry all layers of this World report into (shared with other
-  /// Worlds when WorldConfig::metrics was supplied).
+  /// Worlds when WorldConfig::metrics was supplied). With shards > 1 the
+  /// per-shard layers report into per-shard registries instead; fold them
+  /// in with collect_shard_metrics().
   obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
   const obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
+  /// The registry shard `shard`'s ring/stack/tracer bind into. Identical to
+  /// metrics() when shards() == 1.
+  obs::MetricsRegistry& shard_metrics(int shard) noexcept { return *at(shard).metrics; }
+  /// Fold every shard-scoped registry into metrics(), once unprefixed
+  /// (aggregate totals) and once under "shard<k>." (per-shard view).
+  /// Idempotent — call it at quiescence, before exporting or merging this
+  /// World's metrics. No-op when shards() == 1 (layers bound directly).
+  void collect_shard_metrics();
   net::Network* network() noexcept { return net_.get(); }
-  to::Stack& stack() noexcept { return *stack_; }
-  vs::Service& vs() noexcept { return *vs_; }
+  to::Stack& stack(int shard = 0) noexcept { return *at(shard).stack; }
+  vs::Service& vs(int shard = 0) noexcept { return *at(shard).vs; }
   /// Non-null iff backend == kSpec.
-  const vs::SpecVS* spec_vs() const noexcept { return spec_vs_; }
+  const vs::SpecVS* spec_vs() const noexcept { return shards_.front().spec_vs; }
   /// Non-null iff backend == kTokenRing.
-  const membership::TokenRingVS* token_ring() const noexcept { return ring_; }
-  /// Non-null iff config().trace.enabled: the span tracer / flight recorder.
-  obs::SpanTracer* tracer() noexcept { return tracer_.get(); }
-  const obs::SpanTracer* tracer() const noexcept { return tracer_.get(); }
+  const membership::TokenRingVS* token_ring(int shard = 0) const noexcept {
+    return at(shard).ring;
+  }
+  /// Non-null iff config().trace.enabled: shard `shard`'s span tracer /
+  /// flight recorder.
+  obs::SpanTracer* tracer(int shard = 0) noexcept { return at(shard).tracer.get(); }
+  const obs::SpanTracer* tracer(int shard = 0) const noexcept { return at(shard).tracer.get(); }
+  /// All shard tracers (empty when tracing is disabled) — the argument for
+  /// the multi-tracer obs::chrome_trace_json overload.
+  std::vector<const obs::SpanTracer*> tracers() const;
 
-  /// Export the flight recorder as Chrome trace-event JSON (Perfetto-
-  /// loadable); false when tracing is disabled or on I/O failure.
+  /// Export the flight recorder(s) as Chrome trace-event JSON (Perfetto-
+  /// loadable, all shards merged); false when tracing is disabled or on I/O
+  /// failure.
   bool write_chrome_trace(const std::string& path) const;
 
   // --- Scheduling helpers -----------------------------------------------------
@@ -95,6 +137,8 @@ class World {
   // strict: components must be non-empty, disjoint, within [0, n), and
   // together cover every processor — an explicit singleton {p} isolates p.
   void bcast_at(sim::Time t, ProcId p, core::Value a);
+  /// bcast_at on shard `shard`'s stack (bcast_at == bcast_shard_at(t, 0, ...)).
+  void bcast_shard_at(sim::Time t, int shard, ProcId p, core::Value a);
   void partition_at(sim::Time t, std::vector<std::set<ProcId>> components);
   void heal_at(sim::Time t);
   void proc_status_at(sim::Time t, ProcId p, sim::Status status);
@@ -108,10 +152,10 @@ class World {
   void run_until(sim::Time t) { sim_.run_until(t); }
 
   // --- Checking ----------------------------------------------------------------
-  /// TOTraceChecker violations over the recorded trace.
-  std::vector<std::string> check_to_safety() const;
-  /// VSTraceChecker violations over the recorded trace.
-  std::vector<std::string> check_vs_safety() const;
+  /// TOTraceChecker violations over shard `shard`'s recorded trace.
+  std::vector<std::string> check_to_safety(int shard = 0) const;
+  /// VSTraceChecker violations over shard `shard`'s recorded trace.
+  std::vector<std::string> check_vs_safety(int shard = 0) const;
 
   props::TOPropertyReport to_report(const std::set<ProcId>& q, sim::Time d,
                                     sim::Time ignore_after = sim::kForever) const;
@@ -123,17 +167,36 @@ class World {
   verify::GlobalState global_state() const;
 
  private:
+  /// Everything one shard owns: its recorder, VS backend, stack, the
+  /// registry its layers bind into (== metrics_ when shards == 1) and its
+  /// tracer. shards_ is declared after net_, so every stack and ring is
+  /// destroyed before the network they attach handlers to.
+  struct Shard {
+    std::unique_ptr<trace::Recorder> recorder;
+    std::shared_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<vs::Service> vs;
+    vs::SpecVS* spec_vs = nullptr;
+    membership::TokenRingVS* ring = nullptr;
+    std::unique_ptr<to::Stack> stack;
+    std::unique_ptr<obs::SpanTracer> tracer;
+  };
+
+  Shard& at(int shard) noexcept {
+    assert(shard >= 0 && shard < static_cast<int>(shards_.size()));
+    return shards_[static_cast<std::size_t>(shard)];
+  }
+  const Shard& at(int shard) const noexcept {
+    assert(shard >= 0 && shard < static_cast<int>(shards_.size()));
+    return shards_[static_cast<std::size_t>(shard)];
+  }
+
   WorldConfig config_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   sim::Simulator sim_;
   sim::FailureTable failures_;
-  trace::Recorder recorder_;
   std::unique_ptr<net::Network> net_;
-  std::unique_ptr<vs::Service> vs_;
-  vs::SpecVS* spec_vs_ = nullptr;
-  membership::TokenRingVS* ring_ = nullptr;
-  std::unique_ptr<to::Stack> stack_;
-  std::unique_ptr<obs::SpanTracer> tracer_;
+  std::vector<Shard> shards_;
+  bool shard_metrics_collected_ = false;
 };
 
 }  // namespace vsg::harness

@@ -69,6 +69,13 @@ struct TokenRingConfig {
   /// minimized under so replays stay byte-for-byte reproducible.
   WireFormat wire = kDefaultWireFormat;
 
+  /// Logical network port this ring instance claims on the shared
+  /// substrate (net::Port). Each shard's ring runs on its own port, so a
+  /// frame from one ring can never reach — let alone cross-decode in —
+  /// another ring's nodes. Assigned by the harness (shard index); leave 0
+  /// for a single-stack World.
+  int port = 0;
+
   /// Membership formation protocol.
   FormationMode formation = FormationMode::kThreeRound;
   /// 1-round only: a processor counts as connected if heard from within

@@ -173,7 +173,7 @@ util::Buffer encode_packet(const Packet& pkt, WireFormat w = kDefaultWireFormat,
 ///
 /// This is THE packet decode entry point (docs/WIRE.md, "Decode outcome
 /// contract"): every non-test call site goes through it; the optional
-/// decode_packet shims below exist only for legacy callers and tests.
+/// decode_packet shims below exist only for tests.
 /// It predates wire::DecodeOutcome<T> and keeps its `packet` member name.
 struct DecodeOutcome {
   std::optional<Packet> packet;
@@ -183,12 +183,14 @@ struct DecodeOutcome {
 
 DecodeOutcome decode_packet_ex(const util::Buffer& packet);
 
-/// Deprecated shim over decode_packet_ex (drops the diagnosis). Token entry
-/// payloads and the wire caches come out as slices of `packet` (no payload
-/// copies).
+/// Test-only shim over decode_packet_ex (drops the diagnosis). No non-test
+/// caller remains — new code must use decode_packet_ex, and
+/// scripts/check.sh gates src/, bench/, examples/ and tools/ against
+/// regressions. Token entry payloads and the wire caches come out as
+/// slices of `packet` (no payload copies).
 std::optional<Packet> decode_packet(const util::Buffer& packet);
 
-/// Deprecated shim for callers still holding plain bytes (copies once).
+/// Test-only shim for callers still holding plain bytes (copies once).
 std::optional<Packet> decode_packet(const util::Bytes& bytes);
 
 }  // namespace vsg::membership

@@ -9,7 +9,7 @@ TokenRingVS::TokenRingVS(sim::Simulator& simulator, net::Network& network,
                          sim::FailureTable& failures, trace::Recorder& recorder, int n, int n0,
                          TokenRingConfig config, util::Rng rng)
     : sim_(&simulator),
-      net_(&network),
+      endpoint_(network, config.port),
       failures_(&failures),
       recorder_(&recorder),
       config_(config),
@@ -20,7 +20,7 @@ TokenRingVS::TokenRingVS(sim::Simulator& simulator, net::Network& network,
   nodes_.reserve(static_cast<std::size_t>(n));
   for (ProcId p = 0; p < n; ++p) {
     nodes_.push_back(std::make_unique<Node>(p, *this, rng.split()));
-    net_->attach(p, [this, p](ProcId src, const util::Buffer& pkt) {
+    endpoint_.attach(p, [this, p](ProcId src, const util::Buffer& pkt) {
       nodes_[static_cast<std::size_t>(p)]->on_packet(src, pkt);
     });
   }

@@ -82,7 +82,10 @@ class TokenRingVS final : public vs::Service {
 
   // --- services for Node ------------------------------------------------------
   sim::Simulator& simulator() noexcept { return *sim_; }
-  net::Network& network() noexcept { return *net_; }
+  /// The ring's port-scoped view of the shared network (port =
+  /// TokenRingConfig::port). Nodes send through this, so every frame stays
+  /// on the ring's own port.
+  net::Endpoint& network() noexcept { return endpoint_; }
   sim::FailureTable& failures() noexcept { return *failures_; }
   const TokenRingConfig& config() const noexcept { return config_; }
 
@@ -92,7 +95,7 @@ class TokenRingVS final : public vs::Service {
 
  private:
   sim::Simulator* sim_;
-  net::Network* net_;
+  net::Endpoint endpoint_;
   sim::FailureTable* failures_;
   trace::Recorder* recorder_;
   TokenRingConfig config_;

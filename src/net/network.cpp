@@ -9,15 +9,24 @@ namespace vsg::net {
 
 Network::Network(sim::Simulator& simulator, sim::FailureTable& failures, LinkModel model,
                  util::Rng rng)
-    : sim_(&simulator),
-      failures_(&failures),
-      model_(model),
-      rng_(rng),
-      handlers_(static_cast<std::size_t>(failures.size())) {}
+    : sim_(&simulator), failures_(&failures), model_(model), rng_(rng) {
+  handlers_.emplace_back(static_cast<std::size_t>(failures.size()));
+}
 
-void Network::attach(ProcId p, Handler handler) {
+void Network::attach(Port port, ProcId p, Handler handler) {
+  assert(port >= 0);
   assert(p >= 0 && p < size());
-  handlers_[static_cast<std::size_t>(p)] = std::move(handler);
+  if (static_cast<std::size_t>(port) >= handlers_.size())
+    handlers_.resize(static_cast<std::size_t>(port) + 1,
+                     std::vector<Handler>(static_cast<std::size_t>(size())));
+  handlers_[static_cast<std::size_t>(port)][static_cast<std::size_t>(p)] = std::move(handler);
+}
+
+void Network::set_tracer(Port port, obs::SpanTracer* tracer) noexcept {
+  assert(port >= 0);
+  if (static_cast<std::size_t>(port) >= tracers_.size())
+    tracers_.resize(static_cast<std::size_t>(port) + 1, nullptr);
+  tracers_[static_cast<std::size_t>(port)] = tracer;
 }
 
 void Network::bind_metrics(obs::MetricsRegistry& registry) {
@@ -36,13 +45,13 @@ void Network::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.buffer_shares = &registry.counter("net.buffer_shares");
 }
 
-void Network::send(ProcId p, ProcId q, util::Buffer packet) {
+void Network::send(ProcId p, ProcId q, util::Buffer packet, Port port) {
   ++stats_.buffer_allocs;
   obs::bump(obs_.buffer_allocs);
-  send_one(p, q, std::move(packet));
+  send_one(p, q, std::move(packet), port);
 }
 
-void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
+void Network::send_one(ProcId p, ProcId q, util::Buffer packet, Port port) {
   assert(p >= 0 && p < size() && q >= 0 && q < size());
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.size();
@@ -61,9 +70,10 @@ void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
   }
 
   if (p == q) {
-    if (tracer_ != nullptr) tracer_->packet_sent(p, q, packet.id(), sim_->now());
-    sim_->after(model_.min_delay,
-                [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
+    if (auto* tr = tracer_for(port)) tr->packet_sent(p, q, packet.id(), sim_->now());
+    sim_->after(model_.min_delay, [this, p, q, port, pkt = std::move(packet)]() mutable {
+      deliver(p, q, std::move(pkt), port);
+    });
     return;
   }
 
@@ -94,12 +104,13 @@ void Network::send_one(ProcId p, ProcId q, util::Buffer packet) {
     }
   }
   // Span hook after copy-on-corrupt so the uid matches what deliver() sees.
-  if (tracer_ != nullptr) tracer_->packet_sent(p, q, packet.id(), sim_->now());
-  sim_->after(*fate,
-              [this, p, q, pkt = std::move(packet)]() mutable { deliver(p, q, std::move(pkt)); });
+  if (auto* tr = tracer_for(port)) tr->packet_sent(p, q, packet.id(), sim_->now());
+  sim_->after(*fate, [this, p, q, port, pkt = std::move(packet)]() mutable {
+    deliver(p, q, std::move(pkt), port);
+  });
 }
 
-void Network::deliver(ProcId src, ProcId dst, util::Buffer packet) {
+void Network::deliver(ProcId src, ProcId dst, util::Buffer packet, Port port) {
   // A link that went bad while the packet was in flight loses it.
   if (src != dst && failures_->link(src, dst) == sim::Status::kBad) {
     ++stats_.packets_dropped;
@@ -112,12 +123,14 @@ void Network::deliver(ProcId src, ProcId dst, util::Buffer packet) {
     obs_.packets_delivered->inc();
     obs_.bytes_delivered->inc(packet.size());
   }
-  if (tracer_ != nullptr) tracer_->packet_delivered(src, dst, packet.id(), sim_->now());
-  auto& handler = handlers_[static_cast<std::size_t>(dst)];
+  if (auto* tr = tracer_for(port)) tr->packet_delivered(src, dst, packet.id(), sim_->now());
+  if (static_cast<std::size_t>(port) >= handlers_.size()) return;
+  auto& handler = handlers_[static_cast<std::size_t>(port)][static_cast<std::size_t>(dst)];
   if (handler) handler(src, packet);
 }
 
-void Network::multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet) {
+void Network::multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet,
+                        Port port) {
   ++stats_.buffer_allocs;
   obs::bump(obs_.buffer_allocs);
   bool first = true;
@@ -127,11 +140,11 @@ void Network::multicast(ProcId p, const std::vector<ProcId>& dests, const util::
       obs::bump(obs_.buffer_shares);
     }
     first = false;
-    send_one(p, q, packet);  // refcount bump, not a payload copy
+    send_one(p, q, packet, port);  // refcount bump, not a payload copy
   }
 }
 
-void Network::broadcast(ProcId p, const util::Buffer& packet) {
+void Network::broadcast(ProcId p, const util::Buffer& packet, Port port) {
   ++stats_.buffer_allocs;
   obs::bump(obs_.buffer_allocs);
   bool first = true;
@@ -142,7 +155,7 @@ void Network::broadcast(ProcId p, const util::Buffer& packet) {
       obs::bump(obs_.buffer_shares);
     }
     first = false;
-    send_one(p, q, packet);
+    send_one(p, q, packet, port);
   }
 }
 

@@ -55,6 +55,13 @@ struct NetStats {
   std::uint64_t buffer_shares = 0;   // extra zero-copy references (fan-out)
 };
 
+/// Logical port on the shared substrate. Each protocol stack instance
+/// (shard) claims one port; traffic is routed by (port, destination), so a
+/// frame sent on one port can never reach — let alone cross-decode in —
+/// another port's stack. Port 0 is the default and is what every
+/// single-stack caller uses implicitly.
+using Port = int;
+
 class Network {
  public:
   /// Handler invoked at the destination when a packet arrives. The Buffer is
@@ -66,19 +73,22 @@ class Network {
 
   int size() const noexcept { return failures_->size(); }
 
-  /// Register the receive handler for processor p (one per processor).
-  void attach(ProcId p, Handler handler);
+  /// Register the receive handler for processor p (one per processor and
+  /// port). The two-arg form attaches on port 0.
+  void attach(ProcId p, Handler handler) { attach(0, p, std::move(handler)); }
+  void attach(Port port, ProcId p, Handler handler);
 
   /// Send one packet from p to q. Self-sends are delivered with min delay
   /// regardless of failure status (local loopback never partitions).
-  void send(ProcId p, ProcId q, util::Buffer packet);
+  void send(ProcId p, ProcId q, util::Buffer packet, Port port = 0);
 
   /// Send the same packet from p to every processor in `dests`: one shared
   /// buffer, zero payload copies regardless of fan-out.
-  void multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet);
+  void multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet,
+                 Port port = 0);
 
   /// Send from p to all n processors except p (shared buffer, as above).
-  void broadcast(ProcId p, const util::Buffer& packet);
+  void broadcast(ProcId p, const util::Buffer& packet, Port port = 0);
 
   const NetStats& stats() const noexcept { return stats_; }
   const LinkModel& model() const noexcept { return model_; }
@@ -89,12 +99,19 @@ class Network {
 
   /// Attach a causal span tracer (null detaches): every delivered packet
   /// becomes a net.packet transit span. The tracer never touches the RNG or
-  /// the schedule, so traced and untraced runs stay bit-identical.
-  void set_tracer(obs::SpanTracer* tracer) noexcept { tracer_ = tracer; }
+  /// the schedule, so traced and untraced runs stay bit-identical. The
+  /// one-arg form serves port 0; multi-shard Worlds attach one tracer per
+  /// port so each shard's packet spans land in its own trace.
+  void set_tracer(obs::SpanTracer* tracer) noexcept { set_tracer(0, tracer); }
+  void set_tracer(Port port, obs::SpanTracer* tracer) noexcept;
 
  private:
-  void send_one(ProcId p, ProcId q, util::Buffer packet);
-  void deliver(ProcId src, ProcId dst, util::Buffer packet);
+  void send_one(ProcId p, ProcId q, util::Buffer packet, Port port);
+  void deliver(ProcId src, ProcId dst, util::Buffer packet, Port port);
+  obs::SpanTracer* tracer_for(Port port) const noexcept {
+    const auto i = static_cast<std::size_t>(port);
+    return i < tracers_.size() ? tracers_[i] : nullptr;
+  }
 
   struct Obs {
     obs::Counter* packets_sent = nullptr;
@@ -116,10 +133,43 @@ class Network {
   sim::FailureTable* failures_;
   LinkModel model_;
   util::Rng rng_;
-  std::vector<Handler> handlers_;
+  /// handlers_[port][proc]; ports are created lazily by attach().
+  std::vector<std::vector<Handler>> handlers_;
   NetStats stats_;
   Obs obs_;
-  obs::SpanTracer* tracer_ = nullptr;
+  /// tracers_[port]; grown lazily by set_tracer().
+  std::vector<obs::SpanTracer*> tracers_;
+};
+
+/// A port-scoped view of the shared Network. Mirrors the Network send/attach
+/// surface minus the port parameter, so a protocol stack written against one
+/// "network" compiles unchanged whether it owns the substrate (port 0) or is
+/// one shard among K. Copyable, non-owning.
+class Endpoint {
+ public:
+  Endpoint(Network& network, Port port) : net_(&network), port_(port) {}
+
+  int size() const noexcept { return net_->size(); }
+  Port port() const noexcept { return port_; }
+  Network& underlying() noexcept { return *net_; }
+
+  void attach(ProcId p, Network::Handler handler) {
+    net_->attach(port_, p, std::move(handler));
+  }
+  void send(ProcId p, ProcId q, util::Buffer packet) {
+    net_->send(p, q, std::move(packet), port_);
+  }
+  void multicast(ProcId p, const std::vector<ProcId>& dests, const util::Buffer& packet) {
+    net_->multicast(p, dests, packet, port_);
+  }
+  void broadcast(ProcId p, const util::Buffer& packet) { net_->broadcast(p, packet, port_); }
+
+  const NetStats& stats() const noexcept { return net_->stats(); }
+  const LinkModel& model() const noexcept { return net_->model(); }
+
+ private:
+  Network* net_;
+  Port port_;
 };
 
 }  // namespace vsg::net

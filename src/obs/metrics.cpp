@@ -120,6 +120,15 @@ bool MetricsRegistry::merge_from(const MetricsSnapshot& other) {
   return ok;
 }
 
+bool MetricsRegistry::merge_from(const MetricsSnapshot& other, const std::string& prefix) {
+  if (prefix.empty()) return merge_from(other);
+  MetricsSnapshot renamed = other;
+  for (auto& [name, v] : renamed.counters) name.insert(0, prefix);
+  for (auto& [name, v] : renamed.gauges) name.insert(0, prefix);
+  for (auto& hs : renamed.histograms) hs.name.insert(0, prefix);
+  return merge_from(renamed);
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());

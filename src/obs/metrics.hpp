@@ -172,6 +172,16 @@ class MetricsRegistry {
   bool merge_from(const MetricsSnapshot& other);
   bool merge_from(const MetricsRegistry& other) { return merge_from(other.snapshot()); }
 
+  /// merge_from with every incoming name prepended with `prefix` (e.g.
+  /// "shard1."). Shard-scoped registries fold into one aggregate registry
+  /// twice — once unprefixed (cross-shard totals) and once prefixed
+  /// (per-shard view) — and the prefix guarantees shard0.ring.* can never
+  /// alias shard1.ring.* or the unprefixed aggregate series.
+  bool merge_from(const MetricsSnapshot& other, const std::string& prefix);
+  bool merge_from(const MetricsRegistry& other, const std::string& prefix) {
+    return merge_from(other.snapshot(), prefix);
+  }
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;

@@ -32,6 +32,11 @@ void SpanTracer::bind_metrics(MetricsRegistry& registry) {
 }
 
 void SpanTracer::push(Span span) {
+  if (!config_.name_prefix.empty()) {
+    span.name.insert(0, config_.name_prefix);
+    span.cat.insert(0, config_.name_prefix);
+    if (!span.id.empty()) span.id.insert(0, config_.name_prefix);
+  }
   ++emitted_;
   bump(spans_total_);
   ring_.push_back(std::move(span));

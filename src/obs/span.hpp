@@ -62,6 +62,11 @@ struct TraceConfig {
   /// Flight-recorder ring capacity in completed spans. Pending-state maps
   /// (open chains, uid->label, in-flight packets) share this bound.
   std::size_t capacity = 4096;
+  /// Prepended to every completed span's name, category and correlation id
+  /// (e.g. "shard1."). Multi-shard Worlds run one tracer per shard; the
+  /// prefix keeps chains with equal labels from different shards on
+  /// distinct tracks when their traces are merged into one export.
+  std::string name_prefix;
 };
 
 /// One completed (or instant) span, as kept by the flight recorder.

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <string_view>
 
 #include "obs/json_util.hpp"
 
@@ -11,14 +12,36 @@ namespace vsg::obs {
 
 namespace {
 
-/// Stable per-layer thread ids inside each trace process. Unknown
-/// categories (none today) fall back to a high tid rather than colliding.
+/// Stable per-layer thread ids inside each trace process. Shard-prefixed
+/// categories ("shard2.to") land in their own tid decade so each shard's
+/// layer tracks stay separate in a merged multi-tracer document. Unknown
+/// categories fall back to a high tid rather than colliding.
 int track_tid(const std::string& cat) {
-  if (cat == "to") return 1;
-  if (cat == "view") return 2;
-  if (cat == "net") return 3;
-  if (cat == "fault") return 4;
-  return 9;
+  int decade = 0;
+  std::string_view base = cat;
+  if (base.rfind("shard", 0) == 0) {
+    const auto dot = base.find('.');
+    if (dot != std::string_view::npos && dot > 5) {
+      int k = 0;
+      bool numeric = true;
+      for (std::size_t i = 5; i < dot; ++i) {
+        if (base[i] < '0' || base[i] > '9') {
+          numeric = false;
+          break;
+        }
+        k = k * 10 + (base[i] - '0');
+      }
+      if (numeric) {
+        decade = (k + 1) * 10;
+        base = base.substr(dot + 1);
+      }
+    }
+  }
+  if (base == "to") return decade + 1;
+  if (base == "view") return decade + 2;
+  if (base == "net") return decade + 3;
+  if (base == "fault") return decade + 4;
+  return decade + 9;
 }
 
 void append_field(std::string& out, const char* key, const std::string& value) {
@@ -65,22 +88,28 @@ std::string event_json(const Span& s, const char* ph, sim::Time ts) {
 
 }  // namespace
 
-std::string chrome_trace_json(const SpanTracer& tracer) {
+std::string chrome_trace_json(const std::vector<const SpanTracer*>& tracers) {
   std::vector<Line> lines;
-  lines.reserve(tracer.spans().size() * 2);
+  std::size_t total = 0;
+  for (const SpanTracer* t : tracers)
+    if (t != nullptr) total += t->spans().size();
+  lines.reserve(total * 2);
   std::set<ProcId> pids;
   std::set<std::pair<ProcId, std::string>> tracks;
-  for (const Span& s : tracer.spans()) {
-    pids.insert(s.proc);
-    tracks.insert({s.proc, s.cat});
-    if (s.instant) {
-      lines.push_back({s.end, 1, event_json(s, "i", s.end)});
-    } else if (s.begin == s.end) {
-      lines.push_back(
-          {s.end, 1, event_json(s, "b", s.begin) + ",\n" + event_json(s, "e", s.end)});
-    } else {
-      lines.push_back({s.begin, 2, event_json(s, "b", s.begin)});
-      lines.push_back({s.end, 0, event_json(s, "e", s.end)});
+  for (const SpanTracer* t : tracers) {
+    if (t == nullptr) continue;
+    for (const Span& s : t->spans()) {
+      pids.insert(s.proc);
+      tracks.insert({s.proc, s.cat});
+      if (s.instant) {
+        lines.push_back({s.end, 1, event_json(s, "i", s.end)});
+      } else if (s.begin == s.end) {
+        lines.push_back(
+            {s.end, 1, event_json(s, "b", s.begin) + ",\n" + event_json(s, "e", s.end)});
+      } else {
+        lines.push_back({s.begin, 2, event_json(s, "b", s.begin)});
+        lines.push_back({s.end, 0, event_json(s, "e", s.end)});
+      }
     }
   }
   std::stable_sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
@@ -114,10 +143,19 @@ std::string chrome_trace_json(const SpanTracer& tracer) {
   return out;
 }
 
+std::string chrome_trace_json(const SpanTracer& tracer) {
+  return chrome_trace_json(std::vector<const SpanTracer*>{&tracer});
+}
+
 bool write_chrome_trace_file(const SpanTracer& tracer, const std::string& path) {
+  return write_chrome_trace_file(std::vector<const SpanTracer*>{&tracer}, path);
+}
+
+bool write_chrome_trace_file(const std::vector<const SpanTracer*>& tracers,
+                             const std::string& path) {
   std::ofstream f(path, std::ios::trunc);
   if (!f) return false;
-  f << chrome_trace_json(tracer);
+  f << chrome_trace_json(tracers);
   return static_cast<bool>(f);
 }
 

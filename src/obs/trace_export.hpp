@@ -22,8 +22,16 @@ namespace vsg::obs {
 /// monotone, which validate_chrome_trace and some viewers require).
 std::string chrome_trace_json(const SpanTracer& tracer);
 
+/// Merge several tracers (one per shard in a multi-shard World) into one
+/// document. Null entries are skipped; spans keep their per-tracer name
+/// prefixes, which is what keeps equal-label chains from different shards
+/// on distinct tracks.
+std::string chrome_trace_json(const std::vector<const SpanTracer*>& tracers);
+
 /// chrome_trace_json to a file; false on I/O failure.
 bool write_chrome_trace_file(const SpanTracer& tracer, const std::string& path);
+bool write_chrome_trace_file(const std::vector<const SpanTracer*>& tracers,
+                             const std::string& path);
 
 /// Schema check used by tests and scripts/check.sh: parses the document and
 /// verifies (1) it is well-formed JSON with a traceEvents array, (2) every

@@ -1,0 +1,40 @@
+#include "util/keydist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vsg::util {
+
+KeyDist::KeyDist(std::uint64_t keys, double s) : keys_(keys), s_(s) {
+  if (keys == 0) throw std::invalid_argument("KeyDist: keys must be positive");
+  if (!(s >= 0.0)) throw std::invalid_argument("KeyDist: Zipf exponent must be >= 0");
+  if (s == 0.0) return;  // uniform: no table
+  cdf_.resize(static_cast<std::size_t>(keys));
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < keys; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // exact despite rounding
+}
+
+std::uint64_t KeyDist::next(Rng& rng) const {
+  if (cdf_.empty()) return rng.below(keys_);
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return idx < cdf_.size() ? idx : keys_ - 1;
+}
+
+double KeyDist::probability(std::uint64_t index) const {
+  if (index >= keys_) return 0.0;
+  if (cdf_.empty()) return 1.0 / static_cast<double>(keys_);
+  const auto i = static_cast<std::size_t>(index);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+std::string KeyDist::key_name(std::uint64_t index) { return "k" + std::to_string(index); }
+
+}  // namespace vsg::util

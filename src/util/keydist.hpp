@@ -1,0 +1,51 @@
+#pragma once
+
+// Seeded key-distribution sampler for open-system workloads: draws key
+// indices in [0, keys) either uniformly or Zipf-skewed (frequency of the
+// rank-r key proportional to 1/r^s). Zipf is the shape real KV traffic has —
+// a few hot keys absorb most of the load — and is what the sharded
+// throughput bench drives through the hash partitioner: skew stresses the
+// claim that a stable key->shard hash still spreads *throughput* when the
+// key popularity is anything but flat.
+//
+// Sampling is exact inverse-CDF over a precomputed cumulative table
+// (O(log keys) per draw, O(keys) memory), not an approximation, so the
+// statistical sanity tests can pin expected frequencies tightly. All draws
+// come from the caller's util::Rng: same seed, same key sequence.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vsg::util {
+
+class KeyDist {
+ public:
+  /// `keys` > 0 distinct keys; `s` is the Zipf exponent (0 = uniform,
+  /// 1 = classic Zipf, larger = more skew). Negative s is invalid.
+  KeyDist(std::uint64_t keys, double s);
+
+  std::uint64_t keys() const noexcept { return keys_; }
+  double s() const noexcept { return s_; }
+
+  /// Key index in [0, keys): index 0 is the hottest rank under skew.
+  std::uint64_t next(Rng& rng) const;
+
+  /// Expected probability of drawing `index` (exact, from the same table
+  /// sampling uses) — what the sanity tests compare frequencies against.
+  double probability(std::uint64_t index) const;
+
+  /// Canonical key naming for benches and demos: "k<index>".
+  static std::string key_name(std::uint64_t index);
+
+ private:
+  std::uint64_t keys_;
+  double s_;
+  /// Cumulative probabilities, cdf_[i] = P(key <= i); empty when uniform
+  /// (uniform sampling needs no table).
+  std::vector<double> cdf_;
+};
+
+}  // namespace vsg::util

@@ -63,11 +63,13 @@ util::Buffer encode_message(const Message& m);
 /// `value` is disengaged. Defensive — the network layer hands us raw bytes.
 wire::DecodeOutcome<Message> decode_message_ex(util::BufferView bytes);
 
-/// Deprecated shim over decode_message_ex for callers that only need the
-/// optional (drops the diagnosis).
+/// Test-only shim over decode_message_ex (drops the diagnosis). No non-test
+/// caller remains — new code must use decode_message_ex, and
+/// scripts/check.sh gates src/, bench/, examples/ and tools/ against
+/// regressions.
 std::optional<Message> decode_message(util::BufferView bytes);
 
-/// Deprecated shim for callers still holding plain bytes.
+/// Test-only shim for callers still holding plain bytes.
 inline std::optional<Message> decode_message(const util::Bytes& bytes) {
   return decode_message(util::BufferView(bytes));
 }

@@ -69,6 +69,7 @@ TEST(ScenarioRoundTrip, MetaRoundTrips) {
   meta.seed = 123456789012345ULL;
   meta.until = sim::sec(17);
   meta.wire = 1;
+  meta.shards = 4;
   Scenario s;
   s.add(sim::msec(100), OpHeal{});
   const auto parsed = parse_scenario(write_scenario(s, meta));
@@ -125,8 +126,23 @@ TEST(ScenarioRoundTrip, ConfigParseErrors) {
   EXPECT_FALSE(parse_scenario("config horizon 3s\n").ok());
   EXPECT_FALSE(parse_scenario("config wire v2\n").ok());
   EXPECT_FALSE(parse_scenario("config wire 0\n").ok());
+  EXPECT_FALSE(parse_scenario("config shards 0\n").ok());
+  EXPECT_FALSE(parse_scenario("config shards two\n").ok());
   EXPECT_TRUE(
       parse_scenario("config n 4\nconfig seed 9\nconfig until 15s\nconfig wire 2\n").ok());
+}
+
+TEST(ScenarioRoundTrip, ShardsMetaRoundTripsAlone) {
+  ScenarioMeta meta;
+  meta.shards = 2;
+  Scenario s;
+  s.add(sim::msec(50), OpHeal{});
+  const std::string text = write_scenario(s, meta);
+  EXPECT_NE(text.find("config shards 2"), std::string::npos);
+  const auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.meta, meta);
+  EXPECT_EQ(*parsed.scenario, s);
 }
 
 TEST(ScenarioRoundTrip, ConfigLinesMayFollowOps) {

@@ -1,0 +1,152 @@
+// Sharded World: K independent VStoTO stacks over one simulator, failure
+// table and network. The contracts under test: shards deliver independently
+// (no cross-shard ordering or leakage), per-shard traces satisfy the
+// single-stack safety checkers unchanged, collect_shard_metrics folds the
+// per-shard registries into aggregate + "shard<k>." views, and the config
+// validation rejects every degenerate shard topology loudly.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "harness/world.hpp"
+
+namespace vsg::harness {
+namespace {
+
+WorldConfig sharded_config(int shards, std::uint64_t seed = 5) {
+  WorldConfig cfg;
+  cfg.n = 3;
+  cfg.shards = shards;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ShardedWorld, ValidationRejectsDegenerateTopologies) {
+  EXPECT_THROW(sharded_config(0).validate(), std::invalid_argument);
+  EXPECT_THROW(sharded_config(kMaxShards + 1).validate(), std::invalid_argument);
+
+  WorldConfig spec = sharded_config(2);
+  spec.backend = Backend::kSpec;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  WorldConfig mismatched = sharded_config(3);
+  mismatched.shard_rings.resize(2);  // 2 overrides for 3 shards
+  EXPECT_THROW(mismatched.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(sharded_config(1).validate());
+  EXPECT_NO_THROW(sharded_config(kMaxShards).validate());
+}
+
+TEST(ShardedWorld, BcastShardAtRejectsOutOfRangeShards) {
+  World world(sharded_config(2));
+  EXPECT_THROW(world.bcast_shard_at(sim::sec(1), -1, 0, "a"), std::invalid_argument);
+  EXPECT_THROW(world.bcast_shard_at(sim::sec(1), 2, 0, "a"), std::invalid_argument);
+  EXPECT_NO_THROW(world.bcast_shard_at(sim::sec(1), 1, 0, "a"));
+}
+
+TEST(ShardedWorld, ShardsDeliverIndependentlyWithoutLeakage) {
+  World world(sharded_config(2));
+  world.bcast_shard_at(sim::sec(1), 0, 0, "a0");
+  world.bcast_shard_at(sim::sec(1), 0, 1, "b0");
+  world.bcast_shard_at(sim::sec(1), 1, 2, "c1");
+  world.run_until(sim::sec(15));
+
+  // Every processor of shard 0 delivered exactly {a0, b0} (in the shard's
+  // one order), shard 1 exactly {c1} — nothing crossed over.
+  for (ProcId p = 0; p < 3; ++p) {
+    const auto& d0 = world.stack(0).process(p).delivered();
+    ASSERT_EQ(d0.size(), 2u) << "shard 0 at p" << p;
+    EXPECT_EQ(d0, world.stack(0).process(0).delivered()) << "p" << p;
+    const auto& d1 = world.stack(1).process(p).delivered();
+    ASSERT_EQ(d1.size(), 1u) << "shard 1 at p" << p;
+    EXPECT_EQ(d1.front().second, "c1");
+  }
+
+  // The single-stack safety checkers apply per shard unchanged.
+  for (int k = 0; k < 2; ++k) {
+    EXPECT_TRUE(world.check_to_safety(k).empty()) << "shard " << k;
+    EXPECT_TRUE(world.check_vs_safety(k).empty()) << "shard " << k;
+  }
+  // Distinct recorders: shard 1 recorded one bcast, shard 0 two.
+  EXPECT_NE(&world.recorder(0), &world.recorder(1));
+}
+
+TEST(ShardedWorld, CollectShardMetricsBuildsAggregateAndPerShardViews) {
+  World world(sharded_config(2));
+  world.bcast_shard_at(sim::sec(1), 0, 0, "a");
+  world.bcast_shard_at(sim::sec(1), 1, 1, "b");
+  world.run_until(sim::sec(15));
+  world.collect_shard_metrics();
+  auto& m = world.metrics();
+
+  const auto* shard0 = m.find_counter("shard0.ring.entries_delivered");
+  const auto* shard1 = m.find_counter("shard1.ring.entries_delivered");
+  const auto* total = m.find_counter("ring.entries_delivered");
+  ASSERT_NE(shard0, nullptr);
+  ASSERT_NE(shard1, nullptr);
+  ASSERT_NE(total, nullptr);
+  // One bcast per shard, delivered at all 3 processors.
+  EXPECT_EQ(shard0->value(), 3u);
+  EXPECT_EQ(shard1->value(), 3u);
+  EXPECT_EQ(total->value(), shard0->value() + shard1->value())
+      << "aggregate must be the exact sum of the shard views";
+
+  // Idempotent: a second collect must not double the totals.
+  world.collect_shard_metrics();
+  EXPECT_EQ(m.counter("ring.entries_delivered").value(), 6u);
+}
+
+TEST(ShardedWorld, SingleShardBindsUnprefixedIntoTheMainRegistry) {
+  World world(sharded_config(1));
+  world.bcast_at(sim::sec(1), 0, "a");
+  world.run_until(sim::sec(10));
+  world.collect_shard_metrics();  // no-op for K=1
+  auto& m = world.metrics();
+  EXPECT_EQ(&world.shard_metrics(0), &m) << "K=1 layers bind directly";
+  EXPECT_EQ(m.find_counter("shard0.ring.entries_delivered"), nullptr)
+      << "no shard prefix may appear in a single-shard world";
+  ASSERT_NE(m.find_counter("ring.entries_delivered"), nullptr);
+  EXPECT_EQ(m.counter("ring.entries_delivered").value(), 3u);
+}
+
+TEST(ShardedWorld, PerShardRingOverridesApply) {
+  WorldConfig cfg = sharded_config(2);
+  membership::TokenRingConfig slow;
+  slow.pi = sim::msec(400);
+  membership::TokenRingConfig fast;
+  fast.pi = sim::msec(10);
+  cfg.shard_rings = {slow, fast};
+  World world(cfg);
+  ASSERT_NE(world.token_ring(0), nullptr);
+  ASSERT_NE(world.token_ring(1), nullptr);
+  EXPECT_EQ(world.token_ring(0)->config().pi, sim::msec(400));
+  EXPECT_EQ(world.token_ring(1)->config().pi, sim::msec(10));
+  // The harness owns the port assignment (= shard index), regardless of
+  // what the override said.
+  EXPECT_EQ(world.token_ring(0)->config().port, 0);
+  EXPECT_EQ(world.token_ring(1)->config().port, 1);
+}
+
+TEST(ShardedWorld, SameSeedSameDeliveriesAcrossRuns) {
+  auto run = [](int shards) {
+    World world(sharded_config(shards, 99));
+    world.bcast_shard_at(sim::sec(1), 0, 0, "x");
+    if (shards > 1) world.bcast_shard_at(sim::sec(1), 1, 1, "y");
+    world.partition_at(sim::sec(2), {{0}, {1, 2}});
+    world.heal_at(sim::sec(4));
+    world.run_until(sim::sec(20));
+    std::string digest;
+    for (int k = 0; k < world.shards(); ++k)
+      for (ProcId p = 0; p < 3; ++p)
+        for (const auto& [origin, value] : world.stack(k).process(p).delivered())
+          digest += std::to_string(k) + ":" + std::to_string(p) + ":" +
+                    std::to_string(origin) + ":" + std::string(value.begin(), value.end()) + ";";
+    return digest;
+  };
+  EXPECT_EQ(run(2), run(2)) << "sharded worlds must stay deterministic";
+}
+
+}  // namespace
+}  // namespace vsg::harness

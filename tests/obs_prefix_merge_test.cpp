@@ -1,0 +1,85 @@
+// Shard-prefixed metric merging (MetricsRegistry::merge_from with a name
+// prefix) — the mechanism behind the World's per-shard metric namespaces.
+// The contract: folding each shard registry twice (once unprefixed for the
+// aggregate, once prefixed for the per-shard view) preserves totals
+// exactly, and two shards' prefixed names can never alias each other.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace vsg::obs {
+namespace {
+
+TEST(PrefixedMerge, PrependsThePrefixToEveryMetricKind) {
+  MetricsRegistry shard;
+  shard.counter("ring.token_rotations").inc(7);
+  shard.gauge("ring.members").set(4);
+  shard.histogram("ring.lap", Unit::kSimMicros, {10, 100}).observe(42);
+
+  MetricsRegistry merged;
+  ASSERT_TRUE(merged.merge_from(shard, "shard1."));
+  ASSERT_NE(merged.find_counter("shard1.ring.token_rotations"), nullptr);
+  EXPECT_EQ(merged.find_counter("shard1.ring.token_rotations")->value(), 7u);
+  EXPECT_EQ(merged.find_counter("ring.token_rotations"), nullptr)
+      << "unprefixed name must not appear in a prefixed merge";
+  EXPECT_EQ(merged.gauge("shard1.ring.members").value(), 4);
+  EXPECT_EQ(merged.histogram("shard1.ring.lap").count(), 1u);
+}
+
+TEST(PrefixedMerge, EmptyPrefixIsAPlainMerge) {
+  MetricsRegistry shard;
+  shard.counter("net.packets_sent").inc(3);
+  MetricsRegistry merged;
+  ASSERT_TRUE(merged.merge_from(shard, ""));
+  EXPECT_EQ(merged.counter("net.packets_sent").value(), 3u);
+}
+
+TEST(PrefixedMerge, AggregatePlusPerShardPreservesTotals) {
+  // The World's collect_shard_metrics shape: each shard registry folds
+  // into the main one twice — unprefixed (aggregate) and "shard<k>."
+  // prefixed (per-shard view).
+  MetricsRegistry shard0, shard1, main;
+  shard0.counter("ring.entries_delivered").inc(10);
+  shard1.counter("ring.entries_delivered").inc(32);
+  for (int k = 0; k < 2; ++k) {
+    MetricsRegistry& shard = k == 0 ? shard0 : shard1;
+    ASSERT_TRUE(main.merge_from(shard));
+    ASSERT_TRUE(main.merge_from(shard, "shard" + std::to_string(k) + "."));
+  }
+  EXPECT_EQ(main.counter("ring.entries_delivered").value(), 42u)
+      << "aggregate must be the exact sum of the shard counters";
+  EXPECT_EQ(main.counter("shard0.ring.entries_delivered").value(), 10u);
+  EXPECT_EQ(main.counter("shard1.ring.entries_delivered").value(), 32u);
+}
+
+TEST(PrefixedMerge, ShardNamespacesNeverAlias) {
+  // "shard1." + "0.x" and "shard10." + "x" would collide under naive
+  // concatenation schemes; the dot-terminated prefix keeps every shard
+  // index unambiguous for K <= kMaxShards-style two-digit counts.
+  MetricsRegistry a, b, main;
+  a.counter("x").inc(1);
+  b.counter("x").inc(100);
+  ASSERT_TRUE(main.merge_from(a, "shard1."));
+  ASSERT_TRUE(main.merge_from(b, "shard10."));
+  EXPECT_EQ(main.counter("shard1.x").value(), 1u);
+  EXPECT_EQ(main.counter("shard10.x").value(), 100u);
+
+  // Repeated prefixed merges accumulate (merge semantics), they do not
+  // overwrite — mirrored from the unprefixed contract.
+  ASSERT_TRUE(main.merge_from(a, "shard1."));
+  EXPECT_EQ(main.counter("shard1.x").value(), 2u);
+}
+
+TEST(PrefixedMerge, ShapeMismatchStillRejected) {
+  MetricsRegistry shard, main;
+  shard.histogram("h", Unit::kSimMicros, {10, 100}).observe(5);
+  main.histogram("p.h", Unit::kSimMicros, {1, 2, 3}).observe(1);
+  EXPECT_FALSE(main.merge_from(shard, "p."))
+      << "prefixed merge must keep the bucket-shape check";
+}
+
+}  // namespace
+}  // namespace vsg::obs

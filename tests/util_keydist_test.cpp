@@ -1,0 +1,85 @@
+// util::KeyDist: the seeded Zipf / uniform key generator behind the sharded
+// throughput workload. Exactness matters more than speed here — the
+// distribution is an inverse-CDF table, so the statistical checks can be
+// tight: empirical frequencies must track probability() closely, and the
+// same seed must reproduce the same key stream bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/keydist.hpp"
+#include "util/rng.hpp"
+
+namespace vsg::util {
+namespace {
+
+TEST(KeyDist, RejectsDegenerateParameters) {
+  EXPECT_THROW(KeyDist(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KeyDist(8, -0.5), std::invalid_argument);
+}
+
+TEST(KeyDist, ProbabilitiesSumToOne) {
+  for (double s : {0.0, 0.5, 1.0, 1.5}) {
+    const KeyDist dist(64, s);
+    double sum = 0;
+    for (std::uint64_t r = 0; r < 64; ++r) sum += dist.probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(KeyDist, ZipfRanksAreMonotonicallyLessLikely) {
+  const KeyDist dist(100, 1.2);
+  for (std::uint64_t r = 1; r < 100; ++r)
+    EXPECT_LT(dist.probability(r), dist.probability(r - 1)) << "rank " << r;
+  // Exact head probability: p(0) = 1 / sum_{r=1..100} r^-1.2.
+  double norm = 0;
+  for (int r = 1; r <= 100; ++r) norm += std::pow(r, -1.2);
+  EXPECT_NEAR(dist.probability(0), 1.0 / norm, 1e-9);
+}
+
+TEST(KeyDist, EmpiricalFrequenciesMatchTheTable) {
+  const KeyDist dist(32, 1.0);
+  Rng rng(20260808);
+  const int draws = 200'000;
+  std::vector<int> counts(32, 0);
+  for (int i = 0; i < draws; ++i) ++counts[dist.next(rng)];
+  // Every rank's empirical frequency within 3 standard errors + epsilon of
+  // its exact probability (flaky-proof: the seed is fixed).
+  for (std::uint64_t r = 0; r < 32; ++r) {
+    const double p = dist.probability(r);
+    const double freq = static_cast<double>(counts[r]) / draws;
+    const double sigma = std::sqrt(p * (1 - p) / draws);
+    EXPECT_NEAR(freq, p, 3 * sigma + 1e-3) << "rank " << r;
+  }
+  // The skew is real: rank 0 drawn several times more often than rank 31.
+  EXPECT_GT(counts[0], 5 * counts[31]);
+}
+
+TEST(KeyDist, UniformModeCoversAllKeysEvenly) {
+  const KeyDist dist(16, 0.0);
+  Rng rng(77);
+  std::vector<int> counts(16, 0);
+  const int draws = 160'000;
+  for (int i = 0; i < draws; ++i) ++counts[dist.next(rng)];
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / draws, 1.0 / 16, 0.01) << "rank " << r;
+    EXPECT_DOUBLE_EQ(dist.probability(r), 1.0 / 16);
+  }
+}
+
+TEST(KeyDist, SameSeedSameStream) {
+  const KeyDist dist(512, 1.1);
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(dist.next(a), dist.next(b)) << "draw " << i;
+}
+
+TEST(KeyDist, KeyNamesAreStable) {
+  EXPECT_EQ(KeyDist::key_name(0), "k0");
+  EXPECT_EQ(KeyDist::key_name(511), "k511");
+}
+
+}  // namespace
+}  // namespace vsg::util

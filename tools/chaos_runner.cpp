@@ -38,6 +38,8 @@ struct Options {
   std::uint64_t first_seed = 1;
   int jobs = 1;  // worker threads for per-seed runs; 0 = hardware concurrency
   int n = 4;
+  int shards = 1;   // independent VStoTO stacks per World
+  int domains = 0;  // correlated failure-domain events per schedule
   harness::Backend backend = harness::Backend::kTokenRing;
   bool smoke = false;
   bool shrink = true;
@@ -76,6 +78,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (v == nullptr) return false;
       opt.n = std::atoi(v);
       if (opt.n < 1) return false;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.shards = std::atoi(v);
+      if (opt.shards < 1 || opt.shards > harness::kMaxShards) return false;
+    } else if (arg == "--domains") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.domains = std::atoi(v);
+      if (opt.domains < 0) return false;
     } else if (arg == "--backend") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -146,6 +158,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
 chaos::CampaignConfig campaign_config(const Options& opt) {
   chaos::CampaignConfig cfg;
   cfg.schedule.n = opt.n;
+  cfg.schedule.failure_domains = opt.domains;
+  cfg.shards = opt.shards;
   cfg.backend = opt.backend;
   cfg.link.ugly_corrupt = opt.corrupt;
   cfg.first_seed = opt.first_seed;
@@ -189,6 +203,21 @@ int replay(const Options& opt) {
   if (until == 0) until = parsed.meta.until.value_or(parsed.scenario->last_time() + sim::sec(12));
 
   chaos::CampaignConfig cfg = campaign_config(opt);
+  if (parsed.meta.shards.has_value()) {
+    if (*parsed.meta.shards < 1 || *parsed.meta.shards > harness::kMaxShards) {
+      std::fprintf(stderr,
+                   "%s pins shards %d, but this build supports 1..%d shards "
+                   "(docs/SHARDING.md) — refusing to replay under a different topology\n",
+                   opt.replay_file.c_str(), *parsed.meta.shards, harness::kMaxShards);
+      return 2;
+    }
+    cfg.shards = *parsed.meta.shards;
+    if (cfg.shards > 1 && cfg.backend == harness::Backend::kSpec) {
+      std::fprintf(stderr, "%s pins shards %d, which requires the ring backend\n",
+                   opt.replay_file.c_str(), cfg.shards);
+      return 2;
+    }
+  }
   if (parsed.meta.wire.has_value()) {
     if (!wire::known_version(static_cast<std::uint8_t>(*parsed.meta.wire))) {
       std::fprintf(stderr,
@@ -365,8 +394,11 @@ int campaign(const Options& opt) {
   cfg.metrics = std::make_shared<obs::MetricsRegistry>();
   const int jobs =
       exec::effective_jobs(cfg.jobs, static_cast<std::size_t>(cfg.seeds > 0 ? cfg.seeds : 0));
-  std::printf("chaos campaign: %d seeds from %llu, n=%d, backend=%s, jobs=%d%s%s\n",
+  const std::string shards_note =
+      cfg.shards > 1 ? ", shards=" + std::to_string(cfg.shards) : "";
+  std::printf("chaos campaign: %d seeds from %llu, n=%d%s, backend=%s, jobs=%d%s%s\n",
               cfg.seeds, static_cast<unsigned long long>(cfg.first_seed), cfg.schedule.n,
+              shards_note.c_str(),
               cfg.backend == harness::Backend::kSpec ? "spec" : "ring", jobs,
               opt.smoke ? " (smoke preset)" : "",
               opt.inject_unchecked_decode ? " [FAULT INJECTED: unchecked decode]" : "");
@@ -452,13 +484,18 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--first-seed S] [--n N] [--jobs N]\n"
-                 "          [--backend ring|spec]\n"
+                 "          [--shards K] [--domains N] [--backend ring|spec]\n"
                  "          [--corrupt P] [--wire 1|2|3] [--cross-check] [--smoke]\n"
                  "          [--no-shrink] [--repro-dir DIR] [--export PATH]\n"
                  "          [--inject-unchecked-decode]\n"
                  "          [--replay FILE [--until T] [--trace-out PATH]]\n"
                  "          [--decode-frame FILE] [--emit-golden-frames DIR]\n",
                  argv[0]);
+    return 2;
+  }
+  if (opt.shards > 1 && opt.backend == harness::Backend::kSpec) {
+    std::fprintf(stderr, "--shards %d requires the ring backend (the spec backend models "
+                         "one group-communication instance)\n", opt.shards);
     return 2;
   }
   if (opt.inject_unchecked_decode) util::set_unchecked_decode_for_test(true);
