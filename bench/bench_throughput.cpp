@@ -22,7 +22,13 @@
 // evidence: members drop out and return on a fixed schedule, forcing a
 // state exchange per membership change. Run it twice — `--wire 2` and
 // `--wire 3` — with the same seeds and compare ring.state_exchange_bytes
-// and the to.* counters in the exported snapshots.
+// and the to.* counters in the exported snapshots. Combined with
+// `--shards K` the same churn cadence runs inside the sharded workload.
+//
+// `--timeline-out PATH` (sharded workload only — one World) additionally
+// samples every registry on a virtual-time interval and writes the run's
+// vsg-timeseries-v1 timeline; render it with tools/vsg_report
+// (docs/OBSERVABILITY.md, "Timelines").
 
 #include <cstdio>
 #include <cstdlib>
@@ -125,7 +131,8 @@ std::uint64_t run_churn(int n, sim::Time pi, std::uint64_t seed,
 // ordering rate while K rings split the same load into K independent
 // serialization points. The scaling claim (docs/SHARDING.md) is aggregate
 // applied-writes in the steady window growing with K.
-std::uint64_t run_sharded(int shards, double zipf_s, std::uint64_t seed,
+std::uint64_t run_sharded(int shards, double zipf_s, bool churn, std::uint64_t seed,
+                          const std::string& timeline_out,
                           const std::shared_ptr<obs::MetricsRegistry>& metrics) {
   obs::ScopedWallTimer timer(
       metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
@@ -138,6 +145,10 @@ std::uint64_t run_sharded(int shards, double zipf_s, std::uint64_t seed,
   cfg.ring.pi = sim::msec(40);
   cfg.ring.max_entries_per_pass = 2;  // the per-ring capacity bound
   cfg.seed = seed;
+  // Virtual-time telemetry rides along only when asked for; the sampler
+  // reads registries without touching the protocol, so the delivered-ops
+  // numbers are identical either way (docs/OBSERVABILITY.md, "Timelines").
+  cfg.sampler.enabled = !timeline_out.empty();
   harness::World world(cfg);
 
   std::vector<to::Service*> services;
@@ -160,6 +171,18 @@ std::uint64_t run_sharded(int shards, double zipf_s, std::uint64_t seed,
     }
   }
 
+  // --churn composes with --shards: the same crash/rejoin cadence as the
+  // plain churn workload, hitting every ring at once (one substrate). Off
+  // by default so the established K-scaling numbers stay untouched.
+  if (churn) {
+    int cycle = 0;
+    for (sim::Time t = start + sim::sec(1); t + sim::sec(1) < end; t += sim::msec(1500)) {
+      const ProcId victim = 1 + static_cast<ProcId>(cycle++ % (n - 1));
+      world.proc_status_at(t, victim, sim::Status::kBad);
+      world.proc_status_at(t + sim::sec(1), victim, sim::Status::kGood);
+    }
+  }
+
   // Aggregate applied writes at replica 0 across all shards, inside the
   // steady window.
   const sim::Time window_start = start + sim::sec(1);
@@ -171,6 +194,12 @@ std::uint64_t run_sharded(int shards, double zipf_s, std::uint64_t seed,
   const std::uint64_t delivered = at_end - at_start;
   const double secs = static_cast<double>(end - window_start) / 1e6;
   world.collect_shard_metrics();
+  if (!timeline_out.empty()) {
+    if (world.write_timeline(timeline_out))
+      std::printf("timeline written to %s\n", timeline_out.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", timeline_out.c_str());
+  }
   metrics->merge_from(world.metrics());
   const std::string tag = "bench.sharded.k" + std::to_string(shards);
   metrics->gauge(tag + ".delivered_ops").set(static_cast<std::int64_t>(delivered));
@@ -189,8 +218,12 @@ int main(int argc, char** argv) {
   int jobs = 1;
   int shards = 0;       // 0: classic sweep; K >= 1: sharded scaling workload
   double zipf_s = 1.1;  // key-popularity skew of the sharded workload
+  std::string timeline_out;  // vsg-timeseries-v1 dump of the sharded World
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--churn") == 0) churn = true;
+    if (std::strcmp(argv[i], "--timeline-out") == 0 && i + 1 < argc)
+      timeline_out = argv[i + 1];
+    if (std::strncmp(argv[i], "--timeline-out=", 15) == 0) timeline_out = argv[i] + 15;
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[i + 1]);
       if (shards < 1 || shards > harness::kMaxShards) {
@@ -220,14 +253,21 @@ int main(int argc, char** argv) {
     }
     wire = static_cast<membership::WireFormat>(v);
   }
+  if (!timeline_out.empty() && shards < 1) {
+    std::fprintf(stderr, "--timeline-out needs the single-World sharded workload; add "
+                         "--shards K (docs/OBSERVABILITY.md)\n");
+    return 2;
+  }
   auto metrics = std::make_shared<obs::MetricsRegistry>();
   const std::int64_t sweep_start = obs::wall_now_us();
 
   if (shards >= 1) {
     std::printf("E8: sharded aggregate throughput — %d ring%s over one substrate "
-                "(zipf s=%.2f, n=4, capacity-limited rings)\n\n",
-                shards, shards == 1 ? "" : "s", zipf_s);
-    const std::uint64_t delivered = run_sharded(shards, zipf_s, 4400, metrics);
+                "(zipf s=%.2f, n=4, capacity-limited rings%s)\n\n",
+                shards, shards == 1 ? "" : "s", zipf_s,
+                churn ? ", crash/rejoin churn" : "");
+    const std::uint64_t delivered =
+        run_sharded(shards, zipf_s, churn, 4400, timeline_out, metrics);
     const auto per_sec = metrics->gauge("bench.sharded.k" + std::to_string(shards) +
                                         ".deliv_per_sec")
                              .value();

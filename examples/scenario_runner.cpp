@@ -40,6 +40,7 @@ struct Options {
   harness::Backend backend = harness::Backend::kTokenRing;
   sim::Time until = sim::sec(15);
   bool timeline = false;
+  std::string timeline_out;  // vsg-timeseries-v1 dump (docs/OBSERVABILITY.md)
   // Explicit flags beat `config` directives in the scenario file, which in
   // turn beat the defaults above.
   bool n_given = false;
@@ -85,6 +86,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.until_given = true;
     } else if (arg == "--timeline") {
       opt.timeline = true;
+    } else if (arg == "--timeline-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.timeline_out = v;
+    } else if (arg.rfind("--timeline-out=", 0) == 0) {
+      opt.timeline_out = arg.substr(15);
     } else if (arg[0] != '-') {
       opt.file = arg;
     } else {
@@ -101,7 +108,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: %s [scenario-file] [--n N] [--shards K] [--seed S] "
-                 "[--backend ring|spec] [--until 20s] [--timeline]\n",
+                 "[--backend ring|spec] [--until 20s] [--timeline] "
+                 "[--timeline-out PATH]\n",
                  argv[0]);
     return 2;
   }
@@ -145,6 +153,7 @@ int main(int argc, char** argv) {
   cfg.shards = opt.shards;
   cfg.backend = opt.backend;
   cfg.seed = opt.seed;
+  cfg.sampler.enabled = !opt.timeline_out.empty();
   if (parsed.meta.wire.has_value()) {
     if (!wire::known_version(static_cast<std::uint8_t>(*parsed.meta.wire))) {
       std::fprintf(stderr,
@@ -191,6 +200,18 @@ int main(int argc, char** argv) {
   if (opt.timeline) {
     const auto tl = harness::build_timeline(world->recorder().events(), opt.n, opt.n);
     std::printf("\n%s", harness::render_timeline(tl).c_str());
+  }
+
+  if (!opt.timeline_out.empty()) {
+    if (world->write_timeline(opt.timeline_out)) {
+      std::printf("\ntimeline written to %s", opt.timeline_out.c_str());
+      for (const auto& e : world->sampler()->health().events())
+        std::printf("\n  %s", obs::to_verdict(e).c_str());
+      std::printf("\n");
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opt.timeline_out.c_str());
+      return 2;
+    }
   }
 
   bool clean = true;

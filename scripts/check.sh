@@ -121,6 +121,63 @@ grep -q '"process_name"' build/replay.trace.json
 grep -q '"tobrcv"' build/replay.trace.json
 grep -q '"view.state_exchange"' build/replay.trace.json
 
+# Timeline smoke (docs/OBSERVABILITY.md, "Timelines"): a 50-seed smoke
+# campaign with per-seed timelines — every emitted file must validate as
+# vsg-timeseries-v1, and sampling must not perturb the run (the campaign
+# still exits clean).
+rm -rf build/timelines && mkdir -p build/timelines
+./build/tools/chaos_runner --seeds 50 --smoke --timeline-out build/timelines
+./build/tools/vsg_report --validate build/timelines/timeline_seed*.json >/dev/null
+test "$(ls build/timelines/timeline_seed*.json | wc -l)" -eq 50
+
+# Timeline determinism pin: a fixed-seed K=1 replay's timeline is hashed
+# with the canonical vsg-timeseries-v1 fingerprint. Sampler reads never
+# touch the RNG or the schedule, so this value only moves when the metric
+# set or the protocol itself changes — update it alongside the campaign
+# fingerprint above when that is intentional.
+./build/tools/chaos_runner --replay tests/scenarios/chaos_seed248_stuck_proposal.scn \
+    --timeline-out build/replay_timeline.json
+tfp=$(./build/tools/vsg_report --fingerprint build/replay_timeline.json | cut -d' ' -f1)
+if [ "$tfp" != "76f52e0f2f785e7a" ]; then
+  echo "check.sh: fixed-seed timeline fingerprint drifted ($tfp)" >&2
+  exit 1
+fi
+
+# The write_timeline contract: a churned sharded bench's final aggregate
+# sample must equal its end-of-run export (modulo wall exclusions), and the
+# report must render as self-contained HTML.
+./build/bench/bench_throughput --churn --shards 4 \
+    --timeline-out build/TL_churn.json --export build/BENCH_churn.json >/dev/null
+./build/tools/vsg_report --check-final build/BENCH_churn.json build/TL_churn.json
+./build/tools/vsg_report build/TL_churn.json --html build/TL_churn.html >/dev/null
+test -s build/TL_churn.html
+grep -q '<svg' build/TL_churn.html
+
+# Health watchdogs (docs/CHAOS.md, "Health oracle"): slowing the ring past
+# the stall bound must trip token_stall under --health-oracle, the failing
+# seed must shrink with the rule preserved, and the v2 manifest must index
+# the timeline artifact next to the trace.
+rm -rf build/stall_repro && mkdir -p build/stall_repro
+if ./build/tools/chaos_runner --seeds 1 --first-seed 5 --smoke --pi 1500 \
+    --health-oracle --repro-dir build/stall_repro >/dev/null; then
+  echo "check.sh: injected ring stall was NOT flagged by the health oracle" >&2
+  exit 1
+fi
+grep -q '"vsg-repro-manifest-v2"' build/stall_repro/repro_manifest.json
+grep -q 'token_stall' build/stall_repro/repro_manifest.json
+grep -q '"timeline": "chaos_seed5_timeline.json"' build/stall_repro/repro_manifest.json
+./build/tools/vsg_report --validate build/stall_repro/chaos_seed5_timeline.json >/dev/null
+./build/tools/vsg_report build/stall_repro/chaos_seed5_timeline.json \
+    | grep -q 'token_stall'
+# Shrink preserved the rule: replaying the minimized repro under the same
+# injection flags still stalls. (--pi is invocation config, not pinned in
+# the scenario, so it must be passed again — like --corrupt.)
+if ./build/tools/chaos_runner --replay build/stall_repro/chaos_seed5.scn \
+    --pi 1500 --health-oracle >/dev/null; then
+  echo "check.sh: shrunk stall repro no longer trips token_stall" >&2
+  exit 1
+fi
+
 # The injected-fault demo: with the historical decode bug re-enabled, the
 # same oracles must catch it (exit 1) on its minimized repros — one per
 # wire layout (v1 bytes: seed 75; v3 bytes: seed 138), since corruption

@@ -22,10 +22,35 @@ int count_bcasts(const harness::Scenario& s) {
 
 bool is_recovery_violation(const std::string& v) { return v.rfind("recovery:", 0) == 0; }
 
+bool is_health_violation(const std::string& v) { return v.rfind("health:", 0) == 0; }
+
+// Safety = anything that is neither the recovery oracle nor a health
+// watchdog verdict (TO / VS / forward-simulation checker output).
 bool has_safety_violation(const std::vector<std::string>& vs) {
   for (const auto& v : vs)
-    if (!is_recovery_violation(v)) return true;
+    if (!is_recovery_violation(v) && !is_health_violation(v)) return true;
   return false;
+}
+
+bool has_recovery_violation(const std::vector<std::string>& vs) {
+  for (const auto& v : vs)
+    if (is_recovery_violation(v)) return true;
+  return false;
+}
+
+// The distinct watchdog rules behind a run's health verdicts ("health:
+// token_stall [...]" -> "token_stall"). Shrinking preserves this set: a
+// candidate only counts as failing if every originally-fired rule fires
+// again, so ddmin cannot trade a token stall for, say, a cheaper
+// backlog-growth event.
+std::set<std::string> health_rule_set(const std::vector<std::string>& vs) {
+  std::set<std::string> rules;
+  for (const auto& v : vs)
+    if (is_health_violation(v)) {
+      std::string rest = v.substr(std::string("health: ").size());
+      rules.insert(rest.substr(0, rest.find(' ')));
+    }
+  return rules;
 }
 
 // Stabilization suffix: all processors good + heal at `at`. Appended to
@@ -79,6 +104,7 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
   wc.link = cfg.link;
   wc.ring = cfg.ring;
   wc.shards = cfg.shards;
+  wc.sampler = cfg.sampler;
   if (capture_trace) {
     wc.trace = cfg.trace;
     wc.trace.enabled = true;
@@ -152,6 +178,17 @@ RunResult run_one(const CampaignConfig& cfg, const harness::Scenario& scenario, 
     }
   }
   result.delivery_fingerprint = fp;
+  if (world.sampler() != nullptr) {
+    // Twice at the same instant so the final sample includes any health.*
+    // bumps the first pass produced (see World::write_timeline).
+    world.sampler()->sample_now(world.simulator().now());
+    world.sampler()->sample_now(world.simulator().now());
+    result.timeline = world.sampler()->doc();
+    result.health_events = world.sampler()->health().events();
+    if (cfg.health_oracle)
+      for (auto& v : world.sampler()->health().verdicts())
+        result.violations.push_back(std::move(v));
+  }
   world.collect_shard_metrics();
   result.world_metrics = world.metrics().snapshot();
   if (capture_trace && world.tracer() != nullptr)
@@ -204,6 +241,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     metrics->merge_from(run.world_metrics);
     result.ops += schedule.scenario.ops.size();
     ++result.runs;
+    if (cfg.sampler.enabled) result.seed_timelines.push_back(std::move(run.timeline));
 
     SeedSummary summary;
     summary.seed = seed;
@@ -223,26 +261,38 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     failure.wire = static_cast<int>(cfg.ring.wire);
     failure.shards = cfg.shards;
     failure.violations = run.violations;
+    for (const auto& e : run.health_events)
+      failure.health_verdicts.push_back(obs::to_verdict(e));
     failure.schedule = schedule;
     if (cfg.shrink) {
       // Preserve the failure class while shrinking. Safety violations (TO /
       // VS / forward-simulation) must survive as safety violations; for
-      // recovery-only failures every candidate gets the stabilization
-      // suffix re-appended, and the recovery oracle uses the candidate's
-      // own bcast count (dropping a bcast legitimately lowers it).
+      // failures involving the recovery oracle every candidate gets the
+      // stabilization suffix re-appended, and the recovery oracle uses the
+      // candidate's own bcast count (dropping a bcast legitimately lowers
+      // it); health verdicts must re-fire the same rule set.
       const bool safety = has_safety_violation(run.violations);
+      const bool recovery = has_recovery_violation(run.violations);
+      const std::set<std::string> rules = health_rule_set(run.violations);
       const sim::Time run_until = schedule.run_until;
       const sim::Time horizon = cfg.schedule.horizon;
-      auto fails = [&cfg, seed, run_until, horizon, safety](const harness::Scenario& s,
-                                                            int n) {
-        harness::Scenario candidate = safety ? s : with_stabilization(s, n, horizon);
+      auto fails = [&cfg, seed, run_until, horizon, safety, recovery,
+                    &rules](const harness::Scenario& s, int n) {
+        harness::Scenario candidate =
+            !safety && recovery ? with_stabilization(s, n, horizon) : s;
         const RunResult r =
             run_one(cfg, candidate, n, seed, run_until, count_bcasts(candidate));
-        return safety ? has_safety_violation(r.violations) : !r.ok();
+        if (safety) return has_safety_violation(r.violations);
+        if (!rules.empty()) {
+          const std::set<std::string> got = health_rule_set(r.violations);
+          for (const auto& rule : rules)
+            if (got.count(rule) == 0) return false;
+        }
+        return recovery ? !r.ok() : true;
       };
       failure.minimal =
           shrink_schedule(schedule.scenario, cfg.schedule.n, fails, cfg.shrink_options);
-      if (!safety)
+      if (!safety && recovery)
         failure.minimal.scenario =
             with_stabilization(std::move(failure.minimal.scenario), failure.minimal.n, horizon);
       metrics->counter("chaos.shrink.candidates")
@@ -282,7 +332,7 @@ std::string repro_text(const Failure& f) {
 std::string repro_manifest_json(const std::vector<ManifestEntry>& entries,
                                 const std::string& metrics_export_path) {
   // append_escaped emits the surrounding quotes.
-  std::string out = "{\n  \"schema\": \"vsg-repro-manifest-v1\",\n  \"metrics_export\": ";
+  std::string out = "{\n  \"schema\": \"vsg-repro-manifest-v2\",\n  \"metrics_export\": ";
   obs::json::append_escaped(out, metrics_export_path);
   out += ",\n  \"failures\": [";
   bool first_entry = true;
@@ -300,11 +350,64 @@ std::string repro_manifest_json(const std::vector<ManifestEntry>& entries,
     obs::json::append_escaped(out, e.scenario_path);
     out += ",\n      \"flight_recorder\": ";
     obs::json::append_escaped(out, e.flight_recorder_path);
-    out += "\n    }";
+    out += ",\n      \"timeline\": ";
+    obs::json::append_escaped(out, e.timeline_path);
+    out += ",\n      \"health_events\": [";
+    first_v = true;
+    for (const auto& v : e.health_verdicts) {
+      if (!first_v) out += ", ";
+      first_v = false;
+      obs::json::append_escaped(out, v);
+    }
+    out += "]\n    }";
   }
   out += entries.empty() ? "],\n" : "\n  ],\n";
   out += "  \"failure_count\": " + std::to_string(entries.size()) + "\n}\n";
   return out;
+}
+
+std::optional<Manifest> parse_repro_manifest(const std::string& json) {
+  obs::json::Reader r(json);
+  Manifest m;
+  r.object([&](const std::string& key) {
+    if (key == "schema") {
+      const std::string tag = r.string();
+      if (tag == "vsg-repro-manifest-v1")
+        m.version = 1;
+      else if (tag == "vsg-repro-manifest-v2")
+        m.version = 2;
+      else
+        r.fail();
+    } else if (key == "metrics_export") {
+      m.metrics_export = r.string();
+    } else if (key == "failures") {
+      r.array([&] {
+        ManifestEntry e;
+        r.object([&](const std::string& field) {
+          if (field == "seed") {
+            e.seed = static_cast<std::uint64_t>(r.integer());
+          } else if (field == "violations") {
+            r.array([&] { e.violations.push_back(r.string()); });
+          } else if (field == "scenario") {
+            e.scenario_path = r.string();
+          } else if (field == "flight_recorder") {
+            e.flight_recorder_path = r.string();
+          } else if (field == "timeline") {
+            e.timeline_path = r.string();
+          } else if (field == "health_events") {
+            r.array([&] { e.health_verdicts.push_back(r.string()); });
+          } else {
+            r.skip_value();
+          }
+        });
+        m.entries.push_back(std::move(e));
+      });
+    } else {
+      r.skip_value();
+    }
+  });
+  if (!r.ok() || !r.at_end() || m.version == 0) return std::nullopt;
+  return m;
 }
 
 }  // namespace vsg::chaos

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "chaos/shrink.hpp"
 #include "harness/world.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 
 namespace vsg::chaos {
 
@@ -54,6 +56,17 @@ struct CampaignConfig {
   /// is ignored: campaign runs never trace — that keeps them bit-identical
   /// to untraced fixed-seed runs — and capture replays always trace).
   obs::TraceConfig trace;
+  /// Virtual-time telemetry inside every seed's World (off by default).
+  /// Sampling only reads registries, so verdicts, delivery fingerprints and
+  /// protocol counters stay bit-identical to an unsampled campaign; each
+  /// RunResult additionally carries its timeline and health events.
+  obs::SamplerConfig sampler;
+  /// Treat obs::Health watchdog events as soft-oracle verdicts: every event
+  /// becomes a "health: <rule> ..." violation, so a stalled ring or an
+  /// unbounded backlog fails the seed, gets ddmin-shrunk (preserving the
+  /// set of fired rules) and lands in the repro manifest like any other
+  /// failure. Requires sampler.enabled to observe anything.
+  bool health_oracle = false;
 
   CampaignConfig() { link.ugly_corrupt = 0.25; }
 };
@@ -79,6 +92,12 @@ struct RunResult {
   /// obs::MetricsRegistry::merge_from, so the exported campaign snapshot
   /// carries the protocol counters regardless of how many jobs ran.
   obs::MetricsSnapshot world_metrics;
+  /// The run's vsg-timeseries-v1 document (empty unless cfg.sampler.enabled).
+  obs::TimeseriesDoc timeline;
+  /// Health watchdog events of the run (subset of timeline.health_events;
+  /// empty unless cfg.sampler.enabled). Folded into `violations` as
+  /// "health: ..." strings only when cfg.health_oracle.
+  std::vector<obs::HealthEvent> health_events;
   bool ok() const { return violations.empty(); }
 };
 
@@ -110,6 +129,10 @@ struct Failure {
   /// the flight recorder on (the last cfg.trace.capacity spans before the
   /// violation). Dumped next to the repro scenario by chaos_runner.
   std::string flight_recorder;
+  /// Health watchdog verdicts of the original failing run, recorded even
+  /// when cfg.health_oracle is off (then they flag the seed in the manifest
+  /// without failing it). Empty unless cfg.sampler.enabled.
+  std::vector<std::string> health_verdicts;
 };
 
 /// Per-seed outcome digest, recorded for every seed (clean or not) in seed
@@ -130,6 +153,9 @@ struct CampaignResult {
   std::vector<Failure> failures;
   /// One entry per seed, in seed order.
   std::vector<SeedSummary> seed_results;
+  /// One timeline per seed, in seed order; empty unless cfg.sampler.enabled
+  /// (chaos_runner --timeline-out writes these as timeline_seed<S>.json).
+  std::vector<obs::TimeseriesDoc> seed_timelines;
   /// Order-sensitive fnv1a fold over seed_results: a single number that
   /// differs iff any seed's verdict count, fingerprint, or delivery total
   /// differs. chaos_runner prints it so two campaign invocations (e.g.
@@ -149,13 +175,32 @@ struct ManifestEntry {
   std::vector<std::string> violations;
   std::string scenario_path;          // minimized .scn repro
   std::string flight_recorder_path;   // Chrome trace dump ("" if none)
+  std::string timeline_path;          // vsg-timeseries-v1 dump ("" if none)
+  /// Health watchdog verdicts of the failing run ("" entries never occur;
+  /// empty when the campaign ran without the sampler/health oracle).
+  std::vector<std::string> health_verdicts;
+
+  bool operator==(const ManifestEntry&) const = default;
 };
 
-/// The vsg-repro-manifest-v1 document chaos_runner writes into --repro-dir:
+/// The vsg-repro-manifest-v2 document chaos_runner writes into --repro-dir:
 /// which artifacts exist for each failure and where, so an operator (or a
-/// later tool) never has to guess filenames. `metrics_export_path` is ""
-/// when the campaign ran without --export.
+/// later tool) never has to guess filenames. v2 adds per-failure "timeline"
+/// and "health_events" next to the auto-captured trace; parse_repro_manifest
+/// still reads v1 documents (whose entries simply lack both).
+/// `metrics_export_path` is "" when the campaign ran without --export.
 std::string repro_manifest_json(const std::vector<ManifestEntry>& entries,
                                 const std::string& metrics_export_path);
+
+/// A parsed repro manifest, either schema version.
+struct Manifest {
+  int version = 0;  // 1 or 2
+  std::string metrics_export;
+  std::vector<ManifestEntry> entries;
+};
+
+/// Versioned reader: accepts vsg-repro-manifest-v1 and -v2; nullopt on
+/// malformed JSON or an unknown schema tag.
+std::optional<Manifest> parse_repro_manifest(const std::string& json);
 
 }  // namespace vsg::chaos

@@ -1,6 +1,7 @@
 #include "harness/world.hpp"
 
 #include <cassert>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
@@ -158,6 +159,51 @@ World::World(WorldConfig config)
 
   for (auto& shard : shards_)
     if (shard.ring != nullptr) shard.ring->start();
+
+  if (config_.sampler.enabled) {
+    sampler_ = std::make_unique<obs::Sampler>(config_.sampler);
+    sampler_->health().bind_metrics(*metrics_);
+    sampler_->health().set_liveness([this] {
+      for (ProcId p = 0; p < config_.n; ++p)
+        if (failures_.proc(p) != sim::Status::kBad) return true;
+      return false;
+    });
+    sampler_->add_source("aggregate", [this] { return aggregate_snapshot(); });
+    if (K > 1)
+      for (int k = 0; k < K; ++k)
+        sampler_->add_source("shard" + std::to_string(k),
+                             [reg = shards_[static_cast<std::size_t>(k)].metrics] {
+                               return reg->snapshot();
+                             });
+    sampler_->start(sim_);
+  }
+}
+
+obs::MetricsSnapshot World::aggregate_snapshot() const {
+  if (shards_.size() == 1 || shard_metrics_collected_) return metrics_->snapshot();
+  obs::MetricsRegistry tmp;
+  tmp.merge_from(metrics_->snapshot());
+  for (int k = 0; k < static_cast<int>(shards_.size()); ++k) {
+    const obs::MetricsSnapshot snap = at(k).metrics->snapshot();
+    tmp.merge_from(snap);
+    tmp.merge_from(snap, "shard" + std::to_string(k) + ".");
+  }
+  return tmp.snapshot();
+}
+
+bool World::write_timeline(const std::string& path) {
+  if (sampler_ == nullptr) return false;
+  // Sample twice at the same instant: the first pass may fire health
+  // watchdogs (bumping health.* counters in metrics()); the second replaces
+  // it so the final sample includes those bumps and exactly matches a
+  // registry export taken now. Re-observing identical data never re-fires
+  // an episode.
+  sampler_->sample_now(sim_.now());
+  sampler_->sample_now(sim_.now());
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << obs::write_timeseries(sampler_->doc());
+  return static_cast<bool>(f);
 }
 
 void World::collect_shard_metrics() {

@@ -14,6 +14,7 @@
 #include "membership/token_ring_vs.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/span.hpp"
 #include "props/to_property.hpp"
 #include "props/vs_property.hpp"
@@ -68,6 +69,12 @@ struct WorldConfig {
   /// with write_chrome_trace(). Tracing never perturbs the protocol: fixed
   /// seeds produce bit-identical traces and counters either way.
   obs::TraceConfig trace;
+  /// Virtual-time telemetry (off by default). When sampler.enabled the
+  /// World owns an obs::Sampler snapshotting the aggregate registry (and
+  /// each shard's, when shards > 1) every sampler.interval, feeding the
+  /// obs::Health watchdogs; export with write_timeline(). Sampling only
+  /// reads registries — protocol counters stay bit-identical either way.
+  obs::SamplerConfig sampler;
 
   /// Rejects misconfiguration with std::invalid_argument: n <= 0, an
   /// explicit n0 outside [1, n], a quorum system no subset of {0..n-1} can
@@ -129,6 +136,20 @@ class World {
   /// loadable, all shards merged); false when tracing is disabled or on I/O
   /// failure.
   bool write_chrome_trace(const std::string& path) const;
+
+  /// Non-null iff config().sampler.enabled.
+  obs::Sampler* sampler() noexcept { return sampler_.get(); }
+  const obs::Sampler* sampler() const noexcept { return sampler_.get(); }
+
+  /// What the "aggregate" sampler series sees: metrics() with every shard
+  /// registry folded in (unprefixed + "shard<k>." prefixed), without
+  /// mutating metrics(). After collect_shard_metrics() this is exactly
+  /// metrics().snapshot().
+  obs::MetricsSnapshot aggregate_snapshot() const;
+
+  /// Take a final sample at now() and write the vsg-timeseries-v1 document
+  /// to `path`; false when the sampler is disabled or on I/O failure.
+  bool write_timeline(const std::string& path);
 
   // --- Scheduling helpers -----------------------------------------------------
   // All helpers validate their arguments eagerly (at schedule time, not when
@@ -197,6 +218,10 @@ class World {
   std::unique_ptr<net::Network> net_;
   std::vector<Shard> shards_;
   bool shard_metrics_collected_ = false;
+  // Declared last: sampler sources capture shard registries (by shared_ptr)
+  // and this->failures_; it only runs inside simulator events, never at
+  // destruction.
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 }  // namespace vsg::harness

@@ -40,6 +40,10 @@ void Node::start(bool in_initial_view, int n0) {
 void Node::submit(vs::Payload m) {
   if (!view_.has_value()) return;  // bottom view: silently lost (Figure 6)
   outbox_.push_back(std::move(m));
+  if (auto* g = parent_->obs().backlog_depth) {
+    g->add(1);
+    if (auto* peak = parent_->obs().backlog_peak) peak->max_of(g->value());
+  }
 }
 
 void Node::on_packet(ProcId src, const util::Buffer& packet) {
@@ -207,6 +211,9 @@ void Node::install_view(const core::View& v, bool initial) {
   log_.clear();
   delivered_ = 0;
   safe_emitted_ = 0;
+  if (!outbox_.empty())
+    if (auto* g = parent_->obs().backlog_depth)
+      g->add(-static_cast<std::int64_t>(outbox_.size()));
   outbox_.clear();  // stale messages belonged to the previous view
   token_ = Token{};
   token_.gid = v.id;

@@ -81,10 +81,12 @@ void Node::process_token(Token& t) {
   // drains those too, up to the per-pass flow-control cap.
   const std::size_t cap = parent_->config().max_entries_per_pass;
   std::size_t boarded = 0;
+  std::int64_t boarded_bytes = 0;
   while (!outbox_.empty() && (cap == 0 || boarded < cap)) {
     ++boarded;
     util::Buffer payload = std::move(outbox_.front());
     outbox_.pop_front();
+    boarded_bytes += static_cast<std::int64_t>(payload.size());
     log_.emplace_back(me_, payload);  // shares storage with the submission
     // Boarding is an origin-side milestone: the payload still carries the
     // storage uid the client's gpsnd buffer had, which is how the tracer
@@ -103,6 +105,10 @@ void Node::process_token(Token& t) {
   // section cache — exactly the pre-batching behavior.
   t.note_boarded(boarded);
   if (auto* h = parent_->obs().payloads_per_pass) h->observe(static_cast<std::int64_t>(boarded));
+  if (auto* h = parent_->obs().board_bytes_per_pass) h->observe(boarded_bytes);
+  if (boarded > 0)
+    if (auto* g = parent_->obs().backlog_depth)
+      g->add(-static_cast<std::int64_t>(boarded));
 
   // 4. Record how many entries we have passed to the client.
   t.delivered[me_] = static_cast<std::uint32_t>(delivered_);

@@ -77,7 +77,12 @@ void TokenRingVS::bind_metrics(obs::MetricsRegistry& registry) {
   obs_.entries_spliced = &registry.counter("ring.entries_spliced");
   obs_.payloads_per_pass = &registry.histogram(
       "ring.payloads_per_pass", obs::Unit::kCount, {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  obs_.board_bytes_per_pass = &registry.histogram(
+      "ring.board_bytes_per_pass", obs::Unit::kCount,
+      {0, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384});
   obs_.max_token_entries = &registry.gauge("ring.max_token_entries");
+  obs_.backlog_depth = &registry.gauge("ring.backlog_depth");
+  obs_.backlog_peak = &registry.gauge("ring.backlog_peak");
   obs_.gpsnd = &registry.counter("vs.gpsnd");
   obs_.gprcv = &registry.counter("vs.gprcv");
   obs_.safe = &registry.counter("vs.safe");

@@ -46,7 +46,13 @@ struct RingObs {
   obs::Counter* exch_digest_bytes = nullptr;
   obs::Counter* exch_delta_bytes = nullptr;
   obs::Histogram* payloads_per_pass = nullptr;  // client payloads boarded per token pass
+  obs::Histogram* board_bytes_per_pass = nullptr;  // payload bytes boarded per token pass
   obs::Gauge* max_token_entries = nullptr;   // watermark across all tokens
+  // Send-backlog census across all members: entries sitting in outboxes
+  // waiting to board a token. Level + watermark; the pair the flow-control
+  // roadmap item plots against offered load.
+  obs::Gauge* backlog_depth = nullptr;
+  obs::Gauge* backlog_peak = nullptr;
   obs::Counter* gpsnd = nullptr;             // VS interface events
   obs::Counter* gprcv = nullptr;
   obs::Counter* safe = nullptr;

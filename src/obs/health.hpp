@@ -1,0 +1,126 @@
+#pragma once
+
+// obs::Health — declarative watchdog rules over sampled metric series.
+//
+// The paper specifies the service by *conditional performance properties*:
+// once a view stabilizes, deliveries happen within a bound. End-of-run
+// counters cannot say when such a condition was violated mid-run; the
+// watchdogs evaluate every obs::Sampler window and flag the three failure
+// shapes the roadmap's flow-control and recovery work will be judged by:
+//
+//   token_stall       — ring.token_rotations made no progress for
+//                       `stall_after` of virtual time while the liveness
+//                       probe says at least one member is up. Singleton
+//                       views still rotate their parked token, so a global
+//                       stall means formation limbo or a liveness bug (the
+//                       class of the historical stuck-proposal find).
+//   backlog_growth    — a backlog gauge (ring.backlog_depth,
+//                       to.pending_labels) strictly increased over
+//                       `growth_windows` consecutive samples: offered load
+//                       is outrunning the ordering rate without bound.
+//   view_convergence  — view formation activity (ring.formation_rounds)
+//                       was observed, but no process established a primary
+//                       view (to.primary_established) within
+//                       `convergence_bound` — the premise of the paper's
+//                       TO-property never re-arms.
+//
+// Rules are edge-triggered: one event per episode, re-armed when the
+// series recovers. Health consumes only sampled snapshots, so verdicts are
+// a deterministic function of the sample stream — fixed seeds reproduce
+// the same health_events byte for byte, which is what lets the chaos
+// campaign treat them as (soft) oracle verdicts and ddmin preserve them.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace vsg::obs {
+
+struct HealthConfig {
+  bool token_stall = true;
+  /// T: no ring.token_rotations progress for this long (while live) stalls.
+  sim::Time stall_after = sim::msec(500);
+  bool backlog_growth = true;
+  /// W: consecutive strictly-increasing samples before a backlog gauge is
+  /// declared unbounded.
+  int growth_windows = 8;
+  bool view_convergence = true;
+  /// Bound from first formation activity to a primary establishment.
+  sim::Time convergence_bound = sim::sec(2);
+};
+
+/// One watchdog firing, as recorded in the vsg-timeseries-v1 export.
+struct HealthEvent {
+  sim::Time at = 0;
+  std::string rule;    // "token_stall" | "backlog_growth" | "view_convergence"
+  std::string series;  // sampler source that tripped it ("aggregate", "shard1", ...)
+  std::string detail;
+
+  bool operator==(const HealthEvent&) const = default;
+};
+
+/// The "health: <rule> [<series>] at <t>us: <detail>" string the chaos
+/// campaign records as a soft-oracle verdict (and classifies shrink
+/// candidates by).
+std::string to_verdict(const HealthEvent& e);
+
+class Health {
+ public:
+  explicit Health(HealthConfig cfg) : cfg_(cfg) {}
+
+  /// Publish health.* counters into `registry` (health.token_stall,
+  /// health.backlog_growth, health.view_convergence, one inc per event).
+  void bind_metrics(MetricsRegistry& registry);
+
+  /// Liveness probe for the stall rule: "is at least one member up right
+  /// now?". Unset means assume live (rule fires on any stall).
+  void set_liveness(std::function<bool()> fn) { live_ = std::move(fn); }
+
+  /// Feed the next sample of series `name`; evaluates every enabled rule.
+  /// Samples of one series must arrive in nondecreasing time order.
+  void observe(const std::string& series, sim::Time at, const MetricsSnapshot& snap);
+
+  const std::vector<HealthEvent>& events() const noexcept { return events_; }
+
+  /// Campaign-facing verdicts: one "health: <rule> ..." line per event,
+  /// the format the chaos shrinker classifies by.
+  std::vector<std::string> verdicts() const;
+
+ private:
+  struct GaugeWatch {
+    std::int64_t last = 0;
+    int streak = 0;       // consecutive strictly-increasing samples
+    bool flagged = false; // episode already reported
+  };
+  struct SeriesState {
+    bool seen = false;
+    std::uint64_t rotations = 0;
+    sim::Time rotation_progress_at = 0;
+    bool live_since_progress = false;  // probe held at some sample in the window
+    bool stall_flagged = false;
+    std::map<std::string, GaugeWatch> backlog;
+    std::uint64_t formation_rounds = 0;
+    std::uint64_t established = 0;
+    sim::Time formation_seen_at = 0;
+    bool awaiting_convergence = false;
+    bool convergence_flagged = false;
+  };
+
+  void emit(const std::string& rule, const std::string& series, sim::Time at,
+            std::string detail, Counter* metric);
+
+  HealthConfig cfg_;
+  std::function<bool()> live_;
+  std::map<std::string, SeriesState> state_;
+  std::vector<HealthEvent> events_;
+  Counter* ev_stall_ = nullptr;
+  Counter* ev_growth_ = nullptr;
+  Counter* ev_convergence_ = nullptr;
+};
+
+}  // namespace vsg::obs

@@ -29,61 +29,70 @@ std::optional<Unit> unit_from_string(const std::string& s) {
 
 }  // namespace
 
+void JsonExporter::append_snapshot_body(std::string& out, const MetricsSnapshot& snap,
+                                        int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad1 = pad + "  ";
+  const std::string pad2 = pad1 + "  ";
+  out += pad + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n" + pad1 : ",\n" + pad1;
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_int(out, v);
+  }
+  out += first ? "},\n" : "\n" + pad + "},\n";
+  out += pad + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n" + pad1 : ",\n" + pad1;
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_int(out, v);
+  }
+  out += first ? "},\n" : "\n" + pad + "},\n";
+  out += pad + "\"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    out += first ? "\n" + pad1 : ",\n" + pad1;
+    first = false;
+    append_escaped(out, h.name);
+    out += ": {\n" + pad2 + "\"unit\": ";
+    append_escaped(out, to_string(h.unit));
+    out += ",\n" + pad2 + "\"count\": ";
+    append_int(out, h.count);
+    out += ",\n" + pad2 + "\"sum\": ";
+    append_int(out, h.sum);
+    out += ",\n" + pad2 + "\"min\": ";
+    append_int(out, h.min);
+    out += ",\n" + pad2 + "\"max\": ";
+    append_int(out, h.max);
+    out += ",\n" + pad2 + "\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ", ";
+      append_int(out, h.bounds[i]);
+    }
+    out += "],\n" + pad2 + "\"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ", ";
+      append_int(out, h.buckets[i]);
+    }
+    out += "]\n" + pad1 + "}";
+  }
+  out += first ? "}" : "\n" + pad + "}";
+}
+
 std::string JsonExporter::to_json(const MetricsSnapshot& snap, const std::string& label) {
   std::string out;
   out.reserve(1024);
   out += "{\n  \"schema\": \"vsg-metrics-v1\",\n  \"label\": ";
   append_escaped(out, label);
-  out += ",\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, v] : snap.counters) {
-    out += first ? "\n    " : ",\n    ";
-    first = false;
-    append_escaped(out, name);
-    out += ": ";
-    append_int(out, v);
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"gauges\": {";
-  first = true;
-  for (const auto& [name, v] : snap.gauges) {
-    out += first ? "\n    " : ",\n    ";
-    first = false;
-    append_escaped(out, name);
-    out += ": ";
-    append_int(out, v);
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"histograms\": {";
-  first = true;
-  for (const auto& h : snap.histograms) {
-    out += first ? "\n    " : ",\n    ";
-    first = false;
-    append_escaped(out, h.name);
-    out += ": {\n      \"unit\": ";
-    append_escaped(out, to_string(h.unit));
-    out += ",\n      \"count\": ";
-    append_int(out, h.count);
-    out += ",\n      \"sum\": ";
-    append_int(out, h.sum);
-    out += ",\n      \"min\": ";
-    append_int(out, h.min);
-    out += ",\n      \"max\": ";
-    append_int(out, h.max);
-    out += ",\n      \"bounds\": [";
-    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
-      if (i) out += ", ";
-      append_int(out, h.bounds[i]);
-    }
-    out += "],\n      \"buckets\": [";
-    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
-      if (i) out += ", ";
-      append_int(out, h.buckets[i]);
-    }
-    out += "]\n    }";
-  }
-  out += first ? "}\n" : "\n  }\n";
-  out += "}\n";
+  out += ",\n";
+  append_snapshot_body(out, snap, 2);
+  out += "\n}\n";
   return out;
 }
 
@@ -95,6 +104,54 @@ bool JsonExporter::write_file(const MetricsRegistry& registry, const std::string
   return static_cast<bool>(f);
 }
 
+bool JsonExporter::parse_snapshot_field(Reader& r, const std::string& key,
+                                        MetricsSnapshot& snap) {
+  if (key == "counters") {
+    r.object([&](const std::string& name) {
+      snap.counters.emplace_back(name, static_cast<std::uint64_t>(r.integer()));
+    });
+    return true;
+  }
+  if (key == "gauges") {
+    r.object([&](const std::string& name) { snap.gauges.emplace_back(name, r.integer()); });
+    return true;
+  }
+  if (key == "histograms") {
+    r.object([&](const std::string& name) {
+      HistogramSnapshot h;
+      h.name = name;
+      bool unit_ok = true;
+      r.object([&](const std::string& field) {
+        if (field == "unit") {
+          const auto u = unit_from_string(r.string());
+          if (u)
+            h.unit = *u;
+          else
+            unit_ok = false;
+        } else if (field == "count") {
+          h.count = static_cast<std::uint64_t>(r.integer());
+        } else if (field == "sum") {
+          h.sum = r.integer();
+        } else if (field == "min") {
+          h.min = r.integer();
+        } else if (field == "max") {
+          h.max = r.integer();
+        } else if (field == "bounds") {
+          r.array([&] { h.bounds.push_back(r.integer()); });
+        } else if (field == "buckets") {
+          r.array([&] { h.buckets.push_back(static_cast<std::uint64_t>(r.integer())); });
+        } else {
+          r.skip_value();
+        }
+      });
+      if (!unit_ok || h.buckets.size() != h.bounds.size() + 1) r.fail();
+      snap.histograms.push_back(std::move(h));
+    });
+    return true;
+  }
+  return false;
+}
+
 std::optional<MetricsSnapshot> JsonExporter::parse(const std::string& json) {
   Reader r(json);
   MetricsSnapshot snap;
@@ -102,44 +159,7 @@ std::optional<MetricsSnapshot> JsonExporter::parse(const std::string& json) {
   r.object([&](const std::string& key) {
     if (key == "schema") {
       schema_ok = r.string() == "vsg-metrics-v1";
-    } else if (key == "counters") {
-      r.object([&](const std::string& name) {
-        snap.counters.emplace_back(name, static_cast<std::uint64_t>(r.integer()));
-      });
-    } else if (key == "gauges") {
-      r.object([&](const std::string& name) { snap.gauges.emplace_back(name, r.integer()); });
-    } else if (key == "histograms") {
-      r.object([&](const std::string& name) {
-        HistogramSnapshot h;
-        h.name = name;
-        bool unit_ok = true;
-        r.object([&](const std::string& field) {
-          if (field == "unit") {
-            const auto u = unit_from_string(r.string());
-            if (u)
-              h.unit = *u;
-            else
-              unit_ok = false;
-          } else if (field == "count") {
-            h.count = static_cast<std::uint64_t>(r.integer());
-          } else if (field == "sum") {
-            h.sum = r.integer();
-          } else if (field == "min") {
-            h.min = r.integer();
-          } else if (field == "max") {
-            h.max = r.integer();
-          } else if (field == "bounds") {
-            r.array([&] { h.bounds.push_back(r.integer()); });
-          } else if (field == "buckets") {
-            r.array([&] { h.buckets.push_back(static_cast<std::uint64_t>(r.integer())); });
-          } else {
-            r.skip_value();
-          }
-        });
-        if (!unit_ok || h.buckets.size() != h.bounds.size() + 1) r.fail();
-        snap.histograms.push_back(std::move(h));
-      });
-    } else {
+    } else if (!parse_snapshot_field(r, key, snap)) {
       r.skip_value();
     }
   });

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 
 namespace vsg::obs {
@@ -47,6 +48,21 @@ class JsonExporter {
 
   /// The label field of a vsg-metrics-v1 document ("" when absent).
   static std::string parse_label(const std::string& json);
+
+  /// Append the `"counters": {...}, "gauges": {...}, "histograms": {...}`
+  /// body of a snapshot (no surrounding braces, no trailing comma), with
+  /// each top-level key indented by `indent` spaces. to_json and the
+  /// vsg-timeseries-v1 writer share this so both schemas encode snapshots
+  /// byte-identically.
+  static void append_snapshot_body(std::string& out, const MetricsSnapshot& snap,
+                                   int indent);
+
+  /// Parse one of the body keys written by append_snapshot_body into
+  /// `snap`; the reader must be positioned at the key's value. Returns
+  /// false (consuming nothing) when `key` is not a body key. Fails the
+  /// reader on malformed histograms (bad unit, buckets/bounds mismatch).
+  static bool parse_snapshot_field(json::Reader& r, const std::string& key,
+                                   MetricsSnapshot& snap);
 };
 
 /// `--export PATH` / `--export=PATH` from a bench's argv; nullopt when the

@@ -50,6 +50,12 @@ class Reader {
  public:
   explicit Reader(const std::string& text) : s_(text.c_str()), end_(s_ + text.size()) {}
 
+  /// Containers (objects/arrays, including skipped ones) may nest at most
+  /// this deep. Our schemas use 4-5 levels; the cap exists so adversarial
+  /// input like ten thousand '['s fails cleanly instead of exhausting the
+  /// call stack (skip_value recurses per nesting level).
+  static constexpr int kMaxDepth = 64;
+
   bool ok() const noexcept { return ok_; }
   void fail() noexcept { ok_ = false; }
 
@@ -86,24 +92,47 @@ class Reader {
       if (*s_ == '\\' && s_ + 1 < end_) {
         ++s_;
         switch (*s_) {
+          case '"':
+          case '\\':
+          case '/':
+            out += *s_;
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
           case 'n':
             out += '\n';
+            break;
+          case 'r':
+            out += '\r';
             break;
           case 't':
             out += '\t';
             break;
           case 'u': {
+            // Exactly four hex digits; anything shorter or non-hex is a
+            // malformed document, not something to guess a byte for.
             if (end_ - s_ < 5) {
               fail();
               return out;
             }
+            for (int k = 1; k <= 4; ++k)
+              if (!std::isxdigit(static_cast<unsigned char>(s_[k]))) {
+                fail();
+                return out;
+              }
             out += static_cast<char>(std::strtol(std::string(s_ + 1, s_ + 5).c_str(),
                                                  nullptr, 16));
             s_ += 4;
             break;
           }
           default:
-            out += *s_;
+            // Unknown escape: reject rather than silently de-escaping.
+            fail();
+            return out;
         }
         ++s_;
       } else {
@@ -140,9 +169,11 @@ class Reader {
     if (*s_ == '"') {
       string();
     } else if (*s_ == '{') {
+      if (!enter()) return;
       ++s_;
       if (peek('}')) {
         consume('}');
+        --depth_;
         return;
       }
       do {
@@ -151,15 +182,19 @@ class Reader {
         skip_value();
       } while (ok_ && consume(','));
       if (!consume('}')) fail();
+      --depth_;
     } else if (*s_ == '[') {
+      if (!enter()) return;
       ++s_;
       if (peek(']')) {
         consume(']');
+        --depth_;
         return;
       }
       do skip_value();
       while (ok_ && consume(','));
       if (!consume(']')) fail();
+      --depth_;
     } else {
       // number / true / false / null
       while (s_ < end_ && (std::isalnum(static_cast<unsigned char>(*s_)) || *s_ == '-' ||
@@ -169,14 +204,19 @@ class Reader {
   }
 
   /// Iterate an object: calls fn(key) positioned at the value; fn must
-  /// consume the value.
+  /// consume the value. Duplicate keys are NOT rejected — fn simply runs
+  /// once per occurrence, so map-building parsers get last-wins semantics.
   template <typename Fn>
   void object(Fn fn) {
     if (!consume('{')) {
       fail();
       return;
     }
-    if (consume('}')) return;
+    if (!enter()) return;
+    if (consume('}')) {
+      --depth_;
+      return;
+    }
     do {
       std::string key = string();
       if (!consume(':')) {
@@ -186,6 +226,7 @@ class Reader {
       fn(key);
     } while (ok_ && consume(','));
     if (!consume('}')) fail();
+    --depth_;
   }
 
   template <typename Fn>
@@ -194,16 +235,30 @@ class Reader {
       fail();
       return;
     }
-    if (consume(']')) return;
+    if (!enter()) return;
+    if (consume(']')) {
+      --depth_;
+      return;
+    }
     do fn();
     while (ok_ && consume(','));
     if (!consume(']')) fail();
+    --depth_;
   }
 
  private:
+  bool enter() {
+    if (++depth_ > kMaxDepth) {
+      fail();
+      return false;
+    }
+    return true;
+  }
+
   const char* s_;
   const char* end_;
   bool ok_ = true;
+  int depth_ = 0;
 };
 
 }  // namespace vsg::obs::json

@@ -77,6 +77,28 @@ std::vector<std::int64_t> default_latency_buckets() {
           10000000};
 }
 
+bool is_wall_metric(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  const std::size_t tail = dot == std::string::npos ? 0 : dot + 1;
+  if (name.compare(tail, std::string::npos, "jobs") == 0) return true;
+  return name.find("wall", tail) != std::string::npos;
+}
+
+bool is_wall_metric(const std::string& name, Unit unit) {
+  return unit == Unit::kWallMicros || is_wall_metric(name);
+}
+
+MetricsSnapshot strip_wall_metrics(const MetricsSnapshot& snap) {
+  MetricsSnapshot out;
+  for (const auto& e : snap.counters)
+    if (!is_wall_metric(e.first)) out.counters.push_back(e);
+  for (const auto& e : snap.gauges)
+    if (!is_wall_metric(e.first)) out.gauges.push_back(e);
+  for (const auto& h : snap.histograms)
+    if (!is_wall_metric(h.name, h.unit)) out.histograms.push_back(h);
+  return out;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }

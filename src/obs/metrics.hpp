@@ -138,6 +138,26 @@ struct MetricsSnapshot {
   bool operator==(const MetricsSnapshot&) const = default;
 };
 
+/// The wall-clock exclusion list, centralized. True for metrics that
+/// measure *this invocation* (elapsed wall time, worker counts) rather than
+/// the simulated execution: the trailing dot-component contains "wall"
+/// (bench.run_wall, bench.sweep_wall_us, chaos.campaign.wall_us) or is
+/// exactly "jobs" (bench.jobs, chaos.campaign.jobs). Every bit-identical
+/// fixed-seed comparison — check.sh fingerprints, determinism tests, the
+/// vsg-timeseries-v1 export — must exclude exactly this set, so the
+/// knowledge lives here instead of ad-hoc in scripts and tests. Prefixed
+/// shard series ("shard0.bench.run_wall") classify like their base name.
+bool is_wall_metric(const std::string& name);
+
+/// is_wall_metric, strengthened with the series unit: any kWallMicros
+/// histogram is wall-clock regardless of its name.
+bool is_wall_metric(const std::string& name, Unit unit);
+
+/// Copy of `snap` with every wall-clock entry removed (counters and gauges
+/// by name, histograms by name or kWallMicros unit). What the timeline
+/// export writes, so fixed-seed timelines are byte-identical across --jobs.
+MetricsSnapshot strip_wall_metrics(const MetricsSnapshot& snap);
+
 class MetricsRegistry {
  public:
   /// Get-or-create. Returned references are stable for the registry's

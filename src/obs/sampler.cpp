@@ -1,0 +1,158 @@
+#include "obs/sampler.hpp"
+
+#include "obs/json_exporter.hpp"
+#include "obs/json_util.hpp"
+#include "sim/simulator.hpp"
+#include "util/hash.hpp"
+
+namespace vsg::obs {
+
+namespace {
+
+using json::append_escaped;
+using json::Reader;
+
+}  // namespace
+
+void Sampler::add_source(std::string name, std::function<MetricsSnapshot()> fn) {
+  sources_.push_back(Source{std::move(name), std::move(fn)});
+}
+
+void Sampler::start(sim::Simulator& sim) {
+  if (!cfg_.enabled) return;
+  schedule_tick(sim);
+}
+
+void Sampler::schedule_tick(sim::Simulator& sim) {
+  sim.after(cfg_.interval, [this, &sim] {
+    sample_now(sim.now());
+    schedule_tick(sim);
+  });
+}
+
+void Sampler::sample_now(sim::Time now) {
+  // Re-sampling the same instant (export-time final sample landing on a
+  // tick boundary) replaces rather than duplicates: the last batch at any
+  // timestamp is the authoritative one.
+  while (!samples_.empty() && samples_.back().at == now) samples_.pop_back();
+  for (const Source& src : sources_) {
+    TimeseriesSample s;
+    s.at = now;
+    s.series = src.name;
+    s.metrics = strip_wall_metrics(src.fn());
+    health_.observe(s.series, now, s.metrics);
+    if (cfg_.capacity > 0 && samples_.size() >= cfg_.capacity) {
+      samples_.erase(samples_.begin());
+      ++dropped_;
+    }
+    samples_.push_back(std::move(s));
+  }
+}
+
+TimeseriesDoc Sampler::doc() const {
+  TimeseriesDoc d;
+  d.interval = cfg_.interval;
+  d.dropped = dropped_;
+  d.samples = samples_;
+  d.health_events = health_.events();
+  return d;
+}
+
+std::string write_timeseries(const TimeseriesDoc& doc) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"vsg-timeseries-v1\",\n  \"interval_us\": ";
+  out += std::to_string(doc.interval);
+  out += ",\n  \"dropped\": ";
+  out += std::to_string(doc.dropped);
+  out += ",\n  \"samples\": [";
+  bool first = true;
+  for (const TimeseriesSample& s : doc.samples) {
+    out += first ? "\n    {\n" : ",\n    {\n";
+    first = false;
+    out += "      \"at_us\": ";
+    out += std::to_string(s.at);
+    out += ",\n      \"series\": ";
+    append_escaped(out, s.series);
+    out += ",\n";
+    JsonExporter::append_snapshot_body(out, s.metrics, 6);
+    out += "\n    }";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"health_events\": [";
+  first = true;
+  for (const HealthEvent& e : doc.health_events) {
+    out += first ? "\n    {\"at_us\": " : ",\n    {\"at_us\": ";
+    first = false;
+    out += std::to_string(e.at);
+    out += ", \"rule\": ";
+    append_escaped(out, e.rule);
+    out += ", \"series\": ";
+    append_escaped(out, e.series);
+    out += ", \"detail\": ";
+    append_escaped(out, e.detail);
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::optional<TimeseriesDoc> parse_timeseries(const std::string& json) {
+  Reader r(json);
+  TimeseriesDoc doc;
+  bool schema_ok = false;
+  r.object([&](const std::string& key) {
+    if (key == "schema") {
+      schema_ok = r.string() == "vsg-timeseries-v1";
+    } else if (key == "interval_us") {
+      doc.interval = r.integer();
+    } else if (key == "dropped") {
+      doc.dropped = static_cast<std::uint64_t>(r.integer());
+    } else if (key == "samples") {
+      r.array([&] {
+        TimeseriesSample s;
+        r.object([&](const std::string& field) {
+          if (field == "at_us") {
+            s.at = r.integer();
+          } else if (field == "series") {
+            s.series = r.string();
+          } else if (!JsonExporter::parse_snapshot_field(r, field, s.metrics)) {
+            r.skip_value();
+          }
+        });
+        doc.samples.push_back(std::move(s));
+      });
+    } else if (key == "health_events") {
+      r.array([&] {
+        HealthEvent e;
+        r.object([&](const std::string& field) {
+          if (field == "at_us") {
+            e.at = r.integer();
+          } else if (field == "rule") {
+            e.rule = r.string();
+          } else if (field == "series") {
+            e.series = r.string();
+          } else if (field == "detail") {
+            e.detail = r.string();
+          } else {
+            r.skip_value();
+          }
+        });
+        doc.health_events.push_back(std::move(e));
+      });
+    } else {
+      r.skip_value();
+    }
+  });
+  if (!r.ok() || !r.at_end() || !schema_ok) return std::nullopt;
+  return doc;
+}
+
+std::uint64_t timeseries_fingerprint(const TimeseriesDoc& doc) {
+  const std::string canon = write_timeseries(doc);
+  return util::fnv1a(util::BufferView(
+      reinterpret_cast<const std::uint8_t*>(canon.data()), canon.size()));
+}
+
+}  // namespace vsg::obs

@@ -1,0 +1,123 @@
+#pragma once
+
+// obs::Sampler — the time dimension of the metrics stack. A
+// MetricsRegistry answers "how much, in total"; the paper's conditional
+// performance properties (TO-property, Theorems 7.1/7.2) are statements
+// about *when*: within how long of a view stabilizing do deliveries
+// resume, how fast does a backlog drain after a merge. The sampler
+// snapshots every registered source (the World's aggregate registry plus
+// each shard's) on a fixed virtual-time interval into an in-memory ring,
+// feeds each sample to the obs::Health watchdogs, and serializes the run
+// as a `vsg-timeseries-v1` document (docs/OBSERVABILITY.md, "Timelines").
+//
+// Determinism contract: sampling only *reads* registries — no RNG draws,
+// no protocol interaction — so enabling the sampler leaves every protocol
+// counter bit-identical to an unsampled run, and a fixed seed produces a
+// byte-identical timeline. Snapshots are wall-stripped at capture time
+// (obs::strip_wall_metrics), so timelines also compare byte-identical
+// across --jobs.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace vsg::sim {
+class Simulator;
+}
+
+namespace vsg::obs {
+
+struct SamplerConfig {
+  /// Off by default: zero events scheduled, zero samples, zero overhead.
+  bool enabled = false;
+  /// Virtual time between samples.
+  sim::Time interval = sim::msec(100);
+  /// Ring capacity in samples (one per source per tick); oldest samples
+  /// are evicted once full and counted in dropped(). 0 = unbounded.
+  std::size_t capacity = 65536;
+  HealthConfig health;
+};
+
+/// One source's wall-stripped snapshot at one instant.
+struct TimeseriesSample {
+  sim::Time at = 0;
+  std::string series;
+  MetricsSnapshot metrics;
+
+  bool operator==(const TimeseriesSample&) const = default;
+};
+
+/// In-memory form of a vsg-timeseries-v1 document.
+struct TimeseriesDoc {
+  sim::Time interval = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TimeseriesSample> samples;
+  std::vector<HealthEvent> health_events;
+
+  bool operator==(const TimeseriesDoc&) const = default;
+};
+
+/// Serialize as vsg-timeseries-v1 JSON (byte-stable: fixed key order and
+/// indentation, snapshot bodies shared with the vsg-metrics-v1 writer).
+std::string write_timeseries(const TimeseriesDoc& doc);
+
+/// Parse a vsg-timeseries-v1 document; nullopt on malformed JSON, wrong
+/// schema tag, or malformed histograms. Accepts any standard JSON of this
+/// shape, not only the writer's byte layout.
+std::optional<TimeseriesDoc> parse_timeseries(const std::string& json);
+
+/// FNV-1a over the canonical serialization — the timeline fingerprint
+/// check.sh pins for the fixed-seed K=1 smoke.
+std::uint64_t timeseries_fingerprint(const TimeseriesDoc& doc);
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig cfg) : cfg_(cfg), health_(cfg.health) {}
+
+  const SamplerConfig& config() const noexcept { return cfg_; }
+  Health& health() noexcept { return health_; }
+  const Health& health() const noexcept { return health_; }
+
+  /// Register a snapshot source. Sources are sampled (and fed to Health)
+  /// in registration order each tick; register the aggregate first, then
+  /// shards, for stable series ordering in the export.
+  void add_source(std::string name, std::function<MetricsSnapshot()> fn);
+
+  /// Begin periodic sampling (no-op when not enabled). The first sample
+  /// fires one interval after start; the simulator must outlive this
+  /// sampler.
+  void start(sim::Simulator& sim);
+
+  /// Capture one sample of every source at `now`, replacing any samples
+  /// already taken at exactly `now` (harnesses call this once more at
+  /// export time so the final sample reflects the end-of-run registries).
+  void sample_now(sim::Time now);
+
+  const std::vector<TimeseriesSample>& samples() const noexcept { return samples_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Assemble the document for write_timeseries.
+  TimeseriesDoc doc() const;
+
+ private:
+  struct Source {
+    std::string name;
+    std::function<MetricsSnapshot()> fn;
+  };
+
+  void schedule_tick(sim::Simulator& sim);
+
+  SamplerConfig cfg_;
+  Health health_;
+  std::vector<Source> sources_;
+  std::vector<TimeseriesSample> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace vsg::obs

@@ -54,6 +54,9 @@ void Stack::bind_metrics(obs::MetricsRegistry& registry) {
   obs.payload_moves = &registry.counter("to.payload_moves");
   obs.order_depth = &registry.gauge("to.order_depth");
   obs.confirmed_depth = &registry.gauge("to.confirmed_depth");
+  obs.pending_labels = &registry.gauge("to.pending_labels");
+  obs.views_established = &registry.counter("to.views_established");
+  obs.primary_established = &registry.counter("to.primary_established");
   obs.decode_hits = &registry.counter("to.decode_hits");
   obs.decode_misses = &registry.counter("to.decode_misses");
   for (auto& proc : procs_) proc->bind_metrics(obs);

@@ -44,6 +44,10 @@ void Process::restore(const Checkpoint& cp) {
   if (obs_.confirmed_depth != nullptr)
     obs_.confirmed_depth->add(static_cast<std::int64_t>(cp.st.nextconfirm) -
                               static_cast<std::int64_t>(st_.nextconfirm));
+  if (obs_.pending_labels != nullptr)
+    obs_.pending_labels->add(
+        static_cast<std::int64_t>(cp.st.delay.size() + cp.st.buffer.size()) -
+        static_cast<std::int64_t>(st_.delay.size() + st_.buffer.size()));
   st_ = cp.st;
   delivered_ = cp.delivered;
   order_members_ = std::set<core::Label>(st_.order.begin(), st_.order.end());
@@ -89,6 +93,7 @@ void Process::bcast(core::Value a) {
   obs::bump(obs_.payload_copies);
   st_.delay.push_back(std::move(a));
   obs::bump(obs_.payload_moves);
+  if (obs_.pending_labels != nullptr) obs_.pending_labels->add(1);
   run_to_quiescence();
 }
 
@@ -121,6 +126,7 @@ bool Process::try_gpsnd_value() {
   service_->gpsnd(p_, std::move(m));
   obs::bump(obs_.values_sent);
   st_.buffer.pop_front();
+  if (obs_.pending_labels != nullptr) obs_.pending_labels->add(-1);
   return true;
 }
 
@@ -186,6 +192,8 @@ void Process::on_newview(const core::View& v) {
   assert(v.contains(p_));
   st_.current = v;
   st_.nextseqno = 1;
+  if (!st_.buffer.empty() && obs_.pending_labels != nullptr)
+    obs_.pending_labels->add(-static_cast<std::int64_t>(st_.buffer.size()));
   st_.buffer.clear();
   st_.gotstate.clear();
   st_.safe_exch.clear();
@@ -284,6 +292,8 @@ void Process::handle_summary(ProcId src, const core::Summary& x) {
   }
   st_.status = PStatus::kNormal;
   st_.established.insert(st_.current->id);  // history variable
+  obs::bump(obs_.views_established);
+  if (primary()) obs::bump(obs_.primary_established);
   if (tracer_ != nullptr)
     tracer_->view_established(p_, st_.current->id, primary(), recorder_->now());
   VSG_DEBUG << "process " << p_ << " established view " << core::to_string(*st_.current)

@@ -59,6 +59,9 @@ struct ProcessObs {
   obs::Counter* payload_moves = nullptr;       // Value moves on the bcast->brcv path
   obs::Gauge* order_depth = nullptr;           // sum over procs of |order|
   obs::Gauge* confirmed_depth = nullptr;       // sum over procs of nextconfirm-1
+  obs::Gauge* pending_labels = nullptr;        // sum over procs of |delay| + |buffer|
+  obs::Counter* views_established = nullptr;   // establishment completions (any view)
+  obs::Counter* primary_established = nullptr; // ... where the view is primary
   obs::Counter* decode_hits = nullptr;         // decode-once cache hits (fan-in)
   obs::Counter* decode_misses = nullptr;       // payloads actually parsed
 };

@@ -319,6 +319,8 @@ TEST(Manifest, ReproManifestJsonListsArtifacts) {
   e.violations = {"to: bad \"order\"", "recovery: diverged"};
   e.scenario_path = "chaos_seed75.scn";
   e.flight_recorder_path = "chaos_seed75_trace.json";
+  e.timeline_path = "chaos_seed75_timeline.json";
+  e.health_verdicts = {"health: token_stall [aggregate] at 900000us: flat"};
   const std::string json = repro_manifest_json({e}, "CHAOS.json");
   EXPECT_NE(json.find("to: bad \\\"order\\\""), std::string::npos)
       << "violation text must be JSON-escaped";
@@ -328,8 +330,8 @@ TEST(Manifest, ReproManifestJsonListsArtifacts) {
   obs::json::Reader r(json);
   std::string schema, metrics_export;
   std::int64_t failure_count = -1;
-  std::vector<std::string> seen_violations;
-  std::string scenario, recorder;
+  std::vector<std::string> seen_violations, seen_health;
+  std::string scenario, recorder, timeline;
   std::int64_t seed = -1;
   r.object([&](const std::string& key) {
     if (key == "schema") {
@@ -349,6 +351,10 @@ TEST(Manifest, ReproManifestJsonListsArtifacts) {
             scenario = r.string();
           } else if (fk == "flight_recorder") {
             recorder = r.string();
+          } else if (fk == "timeline") {
+            timeline = r.string();
+          } else if (fk == "health_events") {
+            r.array([&] { seen_health.push_back(r.string()); });
           } else {
             r.skip_value();
           }
@@ -359,20 +365,117 @@ TEST(Manifest, ReproManifestJsonListsArtifacts) {
     }
   });
   ASSERT_TRUE(r.ok() && r.at_end()) << json;
-  EXPECT_EQ(schema, "vsg-repro-manifest-v1");
+  EXPECT_EQ(schema, "vsg-repro-manifest-v2");
   EXPECT_EQ(metrics_export, "CHAOS.json");
   EXPECT_EQ(seed, 75);
   EXPECT_EQ(seen_violations, e.violations);
   EXPECT_EQ(scenario, "chaos_seed75.scn");
   EXPECT_EQ(recorder, "chaos_seed75_trace.json");
+  EXPECT_EQ(timeline, "chaos_seed75_timeline.json");
+  EXPECT_EQ(seen_health, e.health_verdicts);
   EXPECT_EQ(failure_count, 1);
 }
 
 TEST(Manifest, EmptyFailureListStillWellFormed) {
   const std::string json = repro_manifest_json({}, "");
-  EXPECT_NE(json.find("\"vsg-repro-manifest-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"vsg-repro-manifest-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"failures\": []"), std::string::npos);
   EXPECT_NE(json.find("\"failure_count\": 0"), std::string::npos);
+}
+
+TEST(Manifest, RoundTripsThroughVersionedParser) {
+  ManifestEntry e;
+  e.seed = 12;
+  e.violations = {"health: token_stall [aggregate] at 1us: x"};
+  e.scenario_path = "chaos_seed12.scn";
+  e.flight_recorder_path = "chaos_seed12_trace.json";
+  e.timeline_path = "chaos_seed12_timeline.json";
+  e.health_verdicts = e.violations;
+  const auto m = parse_repro_manifest(repro_manifest_json({e}, "CHAOS.json"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->version, 2);
+  EXPECT_EQ(m->metrics_export, "CHAOS.json");
+  ASSERT_EQ(m->entries.size(), 1u);
+  EXPECT_EQ(m->entries[0].seed, 12u);
+  EXPECT_EQ(m->entries[0].timeline_path, e.timeline_path);
+  EXPECT_EQ(m->entries[0].health_verdicts, e.health_verdicts);
+  EXPECT_EQ(m->entries[0].scenario_path, e.scenario_path);
+}
+
+TEST(Manifest, V1DocumentsStillParse) {
+  // A pre-timeline manifest (no "timeline"/"health_events" fields) from an
+  // older campaign must stay readable; the parser reports version 1.
+  const std::string v1 =
+      "{\n  \"schema\": \"vsg-repro-manifest-v1\",\n  \"metrics_export\": \"M.json\",\n"
+      "  \"failures\": [\n    {\n      \"seed\": 75,\n"
+      "      \"violations\": [\"to: bad\"],\n"
+      "      \"scenario\": \"chaos_seed75.scn\",\n"
+      "      \"flight_recorder\": \"chaos_seed75_trace.json\"\n    }\n  ],\n"
+      "  \"failure_count\": 1\n}\n";
+  const auto m = parse_repro_manifest(v1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->version, 1);
+  ASSERT_EQ(m->entries.size(), 1u);
+  EXPECT_EQ(m->entries[0].seed, 75u);
+  EXPECT_TRUE(m->entries[0].timeline_path.empty());
+  EXPECT_TRUE(m->entries[0].health_verdicts.empty());
+
+  const std::string unknown = "{\"schema\": \"vsg-repro-manifest-v9\", \"failures\": []}";
+  EXPECT_FALSE(parse_repro_manifest(unknown).has_value());
+}
+
+// --- Health oracle through the campaign ------------------------------------
+
+// Slowing the ring's token launch spacing (pi) past the watchdog bound is
+// the stall-injection knob: the singleton fallback keeps rotations moving
+// under any schedule, so a natural durable stall would be a liveness bug.
+CampaignConfig stall_injected_config() {
+  CampaignConfig cfg;
+  cfg.schedule = small_schedule();
+  cfg.ring.pi = sim::msec(1500);
+  cfg.sampler.enabled = true;
+  return cfg;
+}
+
+TEST(HealthOracle, ReplayReproducesTheSameHealthEventSequence) {
+  const CampaignConfig cfg = stall_injected_config();
+  const auto g = generate_schedule(cfg.schedule, 21);
+  const auto a = run_one(cfg, g.scenario, cfg.schedule.n, 21, g.run_until, g.bcasts);
+  const auto b = run_one(cfg, g.scenario, cfg.schedule.n, 21, g.run_until, g.bcasts);
+  ASSERT_FALSE(a.health_events.empty());
+  EXPECT_EQ(a.health_events, b.health_events);
+  bool stalled = false;
+  for (const auto& e : a.health_events) stalled |= e.rule == "token_stall";
+  EXPECT_TRUE(stalled) << "pi=1500ms past stall_after must trip the stall watchdog";
+  EXPECT_EQ(write_timeseries(a.timeline), write_timeseries(b.timeline))
+      << "fixed-seed timelines must be byte-identical";
+  // Watchdogs observe without judging unless the oracle is armed.
+  EXPECT_TRUE(a.ok()) << a.violations.front();
+}
+
+TEST(HealthOracle, CampaignRecordsVerdictsAndShrinkPreservesTheRule) {
+  CampaignConfig cfg = stall_injected_config();
+  cfg.health_oracle = true;
+  cfg.first_seed = 21;
+  cfg.seeds = 1;
+  cfg.shrink_options.max_candidates = 150;
+  const auto result = run_campaign(cfg);
+  ASSERT_FALSE(result.ok()) << "armed health oracle must fail the stalled seed";
+  ASSERT_EQ(result.seed_timelines.size(), 1u);
+  EXPECT_FALSE(result.seed_timelines[0].samples.empty());
+
+  const Failure& f = result.failures.front();
+  ASSERT_FALSE(f.health_verdicts.empty());
+  EXPECT_EQ(f.health_verdicts.front().rfind("health: ", 0), 0u);
+  EXPECT_LT(f.minimal.scenario.ops.size(), f.schedule.scenario.ops.size());
+
+  // The ddmin predicate keeps the health rule set: replaying the minimal
+  // scenario still trips token_stall.
+  const auto replay = run_one(cfg, f.minimal.scenario, f.minimal.n, f.seed,
+                              f.schedule.run_until, 0);
+  bool stalled = false;
+  for (const auto& e : replay.health_events) stalled |= e.rule == "token_stall";
+  EXPECT_TRUE(stalled) << "shrink lost the token_stall health event";
 }
 
 // --- Acceptance demo: injected fault caught, shrunk, replayable -----------

@@ -1,0 +1,150 @@
+// Adversarial input for obs::json::Reader: the exporters' parsers run over
+// files an operator hands them (--replay artifacts, repro manifests,
+// timeline dumps), so malformed documents must fail cleanly — no guessed
+// bytes, no unbounded recursion — and the documented duplicate-key
+// semantics must hold.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json_exporter.hpp"
+#include "obs/json_util.hpp"
+#include "obs/sampler.hpp"
+
+namespace vsg::obs::json {
+namespace {
+
+bool skips_clean(const std::string& text) {
+  Reader r(text);
+  r.skip_value();
+  return r.ok() && r.at_end();
+}
+
+TEST(Reader, TruncatedArrayFails) {
+  EXPECT_FALSE(skips_clean("[1, 2"));
+  EXPECT_FALSE(skips_clean("[1, 2,"));
+  EXPECT_FALSE(skips_clean("["));
+  EXPECT_TRUE(skips_clean("[1, 2]"));
+  EXPECT_TRUE(skips_clean("[]"));
+}
+
+TEST(Reader, TruncatedObjectFails) {
+  EXPECT_FALSE(skips_clean("{\"a\": 1"));
+  EXPECT_FALSE(skips_clean("{\"a\":"));
+  EXPECT_FALSE(skips_clean("{\"a\" 1}")) << "missing colon";
+  EXPECT_TRUE(skips_clean("{\"a\": 1}"));
+  EXPECT_TRUE(skips_clean("{}"));
+}
+
+TEST(Reader, DeepNestingFailsInsteadOfOverflowingTheStack) {
+  // kMaxDepth levels are fine; one more is not; ten thousand must not crash
+  // (skip_value recurses per level, so the cap is what stands between a
+  // hostile file and stack exhaustion).
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_TRUE(skips_clean(nested(Reader::kMaxDepth)));
+  EXPECT_FALSE(skips_clean(nested(Reader::kMaxDepth + 1)));
+  EXPECT_FALSE(skips_clean(std::string(10000, '[')));
+
+  std::string objects;
+  for (int i = 0; i < 10000; ++i) objects += "{\"k\":";
+  EXPECT_FALSE(skips_clean(objects));
+}
+
+TEST(Reader, UnknownEscapeIsRejectedNotGuessed) {
+  const std::string text = "\"a\\qb\"";
+  Reader r(text);
+  (void)r.string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, TruncatedAndNonHexUnicodeEscapesFail) {
+  for (const std::string text : {"\"\\u12\"", "\"\\u12zq\"", "\"\\u\"", "\"\\u123"}) {
+    Reader r(text);
+    (void)r.string();
+    EXPECT_FALSE(r.ok()) << text;
+  }
+}
+
+TEST(Reader, ValidEscapesRoundTrip) {
+  const std::string text = "\"q\\\" b\\\\ s\\/ \\b\\f\\n\\r\\t \\u0041\"";
+  Reader r(text);
+  EXPECT_EQ(r.string(), "q\" b\\ s/ \b\f\n\r\t A");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Reader, UnterminatedStringFails) {
+  const std::string text = "\"never closed";
+  Reader r(text);
+  (void)r.string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, DuplicateKeysRunTheCallbackPerOccurrence) {
+  // The documented contract: duplicates are not rejected; fn fires once per
+  // occurrence so map-building parsers get last-wins.
+  const std::string text = "{\"a\": 1, \"a\": 2, \"b\": 3}";
+  Reader r(text);
+  std::vector<std::string> keys;
+  std::vector<std::int64_t> values;
+  r.object([&](const std::string& k) {
+    keys.push_back(k);
+    values.push_back(r.integer());
+  });
+  EXPECT_TRUE(r.ok() && r.at_end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "a", "b"}));
+  EXPECT_EQ(values, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Reader, IntegerRejectsNonNumbers) {
+  const std::string text = "xyz";
+  Reader r(text);
+  (void)r.integer();
+  EXPECT_FALSE(r.ok());
+}
+
+// --- the same failure classes through the schema parsers -------------------
+
+TEST(SchemaParsers, RejectTruncatedDocuments) {
+  const std::string metrics = JsonExporter::to_json(MetricsSnapshot{}, "x");
+  EXPECT_TRUE(JsonExporter::parse(metrics).has_value());
+  for (std::size_t cut : {metrics.size() / 4, metrics.size() / 2, metrics.size() - 3})
+    EXPECT_FALSE(JsonExporter::parse(metrics.substr(0, cut)).has_value())
+        << "cut at " << cut;
+
+  TimeseriesDoc doc;
+  doc.interval = sim::msec(100);
+  TimeseriesSample s;
+  s.at = sim::msec(100);
+  s.series = "aggregate";
+  s.metrics.counters.emplace_back("ring.token_rotations", 7);
+  doc.samples.push_back(s);
+  const std::string timeline = write_timeseries(doc);
+  EXPECT_TRUE(parse_timeseries(timeline).has_value());
+  for (std::size_t cut : {timeline.size() / 4, timeline.size() / 2, timeline.size() - 3})
+    EXPECT_FALSE(parse_timeseries(timeline.substr(0, cut)).has_value())
+        << "cut at " << cut;
+}
+
+TEST(SchemaParsers, RejectWrongSchemaTagAndMalformedHistograms) {
+  EXPECT_FALSE(JsonExporter::parse("{\"schema\": \"vsg-metrics-v9\"}").has_value());
+  EXPECT_FALSE(parse_timeseries("{\"schema\": \"vsg-metrics-v1\"}").has_value());
+  // buckets must be bounds.size() + 1.
+  const char* bad_hist =
+      "{\"schema\": \"vsg-metrics-v1\", \"histograms\": {\"h\": {\"unit\": \"count\","
+      " \"count\": 1, \"sum\": 1, \"min\": 1, \"max\": 1,"
+      " \"bounds\": [10, 20], \"buckets\": [1, 0]}}}";
+  EXPECT_FALSE(JsonExporter::parse(bad_hist).has_value());
+  const char* bad_unit =
+      "{\"schema\": \"vsg-metrics-v1\", \"histograms\": {\"h\": {\"unit\": \"furlongs\","
+      " \"count\": 0, \"sum\": 0, \"min\": 0, \"max\": 0,"
+      " \"bounds\": [10], \"buckets\": [0, 0]}}}";
+  EXPECT_FALSE(JsonExporter::parse(bad_unit).has_value());
+}
+
+}  // namespace
+}  // namespace vsg::obs::json

@@ -1,0 +1,261 @@
+// obs::Sampler and the vsg-timeseries-v1 codec: round-trip property tests,
+// the determinism contract (sampling never perturbs protocol counters, a
+// fixed seed gives a byte-identical timeline), the final-sample-equals-
+// export contract behind World::write_timeline, and the always-on backlog
+// instrumentation the watchdog gauges are built from.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace vsg::obs {
+namespace {
+
+TimeseriesDoc demo_doc() {
+  TimeseriesDoc doc;
+  doc.interval = sim::msec(100);
+  doc.dropped = 3;
+  TimeseriesSample s;
+  s.at = sim::msec(100);
+  s.series = "aggregate";
+  s.metrics.counters.emplace_back("net.packets_sent", 42);
+  s.metrics.counters.emplace_back("ring.token_rotations", 7);
+  s.metrics.gauges.emplace_back("ring.backlog_depth", -2);
+  HistogramSnapshot h;
+  h.name = "to.brcv_latency.all";
+  h.unit = Unit::kSimMicros;
+  h.bounds = {10, 100};
+  h.buckets = {1, 2, 0};
+  h.count = 3;
+  h.sum = 120;
+  h.min = 4;
+  h.max = 90;
+  s.metrics.histograms.push_back(h);
+  doc.samples.push_back(s);
+  s.at = sim::msec(200);
+  s.series = "shard0";
+  doc.samples.push_back(s);
+  doc.health_events.push_back(
+      HealthEvent{sim::msec(200), "token_stall", "aggregate", "flat \"quoted\" detail"});
+  return doc;
+}
+
+TEST(Timeseries, RoundTripsThroughJson) {
+  const TimeseriesDoc doc = demo_doc();
+  const auto parsed = parse_timeseries(write_timeseries(doc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(Timeseries, FingerprintIsStableAndSensitive) {
+  const TimeseriesDoc doc = demo_doc();
+  const std::uint64_t fp = timeseries_fingerprint(doc);
+  EXPECT_EQ(fp, timeseries_fingerprint(*parse_timeseries(write_timeseries(doc))))
+      << "fingerprint must survive a round-trip";
+  TimeseriesDoc mutated = doc;
+  mutated.samples[0].metrics.counters[0].second += 1;
+  EXPECT_NE(fp, timeseries_fingerprint(mutated));
+  TimeseriesDoc renamed = doc;
+  renamed.health_events[0].rule = "backlog_growth";
+  EXPECT_NE(fp, timeseries_fingerprint(renamed));
+}
+
+TEST(Timeseries, PropertyRandomDocsRoundTrip) {
+  util::Rng rng(20260808);
+  const char* name_pool[] = {"a.b", "with \"quotes\"", "back\\slash",
+                             "tab\there", "ring.token_rotations", "x"};
+  for (int iter = 0; iter < 60; ++iter) {
+    TimeseriesDoc doc;
+    doc.interval = rng.range(1, 1000000);
+    doc.dropped = rng.below(10);
+    const int samples = static_cast<int>(rng.below(5));
+    sim::Time at = 0;
+    for (int i = 0; i < samples; ++i) {
+      TimeseriesSample s;
+      at += rng.range(1, 100000);
+      s.at = at;
+      s.series = name_pool[rng.below(6)];
+      const int counters = static_cast<int>(rng.below(4));
+      for (int c = 0; c < counters; ++c)
+        // Counter values ride through JSON as int64, so the codec's domain
+        // is [0, 2^63) — generate inside it.
+        s.metrics.counters.emplace_back(name_pool[rng.below(6)] + std::to_string(c),
+                                        rng.below(std::uint64_t{1} << 62));
+      const int gauges = static_cast<int>(rng.below(3));
+      for (int g = 0; g < gauges; ++g)
+        s.metrics.gauges.emplace_back(name_pool[rng.below(6)] + std::to_string(g),
+                                      rng.range(-1000000, 1000000));
+      if (rng.chance(0.5)) {
+        HistogramSnapshot h;
+        h.name = name_pool[rng.below(6)];
+        h.unit = rng.chance(0.5) ? Unit::kSimMicros : Unit::kCount;
+        const int nb = static_cast<int>(rng.below(4));
+        std::int64_t bound = 0;
+        for (int b = 0; b < nb; ++b) h.bounds.push_back(bound += rng.range(1, 100));
+        for (int b = 0; b <= nb; ++b) h.buckets.push_back(rng.below(50));
+        for (std::uint64_t n : h.buckets) h.count += n;
+        h.sum = rng.range(-1000, 100000);
+        h.min = rng.range(-10, 10);
+        h.max = h.min + rng.range(0, 1000);
+        s.metrics.histograms.push_back(std::move(h));
+      }
+      doc.samples.push_back(std::move(s));
+    }
+    if (rng.chance(0.5))
+      doc.health_events.push_back(HealthEvent{at, "token_stall",
+                                              name_pool[rng.below(6)],
+                                              name_pool[rng.below(6)]});
+    const auto parsed = parse_timeseries(write_timeseries(doc));
+    ASSERT_TRUE(parsed.has_value()) << "iter " << iter << "\n" << write_timeseries(doc);
+    EXPECT_EQ(*parsed, doc) << "iter " << iter;
+  }
+}
+
+// --- sampler mechanics -----------------------------------------------------
+
+TEST(Sampler, SampleNowAtSameInstantReplaces) {
+  SamplerConfig cfg;
+  cfg.enabled = true;
+  Sampler sampler(cfg);
+  MetricsRegistry reg;
+  reg.counter("c").inc(1);
+  sampler.add_source("aggregate", [&reg] { return reg.snapshot(); });
+  sampler.sample_now(sim::msec(100));
+  reg.counter("c").inc(1);
+  sampler.sample_now(sim::msec(100));
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_EQ(sampler.samples()[0].metrics.counters[0].second, 2u)
+      << "the replacement must carry the newer registry state";
+  sampler.sample_now(sim::msec(200));
+  EXPECT_EQ(sampler.samples().size(), 2u);
+}
+
+TEST(Sampler, CapacityEvictionCountsDropped) {
+  SamplerConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = 4;
+  Sampler sampler(cfg);
+  MetricsRegistry reg;
+  sampler.add_source("aggregate", [&reg] { return reg.snapshot(); });
+  for (int i = 1; i <= 10; ++i) sampler.sample_now(sim::msec(i));
+  EXPECT_EQ(sampler.samples().size(), 4u);
+  EXPECT_EQ(sampler.dropped(), 6u);
+  EXPECT_EQ(sampler.samples().front().at, sim::msec(7)) << "oldest evicted first";
+  EXPECT_EQ(sampler.doc().dropped, 6u);
+}
+
+TEST(Sampler, WallMetricsAreStrippedAtCaptureTime) {
+  SamplerConfig cfg;
+  cfg.enabled = true;
+  Sampler sampler(cfg);
+  MetricsRegistry reg;
+  reg.counter("net.packets_sent").inc();
+  reg.gauge("bench.sweep_wall_us").set(123456);
+  reg.gauge("bench.jobs").set(8);
+  reg.histogram("bench.run_wall", Unit::kWallMicros).observe(99);
+  sampler.add_source("aggregate", [&reg] { return reg.snapshot(); });
+  sampler.sample_now(sim::msec(100));
+  const auto& snap = sampler.samples().at(0).metrics;
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+// --- determinism contract through the World harness ------------------------
+
+harness::WorldConfig sampled_world_config(bool sampled) {
+  harness::WorldConfig cfg;
+  cfg.n = 4;
+  cfg.backend = harness::Backend::kTokenRing;
+  cfg.seed = 99;
+  cfg.sampler.enabled = sampled;
+  return cfg;
+}
+
+void drive(harness::World& world) {
+  world.partition_at(sim::msec(300), {{0, 1}, {2, 3}});
+  for (int i = 0; i < 10; ++i)
+    world.bcast_at(sim::msec(400 + 40 * i), static_cast<ProcId>(i % 4),
+                   "v" + std::to_string(i));
+  world.heal_at(sim::sec(2));
+  world.run_until(sim::sec(6));
+}
+
+bool non_health(const std::string& name) { return name.rfind("health.", 0) != 0; }
+
+TEST(Sampler, EnablingSamplingLeavesProtocolCountersBitIdentical) {
+  harness::World plain(sampled_world_config(false));
+  drive(plain);
+  harness::World sampled(sampled_world_config(true));
+  drive(sampled);
+
+  // The sampled World's registry additionally carries health.* counters
+  // (bound by the watchdogs); everything else must match exactly.
+  const auto a = plain.metrics().snapshot();
+  auto b = sampled.metrics().snapshot();
+  std::erase_if(b.counters, [](const auto& e) { return !non_health(e.first); });
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_EQ(a.histograms, b.histograms);
+  EXPECT_GT(sampled.sampler()->samples().size(), 10u);
+}
+
+TEST(Sampler, FixedSeedTimelineIsByteIdentical) {
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    harness::World world(sampled_world_config(true));
+    drive(world);
+    world.sampler()->sample_now(sim::sec(6));
+    const std::string bytes = write_timeseries(world.sampler()->doc());
+    if (run == 0)
+      first = bytes;
+    else
+      EXPECT_EQ(first, bytes);
+  }
+}
+
+TEST(Sampler, FinalSampleEqualsEndOfRunExport) {
+  harness::WorldConfig cfg = sampled_world_config(true);
+  cfg.shards = 2;  // exercise the per-shard series and the aggregate mirror
+  harness::World world(cfg);
+  drive(world);
+
+  // The write_timeline double-sample: first pass may bump health.* counters,
+  // second pass recaptures so the final sample sees them.
+  world.sampler()->sample_now(sim::sec(6));
+  world.sampler()->sample_now(sim::sec(6));
+
+  const obs::MetricsSnapshot want = strip_wall_metrics(world.aggregate_snapshot());
+  const obs::MetricsSnapshot* final_aggregate = nullptr;
+  for (const auto& s : world.sampler()->samples())
+    if (s.series == "aggregate") final_aggregate = &s.metrics;
+  ASSERT_NE(final_aggregate, nullptr);
+  EXPECT_EQ(*final_aggregate, want);
+}
+
+// --- always-on backlog instrumentation (sampler off) -----------------------
+
+TEST(BacklogInstrumentation, GaugesAndPayloadBytesRecordedWithoutSampler) {
+  harness::World world(sampled_world_config(false));
+  drive(world);
+
+  // Backlogs drained at quiescence, but the watermark and the per-pass
+  // payload histogram prove traffic moved through the instrumented paths.
+  EXPECT_EQ(world.metrics().gauge("ring.backlog_depth").value(), 0);
+  EXPECT_GT(world.metrics().gauge("ring.backlog_peak").value(), 0);
+  EXPECT_EQ(world.metrics().gauge("to.pending_labels").value(), 0);
+  const auto& bytes = world.metrics().histogram("ring.board_bytes_per_pass", Unit::kCount);
+  EXPECT_GT(bytes.count(), 0u);
+  EXPECT_GT(bytes.sum(), 0);
+  EXPECT_GT(world.metrics().counter("to.views_established").value(), 0u);
+  EXPECT_GT(world.metrics().counter("to.primary_established").value(), 0u);
+}
+
+}  // namespace
+}  // namespace vsg::obs

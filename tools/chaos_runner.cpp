@@ -8,6 +8,8 @@
 //   $ ./chaos_runner --replay tests/scenarios/some_repro.scn
 //   $ ./chaos_runner --replay repro.scn --trace-out repro.trace.json
 //   $ ./chaos_runner --seeds 20 --inject-unchecked-decode --repro-dir /tmp
+//   $ ./chaos_runner --seeds 50 --smoke --timeline-out /tmp/tl   # dir, 1/seed
+//   $ ./chaos_runner --replay repro.scn --timeline-out repro_timeline.json
 //
 // With --repro-dir, each failure produces chaos_seed<S>.scn (minimized
 // scenario) and chaos_seed<S>_trace.json (flight recorder of the failing
@@ -53,6 +55,18 @@ struct Options {
   std::string repro_dir;
   std::string export_path;
   std::string trace_out;  // replay mode: Chrome trace of the replayed run
+  // Virtual-time telemetry (docs/OBSERVABILITY.md, "Timelines"): replay
+  // mode writes one vsg-timeseries-v1 file; campaign mode treats the value
+  // as a directory and writes timeline_seed<S>.json per seed.
+  std::string timeline_out;
+  bool health_oracle = false;  // health watchdog events fail their seed
+  int stall_ms = 0;            // 0: HealthConfig default stall bound
+  // Token launch spacing override in ms (0: TokenRingConfig default). The
+  // stall-injection knob: pi beyond the watchdog's stall bound makes every
+  // inter-launch gap a token_stall episode — the protocol's singleton
+  // fallback otherwise keeps rotations moving under any schedule, so a
+  // natural durable stall is by construction a liveness bug.
+  int pi_ms = 0;
   sim::Time replay_until = 0;  // 0: meta / last op + tail
 };
 
@@ -148,6 +162,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.trace_out = v;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       opt.trace_out = arg.substr(12);
+    } else if (arg == "--timeline-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.timeline_out = v;
+    } else if (arg.rfind("--timeline-out=", 0) == 0) {
+      opt.timeline_out = arg.substr(15);
+    } else if (arg == "--health-oracle") {
+      opt.health_oracle = true;
+    } else if (arg == "--stall-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.stall_ms = std::atoi(v);
+      if (opt.stall_ms < 1) return false;
+    } else if (arg == "--pi") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.pi_ms = std::atoi(v);
+      if (opt.pi_ms < 1) return false;
     } else {
       return false;
     }
@@ -167,6 +199,11 @@ chaos::CampaignConfig campaign_config(const Options& opt) {
   cfg.jobs = opt.jobs;
   cfg.shrink = opt.shrink;
   if (opt.wire != 0) cfg.ring.wire = static_cast<membership::WireFormat>(opt.wire);
+  if (opt.pi_ms > 0) cfg.ring.pi = sim::msec(opt.pi_ms);
+  // --health-oracle implies sampling (the watchdogs evaluate samples).
+  if (!opt.timeline_out.empty() || opt.health_oracle) cfg.sampler.enabled = true;
+  if (opt.stall_ms > 0) cfg.sampler.health.stall_after = sim::msec(opt.stall_ms);
+  cfg.health_oracle = opt.health_oracle;
   if (opt.smoke) {
     // CI preset: shorter chaos window and tail, fewer ops per seed, so 200
     // seeds finish in seconds while still covering every op kind.
@@ -236,6 +273,24 @@ int replay(const Options& opt) {
               harness::format_duration(until).c_str(),
               result.ok() ? "clean" : "VIOLATIONS");
   for (const auto& v : result.violations) std::printf("  %s\n", v.c_str());
+  if (cfg.sampler.enabled) {
+    // Under --health-oracle these already printed as violations above.
+    if (!cfg.health_oracle)
+      for (const auto& e : result.health_events)
+        std::printf("  %s\n", obs::to_verdict(e).c_str());
+    if (!opt.timeline_out.empty()) {
+      std::ofstream out(opt.timeline_out);
+      out << obs::write_timeseries(result.timeline);
+      if (out)
+        std::printf("timeline written to %s (%zu samples, %zu health events)\n",
+                    opt.timeline_out.c_str(), result.timeline.samples.size(),
+                    result.timeline.health_events.size());
+      else {
+        std::fprintf(stderr, "cannot write %s\n", opt.timeline_out.c_str());
+        return 2;
+      }
+    }
+  }
   if (trace) {
     std::ofstream out(opt.trace_out);
     out << result.flight_recorder;
@@ -412,6 +467,26 @@ int campaign(const Options& opt) {
   cfg.metrics->gauge("chaos.campaign.wall_us").set(wall_us);
   cfg.metrics->gauge("chaos.campaign.jobs").set(jobs);
 
+  if (!opt.timeline_out.empty()) {
+    std::size_t health_seeds = 0;
+    for (std::size_t i = 0; i < result.seed_timelines.size(); ++i) {
+      const std::uint64_t seed = cfg.first_seed + static_cast<std::uint64_t>(i);
+      const std::string path =
+          opt.timeline_out + "/timeline_seed" + std::to_string(seed) + ".json";
+      std::ofstream out(path);
+      out << obs::write_timeseries(result.seed_timelines[i]);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s (does the directory exist?)\n",
+                     path.c_str());
+        return 2;
+      }
+      if (!result.seed_timelines[i].health_events.empty()) ++health_seeds;
+    }
+    std::printf("%zu timelines written to %s/ (%zu seed%s with health events)\n",
+                result.seed_timelines.size(), opt.timeline_out.c_str(), health_seeds,
+                health_seeds == 1 ? "" : "s");
+  }
+
   std::vector<chaos::ManifestEntry> manifest;
   for (const auto& f : result.failures) {
     std::printf("seed %llu FAILED (%zu violation%s), shrunk %zu -> %zu ops (n=%d, %d "
@@ -446,6 +521,21 @@ int campaign(const Options& opt) {
           std::fprintf(stderr, "  cannot write %s\n", trace_path.c_str());
         }
       }
+      // The failing seed's timeline lives next to the trace so the manifest
+      // indexes a complete artifact set regardless of --timeline-out.
+      const std::size_t idx = static_cast<std::size_t>(f.seed - cfg.first_seed);
+      if (cfg.sampler.enabled && idx < result.seed_timelines.size()) {
+        const std::string tl_path = opt.repro_dir + "/" + base + "_timeline.json";
+        std::ofstream tl(tl_path);
+        tl << obs::write_timeseries(result.seed_timelines[idx]);
+        if (tl) {
+          entry.timeline_path = base + "_timeline.json";
+          std::printf("  timeline written to %s\n", tl_path.c_str());
+        } else {
+          std::fprintf(stderr, "  cannot write %s\n", tl_path.c_str());
+        }
+      }
+      entry.health_verdicts = f.health_verdicts;
       manifest.push_back(std::move(entry));
     }
   }
@@ -487,6 +577,8 @@ int main(int argc, char** argv) {
                  "          [--shards K] [--domains N] [--backend ring|spec]\n"
                  "          [--corrupt P] [--wire 1|2|3] [--cross-check] [--smoke]\n"
                  "          [--no-shrink] [--repro-dir DIR] [--export PATH]\n"
+                 "          [--timeline-out PATH] [--health-oracle] [--stall-ms N] "
+                 "[--pi MS]\n"
                  "          [--inject-unchecked-decode]\n"
                  "          [--replay FILE [--until T] [--trace-out PATH]]\n"
                  "          [--decode-frame FILE] [--emit-golden-frames DIR]\n",
