@@ -25,16 +25,29 @@
 // and the to.* counters in the exported snapshots. Combined with
 // `--shards K` the same churn cadence runs inside the sharded workload.
 //
-// `--timeline-out PATH` (sharded workload only — one World) additionally
-// samples every registry on a virtual-time interval and writes the run's
-// vsg-timeseries-v1 timeline; render it with tools/vsg_report
-// (docs/OBSERVABILITY.md, "Timelines").
+// `--timeline-out PATH` (single-World workloads: --shards K, or the last
+// rate of a --rate sweep) additionally samples every registry on a
+// virtual-time interval and writes the run's vsg-timeseries-v1 timeline;
+// render it with tools/vsg_report (docs/OBSERVABILITY.md, "Timelines").
+//
+// `--rate R1[,R2,...]` switches to the open-loop latency-under-load
+// workload (PR 10 evidence, docs/FLOWCONTROL.md): arrivals at a fixed
+// offered rate against a deliberately capacity-limited ring, reporting
+// end-to-end latency percentiles, shed/deferred counts and
+// backlog_growth health events per rate. Compose with `--budget BYTES`
+// (per-pass boarding budget, enables the urgency lanes), `--gate
+// shed|defer` + `--backlog N` (sender-side admission gate), and
+// `--churn` (crash/rejoin cadence inside the load window). Spans are on,
+// so the exported snapshot carries the per-phase to.phase_latency.*
+// histograms alongside to.brcv_latency.*.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "app/sharded_kv.hpp"
@@ -209,6 +222,104 @@ std::uint64_t run_sharded(int shards, double zipf_s, bool churn, std::uint64_t s
   return delivered;
 }
 
+// Open-loop latency-under-load workload (PR 10 evidence): a fixed offered
+// rate against one deliberately capacity-limited ring (n=4, pi=40ms,
+// max_entries_per_pass=2 — about 200 boarded payloads/sec). Below capacity
+// latency sits near the token spacing; past capacity an unprotected ring
+// queues without bound (the backlog_growth watchdog fires), while a
+// boarding budget plus the sender-side admission gate keeps the queue — and
+// therefore the latency of everything that is admitted — bounded
+// (docs/FLOWCONTROL.md).
+struct RateCell {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deferred = 0;
+  std::size_t growth_events = 0;
+  std::int64_t p50 = 0, p95 = 0, p99 = 0;  // to.brcv_latency.all, usec
+};
+
+RateCell run_rate(int rate, std::uint64_t budget, int gate /*0 off, 1 shed, 2 defer*/,
+                  int max_backlog, bool churn, std::uint64_t seed,
+                  const std::string& timeline_out,
+                  const std::shared_ptr<obs::MetricsRegistry>& metrics) {
+  obs::ScopedWallTimer timer(
+      metrics->histogram("bench.run_wall", obs::Unit::kWallMicros));
+
+  const int n = 4;
+  harness::WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = harness::Backend::kTokenRing;
+  cfg.ring.pi = sim::msec(40);
+  cfg.ring.max_entries_per_pass = 2;  // the per-ring capacity bound
+  if (budget > 0) {
+    // Budget and lanes travel together: under a byte bound the state
+    // exchange must preempt queued bulk (docs/FLOWCONTROL.md).
+    cfg.ring.board_budget_bytes = static_cast<std::size_t>(budget);
+    cfg.ring.lanes = true;
+  }
+  if (gate != 0) cfg.ring.admission_max_backlog = static_cast<std::size_t>(max_backlog);
+  cfg.seed = seed;
+  cfg.sampler.enabled = true;  // the backlog_growth watchdog is the verdict
+  cfg.trace.enabled = true;    // per-phase to.phase_latency.* spans
+  harness::World world(cfg);
+
+  RateCell cell;
+  const sim::Time gap = std::max<sim::Time>(1, sim::Time{1'000'000} / rate);
+  const sim::Time start = sim::msec(500);
+  const sim::Time end = start + sim::sec(8);
+  int rr = 0;
+  for (sim::Time t = start; t < end; t += gap) {
+    const ProcId p = static_cast<ProcId>(rr++ % n);
+    ++cell.offered;
+    if (gate == 1) {
+      // Shed policy: an open-loop sender would rather lose the sample than
+      // queue it behind a saturated ring.
+      world.simulator().at(t, [&world, p] { world.stack().trysend(p, "v"); });
+    } else {
+      world.bcast_at(t, p, "v");  // defer policy (or no gate): never dropped
+    }
+  }
+  if (churn) {
+    int cycle = 0;
+    for (sim::Time t = start + sim::sec(1); t + sim::sec(1) < end; t += sim::msec(1500)) {
+      const ProcId victim = 1 + static_cast<ProcId>(cycle++ % (n - 1));
+      world.proc_status_at(t, victim, sim::Status::kBad);
+      world.proc_status_at(t + sim::sec(1), victim, sim::Status::kGood);
+    }
+  }
+  world.run_until(end + sim::sec(4));
+
+  cell.delivered =
+      harness::deliveries_at(world.recorder().events(), 0, start, end + sim::sec(4));
+  if (gate != 0) {
+    cell.shed = world.metrics().counter("ring.sends_shed").value();
+    cell.deferred = world.metrics().counter("ring.sends_deferred").value();
+  }
+  const auto& lat = world.metrics().histogram("to.brcv_latency.all");
+  cell.p50 = lat.quantile_upper(0.50);
+  cell.p95 = lat.quantile_upper(0.95);
+  cell.p99 = lat.quantile_upper(0.99);
+  for (const auto& e : world.sampler()->health().events())
+    if (e.rule == "backlog_growth") ++cell.growth_events;
+  if (!timeline_out.empty()) {
+    if (world.write_timeline(timeline_out))
+      std::printf("timeline written to %s\n", timeline_out.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", timeline_out.c_str());
+  }
+
+  const std::string tag = "bench.rate.r" + std::to_string(rate);
+  metrics->merge_from(world.metrics(), tag + ".");
+  metrics->gauge(tag + ".offered").set(static_cast<std::int64_t>(cell.offered));
+  metrics->gauge(tag + ".delivered").set(static_cast<std::int64_t>(cell.delivered));
+  metrics->gauge(tag + ".shed").set(static_cast<std::int64_t>(cell.shed));
+  metrics->gauge(tag + ".deferred").set(static_cast<std::int64_t>(cell.deferred));
+  metrics->gauge(tag + ".backlog_growth_events")
+      .set(static_cast<std::int64_t>(cell.growth_events));
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,8 +330,52 @@ int main(int argc, char** argv) {
   int shards = 0;       // 0: classic sweep; K >= 1: sharded scaling workload
   double zipf_s = 1.1;  // key-popularity skew of the sharded workload
   std::string timeline_out;  // vsg-timeseries-v1 dump of the sharded World
+  std::vector<int> rates;    // open-loop offered rates (values/sec), in order
+  std::uint64_t budget = 0;  // boarding budget, bytes/pass (0: unbounded)
+  int gate = 0;              // 0: off, 1: shed, 2: defer
+  int backlog = 64;          // admission_max_backlog when gated
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--churn") == 0) churn = true;
+    if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      std::string list = argv[i + 1];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const int r = std::atoi(list.substr(pos, comma - pos).c_str());
+        if (r < 1) {
+          std::fprintf(stderr, "--rate takes positive values/sec, comma-separated\n");
+          return 2;
+        }
+        rates.push_back(r);
+        pos = comma + 1;
+      }
+    }
+    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      const long long b = std::atoll(argv[i + 1]);
+      if (b < 1) {
+        std::fprintf(stderr, "--budget takes a positive byte count\n");
+        return 2;
+      }
+      budget = static_cast<std::uint64_t>(b);
+    }
+    if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      if (std::strcmp(argv[i + 1], "shed") == 0)
+        gate = 1;
+      else if (std::strcmp(argv[i + 1], "defer") == 0)
+        gate = 2;
+      else if (std::strcmp(argv[i + 1], "off") == 0)
+        gate = 0;
+      else {
+        std::fprintf(stderr, "--gate takes shed, defer or off (docs/FLOWCONTROL.md)\n");
+        return 2;
+      }
+    }
+    if (std::strcmp(argv[i], "--backlog") == 0 && i + 1 < argc) {
+      backlog = std::atoi(argv[i + 1]);
+      if (backlog < 1) {
+        std::fprintf(stderr, "--backlog takes a positive entry count\n");
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--timeline-out") == 0 && i + 1 < argc)
       timeline_out = argv[i + 1];
     if (std::strncmp(argv[i], "--timeline-out=", 15) == 0) timeline_out = argv[i] + 15;
@@ -253,15 +408,55 @@ int main(int argc, char** argv) {
     }
     wire = static_cast<membership::WireFormat>(v);
   }
-  if (!timeline_out.empty() && shards < 1) {
-    std::fprintf(stderr, "--timeline-out needs the single-World sharded workload; add "
-                         "--shards K (docs/OBSERVABILITY.md)\n");
+  if (!timeline_out.empty() && shards < 1 && rates.empty()) {
+    std::fprintf(stderr, "--timeline-out needs a single-World workload; add --shards K "
+                         "or --rate R (docs/OBSERVABILITY.md)\n");
     return 2;
   }
   auto metrics = std::make_shared<obs::MetricsRegistry>();
   const std::int64_t sweep_start = obs::wall_now_us();
 
-  if (shards >= 1) {
+  if (!rates.empty()) {
+    const char* gate_name = gate == 0 ? "off" : (gate == 1 ? "shed" : "defer");
+    std::printf("E10: latency vs offered load — capacity-limited ring (n=4, pi=40ms, "
+                "2 entries/pass)\n     budget=%llu bytes/pass%s, gate=%s",
+                static_cast<unsigned long long>(budget),
+                budget > 0 ? " (+lanes)" : " (unbounded)", gate_name);
+    if (gate != 0) std::printf(" (backlog limit %d)", backlog);
+    std::printf("%s\n\n", churn ? ", crash/rejoin churn" : "");
+    const std::vector<int> widths{8, 9, 11, 7, 10, 9, 9, 9, 8};
+    std::printf("%s\n",
+                harness::fmt_row({"rate/s", "offered", "delivered", "shed", "deferred",
+                                  "p50us", "p95us", "p99us", "growth"},
+                                 widths)
+                    .c_str());
+    std::uint64_t growth_total = 0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      // The timeline (if asked for) captures the last — typically hottest —
+      // rate of the sweep.
+      const RateCell cell = run_rate(rates[i], budget, gate, backlog, churn,
+                                     4500 + static_cast<std::uint64_t>(i),
+                                     i + 1 == rates.size() ? timeline_out : "", metrics);
+      growth_total += cell.growth_events;
+      std::printf("%s\n",
+                  harness::fmt_row(
+                      {std::to_string(rates[i]), std::to_string(cell.offered),
+                       std::to_string(cell.delivered), std::to_string(cell.shed),
+                       std::to_string(cell.deferred), std::to_string(cell.p50),
+                       std::to_string(cell.p95), std::to_string(cell.p99),
+                       std::to_string(cell.growth_events)},
+                      widths)
+                      .c_str());
+    }
+    // The greppable verdict line check.sh asserts on: a budgeted, gated run
+    // over capacity must keep the queue bounded (docs/FLOWCONTROL.md).
+    std::printf("\nbacklog_growth events: %llu\n",
+                static_cast<unsigned long long>(growth_total));
+    std::printf("\nreading: below capacity (~200/s) latency rides the token spacing; "
+                "past it an\nunprotected ring queues without bound (growth events), "
+                "while the boarding budget\nplus admission gate sheds or defers at the "
+                "sender and keeps admitted latency flat.\n");
+  } else if (shards >= 1) {
     std::printf("E8: sharded aggregate throughput — %d ring%s over one substrate "
                 "(zipf s=%.2f, n=4, capacity-limited rings%s)\n\n",
                 shards, shards == 1 ? "" : "s", zipf_s,
@@ -381,7 +576,7 @@ int main(int argc, char** argv) {
   // bench.run_wall histogram.
   metrics->gauge("bench.sweep_wall_us").set(obs::wall_now_us() - sweep_start);
   metrics->gauge("bench.jobs")
-      .set(shards >= 1 ? 1 : exec::effective_jobs(jobs, churn ? 3 : 15));
+      .set(!rates.empty() || shards >= 1 ? 1 : exec::effective_jobs(jobs, churn ? 3 : 15));
 
   if (export_path) {
     if (!obs::JsonExporter::write_file(*metrics, *export_path, "bench_throughput")) {

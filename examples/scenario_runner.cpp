@@ -164,6 +164,12 @@ int main(int argc, char** argv) {
     }
     cfg.ring.wire = static_cast<membership::WireFormat>(*parsed.meta.wire);
   }
+  if (parsed.meta.budget.has_value()) {
+    // Budget pins replay with lanes on, same pairing as chaos_runner
+    // --budget (docs/FLOWCONTROL.md).
+    cfg.ring.board_budget_bytes = static_cast<std::size_t>(*parsed.meta.budget);
+    cfg.ring.lanes = true;
+  }
   std::optional<harness::World> world;
   try {
     world.emplace(cfg);

@@ -190,6 +190,30 @@ for scn in tests/scenarios/chaos_seed75_unchecked_decode.scn \
   fi
 done
 
+# Flow-control gate (docs/FLOWCONTROL.md): a churned rate sweep past ring
+# capacity under a byte budget + shed admission gate must log ZERO
+# backlog_growth health events — the gate caps the backlog by
+# construction, so the watchdog's monotone-growth streak can never form.
+./build/bench/bench_throughput --rate 100,200,400 --churn \
+    --budget 64 --gate shed --backlog 8 | tee build/fc_rate.out
+grep -q '^backlog_growth events: 0$' build/fc_rate.out
+# Golden render: vsg_report over the committed flow-controlled timeline
+# must reproduce the committed report byte-for-byte, including the
+# to.admission_wait percentiles and the sends_shed flag. To regenerate
+# after an intentional metric/render change:
+#   ./build/bench/bench_throughput --rate 400 --churn --budget 64 \
+#       --gate shed --backlog 8 --timeline-out tests/golden/flowcontrol_timeline.json
+#   ./build/tools/vsg_report tests/golden/flowcontrol_timeline.json \
+#       > tests/golden/flowcontrol_report.txt
+./build/tools/vsg_report tests/golden/flowcontrol_timeline.json > build/fc_report.out
+diff -u tests/golden/flowcontrol_report.txt build/fc_report.out
+grep -q 'to.admission_wait' build/fc_report.out
+grep -q 'SHED at the admission gate' build/fc_report.out
+# Budgeted chaos smoke: 50 seeds under a boarding budget (+lanes) must run
+# clean — budget-found repros pinning `config budget` are unit-tested in
+# tests/chaos_test.cpp.
+./build/tools/chaos_runner --seeds 50 --smoke --budget 256
+
 # Sanitizer pass (docs/DATAPLANE.md): the zero-copy plane shares one
 # allocation across layers and holds slices past their parent Buffer, so the
 # whole suite plus a chaos smoke runs again under ASan + UBSan. Halt on the

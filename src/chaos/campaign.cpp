@@ -260,6 +260,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     failure.seed = seed;
     failure.wire = static_cast<int>(cfg.ring.wire);
     failure.shards = cfg.shards;
+    failure.budget = cfg.ring.board_budget_bytes;
     failure.violations = run.violations;
     for (const auto& e : run.health_events)
       failure.health_verdicts.push_back(obs::to_verdict(e));
@@ -322,6 +323,7 @@ std::string repro_text(const Failure& f) {
   meta.until = f.schedule.run_until;
   meta.wire = f.wire;
   if (f.shards > 1) meta.shards = f.shards;
+  if (f.budget > 0) meta.budget = f.budget;
   std::string text = "# chaos repro: seed " + std::to_string(f.seed) + ", " +
                      std::to_string(f.minimal.scenario.ops.size()) + " ops (from " +
                      std::to_string(f.schedule.scenario.ops.size()) + ")\n";

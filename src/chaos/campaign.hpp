@@ -122,6 +122,10 @@ struct Failure {
   /// Shard count the campaign ran under; repro_text pins it (`config
   /// shards K`) whenever K > 1 so replays rebuild the same topology.
   int shards = 1;
+  /// Per-pass boarding budget the campaign ran under; repro_text pins it
+  /// (`config budget B`) whenever B > 0 so a repro found under a capacity
+  /// bound replays under the same bound (docs/FLOWCONTROL.md).
+  std::uint64_t budget = 0;
   std::vector<std::string> violations;  // of the original schedule
   GeneratedSchedule schedule;           // as generated
   ShrinkOutcome minimal;                // shrunk repro (== original if !shrink)

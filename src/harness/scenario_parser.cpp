@@ -81,7 +81,7 @@ ParseResult parse_scenario(const std::string& text) {
     if (tokens.empty()) continue;
     if (tokens[0] == "config") {
       if (tokens.size() != 3)
-        return fail("config needs: config <n|seed|until|wire|shards> <value>");
+        return fail("config needs: config <n|seed|until|wire|shards|budget> <value>");
       if (tokens[1] == "n") {
         const auto n = parse_proc(tokens[2]);
         if (!n.has_value() || *n <= 0) return fail("bad config n '" + tokens[2] + "'");
@@ -103,6 +103,13 @@ ParseResult parse_scenario(const std::string& text) {
         const auto k = parse_proc(tokens[2]);  // small non-negative int
         if (!k.has_value() || *k < 1) return fail("bad config shards '" + tokens[2] + "'");
         result.meta.shards = static_cast<int>(*k);
+      } else if (tokens[1] == "budget") {
+        for (char c : tokens[2])
+          if (!std::isdigit(static_cast<unsigned char>(c)))
+            return fail("bad config budget '" + tokens[2] + "'");
+        const std::uint64_t b = std::stoull(tokens[2]);
+        if (b < 1) return fail("bad config budget '" + tokens[2] + "'");
+        result.meta.budget = b;
       } else {
         return fail("unknown config key '" + tokens[1] + "'");
       }
@@ -219,6 +226,7 @@ std::string write_scenario(const Scenario& scenario, const ScenarioMeta& meta) {
   if (meta.until.has_value()) os << "config until " << format_duration(*meta.until) << '\n';
   if (meta.wire.has_value()) os << "config wire " << *meta.wire << '\n';
   if (meta.shards.has_value()) os << "config shards " << *meta.shards << '\n';
+  if (meta.budget.has_value()) os << "config budget " << *meta.budget << '\n';
   for (const auto& timed : scenario.ops) {
     os << "at " << format_duration(timed.at) << ' ';
     std::visit(OpWriter{os}, timed.op);

@@ -10,6 +10,7 @@
 //   config until 20s
 //   config wire 1                # pin the frame version (docs/WIRE.md)
 //   config shards 4              # shard count (docs/SHARDING.md)
+//   config budget 256            # boarding budget, bytes/pass (docs/FLOWCONTROL.md)
 //   at 100ms partition 0,1,2 | 3,4
 //   at 2s    bcast 0 hello-world
 //   at 2.5s  proc 2 bad          # good | bad | ugly
@@ -46,6 +47,12 @@ struct ScenarioMeta {
   /// docs/SHARDING.md). Replayers must reject counts outside
   /// [1, harness::kMaxShards] loudly rather than silently running K=1.
   std::optional<int> shards;
+  /// Per-pass boarding budget in bytes the scenario was recorded under
+  /// (config budget <B>, docs/FLOWCONTROL.md). Replays apply it to
+  /// TokenRingConfig::board_budget_bytes and enable the urgency lanes —
+  /// the same pairing chaos_runner --budget uses — so a repro minimized
+  /// under a capacity bound replays under the same bound.
+  std::optional<std::uint64_t> budget;
   bool operator==(const ScenarioMeta&) const = default;
 };
 

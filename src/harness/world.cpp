@@ -54,7 +54,16 @@ void WorldConfig::validate() const {
           "WorldConfig: shard_rings[" + std::to_string(k) +
           "] timing parameters must be positive (delta=" + std::to_string(r.delta) +
           ", pi=" + std::to_string(r.pi) + ", mu=" + std::to_string(r.mu) + ")");
+    if (r.lanes && r.bulk_min_share == 0)
+      throw std::invalid_argument(
+          "WorldConfig: shard_rings[" + std::to_string(k) +
+          "] enables lanes with bulk_min_share=0 — urgent traffic could starve the "
+          "bulk lane (docs/FLOWCONTROL.md requires bulk_min_share >= 1)");
   }
+  if (ring.lanes && ring.bulk_min_share == 0)
+    throw std::invalid_argument(
+        "WorldConfig: ring enables lanes with bulk_min_share=0 — urgent traffic could "
+        "starve the bulk lane (docs/FLOWCONTROL.md requires bulk_min_share >= 1)");
 }
 
 namespace {
@@ -121,16 +130,27 @@ World::World(WorldConfig config)
     // delta covering only what the weakest peer lacks. Earlier wire
     // versions (and the spec backend, whose verifier decodes whole
     // summaries from VS payloads) keep the Figure 8 full-summary exchange.
-    const membership::WireFormat wire =
-        config_.shard_rings.empty() ? config_.ring.wire
-                                    : config_.shard_rings[static_cast<std::size_t>(k)].wire;
+    const membership::TokenRingConfig& rcfg =
+        config_.shard_rings.empty() ? config_.ring
+                                    : config_.shard_rings[static_cast<std::size_t>(k)];
     const auto exchange =
-        (config_.backend == Backend::kTokenRing && wire == membership::WireFormat::kV3)
+        (config_.backend == Backend::kTokenRing && rcfg.wire == membership::WireFormat::kV3)
             ? vstoto::ExchangeMode::kDigestDelta
             : vstoto::ExchangeMode::kFullSummary;
     shard.stack = std::make_unique<to::Stack>(*shard.vs, *shard.recorder, config_.quorums,
                                               config_.n0, exchange);
     shard.stack->bind_metrics(*shard.metrics);
+    // Sender-side admission gate (docs/FLOWCONTROL.md): armed only when the
+    // ring config asks for it, so ungated worlds register no gate metrics
+    // and stay bit-identical to pre-gate builds.
+    if (shard.ring != nullptr && rcfg.admission_max_backlog > 0) {
+      auto* ring = shard.ring;
+      shard.stack->arm_admission(rcfg.admission_max_backlog,
+                                 [ring](ProcId p) { return ring->backlog(p); },
+                                 *shard.metrics);
+      ring->set_drain_hook(
+          [stack = shard.stack.get()](ProcId p) { stack->on_ring_drain(p); });
+    }
   }
 
   if (config_.trace.enabled) {

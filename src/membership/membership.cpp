@@ -39,7 +39,13 @@ void Node::start(bool in_initial_view, int n0) {
 
 void Node::submit(vs::Payload m) {
   if (!view_.has_value()) return;  // bottom view: silently lost (Figure 6)
-  outbox_.push_back(std::move(m));
+  // Urgency lanes (docs/FLOWCONTROL.md): a tag-byte peek — not a decode —
+  // routes state-exchange payloads to the urgent lane so they preempt bulk
+  // client values at the next boarding pass.
+  const bool urgent = parent_->config().lanes && !m.empty() &&
+                      (m[0] == wire::kPayloadSummary || m[0] == wire::kPayloadDigest ||
+                       m[0] == wire::kPayloadDelta);
+  (urgent ? outbox_urgent_ : outbox_).push_back(std::move(m));
   if (auto* g = parent_->obs().backlog_depth) {
     g->add(1);
     if (auto* peak = parent_->obs().backlog_peak) peak->max_of(g->value());
@@ -211,10 +217,12 @@ void Node::install_view(const core::View& v, bool initial) {
   log_.clear();
   delivered_ = 0;
   safe_emitted_ = 0;
-  if (!outbox_.empty())
+  const std::size_t stale = backlog();
+  if (stale > 0)
     if (auto* g = parent_->obs().backlog_depth)
-      g->add(-static_cast<std::int64_t>(outbox_.size()));
+      g->add(-static_cast<std::int64_t>(stale));
   outbox_.clear();  // stale messages belonged to the previous view
+  outbox_urgent_.clear();
   token_ = Token{};
   token_.gid = v.id;
   for (ProcId r : v.members) token_.delivered[r] = 0;
@@ -233,6 +241,10 @@ void Node::install_view(const core::View& v, bool initial) {
   }
   const sim::Time check = std::max<sim::Time>(cfg.delta, cfg.pi / 4);
   parent_->simulator().after(check, [this, gen] { token_check(gen); });
+
+  // The install cleared the backlog: deferred sends parked behind the old
+  // view's congestion may re-enter now (docs/FLOWCONTROL.md).
+  if (stale > 0) parent_->notify_drained(me_);
 }
 
 void Node::token_check(std::uint64_t gen) {

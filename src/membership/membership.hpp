@@ -63,6 +63,38 @@ struct TokenRingConfig {
   /// under bursty load; the remainder waits for the next pass.
   std::size_t max_entries_per_pass = 0;
 
+  /// Frame formation (docs/FLOWCONTROL.md): at most this many payload
+  /// bytes board the token per pass (0 = unlimited, the default — bit-
+  /// identical to the pre-budget boarding). The budget is checked before
+  /// each payload boards, so the first payload of a pass always boards
+  /// even when it alone exceeds the budget (progress guarantee: a budget
+  /// smaller than one payload still moves one payload per pass). The
+  /// remainder carries to the next pass in FIFO order.
+  std::size_t board_budget_bytes = 0;
+
+  /// Urgency lanes (docs/FLOWCONTROL.md): when set, state-exchange
+  /// payloads (summary/digest/delta VSTOTO tag bytes) queue in a separate
+  /// urgent lane that boards before bulk client values within a pass, so
+  /// view-change traffic is never stuck behind a bulk backlog. Off by
+  /// default; VStoTO's status gating already orders all exchange traffic
+  /// before all values per (view, sender), so enabling lanes never
+  /// reorders a real VStoTO stream — it bounds the exchange's queueing
+  /// delay when budgets leave a bulk backlog behind.
+  bool lanes = false;
+
+  /// Lanes only: bulk payloads guaranteed to board per pass even when
+  /// urgent traffic exhausted the byte budget or entry cap — the
+  /// starvation-freedom floor of the two-lane queue. Must be >= 1 when
+  /// lanes are on (WorldConfig::validate enforces this).
+  std::size_t bulk_min_share = 1;
+
+  /// Sender-side backpressure threshold (docs/FLOWCONTROL.md): when > 0
+  /// the harness arms to::Stack's admission gate — once a processor's
+  /// boarding backlog reaches this many entries, Stack::bcast defers the
+  /// send (admitted when the ring drains) and Stack::trysend sheds it.
+  /// 0 (default) leaves the gate off and registers no gate metrics.
+  std::size_t admission_max_backlog = 0;
+
   /// Wire version every packet this node encodes is framed as (docs/
   /// WIRE.md). Decoders accept all known versions regardless; recorded
   /// chaos scenarios pin this (`config wire N`) to the version they were
@@ -122,6 +154,10 @@ class Node {
   const std::optional<core::View>& view() const noexcept { return view_; }
   const NodeStats& stats() const noexcept { return stats_; }
 
+  /// Boarding backlog: submitted payloads (both lanes) waiting to board a
+  /// token. The admission gate's depth signal (docs/FLOWCONTROL.md).
+  std::size_t backlog() const noexcept { return outbox_.size() + outbox_urgent_.size(); }
+
  private:
   // --- membership.cpp -------------------------------------------------------
   void dispatch(ProcId src, const util::Buffer& packet);
@@ -167,7 +203,8 @@ class Node {
   std::vector<std::pair<ProcId, util::Buffer>> log_;  // the view's common order
   std::size_t delivered_ = 0;                         // gprcv'd prefix (== log_.size())
   std::size_t safe_emitted_ = 0;                      // safe'd prefix
-  std::deque<util::Buffer> outbox_;                   // submitted, not yet on token
+  std::deque<util::Buffer> outbox_;                   // bulk lane: client values
+  std::deque<util::Buffer> outbox_urgent_;            // urgent lane (config.lanes)
 
   // Leader token custody.
   Token token_;

@@ -75,17 +75,26 @@ void Node::process_token(Token& t) {
     parent_->emit_gprcv(me_, src, payload);
   }
 
-  // 3. Board the whole buffered backlog onto the token as one batch (and
-  // deliver the entries to ourselves — we are a view member like any
-  // other). The client's on_gprcv may submit more messages; the loop
-  // drains those too, up to the per-pass flow-control cap.
-  const std::size_t cap = parent_->config().max_entries_per_pass;
+  // 3. Board the buffered backlog onto the token as one batch (and deliver
+  // the entries to ourselves — we are a view member like any other), up to
+  // the per-pass flow-control cap and byte budget (docs/FLOWCONTROL.md).
+  // The budget is checked before each payload boards, so the first payload
+  // always boards — a budget smaller than one payload still moves one
+  // payload per pass. The client's on_gprcv may submit more messages; the
+  // loops drain those too, within the same per-pass bounds.
+  const TokenRingConfig& cfg = parent_->config();
+  const std::size_t cap = cfg.max_entries_per_pass;
+  const std::size_t budget = cfg.board_budget_bytes;
   std::size_t boarded = 0;
   std::int64_t boarded_bytes = 0;
-  while (!outbox_.empty() && (cap == 0 || boarded < cap)) {
+  const auto within_budget = [&] {
+    return (cap == 0 || boarded < cap) &&
+           (budget == 0 || static_cast<std::size_t>(boarded_bytes) < budget);
+  };
+  const auto board_one = [&](std::deque<util::Buffer>& lane) {
     ++boarded;
-    util::Buffer payload = std::move(outbox_.front());
-    outbox_.pop_front();
+    util::Buffer payload = std::move(lane.front());
+    lane.pop_front();
     boarded_bytes += static_cast<std::int64_t>(payload.size());
     log_.emplace_back(me_, payload);  // shares storage with the submission
     // Boarding is an origin-side milestone: the payload still carries the
@@ -98,7 +107,22 @@ void Node::process_token(Token& t) {
     ++stats_.entries_delivered;
     obs::bump(parent_->obs().entries_delivered);
     parent_->emit_gprcv(me_, me_, log_.back().second);
+  };
+  // Urgent lane first: state-exchange traffic preempts bulk within a pass
+  // (empty unless config.lanes routed payloads there at submit).
+  while (!outbox_urgent_.empty() && within_budget()) board_one(outbox_urgent_);
+  // Bulk lane: within budget, plus a guaranteed minimum share per pass so
+  // sustained urgent traffic can never starve client values. With lanes
+  // off this floor is unreachable (the first bulk payload is always within
+  // budget), keeping the default path bit-identical to pre-lane boarding.
+  std::size_t bulk_boarded = 0;
+  while (!outbox_.empty() && (within_budget() || bulk_boarded < cfg.bulk_min_share)) {
+    board_one(outbox_);
+    ++bulk_boarded;
   }
+  // Urgent payloads submitted by on_gprcv reactions during bulk boarding
+  // still get this pass's remaining budget.
+  while (!outbox_urgent_.empty() && within_budget()) board_one(outbox_urgent_);
   // The batch is one same-source run: under wire v2 it becomes a single
   // cold segment (one splice build per pass; the rest of the cached
   // entries section stays warm), under v1 it invalidates the whole
@@ -144,6 +168,11 @@ void Node::process_token(Token& t) {
     // whole, only a split boundary segment goes cold.
     t.note_trimmed(drop);
   }
+
+  // 7. The pass freed backlog space: let deferred sends behind the
+  // admission gate re-enter (docs/FLOWCONTROL.md). Anything they submit
+  // waits for the next pass — this pass's token is already formed.
+  if (boarded > 0) parent_->notify_drained(me_);
 }
 
 void Node::forward_token(const Token& t, ProcId to) {

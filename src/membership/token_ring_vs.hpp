@@ -8,6 +8,7 @@
 // b = 9*delta + max{pi + (n+3)*delta, mu} and d as discussed in
 // membership.hpp).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -77,6 +78,19 @@ class TokenRingVS final : public vs::Service {
   const Node& node(ProcId p) const { return *nodes_[static_cast<std::size_t>(p)]; }
   NodeStats total_stats() const;
 
+  /// Boarding backlog (payloads waiting to board a token, both lanes) at
+  /// processor p — the admission gate's depth signal (docs/FLOWCONTROL.md).
+  std::size_t backlog(ProcId p) const { return nodes_[static_cast<std::size_t>(p)]->backlog(); }
+
+  /// Hook fired with the processor id whenever that node's backlog shrank
+  /// (a boarding pass, or a view install clearing stale entries). The
+  /// harness wires it to to::Stack::on_ring_drain so deferred sends behind
+  /// the admission gate re-enter as capacity frees (docs/FLOWCONTROL.md).
+  void set_drain_hook(std::function<void(ProcId)> hook) { drain_hook_ = std::move(hook); }
+  void notify_drained(ProcId p) {
+    if (drain_hook_) drain_hook_(p);
+  }
+
   /// Publish ring protocol counters into `registry` (names: ring.*, vs.*).
   void bind_metrics(obs::MetricsRegistry& registry);
   RingObs& obs() noexcept { return obs_; }
@@ -111,6 +125,7 @@ class TokenRingVS final : public vs::Service {
   bool started_ = false;
   RingObs obs_;
   obs::SpanTracer* tracer_ = nullptr;
+  std::function<void(ProcId)> drain_hook_;
 };
 
 }  // namespace vsg::membership

@@ -55,8 +55,21 @@ class Service {
 
   virtual int size() const = 0;
 
-  /// bcast(a)_p: submit value a at processor p.
+  /// bcast(a)_p: submit value a at processor p. When a sender-side
+  /// admission gate is armed (docs/FLOWCONTROL.md) an over-limit submission
+  /// is deferred — queued FIFO and admitted once the transport drains —
+  /// never dropped.
   virtual void bcast(ProcId p, core::Value a) = 0;
+
+  /// bcast with shed-on-overload semantics: submit a iff the admission
+  /// gate (when armed) has room, else drop it and return false — the
+  /// caller-chosen alternative to bcast's defer policy for open-loop
+  /// senders that would rather lose a sample than queue unboundedly.
+  /// Without a gate this is exactly bcast (always true).
+  virtual bool trysend(ProcId p, core::Value a) {
+    bcast(p, std::move(a));
+    return true;
+  }
 
   /// Register the client for processor p. At most one per processor;
   /// attaching again replaces the previous client.

@@ -28,9 +28,61 @@ Stack::Stack(vs::Service& vs_service, trace::Recorder& recorder,
 
 void Stack::bcast(ProcId p, core::Value a) {
   assert(p >= 0 && p < size());
+  if (admission_max_ > 0 && gate_holds(p)) {
+    // Defer policy: queue FIFO behind the congestion; on_ring_drain admits
+    // it once the transport frees capacity (docs/FLOWCONTROL.md).
+    deferred_[static_cast<std::size_t>(p)].push_back({std::move(a), recorder_->now()});
+    if (sends_deferred_ != nullptr) sends_deferred_->inc();
+    return;
+  }
+  admit(p, std::move(a), 0);
+}
+
+bool Stack::trysend(ProcId p, core::Value a) {
+  assert(p >= 0 && p < size());
+  if (admission_max_ > 0 && gate_holds(p)) {
+    // Shed policy: the caller chose losing this sample over queueing it.
+    if (sends_shed_ != nullptr) sends_shed_->inc();
+    return false;
+  }
+  admit(p, std::move(a), 0);
+  return true;
+}
+
+bool Stack::gate_holds(ProcId p) const {
+  return !deferred_[static_cast<std::size_t>(p)].empty() ||
+         admission_backlog_(p) >= admission_max_;
+}
+
+void Stack::admit(ProcId p, core::Value a, sim::Time waited) {
+  if (admission_wait_ != nullptr) admission_wait_->observe(waited);
   if (latency_all_ != nullptr)
     bcast_times_[static_cast<std::size_t>(p)].push_back(recorder_->now());
   procs_[static_cast<std::size_t>(p)]->bcast(std::move(a));
+}
+
+void Stack::arm_admission(std::size_t max_backlog, std::function<std::size_t(ProcId)> backlog,
+                          obs::MetricsRegistry& registry) {
+  assert(max_backlog > 0 && backlog != nullptr);
+  admission_max_ = max_backlog;
+  admission_backlog_ = std::move(backlog);
+  deferred_.assign(static_cast<std::size_t>(size()), {});
+  sends_deferred_ = &registry.counter("ring.sends_deferred");
+  sends_shed_ = &registry.counter("ring.sends_shed");
+  admission_wait_ = &registry.histogram("to.admission_wait");
+}
+
+void Stack::on_ring_drain(ProcId p) {
+  if (admission_max_ == 0) return;
+  auto& q = deferred_[static_cast<std::size_t>(p)];
+  // Each admission re-submits through the VStoTO process, growing the
+  // backlog again — re-check the gate per value so a drain admits exactly
+  // as many deferred sends as the freed capacity covers.
+  while (!q.empty() && admission_backlog_(p) < admission_max_) {
+    Deferred d = std::move(q.front());
+    q.pop_front();
+    admit(p, std::move(d.value), recorder_->now() - d.since);
+  }
 }
 
 void Stack::attach(ProcId p, Client& client) {

@@ -5,6 +5,8 @@
 // clients see only bcast/brcv (via an attached to::Client per processor, or
 // the legacy global callback); everything else is internal.
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -29,8 +31,25 @@ class Stack final : public Service {
 
   int size() const override { return static_cast<int>(procs_.size()); }
   void bcast(ProcId p, core::Value a) override;
+  bool trysend(ProcId p, core::Value a) override;
   void attach(ProcId p, Client& client) override;
   void set_delivery(DeliveryFn fn) override;
+
+  /// Arm sender-side backpressure (docs/FLOWCONTROL.md): once `backlog(p)`
+  /// reaches max_backlog entries, bcast defers (queued FIFO per processor,
+  /// admitted by on_ring_drain as the transport frees capacity) and
+  /// trysend sheds. Registers the gate metrics — ring.sends_deferred,
+  /// ring.sends_shed, and the to.admission_wait histogram (deferral time of
+  /// every admitted send; 0 for sends admitted immediately) — in
+  /// `registry`, so ungated worlds carry none of them and stay
+  /// bit-identical. Wired by harness::World when
+  /// TokenRingConfig::admission_max_backlog > 0.
+  void arm_admission(std::size_t max_backlog, std::function<std::size_t(ProcId)> backlog,
+                     obs::MetricsRegistry& registry);
+
+  /// Transport drain notification: admit deferred sends at p in FIFO order
+  /// while the gate has room (the ring's drain hook lands here).
+  void on_ring_drain(ProcId p);
 
   /// Publish TO-level metrics into `registry`: the shared to.* counters and
   /// depth gauges of every VStoTO process, plus bcast->brcv latency
@@ -56,6 +75,12 @@ class Stack final : public Service {
 
  private:
   void on_deliver(ProcId dest, ProcId origin, const core::Value& a);
+  /// True when the armed gate must hold a new submission at p: the backlog
+  /// is at the limit, or earlier sends are already deferred (FIFO).
+  bool gate_holds(ProcId p) const;
+  /// Hand a gate-cleared value to the VStoTO process, recording its
+  /// admission wait and (when metrics are bound) its bcast timestamp.
+  void admit(ProcId p, core::Value a, sim::Time waited);
 
   trace::Recorder* recorder_;
   vstoto::DecodeCache decode_cache_;
@@ -68,6 +93,18 @@ class Stack final : public Service {
   std::vector<obs::Histogram*> latency_per_proc_;        // indexed by dest
   std::vector<std::vector<sim::Time>> bcast_times_;      // per origin, in order
   std::vector<std::vector<std::size_t>> deliver_index_;  // [dest][origin]
+
+  // Admission gate (inactive until arm_admission).
+  struct Deferred {
+    core::Value value;
+    sim::Time since = 0;
+  };
+  std::size_t admission_max_ = 0;  // 0 = gate off
+  std::function<std::size_t(ProcId)> admission_backlog_;
+  std::vector<std::deque<Deferred>> deferred_;  // per processor, FIFO
+  obs::Counter* sends_deferred_ = nullptr;
+  obs::Counter* sends_shed_ = nullptr;
+  obs::Histogram* admission_wait_ = nullptr;
 };
 
 }  // namespace vsg::to

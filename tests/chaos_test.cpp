@@ -242,6 +242,54 @@ TEST(Campaign, ParallelJobsAreBitIdenticalToSequential) {
       << "per-World protocol counters were not merged into the campaign registry";
 }
 
+TEST(Campaign, AdmissionGateCampaignIsJobsInvariant) {
+  // Flow control under chaos (docs/FLOWCONTROL.md): a campaign with a
+  // per-pass boarding budget, urgency lanes AND the defer-policy admission
+  // gate armed is still a deterministic function of the seeds — the gate
+  // and the drain hook live entirely inside the simulated World.
+  CampaignConfig base;
+  base.schedule = small_schedule();
+  base.seeds = 8;
+  base.ring.board_budget_bytes = 64;
+  base.ring.lanes = true;
+  base.ring.admission_max_backlog = 8;
+
+  CampaignConfig seq = base;
+  seq.jobs = 1;
+  auto seq_metrics = std::make_shared<obs::MetricsRegistry>();
+  seq.metrics = seq_metrics;
+  const auto r1 = run_campaign(seq);
+
+  CampaignConfig par = base;
+  par.jobs = 4;
+  auto par_metrics = std::make_shared<obs::MetricsRegistry>();
+  par.metrics = par_metrics;
+  const auto r4 = run_campaign(par);
+
+  ASSERT_EQ(r1.seed_results.size(), 8u);
+  EXPECT_EQ(r1.seed_results, r4.seed_results);
+  EXPECT_EQ(r1.campaign_fingerprint, r4.campaign_fingerprint);
+  EXPECT_EQ(seq_metrics->snapshot(), par_metrics->snapshot());
+}
+
+TEST(Campaign, BudgetIsPinnedInReproText) {
+  Failure f;
+  f.seed = 5;
+  f.budget = 128;
+  f.minimal.n = 3;
+  f.schedule.run_until = sim::sec(5);
+  f.minimal.scenario.add(sim::sec(1), harness::OpHeal{});
+  const std::string text = repro_text(f);
+  EXPECT_NE(text.find("config budget 128"), std::string::npos);
+  const auto parsed = harness::parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.meta.budget, 128u);
+
+  // No budget, no pin — default repros stay byte-identical to PR 9's.
+  f.budget = 0;
+  EXPECT_EQ(repro_text(f).find("config budget"), std::string::npos);
+}
+
 TEST(Campaign, ParallelJobsReproduceFailuresIdentically) {
   // Same equivalence, through the failure path: the injected decode bug
   // fires on worker threads (the thread_local flag is re-asserted per

@@ -70,6 +70,7 @@ TEST(ScenarioRoundTrip, MetaRoundTrips) {
   meta.until = sim::sec(17);
   meta.wire = 1;
   meta.shards = 4;
+  meta.budget = 4096;
   Scenario s;
   s.add(sim::msec(100), OpHeal{});
   const auto parsed = parse_scenario(write_scenario(s, meta));
@@ -143,6 +144,26 @@ TEST(ScenarioRoundTrip, ShardsMetaRoundTripsAlone) {
   ASSERT_TRUE(parsed.ok()) << parsed.error;
   EXPECT_EQ(parsed.meta, meta);
   EXPECT_EQ(*parsed.scenario, s);
+}
+
+TEST(ScenarioRoundTrip, BudgetMetaRoundTripsAlone) {
+  ScenarioMeta meta;
+  meta.budget = 256;
+  Scenario s;
+  s.add(sim::msec(50), OpHeal{});
+  const std::string text = write_scenario(s, meta);
+  EXPECT_NE(text.find("config budget 256"), std::string::npos);
+  const auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.meta, meta);
+  EXPECT_EQ(*parsed.scenario, s);
+}
+
+TEST(ScenarioRoundTrip, BadBudgetRejected) {
+  EXPECT_FALSE(parse_scenario("config budget 0\n").ok());
+  EXPECT_FALSE(parse_scenario("config budget -4\n").ok());
+  EXPECT_FALSE(parse_scenario("config budget many\n").ok());
+  EXPECT_TRUE(parse_scenario("config budget 64\n").ok());
 }
 
 TEST(ScenarioRoundTrip, ConfigLinesMayFollowOps) {

@@ -1,0 +1,111 @@
+// Sender-side admission gate (docs/FLOWCONTROL.md): trysend sheds at the
+// backlog limit, bcast defers and drains in FIFO order as the ring frees
+// capacity, the to.admission_wait histogram records every admitted send's
+// deferral time, and an ungated Stack registers none of the gate metrics
+// (default worlds stay bit-identical to pre-gate builds).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "to/service.hpp"
+
+namespace vsg {
+namespace {
+
+using harness::Backend;
+using harness::World;
+using harness::WorldConfig;
+
+WorldConfig gated_cfg(int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.n = n;
+  cfg.backend = Backend::kTokenRing;
+  cfg.seed = seed;
+  cfg.ring.max_entries_per_pass = 1;  // slow drain: one admission per pass
+  cfg.ring.admission_max_backlog = 2;
+  return cfg;
+}
+
+bool has_counter(const obs::MetricsSnapshot& s, const std::string& name) {
+  return std::any_of(s.counters.begin(), s.counters.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+bool has_histogram(const obs::MetricsSnapshot& s, const std::string& name) {
+  return std::any_of(s.histograms.begin(), s.histograms.end(),
+                     [&](const auto& h) { return h.name == name; });
+}
+
+TEST(Admission, TrysendShedsAtTheBacklogLimit) {
+  World world(gated_cfg(3, 21));
+  int delivered = 0;
+  to::CallbackClient tap([&](ProcId, const core::Value&) { ++delivered; });
+  world.stack().attach(1, tap);
+
+  int accepted = 0;
+  world.simulator().at(sim::sec(1), [&] {
+    for (int i = 0; i < 10; ++i)
+      if (world.stack().trysend(0, "v" + std::to_string(i))) ++accepted;
+  });
+  world.run_until(sim::sec(8));
+
+  // Two admissions fill the backlog (limit 2); the other eight shed.
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(world.metrics().counter("ring.sends_shed").value(), 8u);
+  EXPECT_EQ(world.metrics().counter("ring.sends_deferred").value(), 0u);
+  EXPECT_EQ(delivered, 2) << "shed sends are gone, admitted ones deliver";
+}
+
+TEST(Admission, BcastDefersAndDrainsInFifoOrder) {
+  World world(gated_cfg(3, 22));
+  std::vector<std::string> delivered;
+  to::CallbackClient tap(
+      [&](ProcId, const core::Value& a) { delivered.push_back(a); });
+  world.stack().attach(1, tap);
+
+  world.simulator().at(sim::sec(1), [&] {
+    for (int i = 0; i < 10; ++i) world.stack().bcast(0, "v" + std::to_string(i));
+  });
+  world.run_until(sim::sec(10));
+
+  // Defer policy never drops: all ten deliver, in submission order.
+  ASSERT_EQ(delivered.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(delivered[static_cast<std::size_t>(i)],
+                                         "v" + std::to_string(i));
+  EXPECT_EQ(world.metrics().counter("ring.sends_deferred").value(), 8u);
+  EXPECT_EQ(world.metrics().counter("ring.sends_shed").value(), 0u);
+  // Every admission records its wait: two immediate (0), eight positive.
+  const auto& wait = world.metrics().histogram("to.admission_wait");
+  EXPECT_EQ(wait.count(), 10u);
+  EXPECT_EQ(wait.min(), 0);
+  EXPECT_GT(wait.sum(), 0);
+}
+
+TEST(Admission, UngatedTrysendIsBcastAndRegistersNoGateMetrics) {
+  WorldConfig cfg;
+  cfg.n = 3;
+  cfg.backend = Backend::kTokenRing;
+  cfg.seed = 23;
+  World world(cfg);
+  int delivered = 0;
+  to::CallbackClient tap([&](ProcId, const core::Value&) { ++delivered; });
+  world.stack().attach(1, tap);
+
+  world.simulator().at(sim::sec(1), [&] {
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(world.stack().trysend(0, "v"));
+  });
+  world.run_until(sim::sec(6));
+
+  EXPECT_EQ(delivered, 5) << "no gate: trysend is exactly bcast";
+  const auto snap = world.metrics().snapshot();
+  EXPECT_FALSE(has_counter(snap, "ring.sends_shed"));
+  EXPECT_FALSE(has_counter(snap, "ring.sends_deferred"));
+  EXPECT_FALSE(has_histogram(snap, "to.admission_wait"));
+}
+
+}  // namespace
+}  // namespace vsg

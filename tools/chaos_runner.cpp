@@ -48,6 +48,10 @@ struct Options {
   bool inject_unchecked_decode = false;
   bool cross_check = false;  // run each seed under wire v2 AND v3, compare
   int wire = 0;              // 0: default; 1..3 pins the campaign frame layout
+  // Per-pass boarding budget in bytes (0: unbounded). Pairs with the
+  // urgency lanes (docs/FLOWCONTROL.md) so state exchange stays prompt
+  // while the campaign squeezes client traffic through a capacity bound.
+  std::uint64_t budget = 0;
   double corrupt = 0.25;
   std::string replay_file;
   std::string decode_frame_file;   // decode one canned frame file, report verdict
@@ -120,6 +124,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (v == nullptr) return false;
       opt.wire = std::atoi(v);
       if (!wire::known_version(static_cast<std::uint8_t>(opt.wire))) return false;
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const long long b = std::atoll(v);
+      if (b < 1) return false;
+      opt.budget = static_cast<std::uint64_t>(b);
     } else if (arg == "--cross-check") {
       opt.cross_check = true;
     } else if (arg == "--smoke") {
@@ -200,6 +210,13 @@ chaos::CampaignConfig campaign_config(const Options& opt) {
   cfg.shrink = opt.shrink;
   if (opt.wire != 0) cfg.ring.wire = static_cast<membership::WireFormat>(opt.wire);
   if (opt.pi_ms > 0) cfg.ring.pi = sim::msec(opt.pi_ms);
+  if (opt.budget > 0) {
+    // Budgeted campaigns always run with lanes: under a capacity bound the
+    // state exchange must preempt queued bulk or view recovery inherits the
+    // whole backlog's drain time (docs/FLOWCONTROL.md).
+    cfg.ring.board_budget_bytes = static_cast<std::size_t>(opt.budget);
+    cfg.ring.lanes = true;
+  }
   // --health-oracle implies sampling (the watchdogs evaluate samples).
   if (!opt.timeline_out.empty() || opt.health_oracle) cfg.sampler.enabled = true;
   if (opt.stall_ms > 0) cfg.sampler.health.stall_after = sim::msec(opt.stall_ms);
@@ -263,6 +280,12 @@ int replay(const Options& opt) {
       return 2;
     }
     cfg.ring.wire = static_cast<membership::WireFormat>(*parsed.meta.wire);
+  }
+  if (parsed.meta.budget.has_value()) {
+    // Same pairing as --budget: a repro minimized under a capacity bound
+    // replays with the bound and the lanes that came with it.
+    cfg.ring.board_budget_bytes = static_cast<std::size_t>(*parsed.meta.budget);
+    cfg.ring.lanes = true;
   }
   // Hand-written scenarios may not deliver every bcast everywhere (e.g. a
   // final partition); only order agreement is enforced on replay.
@@ -575,7 +598,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--first-seed S] [--n N] [--jobs N]\n"
                  "          [--shards K] [--domains N] [--backend ring|spec]\n"
-                 "          [--corrupt P] [--wire 1|2|3] [--cross-check] [--smoke]\n"
+                 "          [--corrupt P] [--wire 1|2|3] [--budget BYTES] [--cross-check]\n"
+                 "          [--smoke]\n"
                  "          [--no-shrink] [--repro-dir DIR] [--export PATH]\n"
                  "          [--timeline-out PATH] [--health-oracle] [--stall-ms N] "
                  "[--pi MS]\n"

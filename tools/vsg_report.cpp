@@ -264,6 +264,18 @@ void print_percentiles(const obs::MetricsSnapshot& snap, const char* indent) {
   if (!any) std::printf("%s(no histogram samples)\n", indent);
 }
 
+/// Flow-control flag next to the health log: shed sends are silent data
+/// loss the caller opted into (to::Service::trysend), so a nonzero
+/// ring.sends_shed deserves the same prominence as a watchdog event
+/// (docs/FLOWCONTROL.md).
+void print_shed_flag(const obs::MetricsSnapshot& snap) {
+  const auto* shed = find_counter(snap, "ring.sends_shed");
+  if (shed != nullptr && *shed > 0)
+    std::printf("flow control: %llu send%s SHED at the admission gate "
+                "(ring.sends_shed > 0, docs/FLOWCONTROL.md)\n",
+                static_cast<unsigned long long>(*shed), *shed == 1 ? "" : "s");
+}
+
 void print_health_events(const std::vector<obs::HealthEvent>& events) {
   if (events.empty()) {
     std::printf("health events: none\n");
@@ -310,6 +322,13 @@ void report_timeseries(const Doc& doc, const Options& opt) {
   }
   std::printf("\n");
   print_health_events(ts.health_events);
+  // The lead series ("aggregate" by sampler construction) carries the
+  // cross-shard totals the shed flag should reflect.
+  const obs::MetricsSnapshot* lead_final = nullptr;
+  if (!series.empty())
+    for (const auto& s : ts.samples)
+      if (s.series == series.front()) lead_final = &s.metrics;
+  if (lead_final != nullptr) print_shed_flag(*lead_final);
 }
 
 void report_snapshot(const Doc& doc) {
@@ -319,6 +338,7 @@ void report_snapshot(const Doc& doc) {
               doc.label.c_str(), snap.counters.size(), snap.gauges.size(),
               snap.histograms.size());
   print_percentiles(snap, "  ");
+  print_shed_flag(snap);
 }
 
 // --- HTML rendering --------------------------------------------------------
@@ -426,6 +446,17 @@ std::string html_report(const std::vector<Doc>& docs, const Options& opt) {
           out += "<li>" + fmt_us(e.at) + " <b>" + html_escape(e.rule) + "</b> [" +
                  html_escape(e.series) + "] " + html_escape(e.detail) + "</li>\n";
         out += "</ul></div>\n";
+      }
+      const obs::MetricsSnapshot* lead_final = nullptr;
+      for (const auto& s : ts.samples)
+        if (!ts.samples.empty() && s.series == series_names(ts).front())
+          lead_final = &s.metrics;
+      if (lead_final != nullptr) {
+        const auto* shed = find_counter(*lead_final, "ring.sends_shed");
+        if (shed != nullptr && *shed > 0)
+          out += "<div class=\"health\"><b>flow control:</b> " + std::to_string(*shed) +
+                 " sends SHED at the admission gate (ring.sends_shed &gt; 0, "
+                 "docs/FLOWCONTROL.md)</div>\n";
       }
     } else {
       out += "<p>vsg-metrics-v1" +
